@@ -1,0 +1,21 @@
+# Convenience targets for the SHIFT-SPLIT reproduction.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python scripts/regenerate_experiments.py results
+
+examples:
+	for script in examples/*.py; do python $$script; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache results

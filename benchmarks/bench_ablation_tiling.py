@@ -1,0 +1,15 @@
+"""Ablation benchmark — subtree tiling vs naive index blocking under a
+point/range query workload (cold cache)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_tiling
+
+
+def test_ablation_tiling(benchmark):
+    rows = run_experiment(benchmark, ablation_tiling.main)
+    tiled, scalings, naive = rows
+    assert tiled["point_blocks_per_query"] < naive["point_blocks_per_query"]
+    assert tiled["range_blocks_per_query"] < naive["range_blocks_per_query"]
+    # The redundant scalings take point queries down to one block.
+    assert scalings["point_blocks_per_query"] == 1.0

@@ -1,0 +1,16 @@
+"""Ablation benchmark — z-order + crest buffering for the non-standard
+bulk transformation (Section 5.1's optimality ingredients)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_zorder
+
+
+def test_ablation_zorder(benchmark):
+    rows = run_experiment(benchmark, ablation_zorder.main)
+    by_name = {row["configuration"]: row for row in rows}
+    zorder = by_name["zorder + crest buffer"]
+    rowmajor = by_name["rowmajor + crest buffer"]
+    unbuffered = by_name["rowmajor, no buffer"]
+    assert zorder["crest_buffer_peak"] < rowmajor["crest_buffer_peak"]
+    assert unbuffered["coefficient_io"] > zorder["coefficient_io"]

@@ -1,0 +1,17 @@
+"""Benchmark for the Section 3.1 compressibility claim: the standard
+form compresses range aggregates better than the non-standard form."""
+
+from conftest import run_experiment
+
+from repro.experiments import compression
+
+
+def test_compression_forms(benchmark):
+    rows = run_experiment(benchmark, compression.main)
+    partial = [row for row in rows if row["K_fraction"] < 1.0]
+    wins = sum(
+        1
+        for row in partial
+        if row["std_rangesum_error"] <= row["ns_rangesum_error"]
+    )
+    assert wins == len(partial)

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 11 — transformation I/O vs memory.
+
+Prints the same series the paper plots: coefficient I/O of Vitter et
+al., SHIFT-SPLIT standard and SHIFT-SPLIT non-standard as memory grows
+on a 4-d TEMPERATURE-like cube.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import fig11
+
+
+def test_fig11_memory_sweep(benchmark):
+    rows = run_experiment(benchmark, fig11.main, edge=16)
+    vitter = rows[0]["vitter_io"]
+    for row in rows:
+        assert row["vitter_io"] == vitter  # flat in memory
+    # Within the paper's plotted regime (memory >= 4^d here),
+    # SHIFT-SPLIT standard beats Vitter and non-standard beats both.
+    plotted = [row for row in rows if row["memory_edge"] >= 4]
+    for row in plotted:
+        assert row["shift_split_standard_io"] < row["vitter_io"]
+        assert (
+            row["shift_split_nonstandard_io"]
+            <= row["shift_split_standard_io"]
+        )

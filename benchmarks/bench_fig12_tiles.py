@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 12 — block I/O vs dataset size and
+tile size, both decomposition forms (d = 2, memory = 64 coefficients)."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig12
+
+
+def test_fig12_tile_sweep(benchmark):
+    rows = run_experiment(
+        benchmark, fig12.main, dataset_edges=(64, 128, 256), tile_edges=(8, 16)
+    )
+    by_key = {(r["dataset_edge"], r["tile_edge"]): r for r in rows}
+    # Larger tiles -> fewer blocks; larger data -> more blocks.
+    assert (
+        by_key[(256, 16)]["standard_block_io"]
+        < by_key[(256, 8)]["standard_block_io"]
+    )
+    assert (
+        by_key[(256, 8)]["standard_block_io"]
+        > by_key[(64, 8)]["standard_block_io"]
+    )
+    for row in rows:
+        assert row["nonstandard_block_io"] <= row["standard_block_io"]

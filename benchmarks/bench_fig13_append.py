@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 13 — appending I/O per month on
+PRECIPITATION-like data, tile sizes swept, expansion jumps visible."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig13
+
+
+def test_fig13_appending(benchmark):
+    rows = run_experiment(benchmark, fig13.main, months=48)
+    for tile_edge in (2, 4, 8):
+        series = [r for r in rows if r["tile_edge"] == tile_edge]
+        jumps = [r["block_io"] for r in series if r["expanded"]]
+        steady = [r["block_io"] for r in series if not r["expanded"]]
+        assert max(jumps) > max(steady)  # the figure's spikes
+    # Larger tiles damp the spikes (paper's closing observation).
+    worst = {
+        edge: max(
+            r["block_io"]
+            for r in rows
+            if r["tile_edge"] == edge and r["expanded"]
+        )
+        for edge in (2, 8)
+    }
+    assert worst[8] < worst[2]

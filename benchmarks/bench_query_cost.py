@@ -1,0 +1,18 @@
+"""Benchmark for the query-cost study: blocks per query across tile
+sizes and forms, with and without the redundant scalings."""
+
+from conftest import run_experiment
+
+from repro.experiments import query_cost
+
+
+def test_query_cost(benchmark):
+    rows = run_experiment(benchmark, query_cost.main)
+    for row in rows:
+        # The spare-slot scalings give single-block point queries.
+        assert row["std_point_fast"] == 1.0
+        assert row["ns_point_fast"] == 1.0
+        assert row["std_point_fast"] < row["std_point"]
+    # Larger tiles cut the per-query block cost.
+    assert rows[-1]["std_point"] < rows[0]["std_point"]
+    assert rows[-1]["std_range"] < rows[0]["std_range"]

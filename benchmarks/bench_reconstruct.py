@@ -1,0 +1,14 @@
+"""Benchmark regenerating the Result 6 comparison — partial
+reconstruction via inverse SHIFT-SPLIT vs the two naive strategies."""
+
+from conftest import run_experiment
+
+from repro.experiments import reconstruct_exp
+
+
+def test_reconstruct_sweep(benchmark):
+    rows = run_experiment(benchmark, reconstruct_exp.main)
+    for row in rows:
+        assert row["std_shift_split_io"] == row["std_formula"]
+        assert row["ns_shift_split_io"] == row["ns_formula"]
+        assert row["std_shift_split_io"] < row["pointwise_io"]

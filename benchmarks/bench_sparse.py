@@ -1,0 +1,13 @@
+"""Benchmark for the sparse-data transformation variant: I/O tracks
+occupied chunks, not the domain."""
+
+from conftest import run_experiment
+
+from repro.experiments import sparse
+
+
+def test_sparse_transform(benchmark):
+    rows = run_experiment(benchmark, sparse.main)
+    per_chunk = {row["std_io_per_occupied_chunk"] for row in rows}
+    assert len(per_chunk) == 1  # constant cost per occupied chunk
+    assert rows[-1]["std_io"] < rows[0]["std_io"]

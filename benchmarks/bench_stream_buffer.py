@@ -1,0 +1,15 @@
+"""Benchmark regenerating the Section 6 stream experiment — synopsis
+update cost vs buffer size (Result 3)."""
+
+from conftest import run_experiment
+
+from repro.experiments import stream_buffer
+
+
+def test_stream_buffer_sweep(benchmark):
+    rows = run_experiment(benchmark, stream_buffer.main)
+    for row in rows:
+        assert row["crest_updates_per_item"] == row["formula"]
+    assert (
+        rows[-1]["crest_updates_per_item"] < rows[0]["crest_updates_per_item"]
+    )

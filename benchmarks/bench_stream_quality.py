@@ -1,0 +1,14 @@
+"""Benchmark: streaming K-term synopsis quality equals the offline
+L2 optimum while error falls with K."""
+
+from conftest import run_experiment
+
+from repro.experiments import stream_quality
+
+
+def test_stream_quality(benchmark):
+    rows = run_experiment(benchmark, stream_quality.main)
+    for row in rows:
+        assert row["gap"] < 1e-3  # streaming == offline (ties aside)
+    errors = [row["streaming_error"] for row in rows]
+    assert errors == sorted(errors, reverse=True)

@@ -1,0 +1,11 @@
+"""Benchmark verifying the analytic space bounds of Results 3-5."""
+
+from conftest import run_experiment
+
+from repro.experiments import stream_space
+
+
+def test_stream_space_bounds(benchmark):
+    rows = run_experiment(benchmark, stream_space.main)
+    for row in rows:
+        assert row["measured_live"] <= row["bound"], row["result"]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 1 — tiles touched by SHIFT / SPLIT
+(measured against the paper's formulas)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table1
+
+
+def test_table1_tile_counts(benchmark):
+    rows = run_experiment(benchmark, table1.main)
+    for row in rows:
+        # The paper's M/B drops the geometric series over bands; the
+        # exact count stays below (B/(B-1))^d times the formula.
+        slack = (row["B"] / (row["B"] - 1)) ** row["d"]
+        assert row["std_shift"] <= slack * row["std_shift_formula"] + 2
+        assert row["ns_split"] <= row["ns_split_formula"] + 1

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 2 — I/O complexity classes of the three
+transformation methods (measured/formula ratios stay constant in N)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table2
+
+
+def test_table2_complexities(benchmark):
+    rows = run_experiment(benchmark, table2.main)
+    for column in ("vitter_ratio", "std_ratio", "ns_ratio"):
+        values = [row[column] for row in rows]
+        assert max(values) / min(values) < 1.2
+    for row in rows:
+        assert row["ns_io"] < row["std_io"] < row["vitter_io"]

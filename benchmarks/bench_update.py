@@ -1,0 +1,15 @@
+"""Benchmark for Example 2 — batch updates via SHIFT-SPLIT vs naive
+per-cell updates (identical results, very different I/O)."""
+
+from conftest import run_experiment
+
+from repro.experiments import update_exp
+
+
+def test_update_example2(benchmark):
+    rows = run_experiment(benchmark, update_exp.main)
+    for row in rows:
+        assert row["shift_split_io"] < row["naive_io"]
+    # The advantage grows with the batch size.
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)

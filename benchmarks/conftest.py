@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Each benchmark wraps one experiment from :mod:`repro.experiments` so the
+numbers printed by ``pytest benchmarks/ --benchmark-only`` regenerate the
+paper's tables and figures (see EXPERIMENTS.md for the mapping).  Row
+data are attached as ``extra_info`` and also echoed to stdout.
+"""
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Run an experiment once under the benchmark timer and attach its
+    result rows to the report."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = result
+    return result

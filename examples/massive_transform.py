@@ -1,0 +1,65 @@
+"""Transforming a massive dataset under a memory budget (paper,
+Section 5.1 and Figure 11).
+
+The dataset is never materialised: a callable serves chunks on demand,
+exactly like scanning a chunk-organised file.  The three methods of
+Figure 11 run side by side — Vitter et al., SHIFT-SPLIT standard and
+SHIFT-SPLIT non-standard — and their coefficient I/O is reported for a
+sweep of memory sizes.
+
+Run:  python examples/massive_transform.py
+"""
+
+from repro import (
+    DenseNonStandardStore,
+    DenseStandardStore,
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+)
+from repro.datasets import temperature_cube
+from repro.transform import vitter_io_cost
+
+
+def main() -> None:
+    edge = 16
+    shape = (edge,) * 4
+    cube = temperature_cube(shape, seed=7)
+    print(
+        f"4-d TEMPERATURE-like cube, {edge}^4 = {cube.size:,} cells "
+        f"(scaled stand-in for the paper's 16 GB JPL cube)\n"
+    )
+
+    def chunk_source(chunk_edge):
+        def getter(grid_position):
+            selector = tuple(
+                slice(g * chunk_edge, (g + 1) * chunk_edge)
+                for g in grid_position
+            )
+            return cube[selector]
+
+        return getter
+
+    vitter = vitter_io_cost(shape)
+    print(f"{'memory':>10} {'Vitter':>12} {'SS standard':>12} {'SS non-std':>12}")
+    for memory_edge in (2, 4, 8):
+        std_store = DenseStandardStore(shape)
+        std = transform_standard_chunked(
+            std_store, chunk_source(memory_edge), (memory_edge,) * 4
+        )
+        ns_store = DenseNonStandardStore(edge, 4)
+        ns = transform_nonstandard_chunked(
+            ns_store, chunk_source(memory_edge), memory_edge, order="zorder"
+        )
+        print(
+            f"{memory_edge ** 4:>10,} {vitter:>12,} "
+            f"{std.coefficient_ios:>12,} {ns.coefficient_ios:>12,}"
+        )
+
+    print(
+        "\nVitter is flat in memory; SHIFT-SPLIT standard falls as the "
+        "SPLIT term shrinks; non-standard stays at the optimal 2 N^d."
+    )
+
+
+if __name__ == "__main__":
+    main()

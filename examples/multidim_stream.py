@@ -1,0 +1,80 @@
+"""Multidimensional stream synopses (paper, Section 5.3, Results 4-5).
+
+A grid of sensors reports a 2-d slab every tick; the stream grows along
+time without bound.  Two maintainers summarise it on the fly:
+
+* the standard-form maintainer (Result 4), whose working memory grows
+  with the *fixed* domain (``N^{d-1} log T`` open coefficients), and
+* the hybrid non-standard maintainer (Result 5), which needs only a
+  logarithmic crest.
+
+Both are compared on memory and on approximation quality.
+
+Run:  python examples/multidim_stream.py
+"""
+
+import numpy as np
+
+from repro import NonStandardStreamSynopsis, StandardStreamSynopsis
+from repro.datasets import slab_stream
+from repro.synopsis import relative_l2_error
+
+
+def main() -> None:
+    edge = 8  # sensor grid edge (the fixed spatial domain)
+    time_domain = 256
+    k = 96
+
+    slabs = list(slab_stream((edge, edge), time_domain, seed=29))
+    cube = np.stack(slabs, axis=-1)
+
+    # Result 4 — standard form.
+    standard = StandardStreamSynopsis(
+        (edge, edge), time_domain, k=k, time_buffer=4
+    )
+    for slab in slabs:
+        standard.push_slab(slab)
+
+    # Result 5 — hybrid non-standard form (the within-cube time axis is
+    # the cube's last dimension; chunks arrive in z-order).
+    hybrid = NonStandardStreamSynopsis(
+        edge, 3, time_domain, k=k, chunk_edge=2
+    )
+    cubes = time_domain // edge
+    for cube_index in range(cubes):
+        block = cube[:, :, cube_index * edge : (cube_index + 1) * edge]
+        for grid in hybrid.expected_chunk_order():
+            hybrid.push_chunk(
+                block[
+                    grid[0] * 2 : (grid[0] + 1) * 2,
+                    grid[1] * 2 : (grid[1] + 1) * 2,
+                    grid[2] * 2 : (grid[2] + 1) * 2,
+                ]
+            )
+
+    print(
+        f"{edge}x{edge} sensor grid, {time_domain} ticks, K = {k} "
+        f"({k / cube.size:.2%} of the cells):\n"
+    )
+    std_error = relative_l2_error(standard.estimate(), cube)
+    hyb_error = relative_l2_error(hybrid.estimate(), cube)
+    print(
+        f"  standard form (Result 4): "
+        f"{standard.max_live_coefficients:5d} live coefficients, "
+        f"relative L2 error {std_error:.3f}"
+    )
+    print(
+        f"  hybrid form   (Result 5): "
+        f"{hybrid.max_live_coefficients:5d} live coefficients, "
+        f"relative L2 error {hyb_error:.3f}"
+    )
+    print(
+        "\nThe paper's trade-off: the standard form needs working "
+        "memory proportional to the whole spatial domain "
+        f"(N^(d-1) log T = {edge * edge} x log T here), while the "
+        "hybrid non-standard maintainer runs in logarithmic space."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""OLAP over a TEMPERATURE-like 4-d cube (the paper's Section 6.1 data).
+
+Loads a latitude x longitude x altitude x time cube into a tiled
+wavelet store with the SHIFT-SPLIT bulk transformation, then answers
+the kind of range-aggregate queries the paper's introduction motivates
+— average temperature over a region and period — counting disk blocks
+per query.
+
+Run:  python examples/olap_temperature.py
+"""
+
+from repro import (
+    TiledStandardStore,
+    range_sum_standard,
+    transform_standard_chunked,
+)
+from repro.datasets import temperature_cube
+
+
+def main() -> None:
+    shape = (16, 16, 8, 64)  # lat, lon, alt, time
+    cube = temperature_cube(shape, seed=7)
+    print(
+        f"TEMPERATURE-like cube {shape}: "
+        f"{cube.size:,} cells, {cube.size * 8 / 2**20:.1f} MiB raw"
+    )
+
+    store = TiledStandardStore(shape, block_edge=4, pool_capacity=256)
+    report = transform_standard_chunked(store, cube, (4, 4, 4, 8))
+    print(
+        f"bulk transform: {report.chunks} chunks, "
+        f"{report.block_ios} block I/Os"
+    )
+
+    queries = [
+        ("tropics, all altitudes, first month", (6, 0, 0, 0), (9, 15, 7, 3)),
+        ("northern quarter, surface, full range", (0, 0, 0, 0), (3, 15, 1, 63)),
+        ("one cell's full history", (8, 8, 4, 0), (8, 8, 4, 63)),
+    ]
+    for label, lows, highs in queries:
+        cells = 1
+        for lo, hi in zip(lows, highs):
+            cells *= hi - lo + 1
+        store.drop_cache()
+        before = store.stats.snapshot()
+        total = range_sum_standard(store, lows, highs)
+        reads = store.stats.delta_since(before).block_reads
+        truth = cube[
+            tuple(slice(lo, hi + 1) for lo, hi in zip(lows, highs))
+        ].sum()
+        print(
+            f"  {label}: avg {total / cells:7.2f} K "
+            f"(truth {truth / cells:7.2f}) — {reads} block reads "
+            f"for {cells:,} cells"
+        )
+
+    print(
+        "\nEach query touched a handful of blocks instead of the "
+        "region's cells — Lemma 2 plus Section 3's tiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

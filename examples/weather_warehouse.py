@@ -1,0 +1,72 @@
+"""A small weather warehouse on the OLAP facade.
+
+The downstream-user view of the whole system: define named dimensions
+in physical units, bulk-load a TEMPERATURE-like cube, answer analyst
+queries in those units, persist the warehouse to a file and reopen it
+— everything running on SHIFT-SPLIT, the tiling, and the simulated
+disk underneath.
+
+Run:  python examples/weather_warehouse.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Dimension, WaveletCube
+from repro.datasets import temperature_cube
+from repro.storage.persist import load_standard_store, save_standard_store
+
+
+def main() -> None:
+    shape = (16, 16, 8, 64)
+    cube_data = temperature_cube(shape, seed=7)
+
+    warehouse = WaveletCube(
+        [
+            Dimension("latitude", 16, low=-90.0, high=90.0),
+            Dimension("longitude", 16, low=0.0, high=360.0),
+            Dimension("altitude", 8, low=0.0, high=16.0),  # km
+            Dimension("halfday", 64),  # two samples per day
+        ],
+        block_edge=4,
+        pool_blocks=256,
+    )
+    report = warehouse.load(cube_data)
+    print(
+        f"loaded {cube_data.size:,} cells in {report.chunks} chunks "
+        f"({report.block_ios} block I/Os)\n"
+    )
+
+    print("analyst queries (domain units):")
+    tropics = warehouse.average(latitude=(-23.5, 23.5))
+    print(f"  mean tropical temperature:            {tropics:7.2f} K")
+    poles = warehouse.average(latitude=(67.0, 90.0))
+    print(f"  mean arctic temperature:              {poles:7.2f} K")
+    high_alt = warehouse.average(altitude=(10.0, 16.0))
+    print(f"  mean above 10 km:                     {high_alt:7.2f} K")
+    first_week = warehouse.average(halfday=(0, 13))
+    print(f"  mean over the first week:             {first_week:7.2f} K")
+    spot = warehouse.value_at(
+        latitude=0.0, longitude=180.0, altitude=0.0, halfday=10
+    )
+    print(f"  spot value (equator, 180E, surface):  {spot:7.2f} K")
+
+    window = warehouse.window(latitude=(0.0, 45.0), altitude=(0.0, 2.0))
+    print(f"  reconstructed window shape:           {window.shape}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "warehouse.npz"
+        save_standard_store(warehouse.store, path)
+        size_kb = path.stat().st_size / 1024
+        reopened = load_standard_store(path, pool_capacity=64)
+        check = reopened.read_point((0, 0, 0, 0))
+        print(
+            f"\npersisted to {path.name} ({size_kb:.0f} KiB), reopened, "
+            f"first coefficient intact: {check:.3f}"
+        )
+
+    print(f"\ntotal session I/O: {warehouse.stats}")
+
+
+if __name__ == "__main__":
+    main()

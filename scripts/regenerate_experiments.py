@@ -1,0 +1,27 @@
+"""Regenerate every experiment at full scale and export CSVs.
+
+Usage:  python scripts/regenerate_experiments.py [results_dir] [--fast]
+
+Prints the paper-style tables to stdout (tee it to refresh the numbers
+in EXPERIMENTS.md) and writes one CSV per experiment for plotting.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments import run_all
+from repro.experiments.export import export_all
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    fast = "--fast" in sys.argv[1:]
+    directory = Path(args[0]) if args else Path("results")
+    results = run_all(fast=fast)
+    written = export_all(results, directory)
+    print(f"wrote {len(written)} CSV files to {directory}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

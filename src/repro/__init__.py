@@ -1,0 +1,128 @@
+"""SHIFT-SPLIT: I/O efficient maintenance of wavelet-transformed
+multidimensional data.
+
+A from-scratch reproduction of Jahangiri, Sacharidis and Shahabi
+(SIGMOD 2005).  The package layers:
+
+* :mod:`repro.wavelet`  — Haar DWT, standard & non-standard forms,
+  wavelet-tree navigation;
+* :mod:`repro.tiling`   — the optimal coefficient-to-disk-block
+  allocation (Section 3);
+* :mod:`repro.storage`  — simulated block device, buffer pool, and the
+  dense/tiled coefficient stores all algorithms run against;
+* :mod:`repro.core`     — the SHIFT and SPLIT operations (Section 4);
+* :mod:`repro.transform`, :mod:`repro.append`, :mod:`repro.streams`,
+  :mod:`repro.reconstruct` — the four maintenance scenarios
+  (Section 5, Results 1-6);
+* :mod:`repro.datasets`, :mod:`repro.experiments` — synthetic data and
+  the harness regenerating every table and figure of Section 6.
+"""
+
+from repro.append import StandardAppender
+from repro.olap import Dimension, WaveletCube
+from repro.core import (
+    apply_chunk_nonstandard,
+    apply_chunk_standard,
+    axis_shift_split,
+    extract_region_nonstandard,
+    extract_region_standard,
+    shift_target_indices,
+    split_contributions,
+    split_weights,
+)
+from repro.reconstruct import (
+    point_query_nonstandard,
+    point_query_single_tile,
+    point_query_standard,
+    populate_scalings_standard,
+    range_sum_nonstandard,
+    range_sum_standard,
+    reconstruct_box_nonstandard,
+    reconstruct_box_standard,
+)
+from repro.storage import (
+    DenseNonStandardStore,
+    DenseStandardStore,
+    IOStats,
+    NaiveBlockedStandardStore,
+    TiledNonStandardStore,
+    TiledStandardStore,
+)
+from repro.streams import (
+    NonStandardStreamSynopsis,
+    StandardStreamSynopsis,
+    StreamSynopsis1D,
+    TopKTracker,
+)
+from repro.synopsis import (
+    best_k_nonstandard,
+    best_k_standard,
+    relative_l2_error,
+)
+from repro.transform import (
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+    vitter_transform_standard,
+)
+from repro.update import (
+    batch_update_nonstandard,
+    batch_update_standard,
+    naive_update_standard,
+)
+from repro.wavelet import (
+    haar_dwt,
+    haar_idwt,
+    nonstandard_dwt,
+    nonstandard_idwt,
+    standard_dwt,
+    standard_idwt,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DenseNonStandardStore",
+    "DenseStandardStore",
+    "Dimension",
+    "IOStats",
+    "NaiveBlockedStandardStore",
+    "NonStandardStreamSynopsis",
+    "StandardAppender",
+    "StandardStreamSynopsis",
+    "StreamSynopsis1D",
+    "TiledNonStandardStore",
+    "TiledStandardStore",
+    "TopKTracker",
+    "WaveletCube",
+    "apply_chunk_nonstandard",
+    "apply_chunk_standard",
+    "axis_shift_split",
+    "batch_update_nonstandard",
+    "batch_update_standard",
+    "best_k_nonstandard",
+    "best_k_standard",
+    "extract_region_nonstandard",
+    "extract_region_standard",
+    "haar_dwt",
+    "haar_idwt",
+    "nonstandard_dwt",
+    "naive_update_standard",
+    "nonstandard_idwt",
+    "point_query_nonstandard",
+    "point_query_single_tile",
+    "point_query_standard",
+    "populate_scalings_standard",
+    "range_sum_nonstandard",
+    "range_sum_standard",
+    "relative_l2_error",
+    "reconstruct_box_nonstandard",
+    "reconstruct_box_standard",
+    "shift_target_indices",
+    "split_contributions",
+    "split_weights",
+    "standard_dwt",
+    "standard_idwt",
+    "transform_nonstandard_chunked",
+    "transform_standard_chunked",
+    "vitter_transform_standard",
+]

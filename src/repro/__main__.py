@@ -1,0 +1,74 @@
+"""Command-line entry point: run the reproduction's experiments.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig11            # run one experiment
+    python -m repro run all [--fast]     # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import experiments
+
+_EXPERIMENTS = {
+    "table1": experiments.table1.main,
+    "table2": experiments.table2.main,
+    "fig11": experiments.fig11.main,
+    "fig12": experiments.fig12.main,
+    "fig13": experiments.fig13.main,
+    "stream-buffer": experiments.stream_buffer.main,
+    "stream-space": experiments.stream_space.main,
+    "stream-quality": experiments.stream_quality.main,
+    "reconstruct": experiments.reconstruct_exp.main,
+    "query-cost": experiments.query_cost.main,
+    "update": experiments.update_exp.main,
+    "sparse": experiments.sparse.main,
+    "compression": experiments.compression.main,
+    "ablation-tiling": experiments.ablation_tiling.main,
+    "ablation-zorder": experiments.ablation_zorder.main,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "SHIFT-SPLIT reproduction — regenerate the paper's tables "
+            "and figures"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run = subparsers.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="experiment id (see 'list')",
+    )
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down sizes for 'all'",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        experiments.run_all(fast=args.fast)
+        return 0
+    _EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

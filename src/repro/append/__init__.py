@@ -1,0 +1,13 @@
+"""Appending to wavelet-decomposed transforms (paper, Section 5.2)."""
+
+from repro.append.appender import AppendRecord, StandardAppender
+from repro.append.expansion import expand_standard_axis, expansion_axis_map
+from repro.append.nonstandard import expand_nonstandard
+
+__all__ = [
+    "AppendRecord",
+    "StandardAppender",
+    "expand_nonstandard",
+    "expand_standard_axis",
+    "expansion_axis_map",
+]

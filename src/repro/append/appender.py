@@ -1,0 +1,175 @@
+"""Appending new data to an existing transform (paper, Section 5.2).
+
+The motivating scenario: years of measurements already decomposed, and
+a new month of data arrives along the time dimension.  Appending is
+*not* updating — the new cells lie outside the transformed domain, so
+the transform itself must grow.
+
+Per appended slab the appender:
+
+1. transforms the slab in memory (``d``-dimensional DWT),
+2. *expands* the store when the slab's position exceeds the current
+   domain (doubling the growing dimension — rare but touches every
+   coefficient; see :mod:`repro.append.expansion`), and
+3. SHIFT-SPLITs the slab into the (possibly expanded) transform —
+   ``O(M̃ + log(N/M̃))`` per dimension, cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.standard_ops import apply_chunk_standard
+from repro.storage.iostats import IOStats
+from repro.util.validation import (
+    as_float_array,
+    require_power_of_two_shape,
+)
+
+__all__ = ["AppendRecord", "StandardAppender"]
+
+
+@dataclass
+class AppendRecord:
+    """Cost accounting for one appended slab."""
+
+    slab_index: int
+    expanded: bool
+    io_delta: IOStats
+    domain_shape: Tuple[int, ...]
+    extras: dict = field(default_factory=dict)
+
+
+class StandardAppender:
+    """Maintains a growing standard-form transform by SHIFT-SPLIT.
+
+    Parameters
+    ----------
+    slab_shape:
+        Shape of each appended slab (all extents powers of two).  The
+        non-growing extents fix those dimensions of the domain.
+    grow_axis:
+        The dimension along which slabs accumulate (the paper's time
+        dimension).
+    store_factory:
+        ``callable(shape, stats) -> store`` building the coefficient
+        store for a given domain shape (dense or tiled), charging I/O
+        to the supplied :class:`IOStats`.  Called again at every
+        expansion, because the domain shape changes; all stores share
+        the appender's single counter object so per-append deltas span
+        expansions cleanly.
+    """
+
+    def __init__(
+        self,
+        slab_shape: Sequence[int],
+        grow_axis: int,
+        store_factory: Callable[[Tuple[int, ...], IOStats], object],
+    ) -> None:
+        self._slab_shape = require_power_of_two_shape(slab_shape, "slab_shape")
+        if not 0 <= grow_axis < len(self._slab_shape):
+            raise ValueError(
+                f"grow_axis must be in [0, {len(self._slab_shape)}), "
+                f"got {grow_axis}"
+            )
+        self._grow_axis = grow_axis
+        self._store_factory = store_factory
+        self.stats = IOStats()
+        self._store = store_factory(self._slab_shape, self.stats)
+        self._appended = 0
+        self.records: List[AppendRecord] = []
+
+    @property
+    def store(self):
+        """The current coefficient store (replaced at each expansion)."""
+        return self._store
+
+    @property
+    def domain_shape(self) -> Tuple[int, ...]:
+        return tuple(self._store.shape)
+
+    @property
+    def slabs_appended(self) -> int:
+        return self._appended
+
+    @property
+    def logical_extent(self) -> int:
+        """Cells actually filled along the growing axis."""
+        return self._appended * self._slab_shape[self._grow_axis]
+
+    def _expand(self, axis: int | None = None) -> None:
+        """Double one dimension (default: the growing axis),
+        relocating every coefficient."""
+        from repro.append.expansion import expand_standard_axis
+
+        if axis is None:
+            axis = self._grow_axis
+        old_store = self._store
+        new_shape = list(old_store.shape)
+        new_shape[axis] *= 2
+        new_store = self._store_factory(tuple(new_shape), self.stats)
+        expand_standard_axis(old_store, new_store, axis)
+        if hasattr(new_store, "flush"):
+            new_store.flush()
+        self._store = new_store
+
+    def append(self, slab) -> AppendRecord:
+        """Append one slab at the next position along the growing axis."""
+        slab = as_float_array(slab, "slab")
+        if tuple(slab.shape) != self._slab_shape:
+            raise ValueError(
+                f"slab must have shape {self._slab_shape}, got {slab.shape}"
+            )
+        grid_position = [0] * len(self._slab_shape)
+        grid_position[self._grow_axis] = self._appended
+        record = self.append_block(slab, grid_position)
+        self._appended += 1
+        return record
+
+    def append_block(self, block, grid_position: Sequence[int]) -> AppendRecord:
+        """Append a slab-shaped block at an arbitrary grid position,
+        expanding *any* dimension that is too small.
+
+        The paper's general appending case — "appending to the time
+        domain and possibly on other measure dimensions": a new sensor
+        row and a new month both arrive as blocks beyond the current
+        domain.  The target region must be previously empty (appending
+        is insertion of new cells, not updating; use
+        :mod:`repro.update` for updates).
+        """
+        block = as_float_array(block, "block")
+        if tuple(block.shape) != self._slab_shape:
+            raise ValueError(
+                f"block must have shape {self._slab_shape}, got {block.shape}"
+            )
+        grid_position = tuple(int(g) for g in grid_position)
+        if len(grid_position) != len(self._slab_shape) or any(
+            g < 0 for g in grid_position
+        ):
+            raise ValueError(f"invalid grid position {grid_position}")
+        before = self.stats.snapshot()
+        expanded = False
+        for axis, (g, extent) in enumerate(
+            zip(grid_position, self._slab_shape)
+        ):
+            while (g + 1) * extent > self._store.shape[axis]:
+                self._expand(axis)
+                expanded = True
+        apply_chunk_standard(self._store, block, grid_position, fresh=True)
+        if hasattr(self._store, "flush"):
+            self._store.flush()
+        record = AppendRecord(
+            slab_index=self._appended,
+            expanded=expanded,
+            io_delta=self.stats.delta_since(before),
+            domain_shape=self.domain_shape,
+        )
+        self.records.append(record)
+        return record
+
+    def to_array(self) -> np.ndarray:
+        """Uncounted dense snapshot of the current transform."""
+        return self._store.to_array()

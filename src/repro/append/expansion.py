@@ -1,0 +1,83 @@
+"""Domain expansion of a standard-form transform (paper, Section 5.2,
+Figure 10).
+
+Appending beyond the current domain makes a dimension's wavelet tree
+grow one level: the domain doubles from ``N`` to ``2N``.  Because the
+old data occupy the *left* half of the new domain (dyadic translation
+0), the old details keep their ``(level, position)`` identity — SHIFT
+is a pure flat re-indexing ``i -> i + 2^{floor(log2 i)}`` — and only the
+old overall average SPLITs, into the new top detail ``w_{n+1,0} = u/2``
+and the new overall average ``u_{n+1,0} = u/2``.
+
+The cost is ``O(N^d)`` coefficients (every coefficient is relocated)
+but only ``O((N/B)^d)`` blocks under tiling, which is why the paper's
+Figure 13 expansion spikes shrink as tiles grow.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["expansion_axis_map", "expand_standard_axis"]
+
+
+def expansion_axis_map(extent: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-axis gather map for doubling one dimension.
+
+    Returns ``(sources, weights, targets)`` of length ``extent + 1``:
+    the new-transform coefficient at flat index ``targets[p]`` equals
+    ``old[sources[p]] * weights[p]``; all other new coefficients (the
+    right half, which holds no data yet) are zero.
+    """
+    if extent < 1:
+        raise ValueError(f"extent must be >= 1, got {extent}")
+    old_details = np.arange(1, extent, dtype=np.int64)
+    if old_details.size:
+        __, exponents = np.frexp(old_details.astype(np.float64))
+        powers = (exponents.astype(np.int64) - 1)
+        detail_targets = old_details + (np.int64(1) << powers)
+    else:
+        detail_targets = old_details
+    sources = np.concatenate(
+        [np.zeros(2, dtype=np.int64), old_details]
+    )
+    weights = np.concatenate(
+        [np.full(2, 0.5), np.ones(old_details.size)]
+    )
+    targets = np.concatenate(
+        [np.asarray([0, 1], dtype=np.int64), detail_targets]
+    )
+    return sources, weights, targets
+
+
+def expand_standard_axis(old_store, new_store, axis: int) -> None:
+    """Relocate a whole standard-form transform into a store whose
+    ``axis`` extent is doubled.
+
+    Reads every old coefficient and writes every (non-zero) new one —
+    the full SHIFT-SPLIT expansion pass.  Both stores may be dense or
+    tiled; I/O is charged to each store's own counters.
+    """
+    old_shape = old_store.shape
+    new_shape = new_store.shape
+    for other in range(len(old_shape)):
+        expected = old_shape[other] * (2 if other == axis else 1)
+        if new_shape[other] != expected:
+            raise ValueError(
+                f"new store axis {other} must have extent {expected}, "
+                f"got {new_shape[other]}"
+            )
+    full_axes = [
+        np.arange(extent, dtype=np.int64) for extent in old_shape
+    ]
+    values = old_store.read_region(full_axes)
+    sources, weights, targets = expansion_axis_map(old_shape[axis])
+    gathered = np.take(values, sources, axis=axis)
+    weight_shape = [1] * len(old_shape)
+    weight_shape[axis] = weights.size
+    gathered = gathered * weights.reshape(weight_shape)
+    target_axes = list(full_axes)
+    target_axes[axis] = targets
+    new_store.set_region(target_axes, gathered)

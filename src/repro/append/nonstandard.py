@@ -1,0 +1,56 @@
+"""Domain expansion for the non-standard form.
+
+The paper works the appending analysis in the standard form and notes
+the non-standard case is similar (Section 5.2).  This is that similar
+case, for cubic growth: doubling every dimension of an ``N^d`` cube
+whose data occupy the low corner.
+
+Because non-standard quadtree nodes keep their ``(level, node)``
+identity when the cube grows (the old cube is child ``(0..0)`` of the
+new root chain), the old details SHIFT verbatim; only the old overall
+average SPLITs — into the ``2^d - 1`` details of the new top node
+(all with sign ``+`` since the data sit in every axis' low half) and
+the new overall average, each ``u / 2^d``.
+"""
+
+from __future__ import annotations
+
+from repro.wavelet.keys import NonStandardKey
+
+__all__ = ["expand_nonstandard"]
+
+
+def expand_nonstandard(old_store, new_store) -> None:
+    """Relocate an ``N^d`` non-standard transform into a ``(2N)^d``
+    store (old data in the low corner).
+
+    Both stores may be dense or tiled; I/O lands on each store's own
+    counters.  One full read of the old transform, one write of every
+    (non-zero) new coefficient.
+    """
+    size = old_store.size
+    ndim = old_store.ndim
+    if new_store.size != 2 * size or new_store.ndim != ndim:
+        raise ValueError(
+            f"new store must be a {2 * size}^{ndim} cube, got "
+            f"{new_store.size}^{new_store.ndim}"
+        )
+    n = size.bit_length() - 1
+
+    # SHIFT: every old detail keeps its (level, node, type) identity.
+    for level in range(1, n + 1):
+        width = size >> level
+        for type_mask in range(1, 1 << ndim):
+            block = old_store.read_details(
+                level, type_mask, (0,) * ndim, (width,) * ndim
+            )
+            new_store.set_details(level, type_mask, (0,) * ndim, block)
+
+    # SPLIT: the old average feeds the new top node and the new average.
+    average = old_store.read_scaling()
+    share = average / float(1 << ndim)
+    for type_mask in range(1, 1 << ndim):
+        new_store.set_detail(
+            NonStandardKey(n + 1, (0,) * ndim, type_mask), share
+        )
+    new_store.set_scaling(share)

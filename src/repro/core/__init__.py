@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the SHIFT and SPLIT operations,
+their multidimensional forms, and their inverses."""
+
+from repro.core.nonstandard_ops import (
+    apply_chunk_nonstandard,
+    extract_region_nonstandard,
+    shift_regions_nonstandard,
+    shift_split_counts_nonstandard,
+    split_contributions_nonstandard,
+)
+from repro.core.shiftsplit1d import (
+    AxisShiftSplit,
+    axis_shift_split,
+    shift_target_indices,
+    split_contributions,
+    split_weights,
+)
+from repro.core.standard_ops import (
+    apply_chunk_standard,
+    chunk_axis_maps,
+    contribution_tensor,
+    extract_region_standard,
+    extract_region_transform_standard,
+    shift_split_region_counts,
+)
+
+__all__ = [
+    "AxisShiftSplit",
+    "apply_chunk_nonstandard",
+    "apply_chunk_standard",
+    "axis_shift_split",
+    "chunk_axis_maps",
+    "contribution_tensor",
+    "extract_region_nonstandard",
+    "extract_region_standard",
+    "extract_region_transform_standard",
+    "shift_regions_nonstandard",
+    "shift_split_counts_nonstandard",
+    "shift_split_region_counts",
+    "shift_target_indices",
+    "split_contributions",
+    "split_contributions_nonstandard",
+    "split_weights",
+]

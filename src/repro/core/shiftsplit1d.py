@@ -1,0 +1,205 @@
+"""The SHIFT and SPLIT operations in one dimension (paper, Section 4).
+
+Let ``a`` be a vector of size ``N = 2^n`` and ``b`` its ``(k+1)``-th
+dyadic range of size ``M = 2^m`` (i.e. ``b = a[k*M : (k+1)*M]``).
+
+SHIFT (definition, Section 4)
+    The detail coefficients of ``b̂ = DWT(b)`` are re-indexed by
+    ``f(j, i) = (j, k * 2^{m-j} + i)`` — they *are* the corresponding
+    details of ``â`` restricted to the subtree rooted at ``w_{m,k}``,
+    because Haar details depend only on data inside their support.
+
+SPLIT (definition, Section 4)
+    The average ``u^b_{m,0}`` of the range contributes to the
+    ``n - m`` details on the path from ``w_{m,k}`` to the root and to
+    the overall average:
+
+    ``δw_{j, k >> (j-m)} = ± u / 2^{j-m}`` (sign + when the range lies
+    in the left half of the coefficient's support, i.e. when bit
+    ``j - m - 1`` of ``k`` is zero), and ``δu_{n,0} = u / 2^{n-m}``.
+
+Everything here is pure index/weight arithmetic on the flat layout of
+:mod:`repro.wavelet.layout`; applying the operations to stores happens
+in :mod:`repro.transform` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.bits import ilog2
+from repro.wavelet.layout import SCALING_INDEX
+
+__all__ = [
+    "AxisShiftSplit",
+    "axis_shift_split",
+    "shift_target_indices",
+    "split_contributions",
+    "split_weights",
+]
+
+
+def _check_geometry(size: int, chunk: int, translation: int) -> Tuple[int, int]:
+    n = ilog2(size)
+    m = ilog2(chunk)
+    if m > n:
+        raise ValueError(f"chunk size {chunk} exceeds domain size {size}")
+    if not 0 <= translation < (size // chunk):
+        raise ValueError(
+            f"translation must be in [0, {size // chunk}), got {translation}"
+        )
+    return n, m
+
+
+def shift_target_indices(
+    size: int, chunk: int, translation: int
+) -> np.ndarray:
+    """Global flat indices of the SHIFT targets, in chunk-flat order.
+
+    Entry ``i`` (for ``i`` in ``[1, M)``) is the flat index in ``â``
+    where chunk-transform entry ``i`` lands; entry 0 (the chunk
+    average, which SPLIT handles) is ``-1``.
+    """
+    n, m = _check_geometry(size, chunk, translation)
+    targets = np.full(chunk, -1, dtype=np.int64)
+    for level in range(1, m + 1):
+        width = 1 << (m - level)  # details of this level in the chunk
+        local = np.arange(width, dtype=np.int64)
+        chunk_flat = width + local
+        global_flat = (1 << (n - level)) + translation * width + local
+        targets[chunk_flat] = global_flat
+    return targets
+
+
+def split_weights(
+    size: int, chunk: int, translation: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SPLIT targets and weights: ``delta = average * weight``.
+
+    Returns ``(indices, weights)`` of length ``n - m + 1``: one entry
+    per path detail ``j = m+1 .. n`` (finest first) followed by the
+    overall average at flat index 0.
+    """
+    n, m = _check_geometry(size, chunk, translation)
+    indices: List[int] = []
+    weights: List[float] = []
+    for level in range(m + 1, n + 1):
+        shift = level - m
+        position = translation >> shift
+        sign = -1.0 if (translation >> (shift - 1)) & 1 else 1.0
+        indices.append((1 << (n - level)) + position)
+        weights.append(sign / (1 << shift))
+    indices.append(SCALING_INDEX)
+    weights.append(1.0 / (1 << (n - m)))
+    return (
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def split_contributions(
+    size: int, chunk: int, translation: int, average: float
+) -> List[Tuple[int, float]]:
+    """The SPLIT contributions ``[(flat index, delta), ...]`` of a
+    range average (convenience wrapper over :func:`split_weights`)."""
+    indices, weights = split_weights(size, chunk, translation)
+    return [
+        (int(index), float(average * weight))
+        for index, weight in zip(indices, weights)
+    ]
+
+
+@dataclass(frozen=True)
+class AxisShiftSplit:
+    """The complete per-axis SHIFT-SPLIT mapping of one dyadic range.
+
+    Relates the 1-d transform of a chunk (length ``M``) to the global
+    1-d transform (length ``N``) along one axis.  The mapping has
+    ``L = M + n - m`` entries: the ``M - 1`` SHIFT entries first, then
+    the ``n - m`` SPLIT path entries, then the overall average.
+
+    For the multidimensional standard form these per-axis mappings
+    cross-multiply (Section 4.1): contribution tensor entry
+    ``(p_1..p_d)`` is ``chunk_hat[source_1[p_1], ...] * weight_1[p_1]
+    * ... `` landing at global position ``(target_1[p_1], ...)``.
+
+    Attributes
+    ----------
+    source:
+        Index into the chunk-transform axis feeding each entry
+        (``i`` for SHIFT entries, ``0`` for all SPLIT entries).
+    weight:
+        Forward weight (1 for SHIFT; ``±1/2^{j-m}`` and ``1/2^{n-m}``
+        for SPLIT).
+    target:
+        Global flat index of each entry.
+    inverse_weight:
+        Weight with which the *global* coefficient at ``target``
+        enters the reconstruction of the chunk's own transform:
+        pass-through 1 for SHIFT entries, ``±1`` for path details and
+        ``1`` for the average (Section 5.4's inverse SPLIT).
+    num_shift:
+        Number of leading pure-SHIFT entries (``M - 1``).
+    """
+
+    size: int
+    chunk: int
+    translation: int
+    source: np.ndarray
+    weight: np.ndarray
+    target: np.ndarray
+    inverse_weight: np.ndarray
+    num_shift: int
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.target.size)
+
+    def shift_slice(self) -> slice:
+        """Selector of the pure-SHIFT entries."""
+        return slice(0, self.num_shift)
+
+    def split_slice(self) -> slice:
+        """Selector of the SPLIT entries (path details + average)."""
+        return slice(self.num_shift, self.num_entries)
+
+
+def axis_shift_split(
+    size: int, chunk: int, translation: int
+) -> AxisShiftSplit:
+    """Build the per-axis SHIFT-SPLIT mapping (see
+    :class:`AxisShiftSplit`)."""
+    _check_geometry(size, chunk, translation)
+    shift_targets = shift_target_indices(size, chunk, translation)
+    split_indices, split_w = split_weights(size, chunk, translation)
+    num_shift = chunk - 1
+    source = np.concatenate(
+        [
+            np.arange(1, chunk, dtype=np.int64),
+            np.zeros(split_indices.size, dtype=np.int64),
+        ]
+    )
+    weight = np.concatenate(
+        [np.ones(num_shift, dtype=np.float64), split_w]
+    )
+    target = np.concatenate([shift_targets[1:], split_indices])
+    inverse_weight = np.concatenate(
+        [
+            np.ones(num_shift, dtype=np.float64),
+            np.sign(split_w[:-1]),
+            np.ones(1, dtype=np.float64),
+        ]
+    )
+    return AxisShiftSplit(
+        size=size,
+        chunk=chunk,
+        translation=translation,
+        source=source,
+        weight=weight,
+        target=target,
+        inverse_weight=inverse_weight,
+        num_shift=num_shift,
+    )

@@ -1,0 +1,24 @@
+"""Synthetic datasets standing in for the paper's TEMPERATURE and
+PRECIPITATION data (see DESIGN.md for the substitution rationale)."""
+
+from repro.datasets.streams import bursty_stream, random_walk_stream, slab_stream
+from repro.datasets.synthetic import (
+    precipitation_cube,
+    precipitation_months,
+    random_cube,
+    sparse_cube,
+    temperature_cube,
+    zipf_cube,
+)
+
+__all__ = [
+    "bursty_stream",
+    "precipitation_cube",
+    "precipitation_months",
+    "random_cube",
+    "random_walk_stream",
+    "slab_stream",
+    "sparse_cube",
+    "temperature_cube",
+    "zipf_cube",
+]

@@ -1,0 +1,154 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper measures on two real datasets we cannot redistribute:
+
+TEMPERATURE (JPL)
+    4-d cube — latitude x longitude x altitude x time — of global
+    temperatures sampled twice daily for 18 months (16 GB).
+    :func:`temperature_cube` generates a smooth spatial field with an
+    altitude lapse rate and diurnal/seasonal time structure, which
+    preserves what matters for the experiments: the I/O counts depend
+    only on the cube geometry, and the smoothness gives wavelet
+    synopses the same qualitative compressibility.
+
+PRECIPITATION [14]
+    Daily precipitation for the Pacific Northwest over 45 years,
+    organised as 8 x 8 x 32 cells per month.
+    :func:`precipitation_cube` generates non-negative, bursty,
+    spatially correlated values with the same monthly geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import require_power_of_two_shape
+
+__all__ = [
+    "temperature_cube",
+    "precipitation_cube",
+    "precipitation_months",
+    "zipf_cube",
+    "random_cube",
+    "sparse_cube",
+]
+
+
+def temperature_cube(
+    shape: Sequence[int] = (16, 16, 8, 64), seed: int = 7
+) -> np.ndarray:
+    """A TEMPERATURE-like 4-d cube (lat, lon, alt, time), in Kelvin."""
+    shape = require_power_of_two_shape(shape)
+    if len(shape) != 4:
+        raise ValueError(f"temperature cube must be 4-d, got {shape}")
+    rng = np.random.default_rng(seed)
+    lat, lon, alt, time = shape
+    latitudes = np.linspace(-np.pi / 2, np.pi / 2, lat)
+    longitudes = np.linspace(0, 2 * np.pi, lon, endpoint=False)
+    altitudes = np.arange(alt)
+    times = np.arange(time)
+
+    base = 288.0 - 30.0 * np.sin(latitudes) ** 2  # equator warm, poles cold
+    continental = 5.0 * np.sin(2 * longitudes)  # land/sea-like wave
+    lapse = -6.5 * altitudes  # 6.5 K per altitude step
+    diurnal = 4.0 * np.sin(2 * np.pi * times / 2.0)  # 2 samples per day
+    seasonal = 8.0 * np.sin(2 * np.pi * times / max(time, 1))
+
+    cube = (
+        base[:, None, None, None]
+        + continental[None, :, None, None]
+        + lapse[None, None, :, None]
+        + (diurnal + seasonal)[None, None, None, :]
+    )
+    cube = cube + rng.normal(scale=1.5, size=shape)
+    return cube
+
+
+def precipitation_months(
+    months: int,
+    spatial: Tuple[int, int] = (8, 8),
+    samples_per_month: int = 32,
+    seed: int = 11,
+):
+    """Yield PRECIPITATION-like monthly slabs of shape
+    ``spatial + (samples_per_month,)``.
+
+    Values are non-negative and bursty: a smooth spatial intensity
+    field modulated by sparse storm events, with a seasonal cycle.
+    """
+    require_power_of_two_shape(spatial, "spatial")
+    require_power_of_two_shape((samples_per_month,), "samples_per_month")
+    if months < 1:
+        raise ValueError(f"months must be >= 1, got {months}")
+    rng = np.random.default_rng(seed)
+    rows = np.linspace(0, np.pi, spatial[0])
+    cols = np.linspace(0, np.pi, spatial[1])
+    orographic = 2.0 + np.sin(rows)[:, None] * np.cos(cols)[None, :]
+    for month in range(months):
+        season = 1.0 + 0.8 * np.cos(2 * np.pi * month / 12.0)
+        storms = rng.random(size=(samples_per_month,)) < 0.35 * season
+        intensity = rng.gamma(
+            shape=2.0, scale=3.0, size=(samples_per_month,)
+        )
+        slab = (
+            orographic[:, :, None]
+            * (storms * intensity)[None, None, :]
+            * rng.gamma(shape=2.0, scale=0.5, size=spatial + (samples_per_month,))
+        )
+        yield slab
+
+
+def precipitation_cube(
+    months: int,
+    spatial: Tuple[int, int] = (8, 8),
+    samples_per_month: int = 32,
+    seed: int = 11,
+) -> np.ndarray:
+    """The PRECIPITATION-like data of :func:`precipitation_months`
+    assembled into a single 3-d cube (time last)."""
+    slabs = list(
+        precipitation_months(months, spatial, samples_per_month, seed)
+    )
+    return np.concatenate(slabs, axis=-1)
+
+
+def zipf_cube(shape: Sequence[int], alpha: float = 1.2, seed: int = 3) -> np.ndarray:
+    """A skewed cube: cell magnitudes follow a Zipf-like power law in a
+    random permutation — the classic hard case for synopses."""
+    shape = require_power_of_two_shape(shape)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    rng = np.random.default_rng(seed)
+    cells = int(np.prod(shape))
+    ranks = np.arange(1, cells + 1, dtype=np.float64)
+    values = ranks ** (-alpha)
+    rng.shuffle(values)
+    signs = rng.choice([-1.0, 1.0], size=cells)
+    return (values * signs).reshape(shape)
+
+
+def random_cube(shape: Sequence[int], seed: int = 0) -> np.ndarray:
+    """White-noise cube (the incompressible extreme)."""
+    shape = require_power_of_two_shape(shape)
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape)
+
+
+def sparse_cube(
+    shape: Sequence[int], density: float = 0.05, seed: int = 9
+) -> np.ndarray:
+    """Mostly-zero cube with ``density`` fraction of nonzero cells —
+    the sparse regime the paper's Vitter comparison mentions."""
+    shape = require_power_of_two_shape(shape)
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    cube = np.zeros(shape, dtype=np.float64)
+    cells = int(np.prod(shape))
+    nonzero = max(1, int(cells * density))
+    positions = rng.choice(cells, size=nonzero, replace=False)
+    flat = cube.reshape(-1)
+    flat[positions] = rng.normal(scale=10.0, size=nonzero)
+    return cube

@@ -1,0 +1,78 @@
+"""Query-workload generators for benchmarks and ablations.
+
+OLAP query mixes are rarely uniform: analysts drill into hot regions
+and ask ranges of wildly different sizes.  These generators produce
+reproducible point and range workloads, uniform or focus-skewed, used
+by the query ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["point_workload", "range_workload"]
+
+
+def point_workload(
+    shape: Sequence[int],
+    count: int,
+    skew: float = 0.0,
+    seed: int = 0,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield ``count`` point-query positions.
+
+    ``skew = 0`` is uniform; larger values concentrate queries around
+    a hot spot (a Gaussian blob around a random centre), the common
+    drill-down pattern.
+    """
+    shape = tuple(int(extent) for extent in shape)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    rng = np.random.default_rng(seed)
+    centre = [rng.integers(0, extent) for extent in shape]
+    for __ in range(count):
+        if skew == 0.0:
+            yield tuple(
+                int(rng.integers(0, extent)) for extent in shape
+            )
+            continue
+        position = []
+        for axis, extent in enumerate(shape):
+            spread = max(1.0, extent / (2.0 * (1.0 + skew)))
+            value = int(round(rng.normal(centre[axis], spread)))
+            position.append(min(max(value, 0), extent - 1))
+        yield tuple(position)
+
+
+def range_workload(
+    shape: Sequence[int],
+    count: int,
+    selectivity: float = 0.1,
+    seed: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Yield ``count`` ``(lows, highs)`` boxes with roughly the given
+    per-axis ``selectivity`` (fraction of the axis covered)."""
+    shape = tuple(int(extent) for extent in shape)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    rng = np.random.default_rng(seed)
+    for __ in range(count):
+        lows = []
+        highs = []
+        for extent in shape:
+            span = max(1, int(round(extent * selectivity)))
+            jitter = max(1, span // 2)
+            width = int(rng.integers(max(1, span - jitter), span + jitter + 1))
+            width = min(width, extent)
+            start = int(rng.integers(0, extent - width + 1))
+            lows.append(start)
+            highs.append(start + width - 1)
+        yield tuple(lows), tuple(highs)

@@ -1,0 +1,67 @@
+"""Experiment harness: one module per paper table/figure plus the
+ablations called out in DESIGN.md.  Each exposes ``run_*`` returning
+plain row dictionaries and a printing ``main()``; the ``benchmarks/``
+suite wraps these same functions."""
+
+from repro.experiments import (
+    ablation_tiling,
+    ablation_zorder,
+    compression,
+    fig11,
+    fig12,
+    fig13,
+    query_cost,
+    reconstruct_exp,
+    sparse,
+    stream_buffer,
+    stream_quality,
+    stream_space,
+    table1,
+    table2,
+    update_exp,
+)
+from repro.experiments import export
+
+__all__ = [
+    "ablation_tiling",
+    "ablation_zorder",
+    "compression",
+    "export",
+    "fig11",
+    "fig12",
+    "fig13",
+    "query_cost",
+    "reconstruct_exp",
+    "sparse",
+    "stream_buffer",
+    "stream_quality",
+    "stream_space",
+    "table1",
+    "table2",
+    "update_exp",
+]
+
+
+def run_all(fast: bool = True) -> dict:
+    """Run every experiment (scaled down when ``fast``) and return the
+    row lists keyed by experiment id.  Used by EXPERIMENTS.md
+    regeneration and the quickstart example."""
+    results = {}
+    results["table1"] = table1.main()
+    results["table2"] = table2.main()
+    results["fig11"] = fig11.main(edge=8 if fast else 16)
+    results["fig12"] = fig12.main(
+        dataset_edges=(64, 128) if fast else (128, 256, 512)
+    )
+    results["fig13"] = fig13.main(months=12 if fast else 48)
+    results["stream_buffer"] = stream_buffer.main()
+    results["stream_space"] = stream_space.main()
+    results["stream_quality"] = stream_quality.main()
+    results["reconstruct"] = reconstruct_exp.main()
+    results["update"] = update_exp.main()
+    results["query_cost"] = query_cost.main()
+    results["sparse"] = sparse.main()
+    results["compression"] = compression.main()
+    results["ablation_tiling"] = ablation_tiling.main()
+    results["ablation_zorder"] = ablation_zorder.main()
+    return results

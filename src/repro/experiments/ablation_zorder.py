@@ -1,0 +1,69 @@
+"""Ablation — chunk traversal order and crest buffering for the
+non-standard bulk transformation.
+
+Section 5.1 reaches the optimal ``O(N^d)`` bound for the non-standard
+form only by (a) buffering SPLIT contributions in memory until final
+and (b) visiting chunks in z-order so the buffer stays at
+``(2^d - 1) log(N/M)`` coefficients.  This ablation isolates both
+choices:
+
+* z-order + buffer  — optimal I/O, minimal buffer (the paper's choice)
+* row-major + buffer — optimal I/O but the buffer balloons
+* row-major + no buffer — minimal memory but extra SPLIT I/O
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets.synthetic import random_cube
+from repro.experiments.common import print_experiment
+from repro.storage.dense import DenseNonStandardStore
+from repro.transform.chunked import transform_nonstandard_chunked
+
+__all__ = ["run_ablation_zorder", "main"]
+
+
+def run_ablation_zorder(
+    edge: int = 128, chunk_edge: int = 8, ndim: int = 2, seed: int = 37
+) -> List[Dict]:
+    data = random_cube((edge,) * ndim, seed=seed)
+    configurations = [
+        ("zorder + crest buffer", "zorder", True),
+        ("rowmajor + crest buffer", "rowmajor", True),
+        ("rowmajor, no buffer", "rowmajor", False),
+    ]
+    rows: List[Dict] = []
+    for label, order, buffered in configurations:
+        store = DenseNonStandardStore(edge, ndim)
+        report = transform_nonstandard_chunked(
+            store, data, chunk_edge, order=order, buffer_crest=buffered
+        )
+        rows.append(
+            {
+                "configuration": label,
+                "coefficient_io": report.coefficient_ios,
+                "crest_buffer_peak": report.max_buffer_coefficients,
+            }
+        )
+    return rows
+
+
+def main() -> List[Dict]:
+    rows = run_ablation_zorder()
+    print_experiment(
+        "Ablation — non-standard bulk transform: traversal order and "
+        "crest buffering",
+        rows,
+        ["configuration", "coefficient_io", "crest_buffer_peak"],
+        note=(
+            "z-order + buffer achieves the optimal I/O with a tiny "
+            "buffer; row-major + buffer pays the same I/O but hoards "
+            "memory; no buffer pays extra SPLIT I/O."
+        ),
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

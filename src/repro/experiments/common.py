@@ -1,0 +1,48 @@
+"""Shared experiment-harness helpers: table formatting and scale notes.
+
+Every experiment module exposes ``run_*`` functions returning plain
+row dictionaries (so benchmarks, tests and documentation regeneration
+all consume the same data) plus a ``main()`` that prints the rows the
+way the paper reports them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["format_table", "print_experiment"]
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    ruler = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, ruler]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_experiment(
+    title: str, rows: Sequence[Dict], columns: Sequence[str], note: str = ""
+) -> None:
+    """Print one experiment's result table with a header banner."""
+    banner = "=" * max(len(title), 8)
+    print(banner)
+    print(title)
+    print(banner)
+    if note:
+        print(note)
+    print(format_table(rows, columns))
+    print()

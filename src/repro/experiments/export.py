@@ -1,0 +1,38 @@
+"""Exporting experiment rows to CSV (for plotting the figures)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Sequence
+
+__all__ = ["write_csv", "export_all"]
+
+
+def write_csv(rows: Sequence[Dict], path) -> Path:
+    """Write experiment rows to ``path`` as CSV (columns from the
+    union of row keys, in first-seen order)."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no rows to export")
+    columns: list = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_all(results: Dict[str, Sequence[Dict]], directory) -> list:
+    """Write one CSV per experiment id into ``directory``."""
+    directory = Path(directory)
+    written = []
+    for name, rows in results.items():
+        written.append(write_csv(rows, directory / f"{name}.csv"))
+    return written

@@ -1,0 +1,91 @@
+"""Example 2 — batch updates: SHIFT-SPLIT vs naive per-cell.
+
+"Each of M̃ updates requires n + 1 values to be updated, leading to a
+total cost of O(M̃ log N).  However, we can use the SHIFT-SPLIT
+operations to batch updates and reduce cost ... to O(M̃ + log(N/M̃))."
+
+This experiment updates blocks of growing size in a transformed
+dataset with both strategies (they produce identical transforms) and
+reports the coefficient I/O of each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.standard_ops import apply_chunk_standard
+from repro.experiments.common import print_experiment
+from repro.storage.dense import DenseStandardStore
+from repro.update.batch import batch_update_standard, naive_update_standard
+from repro.util.bits import ilog2
+
+__all__ = ["run_update", "main"]
+
+
+def run_update(
+    edge: int = 256,
+    block_edges: Sequence[int] = (2, 8, 32),
+    seed: int = 47,
+) -> List[Dict]:
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(edge, edge))
+    n = ilog2(edge)
+    rows: List[Dict] = []
+    for block_edge in block_edges:
+        batched = DenseStandardStore((edge, edge))
+        apply_chunk_standard(batched, data, (0, 0))
+        naive = DenseStandardStore((edge, edge))
+        apply_chunk_standard(naive, data, (0, 0))
+        deltas = rng.normal(size=(block_edge, block_edge))
+        corner = (block_edge, block_edge)  # an interior aligned block
+
+        batched.stats.reset()
+        batch_update_standard(batched, deltas, corner)
+        naive.stats.reset()
+        naive_update_standard(naive, deltas, corner)
+        assert np.allclose(batched.to_array(), naive.to_array())
+
+        m = ilog2(block_edge)
+        rows.append(
+            {
+                "update_cells": block_edge**2,
+                "shift_split_io": batched.stats.coefficient_ios,
+                "shift_split_formula": (block_edge + (n - m)) ** 2,
+                "naive_io": naive.stats.coefficient_ios,
+                "naive_formula": (block_edge**2) * (n + 1) ** 2,
+                "speedup": round(
+                    naive.stats.coefficient_ios
+                    / batched.stats.coefficient_ios,
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def main() -> List[Dict]:
+    rows = run_update()
+    print_experiment(
+        "Example 2 — batch update I/O (coefficients): SHIFT-SPLIT vs "
+        "naive per-cell",
+        rows,
+        [
+            "update_cells",
+            "shift_split_io",
+            "shift_split_formula",
+            "naive_io",
+            "naive_formula",
+            "speedup",
+        ],
+        note=(
+            "Both strategies yield identical transforms; SHIFT-SPLIT "
+            "touches O(M̃ + log(N/M̃)) per axis instead of O(M̃ log N)."
+        ),
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

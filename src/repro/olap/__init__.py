@@ -1,0 +1,18 @@
+"""High-level OLAP facade and wavelet-domain algebra over the
+SHIFT-SPLIT machinery."""
+
+from repro.olap.algebra import (
+    dice_transform_standard,
+    rollup_sum_standard,
+    slice_standard,
+)
+from repro.olap.cube import WaveletCube
+from repro.olap.schema import Dimension
+
+__all__ = [
+    "Dimension",
+    "WaveletCube",
+    "dice_transform_standard",
+    "rollup_sum_standard",
+    "slice_standard",
+]

@@ -1,0 +1,104 @@
+"""Wavelet-domain OLAP algebra: roll-up, slice and dice without
+reconstruction.
+
+The paper positions SHIFT-SPLIT in the line of work that evaluates
+relational operations *directly in the wavelet domain* (Chakrabarti et
+al. [2]); its own Section 5.4 generalises the selection operation.
+This module supplies the other classic cube operations, each producing
+the *transform* of the derived cube straight from the stored
+coefficients:
+
+roll-up (sum over an axis)
+    Summing a standard-form cube over axis ``a`` multiplies the
+    axis-``a`` smooth component by ``N_a`` and drops every detail
+    component — because all Haar details have zero sum.  One hyperplane
+    read, no arithmetic on the data.
+
+slice (fix one coordinate)
+    Fixing axis ``a`` at position ``x`` contracts the axis with the
+    Lemma 1 root path: the slice's transform is the signed sum of
+    ``log N_a + 1`` hyperplanes.
+
+dice (select a dyadic sub-box, keep it transformed)
+    The inverse SHIFT-SPLIT *without* the final inverse DWT — the
+    sub-box's own standard transform, ready for further wavelet-domain
+    processing or storage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.standard_ops import extract_region_transform_standard
+from repro.wavelet.tree import WaveletTree
+
+__all__ = [
+    "rollup_sum_standard",
+    "slice_standard",
+    "dice_transform_standard",
+]
+
+
+def _full_axes(shape) -> list:
+    return [np.arange(extent, dtype=np.int64) for extent in shape]
+
+
+def rollup_sum_standard(store, axis: int) -> np.ndarray:
+    """Transform of the cube summed over ``axis`` (wavelet-domain
+    roll-up).
+
+    Returns the dense ``(d-1)``-dimensional standard transform of
+    ``data.sum(axis=axis)``.  Reads one hyperplane — the axis' smooth
+    component — of the stored transform.
+    """
+    shape = store.shape
+    if not 0 <= axis < len(shape):
+        raise ValueError(f"axis must be in [0, {len(shape)}), got {axis}")
+    if len(shape) == 1:
+        raise ValueError("cannot roll up the only axis; use a range sum")
+    axes = _full_axes(shape)
+    axes[axis] = np.asarray([0], dtype=np.int64)
+    hyperplane = store.read_region(axes)
+    return np.squeeze(hyperplane, axis=axis) * float(shape[axis])
+
+
+def slice_standard(store, axis: int, position: int) -> np.ndarray:
+    """Transform of the cube sliced at ``axis = position``.
+
+    Returns the dense ``(d-1)``-dimensional standard transform of
+    ``data.take(position, axis=axis)``.  Reads ``log N_a + 1``
+    hyperplanes (the root path of ``position`` along the axis) and
+    contracts them with the reconstruction signs.
+    """
+    shape = store.shape
+    if not 0 <= axis < len(shape):
+        raise ValueError(f"axis must be in [0, {len(shape)}), got {axis}")
+    if len(shape) == 1:
+        raise ValueError("cannot slice the only axis; use a point query")
+    tree = WaveletTree(shape[axis])
+    path = np.asarray(tree.root_path(int(position)), dtype=np.int64)
+    signs = np.asarray(
+        tree.reconstruction_signs(int(position)), dtype=np.float64
+    )
+    axes = _full_axes(shape)
+    axes[axis] = path
+    block = store.read_region(axes)
+    block = np.moveaxis(block, axis, -1)
+    contracted = block @ signs
+    return contracted
+
+
+def dice_transform_standard(
+    store, corner: Sequence[int], region_shape: Sequence[int]
+) -> np.ndarray:
+    """Transform of a dyadic sub-box, extracted without inverting.
+
+    The wavelet-domain *dice*: the returned array is
+    ``standard_dwt(data[corner : corner + region_shape])`` computed by
+    inverse SHIFT (detail gathering) and inverse SPLIT (per-axis path
+    reconstruction) only — no inverse transform, so the result can be
+    re-stored or further processed in the wavelet domain.
+    """
+    return extract_region_transform_standard(store, corner, region_shape)

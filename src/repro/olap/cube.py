@@ -1,0 +1,348 @@
+"""The high-level OLAP facade: a named-dimension wavelet data cube.
+
+This is the "downstream user" API over the paper's machinery: define
+dimensions, bulk-load data (or append slabs), then ask range
+aggregates, point lookups and window reconstructions in *domain units*
+— with every query answered from the wavelet transform through the
+tiled store, never from raw data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.append.appender import StandardAppender
+from repro.olap.schema import Dimension
+from repro.reconstruct.point import (
+    point_query_nonstandard,
+    point_query_standard,
+)
+from repro.reconstruct.rangesum import (
+    range_sum_nonstandard,
+    range_sum_standard,
+)
+from repro.reconstruct.region import (
+    reconstruct_box_nonstandard,
+    reconstruct_box_standard,
+)
+from repro.storage.iostats import IOStats
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+from repro.transform.chunked import (
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+)
+
+__all__ = ["WaveletCube"]
+
+
+class WaveletCube:
+    """A queryable wavelet-transformed data cube with named dimensions.
+
+    Parameters
+    ----------
+    dimensions:
+        The cube's axes, in storage order.
+    block_edge:
+        Per-dimension tile edge of the underlying store (Section 3).
+    pool_blocks:
+        Buffer-pool capacity in blocks.
+    grow_dimension:
+        Optional name of the dimension that accepts appended slabs
+        (the paper's time dimension).  When set, the named dimension's
+        ``size`` is interpreted as the *slab thickness* and the cube
+        starts empty; otherwise the cube is fixed-size and must be
+        loaded with :meth:`load`.
+    form:
+        ``"standard"`` (default) or ``"nonstandard"`` — the two
+        decomposition forms of Section 3.1.  The non-standard form is
+        cheaper to compute but compresses range aggregates less well;
+        it requires a cubic, fixed-size cube.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        block_edge: int = 4,
+        pool_blocks: int = 64,
+        grow_dimension: Optional[str] = None,
+        form: str = "standard",
+    ) -> None:
+        if not dimensions:
+            raise ValueError("need at least one dimension")
+        names = [dimension.name for dimension in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in {names}")
+        if form not in ("standard", "nonstandard"):
+            raise ValueError(f"unknown form {form!r}")
+        self._dimensions = list(dimensions)
+        self._by_name: Dict[str, int] = {
+            name: axis for axis, name in enumerate(names)
+        }
+        self._block_edge = block_edge
+        self._pool_blocks = pool_blocks
+        self._loaded = False
+        self._form = form
+
+        if form == "nonstandard":
+            if grow_dimension is not None:
+                raise ValueError(
+                    "growing cubes need the standard form (the hybrid "
+                    "streaming decomposition of Result 5 covers "
+                    "unbounded non-standard streams)"
+                )
+            edges = {dimension.size for dimension in self._dimensions}
+            if len(edges) != 1:
+                raise ValueError(
+                    "the non-standard form requires equal dimension sizes"
+                )
+            self._appender = None
+            self._store = TiledNonStandardStore(
+                self._dimensions[0].size,
+                len(self._dimensions),
+                block_edge=block_edge,
+                pool_capacity=pool_blocks,
+            )
+        elif grow_dimension is None:
+            self._appender = None
+            self._store = TiledStandardStore(
+                tuple(d.size for d in self._dimensions),
+                block_edge=block_edge,
+                pool_capacity=pool_blocks,
+            )
+        else:
+            if grow_dimension not in self._by_name:
+                raise ValueError(
+                    f"unknown grow dimension {grow_dimension!r}"
+                )
+            self._grow_axis = self._by_name[grow_dimension]
+            self._appender = StandardAppender(
+                tuple(d.size for d in self._dimensions),
+                grow_axis=self._grow_axis,
+                store_factory=lambda shape, stats: TiledStandardStore(
+                    shape,
+                    block_edge=block_edge,
+                    pool_capacity=pool_blocks,
+                    stats=stats,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> Tuple[Dimension, ...]:
+        return tuple(self._dimensions)
+
+    @property
+    def form(self) -> str:
+        """The decomposition form: "standard" or "nonstandard"."""
+        return self._form
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        store = self._store_object()
+        if self._form == "nonstandard":
+            return (store.size,) * store.ndim
+        return tuple(store.shape)
+
+    @property
+    def stats(self) -> IOStats:
+        """The cube's I/O counters (block granularity)."""
+        return self._store_object().stats
+
+    @property
+    def store(self) -> TiledStandardStore:
+        """The underlying tiled store (e.g. for persistence)."""
+        return self._store_object()
+
+    def _store_object(self):
+        if self._appender is not None:
+            return self._appender.store
+        return self._store
+
+    def _axis(self, name: str) -> int:
+        axis = self._by_name.get(name)
+        if axis is None:
+            raise KeyError(
+                f"unknown dimension {name!r}; have {sorted(self._by_name)}"
+            )
+        return axis
+
+    def _effective_dimension(self, axis: int) -> Dimension:
+        """The dimension with its *current* extent.
+
+        A growing dimension keeps its declared cell width but spans
+        the expanded store extent, so domain-unit queries keep working
+        after appends.
+        """
+        declared = self._dimensions[axis]
+        extent = self.shape[axis]
+        if extent == declared.size:
+            return declared
+        return Dimension(
+            declared.name,
+            extent,
+            low=declared.low,
+            high=declared.low + extent * declared.cell_width,
+        )
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def load(self, data, chunk_shape: Optional[Sequence[int]] = None):
+        """Bulk-load a fixed-size cube (SHIFT-SPLIT chunked transform).
+
+        Returns the :class:`~repro.transform.report.TransformReport`.
+        """
+        if self._appender is not None:
+            raise RuntimeError(
+                "growing cubes are fed with append(), not load()"
+            )
+        if self._loaded:
+            raise RuntimeError("the cube is already loaded")
+        data = np.asarray(data, dtype=np.float64)
+        expected = tuple(d.size for d in self._dimensions)
+        if data.shape != expected:
+            raise ValueError(
+                f"data must have shape {expected}, got {data.shape}"
+            )
+        if chunk_shape is None:
+            chunk_shape = tuple(
+                min(8, extent) for extent in expected
+            )
+        if self._form == "nonstandard":
+            report = transform_nonstandard_chunked(
+                self._store, data, min(chunk_shape)
+            )
+        else:
+            report = transform_standard_chunked(
+                self._store, data, chunk_shape
+            )
+        self._loaded = True
+        return report
+
+    def append(self, slab) -> None:
+        """Append one slab along the growing dimension."""
+        if self._appender is None:
+            raise RuntimeError(
+                "this cube is fixed-size; construct it with "
+                "grow_dimension=... to append"
+            )
+        self._appender.append(slab)
+        self._loaded = True
+
+    def update(self, deltas, **corner: float) -> None:
+        """Add a block of deltas at domain coordinates (Example 2).
+
+        ``deltas`` is a power-of-two block; ``corner`` names every
+        dimension's domain value of the block's low corner, which must
+        land on a cell boundary aligned to the block's extent.
+        """
+        from repro.update.batch import (
+            batch_update_nonstandard,
+            batch_update_standard,
+        )
+
+        self._require_loaded()
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.ndim != len(self._dimensions):
+            raise ValueError(
+                f"deltas must have {len(self._dimensions)} axes, "
+                f"got {deltas.ndim}"
+            )
+        missing = set(self._by_name) - set(corner)
+        if missing:
+            raise KeyError(f"missing corner coordinates for {sorted(missing)}")
+        cells = [0] * len(self._dimensions)
+        for name, value in corner.items():
+            axis = self._axis(name)
+            cells[axis] = self._effective_dimension(axis).to_cell(value)
+        if self._form == "nonstandard":
+            batch_update_nonstandard(self._store_object(), deltas, cells)
+        else:
+            batch_update_standard(self._store_object(), deltas, cells)
+        store = self._store_object()
+        if hasattr(store, "flush"):
+            store.flush()
+
+    # ------------------------------------------------------------------
+    # queries (domain units)
+    # ------------------------------------------------------------------
+
+    def _cell_bounds(
+        self, ranges: Mapping[str, Tuple[float, float]]
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        unknown = set(ranges) - set(self._by_name)
+        if unknown:
+            raise KeyError(f"unknown dimensions {sorted(unknown)}")
+        lows = []
+        highs = []
+        shape = self.shape
+        for axis in range(len(self._dimensions)):
+            dimension = self._effective_dimension(axis)
+            extent = shape[axis]
+            if dimension.name in ranges:
+                low, high = ranges[dimension.name]
+                cell_low, cell_high = dimension.to_cell_range(low, high)
+                cell_high = min(cell_high, extent - 1)
+                cell_low = min(cell_low, cell_high)
+            else:
+                cell_low, cell_high = 0, extent - 1
+            lows.append(cell_low)
+            highs.append(cell_high)
+        return tuple(lows), tuple(highs)
+
+    def sum(self, **ranges: Tuple[float, float]) -> float:
+        """Range sum; unspecified dimensions span their full extent.
+
+        >>> cube.sum(latitude=(30, 60), time=(0, 90))  # doctest: +SKIP
+        """
+        self._require_loaded()
+        lows, highs = self._cell_bounds(ranges)
+        if self._form == "nonstandard":
+            return range_sum_nonstandard(self._store_object(), lows, highs)
+        return range_sum_standard(self._store_object(), lows, highs)
+
+    def count(self, **ranges: Tuple[float, float]) -> int:
+        """Number of cells in the queried box."""
+        self._require_loaded()
+        lows, highs = self._cell_bounds(ranges)
+        cells = 1
+        for low, high in zip(lows, highs):
+            cells *= high - low + 1
+        return cells
+
+    def average(self, **ranges: Tuple[float, float]) -> float:
+        """Range average (sum / count)."""
+        return self.sum(**ranges) / self.count(**ranges)
+
+    def value_at(self, **coordinates: float) -> float:
+        """Point lookup at domain coordinates (every dimension named)."""
+        self._require_loaded()
+        missing = set(self._by_name) - set(coordinates)
+        if missing:
+            raise KeyError(f"missing coordinates for {sorted(missing)}")
+        position = [0] * len(self._dimensions)
+        for name, value in coordinates.items():
+            axis = self._axis(name)
+            position[axis] = self._effective_dimension(axis).to_cell(value)
+        if self._form == "nonstandard":
+            return point_query_nonstandard(self._store_object(), position)
+        return point_query_standard(self._store_object(), position)
+
+    def window(self, **ranges: Tuple[float, float]) -> np.ndarray:
+        """Reconstruct the cells of the queried box (Result 6)."""
+        self._require_loaded()
+        lows, highs = self._cell_bounds(ranges)
+        stops = tuple(high + 1 for high in highs)
+        if self._form == "nonstandard":
+            return reconstruct_box_nonstandard(
+                self._store_object(), lows, stops
+            )
+        return reconstruct_box_standard(self._store_object(), lows, stops)
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise RuntimeError("the cube holds no data yet")

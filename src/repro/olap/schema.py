@@ -1,0 +1,83 @@
+"""Dimension schemas for the OLAP facade.
+
+The paper's datasets have *named, physical* dimensions (latitude,
+longitude, altitude, time) that queries address in domain units, while
+the wavelet machinery wants power-of-two integer grids.  A
+:class:`Dimension` owns that mapping: a name, a grid size, and an
+affine coordinate transform, so a query like "latitude 30..60" becomes
+a cell range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.bits import is_power_of_two
+
+__all__ = ["Dimension"]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One named axis of a data cube.
+
+    Attributes
+    ----------
+    name:
+        Axis name used in queries (e.g. ``"latitude"``).
+    size:
+        Number of grid cells (a power of two).
+    low, high:
+        Domain values of the first cell's lower edge and the last
+        cell's upper edge; defaults map cell ``i`` to value ``i``.
+    """
+
+    name: str
+    size: int
+    low: float = 0.0
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must be non-empty")
+        if not is_power_of_two(self.size):
+            raise ValueError(
+                f"dimension {self.name!r} size must be a power of two, "
+                f"got {self.size}"
+            )
+        if self.high is None:
+            object.__setattr__(self, "high", self.low + self.size)
+        if self.high <= self.low:
+            raise ValueError(
+                f"dimension {self.name!r} needs high > low, got "
+                f"[{self.low}, {self.high}]"
+            )
+
+    @property
+    def cell_width(self) -> float:
+        """Domain width of one grid cell."""
+        return (self.high - self.low) / self.size
+
+    def to_cell(self, value: float) -> int:
+        """Grid cell containing domain ``value`` (clamped to range)."""
+        position = int((value - self.low) / self.cell_width)
+        return min(max(position, 0), self.size - 1)
+
+    def to_cell_range(self, low: float, high: float) -> Tuple[int, int]:
+        """Inclusive cell range covering domain values ``[low, high]``."""
+        if high < low:
+            raise ValueError(
+                f"dimension {self.name!r}: need low <= high, got "
+                f"[{low}, {high}]"
+            )
+        return self.to_cell(low), self.to_cell(high)
+
+    def cell_value(self, cell: int) -> float:
+        """Domain value at the centre of ``cell``."""
+        if not 0 <= cell < self.size:
+            raise ValueError(
+                f"dimension {self.name!r}: cell {cell} out of "
+                f"[0, {self.size})"
+            )
+        return self.low + (cell + 0.5) * self.cell_width

@@ -1,0 +1,56 @@
+"""Queries and partial reconstruction (paper, Lemmas 1-2 and Section
+5.4)."""
+
+from repro.reconstruct.point import (
+    point_query_cost_nonstandard,
+    point_query_cost_standard,
+    point_query_nonstandard,
+    point_query_standard,
+)
+from repro.reconstruct.rangesum import (
+    range_sum_nonstandard,
+    range_sum_standard,
+    range_sum_weights,
+)
+from repro.reconstruct.region import (
+    cubic_dyadic_cover,
+    reconstruct_box_nonstandard,
+    reconstruct_box_pointwise,
+    reconstruct_box_standard,
+    reconstruct_full_nonstandard,
+    reconstruct_full_standard,
+)
+from repro.reconstruct.progressive import (
+    ProgressiveEstimate,
+    progressive_range_sum_standard,
+)
+from repro.reconstruct.scalings import (
+    point_query_single_tile,
+    populate_scalings_standard,
+)
+from repro.reconstruct.scalings_ns import (
+    point_query_single_tile_nonstandard,
+    populate_scalings_nonstandard,
+)
+
+__all__ = [
+    "ProgressiveEstimate",
+    "cubic_dyadic_cover",
+    "point_query_single_tile",
+    "point_query_single_tile_nonstandard",
+    "populate_scalings_nonstandard",
+    "populate_scalings_standard",
+    "progressive_range_sum_standard",
+    "point_query_cost_nonstandard",
+    "point_query_cost_standard",
+    "point_query_nonstandard",
+    "point_query_standard",
+    "range_sum_nonstandard",
+    "range_sum_standard",
+    "range_sum_weights",
+    "reconstruct_box_nonstandard",
+    "reconstruct_box_pointwise",
+    "reconstruct_box_standard",
+    "reconstruct_full_nonstandard",
+    "reconstruct_full_standard",
+]

@@ -1,0 +1,85 @@
+"""Point queries against stored transforms (paper, Lemma 1).
+
+A single data value depends on exactly the coefficients on the
+leaf-to-root path: ``(n+1)^d`` coefficients in the standard form (the
+cross product of per-axis paths, Figure 6) and ``(2^d - 1) n + 1`` in
+the non-standard form (all details of each path node, Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.bits import ilog2
+from repro.wavelet.quadtree import NonStandardTree
+from repro.wavelet.tree import WaveletTree
+
+__all__ = [
+    "point_query_standard",
+    "point_query_nonstandard",
+    "point_query_cost_standard",
+    "point_query_cost_nonstandard",
+]
+
+
+def point_query_standard(store, position: Sequence[int]) -> float:
+    """Reconstruct ``data[position]`` from a standard-form store.
+
+    Reads the cross product of per-axis root paths and contracts with
+    the per-axis reconstruction signs.
+    """
+    shape = store.shape
+    if len(position) != len(shape):
+        raise ValueError(
+            f"position must have {len(shape)} axes, got {position}"
+        )
+    axis_indices = []
+    axis_signs = []
+    for extent, coordinate in zip(shape, position):
+        tree = WaveletTree(extent)
+        axis_indices.append(
+            np.asarray(tree.root_path(int(coordinate)), dtype=np.int64)
+        )
+        axis_signs.append(
+            np.asarray(
+                tree.reconstruction_signs(int(coordinate)), dtype=np.float64
+            )
+        )
+    block = store.read_region(axis_indices)
+    for signs in reversed(axis_signs):
+        block = block @ signs
+    return float(block)
+
+
+def point_query_nonstandard(store, position: Sequence[int]) -> float:
+    """Reconstruct ``data[position]`` from a non-standard store.
+
+    Walks the quadtree path bottom-up, adding each node's ``2^d - 1``
+    details with their ``±1`` weights, starting from the overall
+    average.
+    """
+    tree = NonStandardTree(store.size, store.ndim)
+    point = tuple(int(x) for x in position)
+    if any(not 0 <= x < store.size for x in point):
+        raise ValueError(f"position {point} out of the domain")
+    value = store.read_scaling()
+    for key in tree.root_path_keys(point):
+        weight = tree.reconstruction_weight(key, point)
+        value += weight * store.read_detail(key)
+    return float(value)
+
+
+def point_query_cost_standard(shape) -> int:
+    """Coefficients a standard point query touches: ``prod(n_i + 1)``."""
+    cost = 1
+    for extent in shape:
+        cost *= ilog2(extent) + 1
+    return cost
+
+
+def point_query_cost_nonstandard(size: int, ndim: int) -> int:
+    """Coefficients a non-standard point query touches:
+    ``(2^d - 1) n + 1``."""
+    return ((1 << ndim) - 1) * ilog2(size) + 1

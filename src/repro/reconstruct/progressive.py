@@ -1,0 +1,134 @@
+"""Progressive query answering over wavelet-transformed data.
+
+The paper's introduction motivates wavelets in OLAP precisely because
+they "provide approximate, progressive or even fast exact answers to
+range-aggregate queries".  This module delivers the progressive mode:
+a range sum is refined coarsest-level-first, yielding an estimate
+after each level so a client can stop as soon as the answer is good
+enough — with the I/O spent so far reported at every refinement.
+
+The refinement order matches the tiling's band structure: coarse
+levels live in few tiles near the root, so early estimates are nearly
+free, and each further level adds at most the two boundary
+coefficients per axis (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.reconstruct.rangesum import range_sum_weights
+from repro.util.bits import ilog2
+from repro.wavelet.layout import SCALING_INDEX, index_to_detail
+
+__all__ = ["ProgressiveEstimate", "progressive_range_sum_standard"]
+
+
+@dataclass(frozen=True)
+class ProgressiveEstimate:
+    """One refinement step of a progressive range sum.
+
+    Attributes
+    ----------
+    cutoff:
+        Finest decomposition level incorporated so far (the initial
+        estimate uses only the coarsest terms; ``cutoff == 1`` is
+        exact).
+    estimate:
+        Current range-sum estimate.
+    coefficients_read:
+        Cumulative coefficients fetched from the store.
+    exact:
+        True on the final refinement.
+    """
+
+    cutoff: int
+    estimate: float
+    coefficients_read: int
+    exact: bool
+
+
+def _weighted_block_sum(store, axis_terms, selectors) -> float:
+    """Read one cross-product sub-block and contract with its weights."""
+    block = store.read_region(
+        [indices[sel] for (indices, __, __), sel in zip(axis_terms, selectors)]
+    )
+    for axis in range(len(axis_terms) - 1, -1, -1):
+        weights = axis_terms[axis][1][selectors[axis]]
+        block = block @ weights
+    return float(block)
+
+
+def progressive_range_sum_standard(
+    store, lows: Sequence[int], highs: Sequence[int]
+) -> Iterator[ProgressiveEstimate]:
+    """Yield coarse-to-fine estimates of a standard-form range sum.
+
+    The exact answer is a weighted sum over the cross product of the
+    per-axis Lemma 2 coefficient sets.  Refinement at ``cutoff`` adds
+    every cross-product term whose finest per-axis level equals
+    ``cutoff``; each term is read exactly once over the whole
+    iteration, so the total I/O equals the plain range-sum cost.  The
+    last yielded estimate is exact.
+    """
+    shape = store.shape
+    if len(lows) != len(shape) or len(highs) != len(shape):
+        raise ValueError("lows/highs must match the store rank")
+
+    # Per axis: (indices, weights, levels), where the scaling entry is
+    # ranked coarser than every detail.
+    axis_terms: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    coarsest = 0
+    for extent, low, high in zip(shape, lows, highs):
+        n = ilog2(extent)
+        indices, weights = range_sum_weights(extent, int(low), int(high))
+        levels = np.asarray(
+            [
+                n + 1
+                if index == SCALING_INDEX
+                else index_to_detail(n, int(index))[0]
+                for index in indices
+            ],
+            dtype=np.int64,
+        )
+        axis_terms.append((indices, weights, levels))
+        coarsest = max(coarsest, int(levels.max()))
+
+    ndim = len(axis_terms)
+    total = 0.0
+    read = 0
+    for cutoff in range(coarsest, 0, -1):
+        # New terms at this cutoff: min over axes of level == cutoff.
+        # Decompose disjointly by the first axis sitting exactly at the
+        # cutoff; earlier axes stay strictly coarser, later axes may be
+        # anything >= cutoff.
+        added_any = False
+        for pivot_axis in range(ndim):
+            selectors = []
+            empty = False
+            for axis, (__, __, levels) in enumerate(axis_terms):
+                if axis < pivot_axis:
+                    selector = np.nonzero(levels > cutoff)[0]
+                elif axis == pivot_axis:
+                    selector = np.nonzero(levels == cutoff)[0]
+                else:
+                    selector = np.nonzero(levels >= cutoff)[0]
+                if selector.size == 0:
+                    empty = True
+                    break
+                selectors.append(selector)
+            if empty:
+                continue
+            total += _weighted_block_sum(store, axis_terms, selectors)
+            read += int(np.prod([sel.size for sel in selectors]))
+            added_any = True
+        if added_any or cutoff == 1:
+            yield ProgressiveEstimate(
+                cutoff=cutoff,
+                estimate=total,
+                coefficients_read=read,
+                exact=(cutoff == 1),
+            )

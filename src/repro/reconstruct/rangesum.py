@@ -1,0 +1,178 @@
+"""Range-sum queries against stored transforms (paper, Lemma 2).
+
+Haar wavelets have a vanishing 0-th moment, so a detail coefficient
+contributes to a range sum only when the range cuts its support: at
+most two details per level per axis.  A 1-d range sum therefore needs
+at most ``2 log N + 1`` coefficients; standard-form multidimensional
+range sums need the cross product of the per-axis boundary sets —
+the OLAP workload the paper's tiling is designed for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.bits import ilog2
+from repro.wavelet.layout import SCALING_INDEX
+
+__all__ = [
+    "range_sum_weights",
+    "range_sum_standard",
+    "range_sum_nonstandard",
+]
+
+
+def _overlap(lo: int, hi: int, start: int, stop: int) -> int:
+    """Length of ``[lo, hi) ∩ [start, stop)``."""
+    return max(0, min(hi, stop) - max(lo, start))
+
+
+def range_sum_weights(
+    size: int, low: int, high: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and weights so that ``sum(data[low:high+1])`` equals the
+    dot product of the returned weights with the flat transform at the
+    returned indices.
+
+    At most ``2n + 1`` entries (Lemma 2).
+    """
+    n = ilog2(size)
+    if not 0 <= low <= high < size:
+        raise ValueError(
+            f"need 0 <= low <= high < {size}, got [{low}, {high}]"
+        )
+    indices: List[int] = [SCALING_INDEX]
+    weights: List[float] = [float(high - low + 1)]
+    for level in range(1, n + 1):
+        for position in {low >> level, high >> level}:
+            start = position << level
+            mid = start + (1 << (level - 1))
+            stop = start + (1 << level)
+            net = _overlap(low, high + 1, start, mid) - _overlap(
+                low, high + 1, mid, stop
+            )
+            if net:
+                indices.append((1 << (n - level)) + position)
+                weights.append(float(net))
+    return (
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def range_sum_standard(
+    store, lows: Sequence[int], highs: Sequence[int]
+) -> float:
+    """Standard-form multidimensional range sum over the box
+    ``[lows, highs]`` (inclusive per axis)."""
+    shape = store.shape
+    if len(lows) != len(shape) or len(highs) != len(shape):
+        raise ValueError("lows/highs must match the store rank")
+    axis_indices = []
+    axis_weights = []
+    for extent, low, high in zip(shape, lows, highs):
+        indices, weights = range_sum_weights(extent, int(low), int(high))
+        axis_indices.append(indices)
+        axis_weights.append(weights)
+    block = store.read_region(axis_indices)
+    for weights in reversed(axis_weights):
+        block = block @ weights
+    return float(block)
+
+
+def range_sum_nonstandard(
+    store, lows: Sequence[int], highs: Sequence[int]
+) -> float:
+    """Non-standard multidimensional range sum over ``[lows, highs]``.
+
+    A detail of type ``mask`` at level ``j`` contributes the product of
+    per-axis factors: the signed half-overlap for differenced axes
+    (nonzero only at the two range boundaries) and the plain overlap
+    count for smooth axes.  The overall average contributes the box's
+    cell count.
+    """
+    size = store.size
+    ndim = store.ndim
+    n = ilog2(size)
+    lows = [int(x) for x in lows]
+    highs = [int(x) for x in highs]
+    if any(not 0 <= lo <= hi < size for lo, hi in zip(lows, highs)):
+        raise ValueError(f"invalid box [{lows}, {highs}] for size {size}")
+
+    cells = 1.0
+    for lo, hi in zip(lows, highs):
+        cells *= hi - lo + 1
+    total = store.read_scaling() * cells
+
+    for level in range(1, n + 1):
+        width = 1 << level
+        half = width >> 1
+        node_ranges = [
+            (lo >> level, hi >> level) for lo, hi in zip(lows, highs)
+        ]
+        # Per-axis factors for every candidate node position.
+        smooth_factors = []
+        diff_boundaries = []  # [(position, factor), ...] per axis
+        for axis in range(ndim):
+            first, last = node_ranges[axis]
+            positions = np.arange(first, last + 1, dtype=np.int64)
+            starts = positions << level
+            smooth = np.asarray(
+                [
+                    _overlap(lows[axis], highs[axis] + 1, s, s + width)
+                    for s in starts
+                ],
+                dtype=np.float64,
+            )
+            smooth_factors.append(smooth)
+            boundaries = []
+            for position in {first, last}:
+                start = position << level
+                net = _overlap(
+                    lows[axis], highs[axis] + 1, start, start + half
+                ) - _overlap(
+                    lows[axis], highs[axis] + 1, start + half, start + width
+                )
+                if net:
+                    boundaries.append((position, float(net)))
+            diff_boundaries.append(boundaries)
+
+        for type_mask in range(1, 1 << ndim):
+            # Differenced axes contribute only at the (<= 2) range
+            # boundaries; smooth axes span their whole node range and
+            # are read as one contiguous region per boundary combo.
+            mask_axes = [
+                axis for axis in range(ndim) if (type_mask >> axis) & 1
+            ]
+            if any(not diff_boundaries[axis] for axis in mask_axes):
+                continue
+            boundary_choices = [diff_boundaries[axis] for axis in mask_axes]
+            for picks in np.ndindex(*[len(c) for c in boundary_choices]):
+                node_start = [0] * ndim
+                node_counts = [0] * ndim
+                weight_vectors = []
+                boundary_weight = 1.0
+                for choice_index, axis in enumerate(mask_axes):
+                    position, factor = boundary_choices[choice_index][
+                        picks[choice_index]
+                    ]
+                    node_start[axis] = position
+                    node_counts[axis] = 1
+                    boundary_weight *= factor
+                for axis in range(ndim):
+                    if (type_mask >> axis) & 1:
+                        weight_vectors.append(np.ones(1))
+                        continue
+                    first, last = node_ranges[axis]
+                    node_start[axis] = first
+                    node_counts[axis] = last - first + 1
+                    weight_vectors.append(smooth_factors[axis])
+                block = store.read_details(
+                    level, type_mask, node_start, node_counts
+                )
+                for weights in reversed(weight_vectors):
+                    block = block @ weights
+                total += boundary_weight * float(block)
+    return float(total)

@@ -1,0 +1,119 @@
+"""Redundant per-tile scalings for the *non-standard* tiling.
+
+The non-standard counterpart of :mod:`repro.reconstruct.scalings`:
+slot 0 of each quadtree-subtree tile holds the scaling coefficient
+``u_{r, root}`` of the subtree root — the average of the data over the
+tile's support cube.  With it stored, a point query needs only the
+leaf-band tile: the in-tile reconstruction walks the quadtree path
+*inside* the tile, starting from the stored scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.tiled import TiledNonStandardStore
+from repro.wavelet.keys import NonStandardKey
+
+__all__ = [
+    "populate_scalings_nonstandard",
+    "point_query_single_tile_nonstandard",
+]
+
+
+def populate_scalings_nonstandard(store: TiledNonStandardStore) -> int:
+    """Fill slot 0 of every tile with its subtree-root scaling.
+
+    One maintenance pass: reconstructs the scaling pyramid from the
+    stored transform top-down (each level halves per axis, adding the
+    level's details), then writes each tile's root scaling.  Returns
+    the number of tiles written.
+    """
+    tiling = store.tiling
+    size = store.size
+    ndim = store.ndim
+    n = size.bit_length() - 1
+
+    # Scaling pyramid: scalings[level] has shape (size >> level,)^d.
+    scalings = {n: np.full((1,) * ndim, store.read_scaling())}
+    for level in range(n, 0, -1):
+        width = size >> level
+        parent = scalings[level]
+        child = np.zeros((2 * width,) * ndim, dtype=np.float64)
+        # u_child = u_parent + sum over masks ± detail(level, node, mask)
+        details = {
+            mask: store.read_details(
+                level, mask, (0,) * ndim, (width,) * ndim
+            )
+            for mask in range(1, 1 << ndim)
+        }
+        for child_bits in range(1 << ndim):
+            selector = tuple(
+                slice((child_bits >> axis) & 1, None, 2)
+                for axis in range(ndim)
+            )
+            value = parent.copy()
+            for mask, block in details.items():
+                sign = 1.0
+                for axis in range(ndim):
+                    if (mask >> axis) & 1 and (child_bits >> axis) & 1:
+                        sign = -sign
+                value = value + sign * block
+            child[selector] = value
+        scalings[level - 1] = child
+
+    written = 0
+    for band in range(tiling.num_bands):
+        root_level = tiling.band_root_level(band)
+        side = size >> root_level
+        level_scalings = scalings[root_level]
+        for root in np.ndindex(*(side,) * ndim):
+            key = (band, tuple(int(r) for r in root))
+            tile = store.tile_store.tile(key, for_write=True)
+            tile[0] = float(level_scalings[root])
+            written += 1
+    store.flush()
+    return written
+
+
+def point_query_single_tile_nonstandard(
+    store: TiledNonStandardStore, position: Sequence[int]
+) -> float:
+    """Reconstruct one cube value from its leaf-band tile alone.
+
+    Requires :func:`populate_scalings_nonstandard`.  One block read:
+    the tile holds the band-root scaling plus all finer path details.
+    """
+    tiling = store.tiling
+    ndim = store.ndim
+    point = tuple(int(x) for x in position)
+    if len(point) != ndim:
+        raise ValueError(f"position must have {ndim} axes, got {position}")
+    if any(not 0 <= x < store.size for x in point):
+        raise ValueError(f"position {point} out of the domain")
+
+    root_level = tiling.band_root_level(0)
+    root = tuple(x >> root_level for x in point)
+    key = (0, root)
+    tile = store.tile_store.peek(key)
+    if tile is None:
+        raise RuntimeError(
+            "leaf tile not materialised — run "
+            "populate_scalings_nonstandard after loading or updating "
+            "the transform"
+        )
+    value = float(tile[0])  # the stored u_{r, root}
+    for level in range(root_level, 0, -1):
+        node = tuple(x >> level for x in point)
+        for mask in range(1, 1 << ndim):
+            sign = 1.0
+            for axis in range(ndim):
+                if (mask >> axis) & 1 and (point[axis] >> (level - 1)) & 1:
+                    sign = -sign
+            __, slot = tiling.locate_key(
+                NonStandardKey(level, node, mask)
+            )
+            value += sign * float(tile[slot])
+    return value

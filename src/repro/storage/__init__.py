@@ -1,0 +1,35 @@
+"""Storage substrate: simulated block device, buffer pool, tile store,
+and the dense/tiled coefficient stores the maintenance algorithms run
+against."""
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.chunkfile import ChunkedDataFile
+from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
+from repro.storage.iostats import IOStats
+from repro.storage.naive import NaiveBlockedStandardStore
+from repro.storage.persist import (
+    load_nonstandard_store,
+    load_standard_store,
+    save_nonstandard_store,
+    save_standard_store,
+)
+from repro.storage.tile_store import TileStore
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+
+__all__ = [
+    "BlockDevice",
+    "BufferPool",
+    "ChunkedDataFile",
+    "DenseNonStandardStore",
+    "DenseStandardStore",
+    "IOStats",
+    "NaiveBlockedStandardStore",
+    "TileStore",
+    "load_nonstandard_store",
+    "load_standard_store",
+    "save_nonstandard_store",
+    "save_standard_store",
+    "TiledNonStandardStore",
+    "TiledStandardStore",
+]

@@ -1,0 +1,132 @@
+"""LRU buffer pool over the simulated block device.
+
+Database-style write-back caching: a block is read from the device at
+most once while resident, dirty blocks are written back on eviction or
+flush.  The pool is what turns "coefficients touched" into "blocks
+transferred" — the quantity the paper's tiling strategy optimises.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["BufferPool"]
+
+
+class _Frame:
+    """One resident block: its data and a dirty flag."""
+
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = data
+        self.dirty = False
+
+
+class BufferPool:
+    """Write-back LRU cache of device blocks.
+
+    Parameters
+    ----------
+    device:
+        The backing :class:`BlockDevice`.
+    capacity:
+        Maximum resident blocks; must be >= 1.  The paper's experiments
+        model a memory-constrained transformation, so callers size this
+        to the scenario's memory budget.
+    """
+
+    def __init__(self, device: BlockDevice, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._device = device
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def resident(self) -> int:
+        """Number of blocks currently cached."""
+        return len(self._frames)
+
+    def get(self, block_id: int, for_write: bool = False) -> np.ndarray:
+        """Return the cached array for ``block_id`` (faulting it in).
+
+        The returned array is the pool's resident copy: mutations are
+        visible to later ``get`` calls.  Callers that mutate must pass
+        ``for_write=True`` (or call :meth:`mark_dirty`) so the block is
+        written back on eviction.
+        """
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            self._frames.move_to_end(block_id)
+            self._device.stats.cache_hits += 1
+        else:
+            data = self._device.read_block(block_id)
+            frame = _Frame(data)
+            self._frames[block_id] = frame
+            self._evict_if_needed()
+        if for_write:
+            frame.dirty = True
+        return frame.data
+
+    def create(self, block_id: int) -> np.ndarray:
+        """Install a fresh zero-filled frame for a newly allocated block.
+
+        No device read is charged — the block has never been written,
+        so its (zero) contents are known without touching the disk.
+        The frame starts dirty and will be written back on eviction.
+        """
+        if block_id in self._frames:
+            raise KeyError(f"block {block_id} is already resident")
+        frame = _Frame(np.zeros(self._device.block_slots, dtype=np.float64))
+        frame.dirty = True
+        self._frames[block_id] = frame
+        self._evict_if_needed()
+        return frame.data
+
+    def mark_dirty(self, block_id: int) -> None:
+        """Flag a resident block as modified."""
+        frame = self._frames.get(block_id)
+        if frame is None:
+            raise KeyError(f"block {block_id} is not resident")
+        frame.dirty = True
+
+    def _evict_if_needed(self) -> None:
+        while len(self._frames) > self._capacity:
+            evicted_id, frame = self._frames.popitem(last=False)
+            if frame.dirty:
+                self._device.write_block(evicted_id, frame.data)
+
+    def flush(self, block_id: Optional[int] = None) -> None:
+        """Write back dirty blocks (one, or all when ``block_id is None``).
+
+        Blocks stay resident; only the dirty flags are cleared.
+        """
+        if block_id is not None:
+            frame = self._frames.get(block_id)
+            if frame is not None and frame.dirty:
+                self._device.write_block(block_id, frame.data)
+                frame.dirty = False
+            return
+        for resident_id, frame in self._frames.items():
+            if frame.dirty:
+                self._device.write_block(resident_id, frame.data)
+                frame.dirty = False
+
+    def drop_all(self) -> None:
+        """Flush everything and empty the pool (e.g. between experiments)."""
+        self.flush()
+        self._frames.clear()

@@ -1,0 +1,205 @@
+"""Dense in-memory coefficient stores with coefficient-level I/O counting.
+
+The paper reports some I/O costs "measured in coefficients" — i.e. with
+a block size of one coefficient (Figure 11, the first column of Table
+2).  These stores hold the global transform as a plain ndarray and
+charge one coefficient read/write per element touched, in bulk, so that
+accounting never dominates runtime.
+
+Two addressing schemes match the two decomposition forms:
+
+* :class:`DenseStandardStore` — cross-product region operations over
+  per-axis flat-index arrays (the standard form's natural access
+  pattern).
+* :class:`DenseNonStandardStore` — node-region and per-key operations
+  in quadtree coordinates (the non-standard form's natural access
+  pattern), stored in the Mallat layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.util.validation import require_power_of_two_shape
+from repro.wavelet.keys import NonStandardKey
+from repro.wavelet.nonstandard import require_cubic
+
+__all__ = ["DenseStandardStore", "DenseNonStandardStore"]
+
+
+class DenseStandardStore:
+    """Global standard-form transform as an ndarray, counting touches."""
+
+    def __init__(
+        self, shape: Sequence[int], stats: Optional[IOStats] = None
+    ) -> None:
+        self._shape = require_power_of_two_shape(shape)
+        self._coeffs = np.zeros(self._shape, dtype=np.float64)
+        self.stats = stats if stats is not None else IOStats()
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    def _ix(self, per_axis: Sequence[np.ndarray]):
+        if len(per_axis) != self.ndim:
+            raise ValueError(
+                f"need {self.ndim} index arrays, got {len(per_axis)}"
+            )
+        arrays = [np.asarray(axis, dtype=np.intp) for axis in per_axis]
+        for axis, array in enumerate(arrays):
+            # Fancy-index assignment applies a duplicated position only
+            # once, which would silently drop accumulations — reject.
+            if np.unique(array).size != array.size:
+                raise ValueError(
+                    f"axis {axis} index array contains duplicates"
+                )
+        return np.ix_(*arrays)
+
+    def set_region(
+        self, per_axis: Sequence[np.ndarray], values: np.ndarray
+    ) -> None:
+        """Overwrite the cross-product region (write-only I/O)."""
+        self._coeffs[self._ix(per_axis)] = values
+        self.stats.coefficient_writes += int(np.asarray(values).size)
+
+    def add_region(
+        self, per_axis: Sequence[np.ndarray], values: np.ndarray
+    ) -> None:
+        """Accumulate into the cross-product region (read-modify-write)."""
+        self._coeffs[self._ix(per_axis)] += values
+        size = int(np.asarray(values).size)
+        self.stats.coefficient_reads += size
+        self.stats.coefficient_writes += size
+
+    def read_region(self, per_axis: Sequence[np.ndarray]) -> np.ndarray:
+        """Read the cross-product region."""
+        values = self._coeffs[self._ix(per_axis)]
+        self.stats.coefficient_reads += int(values.size)
+        return values
+
+    def read_point(self, position: Sequence[int]) -> float:
+        self.stats.coefficient_reads += 1
+        return float(self._coeffs[tuple(int(i) for i in position)])
+
+    def write_point(self, position: Sequence[int], value: float) -> None:
+        self.stats.coefficient_writes += 1
+        self._coeffs[tuple(int(i) for i in position)] = value
+
+    def add_point(self, position: Sequence[int], delta: float) -> None:
+        self.stats.coefficient_reads += 1
+        self.stats.coefficient_writes += 1
+        self._coeffs[tuple(int(i) for i in position)] += delta
+
+    def to_array(self) -> np.ndarray:
+        """Uncounted snapshot of the whole transform (verification only)."""
+        return self._coeffs.copy()
+
+
+class DenseNonStandardStore:
+    """Global non-standard transform (Mallat layout), counting touches."""
+
+    def __init__(
+        self,
+        size: int,
+        ndim: int,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        require_cubic((size,) * ndim)
+        self._size = size
+        self._ndim = ndim
+        self._coeffs = np.zeros((size,) * ndim, dtype=np.float64)
+        self.stats = stats if stats is not None else IOStats()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def ndim(self) -> int:
+        return self._ndim
+
+    def _detail_slices(
+        self,
+        level: int,
+        type_mask: int,
+        node_start: Sequence[int],
+        node_counts: Sequence[int],
+    ) -> Tuple[slice, ...]:
+        width = self._size >> level
+        if width == 0:
+            raise ValueError(f"level {level} too deep for size {self._size}")
+        slices = []
+        for axis in range(self._ndim):
+            offset = width if (type_mask >> axis) & 1 else 0
+            start = offset + int(node_start[axis])
+            slices.append(slice(start, start + int(node_counts[axis])))
+        return tuple(slices)
+
+    def set_details(
+        self,
+        level: int,
+        type_mask: int,
+        node_start: Sequence[int],
+        values: np.ndarray,
+    ) -> None:
+        """Overwrite a contiguous node region of one detail subband."""
+        values = np.asarray(values)
+        region = self._detail_slices(level, type_mask, node_start, values.shape)
+        self._coeffs[region] = values
+        self.stats.coefficient_writes += int(values.size)
+
+    def read_details(
+        self,
+        level: int,
+        type_mask: int,
+        node_start: Sequence[int],
+        node_counts: Sequence[int],
+    ) -> np.ndarray:
+        """Read a contiguous node region of one detail subband."""
+        region = self._detail_slices(level, type_mask, node_start, node_counts)
+        values = self._coeffs[region]
+        self.stats.coefficient_reads += int(values.size)
+        return values.copy()
+
+    def add_detail(self, key: NonStandardKey, delta: float) -> None:
+        """Accumulate into one detail coefficient."""
+        position = key.position(self._size)
+        self.stats.coefficient_reads += 1
+        self.stats.coefficient_writes += 1
+        self._coeffs[position] += delta
+
+    def read_detail(self, key: NonStandardKey) -> float:
+        self.stats.coefficient_reads += 1
+        return float(self._coeffs[key.position(self._size)])
+
+    def set_detail(self, key: NonStandardKey, value: float) -> None:
+        self.stats.coefficient_writes += 1
+        self._coeffs[key.position(self._size)] = value
+
+    def read_scaling(self) -> float:
+        """Read the overall average."""
+        self.stats.coefficient_reads += 1
+        return float(self._coeffs[(0,) * self._ndim])
+
+    def add_scaling(self, delta: float) -> None:
+        self.stats.coefficient_reads += 1
+        self.stats.coefficient_writes += 1
+        self._coeffs[(0,) * self._ndim] += delta
+
+    def set_scaling(self, value: float) -> None:
+        self.stats.coefficient_writes += 1
+        self._coeffs[(0,) * self._ndim] = value
+
+    def to_array(self) -> np.ndarray:
+        """Uncounted snapshot of the whole transform (verification only)."""
+        return self._coeffs.copy()

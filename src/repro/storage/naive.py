@@ -1,0 +1,187 @@
+"""Naive coefficient blocking — the ablation baseline for tiling.
+
+Instead of the paper's wavelet-tree subtree tiles, coefficients are
+packed into blocks by plain index geometry: block key is
+``index // B`` per axis.  Coefficients that are far apart in the tree
+(and never co-accessed) share blocks, while a root path crosses many
+blocks — exactly the utilisation problem Section 3's tiling fixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.storage.tile_store import TileStore
+from repro.util.bits import ilog2
+from repro.util.validation import require_power_of_two_shape
+
+__all__ = ["NaiveBlockedStandardStore"]
+
+
+class NaiveBlockedStandardStore:
+    """Standard-form transform in row-major index-space blocks.
+
+    Implements the same region interface as
+    :class:`~repro.storage.tiled.TiledStandardStore` so queries and
+    maintenance algorithms run unchanged against it.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        block_edge: int,
+        pool_capacity: int = 8,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self._shape = require_power_of_two_shape(shape)
+        self._edge = block_edge
+        ilog2(block_edge)
+        for axis, extent in enumerate(self._shape):
+            if block_edge > extent:
+                raise ValueError(
+                    f"block_edge {block_edge} exceeds extent {extent} "
+                    f"of axis {axis}"
+                )
+        self._store = TileStore(
+            block_slots=block_edge ** len(self._shape),
+            pool_capacity=pool_capacity,
+            stats=stats,
+        )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def stats(self) -> IOStats:
+        return self._store.stats
+
+    @property
+    def tile_store(self) -> TileStore:
+        return self._store
+
+    def flush(self) -> None:
+        self._store.flush()
+
+    def drop_cache(self) -> None:
+        self._store.drop_cache()
+
+    def _axis_groups(self, per_axis: Sequence[np.ndarray]):
+        if len(per_axis) != self.ndim:
+            raise ValueError(
+                f"need {self.ndim} index arrays, got {len(per_axis)}"
+            )
+        located = []
+        for axis, indices in enumerate(per_axis):
+            flat = np.asarray(indices, dtype=np.int64)
+            if np.unique(flat).size != flat.size:
+                raise ValueError(
+                    f"axis {axis} index array contains duplicates"
+                )
+            blocks = flat // self._edge
+            slots = flat % self._edge
+            unique, inverse = np.unique(blocks, return_inverse=True)
+            groups = [
+                (int(block), np.nonzero(inverse == g)[0])
+                for g, block in enumerate(unique)
+            ]
+            located.append((slots, groups))
+        return located
+
+    def _visit(self, per_axis, callback) -> None:
+        located = self._axis_groups(per_axis)
+
+        def recurse(axis: int, parts: List[int], selectors: list) -> None:
+            if axis == self.ndim:
+                callback(tuple(parts), selectors, located)
+                return
+            for part, selector in located[axis][1]:
+                parts.append(part)
+                selectors.append(selector)
+                recurse(axis + 1, parts, selectors)
+                parts.pop()
+                selectors.pop()
+
+        recurse(0, [], [])
+
+    def _update_region(self, per_axis, values, accumulate: bool) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        edge_shape = (self._edge,) * self.ndim
+
+        def callback(key, selectors, located):
+            tile = self._store.tile(key, for_write=True)
+            view = tile.reshape(edge_shape)
+            slot_ix = np.ix_(
+                *[located[a][0][selectors[a]] for a in range(self.ndim)]
+            )
+            block = values[np.ix_(*selectors)]
+            if accumulate:
+                view[slot_ix] += block
+            else:
+                view[slot_ix] = block
+
+        self._visit(per_axis, callback)
+
+    def set_region(self, per_axis, values) -> None:
+        self._update_region(per_axis, values, accumulate=False)
+
+    def add_region(self, per_axis, values) -> None:
+        self._update_region(per_axis, values, accumulate=True)
+
+    def read_region(self, per_axis) -> np.ndarray:
+        out = np.zeros(
+            tuple(np.asarray(axis).size for axis in per_axis),
+            dtype=np.float64,
+        )
+        edge_shape = (self._edge,) * self.ndim
+
+        def callback(key, selectors, located):
+            tile = self._store.peek(key)
+            if tile is None:
+                return
+            view = tile.reshape(edge_shape)
+            slot_ix = np.ix_(
+                *[located[a][0][selectors[a]] for a in range(self.ndim)]
+            )
+            out[np.ix_(*selectors)] = view[slot_ix]
+
+        self._visit(per_axis, callback)
+        return out
+
+    def read_point(self, position: Sequence[int]) -> float:
+        key = tuple(int(i) // self._edge for i in position)
+        slot = 0
+        for coordinate in position:
+            slot = slot * self._edge + int(coordinate) % self._edge
+        return self._store.read_slot(key, slot)
+
+    def write_point(self, position: Sequence[int], value: float) -> None:
+        key = tuple(int(i) // self._edge for i in position)
+        slot = 0
+        for coordinate in position:
+            slot = slot * self._edge + int(coordinate) % self._edge
+        self._store.write_slot(key, slot, value)
+
+    def to_array(self) -> np.ndarray:
+        """Uncounted dense snapshot (verification only)."""
+        saved = self.stats.snapshot()
+        dense = np.zeros(self._shape, dtype=np.float64)
+        edge_shape = (self._edge,) * self.ndim
+        for key in list(self._store.keys()):
+            tile = self._store.peek(key)
+            selector = tuple(
+                slice(block * self._edge, (block + 1) * self._edge)
+                for block in key
+            )
+            dense[selector] = tile.reshape(edge_shape)
+        self.stats.block_reads = saved.block_reads
+        self.stats.block_writes = saved.block_writes
+        self.stats.cache_hits = saved.cache_hits
+        return dense

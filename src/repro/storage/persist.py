@@ -1,0 +1,120 @@
+"""Persisting tiled stores to real files.
+
+The simulated device lives in memory; these helpers write a tiled
+store's blocks and tile directory to a single ``.npz`` file and load
+them back, so a transform built once (hours of bulk loading at real
+scale) can be reopened and queried across sessions — the lifecycle the
+paper's maintenance scenarios assume.
+
+Persistence moves blocks wholesale and is deliberately *uncounted*:
+the I/O model measures the algorithms' block traffic, not file-system
+serialisation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+
+__all__ = [
+    "save_standard_store",
+    "load_standard_store",
+    "save_nonstandard_store",
+    "load_nonstandard_store",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _save(path, kind: str, meta: dict, store) -> None:
+    tile_store = store.tile_store
+    tile_store.flush()
+    directory = tile_store.directory()
+    np.savez_compressed(
+        path,
+        format_version=np.asarray([_FORMAT_VERSION]),
+        kind=np.asarray([kind]),
+        meta=np.frombuffer(pickle.dumps(meta), dtype=np.uint8),
+        directory=np.frombuffer(pickle.dumps(directory), dtype=np.uint8),
+        blocks=tile_store.device.dump_blocks(),
+    )
+
+
+def _load(path, expected_kind: str):
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported store file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        kind = str(archive["kind"][0])
+        if kind != expected_kind:
+            raise ValueError(
+                f"file holds a {kind!r} store, expected {expected_kind!r}"
+            )
+        meta = pickle.loads(archive["meta"].tobytes())
+        directory = pickle.loads(archive["directory"].tobytes())
+        blocks = archive["blocks"]
+        return meta, directory, blocks
+
+
+def save_standard_store(store: TiledStandardStore, path) -> None:
+    """Write a :class:`TiledStandardStore` to ``path`` (.npz)."""
+    meta = {
+        "shape": tuple(store.shape),
+        "block_edge": store.tiling.block_edge,
+    }
+    _save(path, "standard", meta, store)
+
+
+def load_standard_store(
+    path,
+    pool_capacity: int = 8,
+    stats: Optional[IOStats] = None,
+) -> TiledStandardStore:
+    """Reopen a store written by :func:`save_standard_store`."""
+    meta, directory, blocks = _load(path, "standard")
+    store = TiledStandardStore(
+        meta["shape"],
+        block_edge=meta["block_edge"],
+        pool_capacity=pool_capacity,
+        stats=stats,
+    )
+    store.tile_store.device.restore_blocks(blocks)
+    store.tile_store.restore_directory(directory)
+    return store
+
+
+def save_nonstandard_store(store: TiledNonStandardStore, path) -> None:
+    """Write a :class:`TiledNonStandardStore` to ``path`` (.npz)."""
+    meta = {
+        "size": store.size,
+        "ndim": store.ndim,
+        "block_edge": store.tiling.block_edge,
+    }
+    _save(path, "nonstandard", meta, store)
+
+
+def load_nonstandard_store(
+    path,
+    pool_capacity: int = 8,
+    stats: Optional[IOStats] = None,
+) -> TiledNonStandardStore:
+    """Reopen a store written by :func:`save_nonstandard_store`."""
+    meta, directory, blocks = _load(path, "nonstandard")
+    store = TiledNonStandardStore(
+        meta["size"],
+        meta["ndim"],
+        block_edge=meta["block_edge"],
+        pool_capacity=pool_capacity,
+        stats=stats,
+    )
+    store.tile_store.device.restore_blocks(blocks)
+    store.tile_store.restore_directory(directory)
+    return store

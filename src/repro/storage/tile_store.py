@@ -1,0 +1,133 @@
+"""Physical tile storage: tile key -> disk block of coefficient slots.
+
+A :class:`TileStore` maps hashable tile keys (produced by the tiling
+strategies in :mod:`repro.tiling`) to blocks of the simulated device,
+caching through a write-back :class:`~repro.storage.buffer_pool.BufferPool`.
+Coefficients default to zero: a tile that was never written reads as a
+zero block without costing any I/O, matching the sparse initial state
+of a transform under construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional
+
+import numpy as np
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.iostats import IOStats
+
+__all__ = ["TileStore"]
+
+
+class TileStore:
+    """Keyed block storage with lazy allocation and write-back caching.
+
+    Parameters
+    ----------
+    block_slots:
+        Coefficient slots per tile (``B^d`` under the paper's tiling).
+    pool_capacity:
+        Buffer-pool size in blocks.  The paper's maintenance scenarios
+        assume scarce memory, so default to a small pool; experiments
+        size it explicitly from the scenario's memory budget.
+    stats:
+        Shared I/O counter; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        block_slots: int,
+        pool_capacity: int = 8,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self._device = BlockDevice(block_slots, stats=stats)
+        self._pool = BufferPool(self._device, pool_capacity)
+        self._directory: Dict[Hashable, int] = {}
+
+    @property
+    def stats(self) -> IOStats:
+        return self._device.stats
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    @property
+    def block_slots(self) -> int:
+        return self._device.block_slots
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles that have ever been materialised."""
+        return len(self._directory)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._directory
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._directory)
+
+    def tile(self, key: Hashable, for_write: bool = False) -> np.ndarray:
+        """The slot array of tile ``key`` (allocated lazily).
+
+        The returned array is the pool's resident copy; with
+        ``for_write=True`` mutations will be persisted on eviction or
+        flush.  Fetching an existing non-resident tile costs one block
+        read; creating a fresh tile costs none (its zero contents are
+        known).
+        """
+        block_id = self._directory.get(key)
+        if block_id is None:
+            block_id = self._device.allocate()
+            self._directory[key] = block_id
+            data = self._pool.create(block_id)
+            return data
+        return self._pool.get(block_id, for_write=for_write)
+
+    def peek(self, key: Hashable) -> Optional[np.ndarray]:
+        """Like :meth:`tile` but returns ``None`` instead of allocating
+        when the tile was never materialised."""
+        block_id = self._directory.get(key)
+        if block_id is None:
+            return None
+        return self._pool.get(block_id)
+
+    def read_slot(self, key: Hashable, slot: int) -> float:
+        """Read one coefficient (zero if the tile does not exist)."""
+        data = self.peek(key)
+        if data is None:
+            return 0.0
+        return float(data[slot])
+
+    def write_slot(self, key: Hashable, slot: int, value: float) -> None:
+        """Write one coefficient, materialising the tile if needed."""
+        data = self.tile(key, for_write=True)
+        data[slot] = value
+
+    def add_to_slot(self, key: Hashable, slot: int, delta: float) -> None:
+        """Accumulate into one coefficient (read-modify-write)."""
+        data = self.tile(key, for_write=True)
+        data[slot] += delta
+
+    def directory(self) -> Dict[Hashable, int]:
+        """Uncounted copy of the tile-key -> block-id mapping (used by
+        persistence)."""
+        return dict(self._directory)
+
+    def restore_directory(self, directory: Dict[Hashable, int]) -> None:
+        """Uncounted bulk restore (inverse of :meth:`directory`)."""
+        self._directory = dict(directory)
+
+    def flush(self) -> None:
+        """Write back all dirty resident tiles."""
+        self._pool.flush()
+
+    def drop_cache(self) -> None:
+        """Flush and empty the pool (cold-cache boundary for benchmarks)."""
+        self._pool.drop_all()

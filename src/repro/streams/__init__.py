@@ -1,0 +1,15 @@
+"""Data-stream approximation (paper, Section 5.3)."""
+
+from repro.streams.stream1d import StreamSynopsis1D
+from repro.streams.streamnd import (
+    NonStandardStreamSynopsis,
+    StandardStreamSynopsis,
+)
+from repro.streams.topk import TopKTracker
+
+__all__ = [
+    "NonStandardStreamSynopsis",
+    "StandardStreamSynopsis",
+    "StreamSynopsis1D",
+    "TopKTracker",
+]

@@ -1,0 +1,214 @@
+"""One-dimensional stream synopses in the time-series model
+(paper, Section 5.3, Result 3).
+
+Items arrive in order ``x_0, x_1, ...`` over a fixed domain of size
+``N = 2^n``.  At any time only the *wavelet crest* — the coefficients
+whose support is still open on the right — can change: the covering
+detail at every level plus the overall average, ``log N + 1``
+coefficients.
+
+Baseline (Gilbert et al. [5])
+    Every arriving item updates the whole crest: ``O(log N)``
+    coefficient updates per item, space ``K + log N + 1``.
+
+Buffered SHIFT-SPLIT (Result 3)
+    Buffer ``B`` items; when full, transform the buffer (``O(B)``
+    in-memory work), SHIFT the ``B - 1`` details out as immediately
+    final, and SPLIT only the buffer average onto the crest —
+    ``log(N/B) + 1`` crest updates per *B* items, i.e.
+    ``O((1/B) log(N/B))`` amortised crest updates per item, at the
+    price of ``B`` extra memory.
+
+Both behaviours live in :class:`StreamSynopsis1D`; the baseline is the
+``buffer_size=1`` instance (a single item is its own transform and
+everything it does is SPLIT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.shiftsplit1d import shift_target_indices, split_weights
+from repro.streams.topk import TopKTracker
+from repro.util.bits import ilog2
+from repro.wavelet.haar1d import detail_basis_norm, haar_dwt, scaling_basis_norm
+from repro.wavelet.layout import (
+    SCALING_INDEX,
+    index_to_detail,
+    support_of_index,
+)
+
+__all__ = ["StreamSynopsis1D"]
+
+
+class StreamSynopsis1D:
+    """Best K-term Haar synopsis of a bounded 1-d stream.
+
+    Parameters
+    ----------
+    domain_size:
+        The time-series domain ``N = 2^n``; at most ``N`` items may be
+        pushed.
+    k:
+        Synopsis size (number of retained coefficients).
+    buffer_size:
+        SHIFT-SPLIT buffer ``B`` (power of two dividing ``N``);
+        ``1`` reproduces the per-item baseline.
+    """
+
+    def __init__(self, domain_size: int, k: int, buffer_size: int = 1) -> None:
+        self._n = ilog2(domain_size)
+        self._b = ilog2(buffer_size)
+        if self._b > self._n:
+            raise ValueError(
+                f"buffer_size {buffer_size} exceeds domain {domain_size}"
+            )
+        self._size = domain_size
+        self._buffer_size = buffer_size
+        self._buffer: List[float] = []
+        self._crest: Dict[int, float] = {}
+        self._items = 0
+        self.topk = TopKTracker(k)
+        #: Crest coefficient read-modify-writes (the paper's per-item
+        #: cost metric).
+        self.crest_updates = 0
+        #: Coefficients finalised so far (offered to the top-K set).
+        self.finalized = 0
+        #: Peak live memory in coefficients (buffer + crest), beyond K.
+        self.max_live_coefficients = 0
+
+    @property
+    def domain_size(self) -> int:
+        return self._size
+
+    @property
+    def items_seen(self) -> int:
+        return self._items
+
+    @property
+    def buffer_size(self) -> int:
+        return self._buffer_size
+
+    def live_coefficients(self) -> int:
+        """Current working-memory coefficients beyond the K retained."""
+        return len(self._buffer) + len(self._crest)
+
+    def push(self, value: float) -> None:
+        """Consume the next stream item."""
+        if self._items + len(self._buffer) >= self._size:
+            raise ValueError(f"stream domain of {self._size} items exhausted")
+        self._buffer.append(float(value))
+        self.max_live_coefficients = max(
+            self.max_live_coefficients, self.live_coefficients()
+        )
+        if len(self._buffer) == self._buffer_size:
+            self._flush_buffer()
+
+    def extend(self, values) -> None:
+        """Consume many items."""
+        for value in values:
+            self.push(value)
+
+    def _offer(self, flat_index: int, value: float) -> None:
+        if flat_index == SCALING_INDEX:
+            norm = scaling_basis_norm(self._n)
+        else:
+            level, __ = index_to_detail(self._n, flat_index)
+            norm = detail_basis_norm(level)
+        self.topk.offer(flat_index, value, norm)
+        self.finalized += 1
+
+    def _flush_buffer(self) -> None:
+        block_index = self._items // self._buffer_size
+        block = np.asarray(self._buffer, dtype=np.float64)
+        self._buffer = []
+        block_hat = haar_dwt(block)
+
+        # SHIFT: the buffer's own details are final the moment the
+        # buffer completes — no crest traffic for them.
+        if self._buffer_size > 1:
+            targets = shift_target_indices(
+                self._size, self._buffer_size, block_index
+            )
+            for local in range(1, self._buffer_size):
+                self._offer(int(targets[local]), float(block_hat[local]))
+
+        # SPLIT: only the buffer average climbs the crest.
+        indices, weights = split_weights(
+            self._size, self._buffer_size, block_index
+        )
+        average = float(block_hat[0])
+        for index, weight in zip(indices, weights):
+            self._crest[int(index)] = (
+                self._crest.get(int(index), 0.0) + average * weight
+            )
+            self.crest_updates += 1
+
+        self._items += self._buffer_size
+        self._finalize_completed()
+        self.max_live_coefficients = max(
+            self.max_live_coefficients, self.live_coefficients()
+        )
+
+    def _finalize_completed(self) -> None:
+        """Move crest coefficients whose support has closed to top-K."""
+        completed = [
+            index
+            for index in self._crest
+            if index != SCALING_INDEX
+            and support_of_index(self._n, index)[1] <= self._items
+        ]
+        for index in completed:
+            self._offer(index, self._crest.pop(index))
+        if self._items == self._size and SCALING_INDEX in self._crest:
+            self._offer(SCALING_INDEX, self._crest.pop(SCALING_INDEX))
+
+    def synopsis(self) -> Dict[int, float]:
+        """The retained coefficients ``{flat index: value}``."""
+        return self.topk.items()
+
+    def estimate(self) -> np.ndarray:
+        """Reconstruction of the whole domain from the K retained
+        coefficients (unseen positions estimate from coarse terms)."""
+        from repro.wavelet.haar1d import haar_idwt
+
+        coeffs = np.zeros(self._size, dtype=np.float64)
+        for index, value in self.topk.items().items():
+            coeffs[index] = value
+        return haar_idwt(coeffs)
+
+    def estimate_with_crest(self) -> np.ndarray:
+        """Reconstruction that also includes the still-open crest
+        coefficients (exact prefix when ``k >= N``)."""
+        from repro.wavelet.haar1d import haar_idwt
+
+        coeffs = np.zeros(self._size, dtype=np.float64)
+        for index, value in self.topk.items().items():
+            coeffs[index] = value
+        for index, value in self._crest.items():
+            coeffs[index] += value
+        return haar_idwt(coeffs)
+
+    def range_sum_estimate(
+        self, low: int, high: int, include_crest: bool = True
+    ) -> float:
+        """Approximate ``sum(stream[low:high+1])`` from the synopsis.
+
+        Uses Lemma 2 directly on the retained (and, by default, the
+        still-open crest) coefficients — ``O(log N)`` work, no
+        reconstruction.  Exact over the seen prefix when ``k >= N``
+        and the crest is included.
+        """
+        from repro.reconstruct.rangesum import range_sum_weights
+
+        indices, weights = range_sum_weights(self._size, int(low), int(high))
+        retained = self.topk.items()
+        total = 0.0
+        for index, weight in zip(indices, weights):
+            value = retained.get(int(index), 0.0)
+            if include_crest:
+                value += self._crest.get(int(index), 0.0)
+            total += weight * value
+        return float(total)

@@ -1,0 +1,441 @@
+"""Multidimensional stream synopses (paper, Section 5.3, Results 4-5).
+
+The stream is a ``d``-dimensional array growing along one dimension
+(time).  The paper shows what extra state a best K-term synopsis needs
+under each decomposition form:
+
+Standard form (Result 4)
+    Every fixed-axis 1-d tree stays fully "open" — a new slab touches
+    all of them — so beyond the K terms the maintainer must keep
+    ``N^{d-1} * log T`` coefficients: one time-axis crest *per
+    fixed-axis basis combination*.  Feasible only for small fixed
+    domains, which is exactly the paper's point.
+
+Non-standard hybrid form (Result 5)
+    The stream is treated as a sequence of ``N^d`` hypercubes along
+    time; each cube is decomposed with the non-standard form (its
+    details finalise as soon as their support fills) and the cube
+    averages form a 1-d time series transformed incrementally.  Extra
+    state: the ``M^d`` in-memory chunk, the cube's SPLIT crest of
+    ``(2^d - 1) log(N/M)`` coefficients, and the ``log(T/N)`` time
+    crest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.nonstandard_ops import split_contributions_nonstandard
+from repro.core.shiftsplit1d import shift_target_indices, split_weights
+from repro.streams.topk import TopKTracker
+from repro.util.bits import ilog2
+from repro.util.morton import zorder_chunks
+from repro.wavelet.haar1d import detail_basis_norm, scaling_basis_norm
+from repro.wavelet.keys import NonStandardKey
+from repro.wavelet.layout import (
+    SCALING_INDEX,
+    index_to_detail,
+    support_of_index,
+)
+from repro.wavelet.nonstandard import nonstandard_dwt
+from repro.wavelet.standard import standard_basis_norm, standard_dwt
+
+__all__ = ["StandardStreamSynopsis", "NonStandardStreamSynopsis"]
+
+
+class StandardStreamSynopsis:
+    """Result 4: K-term standard-form synopsis of a growing cube.
+
+    Parameters
+    ----------
+    fixed_shape:
+        Extents of the non-growing dimensions (powers of two).
+    time_domain:
+        Maximum time extent ``T = 2^p``.
+    k:
+        Synopsis size.
+    time_buffer:
+        Slabs buffered before a SHIFT-SPLIT flush (the ``M`` of the
+        space bound); must divide ``time_domain``.
+    """
+
+    def __init__(
+        self,
+        fixed_shape: Tuple[int, ...],
+        time_domain: int,
+        k: int,
+        time_buffer: int = 1,
+    ) -> None:
+        from repro.util.validation import require_power_of_two_shape
+
+        self._fixed_shape = require_power_of_two_shape(
+            fixed_shape, "fixed_shape"
+        )
+        self._p = ilog2(time_domain)
+        self._mb = ilog2(time_buffer)
+        if self._mb > self._p:
+            raise ValueError("time_buffer exceeds time_domain")
+        self._time_domain = time_domain
+        self._time_buffer = time_buffer
+        self._slabs: list = []
+        self._slabs_seen = 0
+        # One time-axis crest accumulator array per time flat index;
+        # each array spans every fixed-axis combination.
+        self._crest: Dict[int, np.ndarray] = {}
+        self.topk = TopKTracker(k)
+        self.crest_updates = 0
+        self.finalized = 0
+        self.max_live_coefficients = 0
+
+    @property
+    def slabs_seen(self) -> int:
+        return self._slabs_seen
+
+    def live_coefficients(self) -> int:
+        """Working-memory coefficients beyond the retained K."""
+        fixed_cells = int(np.prod(self._fixed_shape))
+        return (
+            len(self._slabs) * fixed_cells
+            + len(self._crest) * fixed_cells
+        )
+
+    def push_slab(self, slab) -> None:
+        """Consume one time slice of shape ``fixed_shape``."""
+        slab = np.asarray(slab, dtype=np.float64)
+        if slab.shape != self._fixed_shape:
+            raise ValueError(
+                f"slab must have shape {self._fixed_shape}, got {slab.shape}"
+            )
+        if self._slabs_seen + len(self._slabs) >= self._time_domain:
+            raise ValueError("time domain exhausted")
+        self._slabs.append(slab)
+        self._note_memory()
+        if len(self._slabs) == self._time_buffer:
+            self._flush_block()
+
+    def _note_memory(self) -> None:
+        self.max_live_coefficients = max(
+            self.max_live_coefficients, self.live_coefficients()
+        )
+
+    def _offer_combo_array(self, time_index: int, values: np.ndarray) -> None:
+        """Offer every fixed-axis combination of one finalised time
+        index to the top-K tracker."""
+        if time_index == SCALING_INDEX:
+            time_norm = scaling_basis_norm(self._p)
+        else:
+            level, __ = index_to_detail(self._p, time_index)
+            time_norm = detail_basis_norm(level)
+        for combo in np.ndindex(*self._fixed_shape):
+            norm = time_norm * standard_basis_norm(self._fixed_shape, combo)
+            self.topk.offer(combo + (time_index,), float(values[combo]), norm)
+            self.finalized += 1
+
+    def _flush_block(self) -> None:
+        block_index = self._slabs_seen // self._time_buffer
+        block = np.stack(self._slabs, axis=-1)  # fixed axes + time last
+        self._slabs = []
+        # Fully transform the fixed axes and the buffered time extent:
+        # the block's own standard DWT is exactly that.
+        hat = standard_dwt(block)
+
+        # SHIFT: time-detail components are final now.
+        if self._time_buffer > 1:
+            targets = shift_target_indices(
+                self._time_domain, self._time_buffer, block_index
+            )
+            for local in range(1, self._time_buffer):
+                self._offer_combo_array(
+                    int(targets[local]), hat[..., local]
+                )
+
+        # SPLIT: the time-average component climbs every combo's crest.
+        indices, weights = split_weights(
+            self._time_domain, self._time_buffer, block_index
+        )
+        averages = hat[..., 0]
+        fixed_cells = int(np.prod(self._fixed_shape))
+        for index, weight in zip(indices, weights):
+            accumulator = self._crest.get(int(index))
+            if accumulator is None:
+                accumulator = np.zeros(self._fixed_shape, dtype=np.float64)
+                self._crest[int(index)] = accumulator
+            accumulator += averages * weight
+            self.crest_updates += fixed_cells
+
+        self._slabs_seen += self._time_buffer
+        self._finalize_completed()
+        self._note_memory()
+
+    def _finalize_completed(self) -> None:
+        completed = [
+            index
+            for index in self._crest
+            if index != SCALING_INDEX
+            and support_of_index(self._p, index)[1] <= self._slabs_seen
+        ]
+        for index in completed:
+            self._offer_combo_array(index, self._crest.pop(index))
+        if self._slabs_seen == self._time_domain and SCALING_INDEX in self._crest:
+            self._offer_combo_array(
+                SCALING_INDEX, self._crest.pop(SCALING_INDEX)
+            )
+
+    def synopsis(self) -> Dict[Tuple[int, ...], float]:
+        """Retained coefficients keyed by full standard position
+        (fixed-axis indices + time flat index last)."""
+        return self.topk.items()
+
+    def estimate(self) -> np.ndarray:
+        """Reconstruction of the full domain from the retained terms."""
+        from repro.wavelet.standard import standard_idwt
+
+        shape = self._fixed_shape + (self._time_domain,)
+        coeffs = np.zeros(shape, dtype=np.float64)
+        for key, value in self.topk.items().items():
+            coeffs[key] = value
+        return standard_idwt(coeffs)
+
+
+class NonStandardStreamSynopsis:
+    """Result 5: K-term hybrid non-standard synopsis of a growing cube.
+
+    The growing dataset is consumed as cubic chunks of edge ``M`` in
+    z-order within each ``N^d`` hypercube slab of the time axis.
+    """
+
+    def __init__(
+        self,
+        edge: int,
+        ndim: int,
+        time_domain: int,
+        k: int,
+        chunk_edge: int,
+    ) -> None:
+        self._edge = edge
+        self._ndim = ndim
+        self._n = ilog2(edge)
+        self._m = ilog2(chunk_edge)
+        if self._m > self._n:
+            raise ValueError("chunk_edge exceeds cube edge")
+        if time_domain % edge:
+            raise ValueError("time_domain must be a multiple of edge")
+        self._chunk_edge = chunk_edge
+        self._num_cubes = time_domain // edge
+        ilog2(self._num_cubes)  # must be a power of two
+        self._time_domain = time_domain
+        self.topk = TopKTracker(k)
+        # Per-cube SPLIT crest: node -> accumulators + countdown.
+        self._cube_crest: Dict[Tuple[int, Tuple[int, ...]], list] = {}
+        self._cube_average = 0.0
+        self._cube_index = 0
+        self._chunks_in_cube = 0
+        self._chunk_iter = None
+        # 1-d synopsis machinery over the cube averages.
+        self._time_crest: Dict[int, float] = {}
+        self._averages_seen = 0
+        self.crest_updates = 0
+        self.finalized = 0
+        self.max_live_coefficients = 0
+
+    @property
+    def chunks_per_cube(self) -> int:
+        return (self._edge // self._chunk_edge) ** self._ndim
+
+    def expected_chunk_order(self):
+        """The z-order chunk positions each cube must arrive in."""
+        side = self._edge // self._chunk_edge
+        return zorder_chunks((side,) * self._ndim)
+
+    def live_coefficients(self) -> int:
+        branching = (1 << self._ndim) - 1
+        return (
+            len(self._cube_crest) * branching
+            + len(self._time_crest)
+            + 1  # running cube average
+        )
+
+    def _note_memory(self) -> None:
+        self.max_live_coefficients = max(
+            self.max_live_coefficients, self.live_coefficients()
+        )
+
+    def _offer_cube_detail(
+        self, cube: int, key: NonStandardKey, value: float
+    ) -> None:
+        norm = float(2.0 ** (key.level * self._ndim / 2.0))
+        self.topk.offer(("cube", cube, key), value, norm)
+        self.finalized += 1
+
+    def push_chunk(self, chunk) -> None:
+        """Consume the next cubic chunk (z-order within the cube)."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.shape != (self._chunk_edge,) * self._ndim:
+            raise ValueError(
+                f"chunk must be a {self._chunk_edge}-edge cube, "
+                f"got {chunk.shape}"
+            )
+        if self._cube_index >= self._num_cubes:
+            raise ValueError("time domain exhausted")
+        if self._chunk_iter is None:
+            self._chunk_iter = self.expected_chunk_order()
+        grid_position = next(self._chunk_iter)
+
+        chunk_hat = nonstandard_dwt(chunk)
+        # Chunk details are final immediately (SHIFT).
+        for key_level in range(1, self._m + 1):
+            width = self._chunk_edge >> key_level
+            for type_mask in range(1, 1 << self._ndim):
+                offset = tuple(
+                    width if (type_mask >> axis) & 1 else 0
+                    for axis in range(self._ndim)
+                )
+                block = chunk_hat[
+                    tuple(
+                        slice(offset[axis], offset[axis] + width)
+                        for axis in range(self._ndim)
+                    )
+                ]
+                base = tuple(
+                    int(g) * width for g in grid_position
+                )
+                for local in np.ndindex(*block.shape):
+                    node = tuple(
+                        base[axis] + local[axis]
+                        for axis in range(self._ndim)
+                    )
+                    self._offer_cube_detail(
+                        self._cube_index,
+                        NonStandardKey(key_level, node, type_mask),
+                        float(block[local]),
+                    )
+
+        # SPLIT into the per-cube crest.
+        average = float(chunk_hat[(0,) * self._ndim])
+        details, scaling_delta = split_contributions_nonstandard(
+            self._edge, self._chunk_edge, grid_position, average
+        )
+        branching = 1 << self._ndim
+        for key, delta in details:
+            node_id = (key.level, key.node)
+            entry = self._cube_crest.get(node_id)
+            if entry is None:
+                gap = key.level - self._m
+                expected = (1 << (gap * self._ndim)) * (branching - 1)
+                entry = [np.zeros(branching - 1), expected]
+                self._cube_crest[node_id] = entry
+            entry[0][key.type_mask - 1] += delta
+            entry[1] -= 1
+            self.crest_updates += 1
+        self._cube_average += scaling_delta
+        self._flush_complete_nodes()
+
+        self._chunks_in_cube += 1
+        self._note_memory()
+        if self._chunks_in_cube == self.chunks_per_cube:
+            self._complete_cube()
+
+    def _flush_complete_nodes(self) -> None:
+        complete = [
+            node_id
+            for node_id, entry in self._cube_crest.items()
+            if entry[1] == 0
+        ]
+        for level, node in complete:
+            values = self._cube_crest.pop((level, node))[0]
+            for type_mask in range(1, 1 << self._ndim):
+                self._offer_cube_detail(
+                    self._cube_index,
+                    NonStandardKey(level, node, type_mask),
+                    float(values[type_mask - 1]),
+                )
+
+    def _complete_cube(self) -> None:
+        if self._cube_crest:
+            raise RuntimeError("cube crest not drained — bad chunk order")
+        # The cube average joins the 1-d time series (per-item split).
+        indices, weights = split_weights(
+            self._num_cubes, 1, self._cube_index
+        )
+        for index, weight in zip(indices, weights):
+            self._time_crest[int(index)] = (
+                self._time_crest.get(int(index), 0.0)
+                + self._cube_average * weight
+            )
+            self.crest_updates += 1
+        self._averages_seen += 1
+        self._finalize_time_crest()
+        self._cube_average = 0.0
+        self._cube_index += 1
+        self._chunks_in_cube = 0
+        self._chunk_iter = None
+        self._note_memory()
+
+    def _offer_time(self, flat_index: int, value: float) -> None:
+        q = ilog2(self._num_cubes)
+        if flat_index == SCALING_INDEX:
+            time_norm = scaling_basis_norm(q)
+        else:
+            level, __ = index_to_detail(q, flat_index)
+            time_norm = detail_basis_norm(level)
+        cube_norm = float(2.0 ** (self._n * self._ndim / 2.0))
+        self.topk.offer(("time", flat_index), value, time_norm * cube_norm)
+        self.finalized += 1
+
+    def _finalize_time_crest(self) -> None:
+        q = ilog2(self._num_cubes)
+        completed = [
+            index
+            for index in self._time_crest
+            if index != SCALING_INDEX
+            and support_of_index(q, index)[1] <= self._averages_seen
+        ]
+        for index in completed:
+            self._offer_time(index, self._time_crest.pop(index))
+        if (
+            self._averages_seen == self._num_cubes
+            and SCALING_INDEX in self._time_crest
+        ):
+            self._offer_time(
+                SCALING_INDEX, self._time_crest.pop(SCALING_INDEX)
+            )
+
+    def synopsis(self) -> Dict:
+        return self.topk.items()
+
+    def estimate(self) -> np.ndarray:
+        """Reconstruction of the full stream from the retained terms.
+
+        Shape: ``(edge,) * (ndim - 1) + (time_domain,)`` — the cube's
+        last axis is the within-cube time.  The cube averages are
+        estimated from the retained time-hierarchy terms and injected
+        as each cube's scaling coefficient before the inverse
+        non-standard transform (the hybrid inverse).
+        """
+        from repro.wavelet.haar1d import haar_idwt
+        from repro.wavelet.nonstandard import nonstandard_idwt
+
+        average_coeffs = np.zeros(self._num_cubes, dtype=np.float64)
+        per_cube_details: Dict[int, list] = {}
+        for key, value in self.topk.items().items():
+            kind = key[0]
+            if kind == "time":
+                average_coeffs[key[1]] = value
+            else:
+                per_cube_details.setdefault(key[1], []).append(
+                    (key[2], value)
+                )
+        cube_averages = haar_idwt(average_coeffs)
+
+        out_shape = (self._edge,) * (self._ndim - 1) + (self._time_domain,)
+        out = np.zeros(out_shape, dtype=np.float64)
+        for cube in range(self._num_cubes):
+            mallat = np.zeros((self._edge,) * self._ndim, dtype=np.float64)
+            for detail_key, value in per_cube_details.get(cube, []):
+                mallat[detail_key.position(self._edge)] = value
+            mallat[(0,) * self._ndim] = cube_averages[cube]
+            block = nonstandard_idwt(mallat)
+            out[..., cube * self._edge : (cube + 1) * self._edge] = block
+        return out

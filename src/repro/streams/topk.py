@@ -1,0 +1,83 @@
+"""Best K-term synopsis bookkeeping.
+
+The stream maintainers feed *finalised* coefficients (ones no future
+arrival can change) into a :class:`TopKTracker`, which keeps the K
+largest by L2 significance — the unnormalised coefficient magnitude
+times its basis norm, which makes the retained set exactly the
+L2-optimal K-term approximation of the data seen so far.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["TopKTracker"]
+
+
+class TopKTracker:
+    """Keep the K coefficients with the largest ``|value| * norm``.
+
+    Coefficients are offered once, when finalised; ties are broken by
+    arrival order (first arrival wins), which keeps the tracker
+    deterministic.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self._k = k
+        self._heap: List[Tuple[float, int, Hashable, float]] = []
+        self._counter = itertools.count()
+        self.offers = 0
+        self.evictions = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, key: Hashable, value: float, norm: float = 1.0) -> bool:
+        """Offer a finalised coefficient; returns True if retained.
+
+        ``norm`` is the L2 norm of the coefficient's basis function
+        (see :func:`repro.wavelet.haar1d.detail_basis_norm` and its
+        multidimensional analogues).
+        """
+        self.offers += 1
+        if self._k == 0:
+            return False
+        significance = abs(value) * norm
+        entry = (significance, -next(self._counter), key, value)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            self.evictions += 1
+            return True
+        self.evictions += 0
+        return False
+
+    def threshold(self) -> float:
+        """Smallest retained significance (0 when not yet full)."""
+        if len(self._heap) < self._k or not self._heap:
+            return 0.0
+        return self._heap[0][0]
+
+    def items(self) -> Dict[Hashable, float]:
+        """The retained coefficients as ``{key: value}``."""
+        return {key: value for __, __, key, value in self._heap}
+
+    def ordered(self) -> List[Tuple[Hashable, float, float]]:
+        """Retained coefficients as ``(key, value, significance)``,
+        most significant first."""
+        return [
+            (key, value, significance)
+            for significance, __, key, value in sorted(
+                self._heap, reverse=True
+            )
+        ]

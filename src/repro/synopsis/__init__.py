@@ -1,0 +1,21 @@
+"""Offline wavelet synopses and approximation-error metrics."""
+
+from repro.synopsis.compress import (
+    best_k_nonstandard,
+    best_k_standard,
+    nonstandard_significance,
+    standard_significance,
+    threshold_standard,
+)
+from repro.synopsis.error import max_abs_error, relative_l2_error, sse
+
+__all__ = [
+    "best_k_nonstandard",
+    "best_k_standard",
+    "max_abs_error",
+    "nonstandard_significance",
+    "relative_l2_error",
+    "sse",
+    "standard_significance",
+    "threshold_standard",
+]

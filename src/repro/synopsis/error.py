@@ -1,0 +1,45 @@
+"""Approximation-error metrics for wavelet synopses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sse", "relative_l2_error", "max_abs_error"]
+
+
+def sse(estimate, truth) -> float:
+    """Sum of squared errors."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimate.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {estimate.shape} vs {truth.shape}"
+        )
+    return float(((estimate - truth) ** 2).sum())
+
+
+def relative_l2_error(estimate, truth) -> float:
+    """``||estimate - truth|| / ||truth||`` (0 for a perfect match;
+    defined as 0 when both are identically zero)."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimate.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {estimate.shape} vs {truth.shape}"
+        )
+    denominator = float(np.linalg.norm(truth))
+    numerator = float(np.linalg.norm(estimate - truth))
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator
+
+
+def max_abs_error(estimate, truth) -> float:
+    """Largest absolute cell error."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimate.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {estimate.shape} vs {truth.shape}"
+        )
+    return float(np.abs(estimate - truth).max())

@@ -1,0 +1,14 @@
+"""Coefficient-to-disk-block allocation strategies (paper, Section 3)."""
+
+from repro.tiling.nonstandard import NonStandardTiling, NsTileKey
+from repro.tiling.onedim import OneDimTiling, TileKey
+from repro.tiling.standard import StandardTiling, StdTileKey
+
+__all__ = [
+    "NonStandardTiling",
+    "NsTileKey",
+    "OneDimTiling",
+    "StandardTiling",
+    "StdTileKey",
+    "TileKey",
+]

@@ -1,0 +1,224 @@
+"""Quadtree-subtree tiling for the non-standard form (paper, Section 3.2,
+Figure 7).
+
+A tile is a height-``b`` subtree of the ``D = 2^d``-ary quadtree.  Each
+quadtree node holds ``D - 1`` detail coefficients, so a full tile holds
+``(D^b - 1) / (D - 1)`` nodes = ``D^b - 1`` details, plus the scaling
+coefficient of the subtree root in the spare slot — ``D^b = B^d``
+coefficients, exactly one disk block.
+
+Bands are bottom-aligned over quadtree levels, mirroring
+:class:`repro.tiling.onedim.OneDimTiling`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.util.bits import ceil_div, ilog2
+from repro.wavelet.keys import NonStandardKey
+
+__all__ = ["NonStandardTiling"]
+
+NsTileKey = Tuple[int, Tuple[int, ...]]  # (band, subtree root node position)
+
+
+class NonStandardTiling:
+    """Subtree tiling of the non-standard quadtree of an ``N^d`` cube.
+
+    Parameters
+    ----------
+    size:
+        Cube edge ``N = 2^n``.
+    ndim:
+        Number of dimensions ``d``.
+    block_edge:
+        Per-dimension tile edge ``B = 2^b``; a block holds
+        ``B^d = (2^d)^b`` coefficients.
+    """
+
+    def __init__(self, size: int, ndim: int, block_edge: int) -> None:
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        self._n = ilog2(size)
+        self._b = ilog2(block_edge)
+        if self._b < 1:
+            raise ValueError(f"block_edge must be >= 2, got {block_edge}")
+        if self._b > self._n:
+            raise ValueError(
+                f"block_edge {block_edge} exceeds cube edge {size}"
+            )
+        self._size = size
+        self._ndim = ndim
+        self._block_edge = block_edge
+        self._branching = 1 << ndim
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def ndim(self) -> int:
+        return self._ndim
+
+    @property
+    def block_edge(self) -> int:
+        return self._block_edge
+
+    @property
+    def branching(self) -> int:
+        """``D = 2^d``."""
+        return self._branching
+
+    @property
+    def block_slots(self) -> int:
+        """Coefficients per block: ``B^d``."""
+        return self._block_edge ** self._ndim
+
+    @property
+    def num_bands(self) -> int:
+        return ceil_div(self._n, self._b)
+
+    def band_of_level(self, level: int) -> int:
+        if not 1 <= level <= self._n:
+            raise ValueError(f"level must be in [1, {self._n}], got {level}")
+        return (level - 1) // self._b
+
+    def band_root_level(self, band: int) -> int:
+        if not 0 <= band < self.num_bands:
+            raise ValueError(
+                f"band must be in [0, {self.num_bands}), got {band}"
+            )
+        return min((band + 1) * self._b, self._n)
+
+    def band_height(self, band: int) -> int:
+        return self.band_root_level(band) - band * self._b
+
+    def tiles_in_band(self, band: int) -> int:
+        nodes_per_axis = 1 << (self._n - self.band_root_level(band))
+        return nodes_per_axis ** self._ndim
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(self.tiles_in_band(band) for band in range(self.num_bands))
+
+    # ------------------------------------------------------------------
+    # coefficient -> (tile, slot)
+    # ------------------------------------------------------------------
+
+    def tile_of_node(self, level: int, node: Tuple[int, ...]) -> NsTileKey:
+        """Tile key of the quadtree node at ``(level, node)``."""
+        band = self.band_of_level(level)
+        depth = self.band_root_level(band) - level
+        return band, tuple(k >> depth for k in node)
+
+    def _node_ordinal(self, level: int, node: Tuple[int, ...]) -> int:
+        """Within-tile ordinal of a node: breadth-first, row-major
+        within each depth."""
+        band = self.band_of_level(level)
+        depth = self.band_root_level(band) - level
+        root = tuple(k >> depth for k in node)
+        base = 0
+        for lower_depth in range(depth):
+            base += (1 << (self._ndim * lower_depth))
+        local = 0
+        for axis, k in enumerate(node):
+            local = local * (1 << depth) + (k - (root[axis] << depth))
+        return base + local
+
+    def locate_key(self, key: NonStandardKey) -> Tuple[NsTileKey, int]:
+        """(tile, slot) of a non-standard detail coefficient.
+
+        Slot 0 of every tile holds the subtree root's scaling
+        coefficient; details fill slots ``1 ..`` in node-ordinal order,
+        ``D - 1`` consecutive slots per node.
+        """
+        if key.ndim != self._ndim:
+            raise ValueError(
+                f"key has {key.ndim} axes, tiling has {self._ndim}"
+            )
+        tile = self.tile_of_node(key.level, key.node)
+        ordinal = self._node_ordinal(key.level, key.node)
+        slot = 1 + ordinal * (self._branching - 1) + (key.type_mask - 1)
+        return tile, slot
+
+    def locate_scaling(self) -> Tuple[NsTileKey, int]:
+        """(tile, slot) of the overall average: top tile, slot 0."""
+        return (self.num_bands - 1, (0,) * self._ndim), 0
+
+    def scaling_of_tile(self, tile: NsTileKey) -> Tuple[int, Tuple[int, ...]]:
+        """``(level, node)`` of the scaling coefficient in slot 0."""
+        band, root = tile
+        return self.band_root_level(band), root
+
+    # ------------------------------------------------------------------
+    # tile -> coefficients
+    # ------------------------------------------------------------------
+
+    def keys_of_tile(self, tile: NsTileKey) -> Iterator[NonStandardKey]:
+        """Yield every detail key stored in ``tile`` (slot order)."""
+        band, root = tile
+        root_level = self.band_root_level(band)
+        for depth in range(self.band_height(band)):
+            level = root_level - depth
+            side = 1 << depth
+
+            def nodes(axis: int, prefix: Tuple[int, ...]):
+                if axis == self._ndim:
+                    yield prefix
+                    return
+                base = root[axis] << depth
+                for offset in range(side):
+                    yield from nodes(axis + 1, prefix + (base + offset,))
+
+            for node in nodes(0, ()):
+                for type_mask in range(1, self._branching):
+                    yield NonStandardKey(level, node, type_mask)
+
+    # ------------------------------------------------------------------
+    # access-pattern helpers
+    # ------------------------------------------------------------------
+
+    def tiles_on_root_path(
+        self, data_position: Tuple[int, ...]
+    ) -> List[NsTileKey]:
+        """Tiles touched when reconstructing one cube value — one per
+        band."""
+        if len(data_position) != self._ndim:
+            raise ValueError(
+                f"position must have {self._ndim} axes, got {data_position}"
+            )
+        tiles: List[NsTileKey] = []
+        for band in range(self.num_bands):
+            root_level = self.band_root_level(band)
+            tiles.append(
+                (band, tuple(x >> root_level for x in data_position))
+            )
+        return tiles
+
+    def tiles_of_subtree(
+        self, level: int, node: Tuple[int, ...]
+    ) -> List[NsTileKey]:
+        """All tiles holding details of the quadtree subtree at
+        ``(level, node)`` — the non-standard SHIFT footprint of a cubic
+        dyadic range of edge ``2^level``."""
+        tiles: List[NsTileKey] = []
+        top_band = self.band_of_level(level)
+        for band in range(top_band + 1):
+            root_level = self.band_root_level(band)
+            if root_level >= level:
+                tiles.append(self.tile_of_node(level, node))
+                continue
+            shift = level - root_level
+            side = 1 << shift
+
+            def roots(axis: int, prefix: Tuple[int, ...]):
+                if axis == self._ndim:
+                    yield prefix
+                    return
+                base = node[axis] << shift
+                for offset in range(side):
+                    yield from roots(axis + 1, prefix + (base + offset,))
+
+            tiles.extend((band, root) for root in roots(0, ()))
+        return tiles

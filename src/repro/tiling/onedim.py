@@ -1,0 +1,225 @@
+"""One-dimensional subtree tiling (paper, Section 3, Figure 4).
+
+The wavelet tree is partitioned into binary subtrees of height ``b``
+(``B = 2^b`` coefficients per disk block): a tile holds the ``2^b - 1``
+details of one subtree plus, in the spare slot, the scaling coefficient
+``u_{r,p}`` corresponding to the subtree root — the redundancy that
+"dramatically reduces query costs".
+
+Bands of ``b`` levels are **bottom-aligned**: the finest levels — where
+almost all coefficients live — always form full tiles, and only the
+single top band may be shorter than ``b``.  Any root-path access then
+touches at least ``b`` useful coefficients per fetched block
+(logarithmic utilisation, the best possible without redundancy [10]).
+
+Tile addressing
+---------------
+A detail ``w_{j,k}`` belongs to band ``t = (j - 1) // b``; the band's
+root level is ``r = min((t + 1) * b, n)``; the subtree root position is
+``p = k >> (r - j)``.  The tile key is ``(t, p)``.  Within the tile,
+details are heap-numbered (root = slot 1, children of slot ``s`` are
+``2s`` and ``2s + 1``) and slot 0 holds ``u_{r,p}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.util.bits import ceil_div, ilog2
+
+__all__ = ["OneDimTiling"]
+
+TileKey = Tuple[int, int]  # (band, subtree root position)
+
+
+class OneDimTiling:
+    """Subtree tiling of the wavelet tree of a size ``2^n`` transform.
+
+    Parameters
+    ----------
+    size:
+        Domain size ``N = 2^n``.
+    block_edge:
+        ``B = 2^b``, the number of coefficients per (one-dimensional)
+        disk block; must satisfy ``2 <= B <= N``.
+    """
+
+    def __init__(self, size: int, block_edge: int) -> None:
+        self._n = ilog2(size)
+        self._b = ilog2(block_edge)
+        if self._b < 1:
+            raise ValueError(f"block_edge must be >= 2, got {block_edge}")
+        if self._b > self._n:
+            raise ValueError(
+                f"block_edge {block_edge} exceeds domain size {size}"
+            )
+        self._size = size
+        self._block_edge = block_edge
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def levels(self) -> int:
+        return self._n
+
+    @property
+    def block_edge(self) -> int:
+        return self._block_edge
+
+    @property
+    def num_bands(self) -> int:
+        """Number of level bands: ``ceil(n / b)``."""
+        return ceil_div(self._n, self._b)
+
+    def band_of_level(self, level: int) -> int:
+        """Band index of decomposition level ``level``."""
+        if not 1 <= level <= self._n:
+            raise ValueError(f"level must be in [1, {self._n}], got {level}")
+        return (level - 1) // self._b
+
+    def band_root_level(self, band: int) -> int:
+        """Root level ``r`` of ``band`` (capped at ``n`` for the top band)."""
+        if not 0 <= band < self.num_bands:
+            raise ValueError(
+                f"band must be in [0, {self.num_bands}), got {band}"
+            )
+        return min((band + 1) * self._b, self._n)
+
+    def band_height(self, band: int) -> int:
+        """Number of levels in ``band`` (``b`` except maybe the top)."""
+        return self.band_root_level(band) - band * self._b
+
+    def tiles_in_band(self, band: int) -> int:
+        """Number of tiles in ``band``: one per band-root tree node."""
+        return 1 << (self._n - self.band_root_level(band))
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles over all bands."""
+        return sum(self.tiles_in_band(band) for band in range(self.num_bands))
+
+    # ------------------------------------------------------------------
+    # coefficient -> (tile, slot)
+    # ------------------------------------------------------------------
+
+    def tile_of_detail(self, level: int, position: int) -> TileKey:
+        """Tile key of the detail ``w_{level, position}``."""
+        band = self.band_of_level(level)
+        depth = self.band_root_level(band) - level
+        return band, position >> depth
+
+    def slot_of_detail(self, level: int, position: int) -> int:
+        """Heap slot of ``w_{level, position}`` inside its tile."""
+        band = self.band_of_level(level)
+        depth = self.band_root_level(band) - level
+        root_position = position >> depth
+        return (1 << depth) + position - (root_position << depth)
+
+    def locate_index(self, index: int) -> Tuple[TileKey, int]:
+        """(tile, slot) of a flat transform index.
+
+        Index 0 (the overall average) lives in slot 0 of the top tile.
+        """
+        if index == 0:
+            return (self.num_bands - 1, 0), 0
+        power = index.bit_length() - 1
+        level = self._n - power
+        position = index - (1 << power)
+        return (
+            self.tile_of_detail(level, position),
+            self.slot_of_detail(level, position),
+        )
+
+    def locate_indices(
+        self, indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate_index` for arrays of detail indices.
+
+        Returns ``(bands, root_positions, slots)`` as int64 arrays.
+        Index 0 is mapped like :meth:`locate_index` (top tile, slot 0).
+        """
+        flat = np.asarray(indices, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self._size):
+            raise ValueError("flat indices out of range")
+        safe = np.maximum(flat, 1)
+        # frexp is exact: floor(log2(i)) == exponent - 1 for integers.
+        __, exponents = np.frexp(safe.astype(np.float64))
+        powers = exponents.astype(np.int64) - 1
+        levels = self._n - powers
+        positions = safe - (np.int64(1) << powers)
+        bands = (levels - 1) // self._b
+        roots = np.minimum((bands + 1) * self._b, self._n)
+        depths = roots - levels
+        root_positions = positions >> depths
+        slots = (np.int64(1) << depths) + positions - (root_positions << depths)
+        is_scaling = flat == 0
+        if np.any(is_scaling):
+            bands = np.where(is_scaling, self.num_bands - 1, bands)
+            root_positions = np.where(is_scaling, 0, root_positions)
+            slots = np.where(is_scaling, 0, slots)
+        return bands, root_positions, slots
+
+    # ------------------------------------------------------------------
+    # tile -> coefficients
+    # ------------------------------------------------------------------
+
+    def scaling_of_tile(self, tile: TileKey) -> Tuple[int, int]:
+        """``(level, position)`` of the scaling coefficient in slot 0."""
+        band, root_position = tile
+        return self.band_root_level(band), root_position
+
+    def details_of_tile(self, tile: TileKey) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(level, position, slot)`` for every detail in ``tile``."""
+        band, root_position = tile
+        root_level = self.band_root_level(band)
+        for depth in range(self.band_height(band)):
+            level = root_level - depth
+            base = root_position << depth
+            for offset in range(1 << depth):
+                yield level, base + offset, (1 << depth) + offset
+
+    def flat_indices_of_tile(self, tile: TileKey) -> np.ndarray:
+        """Flat transform indices of all details in ``tile`` (slot order)."""
+        indices: List[int] = []
+        for level, position, __ in self.details_of_tile(tile):
+            indices.append((1 << (self._n - level)) + position)
+        return np.asarray(indices, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # access-pattern helpers
+    # ------------------------------------------------------------------
+
+    def tiles_on_root_path(self, data_position: int) -> List[TileKey]:
+        """Tiles touched when reconstructing ``data[data_position]``.
+
+        One tile per band — the block-level image of Lemma 1.
+        """
+        if not 0 <= data_position < self._size:
+            raise ValueError(
+                f"data position must be in [0, {self._size}), got {data_position}"
+            )
+        return [
+            (band, data_position >> self.band_root_level(band))
+            for band in range(self.num_bands)
+        ]
+
+    def tiles_of_subtree(self, level: int, position: int) -> List[TileKey]:
+        """All tiles holding details of the subtree rooted at
+        ``w_{level, position}`` (the SHIFT footprint of a dyadic range
+        of size ``2^level`` at translation ``position``)."""
+        tiles: List[TileKey] = []
+        top_band = self.band_of_level(level)
+        for band in range(top_band + 1):
+            root_level = self.band_root_level(band)
+            if root_level >= level:
+                # The subtree enters this band only via its own top part.
+                tiles.append(self.tile_of_detail(level, position))
+                continue
+            shift = level - root_level
+            first = position << shift
+            tiles.extend((band, first + i) for i in range(1 << shift))
+        return tiles

@@ -1,0 +1,46 @@
+"""Result objects reported by the bulk-transformation drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.storage.iostats import IOStats
+
+
+@dataclass
+class TransformReport:
+    """What a bulk transformation cost.
+
+    Attributes
+    ----------
+    chunks:
+        Number of chunks processed.
+    source_reads:
+        Coefficient reads spent consuming the input data (one per cell).
+    store_stats:
+        I/O accumulated against the output store during the run
+        (coefficient counters for dense stores, block counters for
+        tiled stores).
+    max_buffer_coefficients:
+        Peak number of coefficients held in the SPLIT crest buffer
+        (only the buffered non-standard driver uses one; 0 otherwise).
+    extras:
+        Driver-specific annotations (e.g. the chunk order used).
+    """
+
+    chunks: int = 0
+    source_reads: int = 0
+    store_stats: IOStats = field(default_factory=IOStats)
+    max_buffer_coefficients: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def coefficient_ios(self) -> int:
+        """Total coefficient-level cost including reading the source."""
+        return self.source_reads + self.store_stats.coefficient_ios
+
+    @property
+    def block_ios(self) -> int:
+        """Block-level cost against the output store."""
+        return self.store_stats.block_ios

@@ -1,0 +1,13 @@
+"""Batch updates to transformed data (paper, Example 2)."""
+
+from repro.update.batch import (
+    batch_update_nonstandard,
+    batch_update_standard,
+    naive_update_standard,
+)
+
+__all__ = [
+    "batch_update_nonstandard",
+    "batch_update_standard",
+    "naive_update_standard",
+]

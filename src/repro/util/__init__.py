@@ -1,0 +1,44 @@
+"""Shared low-level utilities: bit math, dyadic geometry, z-order curves."""
+
+from repro.util.bits import ceil_div, ceil_log, ilog2, is_power_of_two
+from repro.util.dyadic import (
+    DyadicBox,
+    DyadicInterval,
+    dyadic_box_cover,
+    dyadic_cover,
+)
+from repro.util.padding import crop_to_shape, next_power_of_two, pad_to_pow2
+from repro.util.morton import (
+    morton_decode,
+    morton_encode,
+    rowmajor_chunks,
+    zorder_chunks,
+)
+from repro.util.validation import (
+    as_float_array,
+    require_in_range,
+    require_power_of_two,
+    require_power_of_two_shape,
+)
+
+__all__ = [
+    "DyadicBox",
+    "DyadicInterval",
+    "as_float_array",
+    "ceil_div",
+    "crop_to_shape",
+    "ceil_log",
+    "dyadic_box_cover",
+    "dyadic_cover",
+    "ilog2",
+    "is_power_of_two",
+    "morton_decode",
+    "morton_encode",
+    "next_power_of_two",
+    "pad_to_pow2",
+    "require_in_range",
+    "require_power_of_two",
+    "require_power_of_two_shape",
+    "rowmajor_chunks",
+    "zorder_chunks",
+]

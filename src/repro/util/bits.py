@@ -1,0 +1,57 @@
+"""Bit-level helpers used throughout the wavelet machinery.
+
+All sizes in this library (domain sizes, chunk sizes, tile edges) are
+powers of two, so fast exact integer log2 and power-of-two checks are
+needed everywhere.  Keeping them in one place also keeps the error
+messages consistent.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive integral power of two.
+
+    >>> is_power_of_two(8)
+    True
+    >>> is_power_of_two(0)
+    False
+    >>> is_power_of_two(6)
+    False
+    """
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises ``ValueError`` if ``value`` is not a positive power of two;
+    this guards every public entry point that takes a domain size.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def ceil_log(value: int, base: int) -> int:
+    """Smallest integer ``e`` with ``base**e >= value`` (both >= 1).
+
+    Used for the ``log_B(N/M)`` terms in the paper's tile-count formulas.
+    """
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    exponent = 0
+    power = 1
+    while power < value:
+        power *= base
+        exponent += 1
+    return exponent

@@ -1,0 +1,218 @@
+"""Dyadic intervals and dyadic boxes.
+
+A *dyadic interval* (paper, Definition 3) is ``[k * 2^j, (k+1) * 2^j - 1]``
+for a scale ``j >= 0`` and a translation ``k >= 0``.  Haar wavelet and
+scaling coefficients have dyadic support intervals (Property 1), and the
+SHIFT/SPLIT operations are defined for dyadic sub-regions, so this class
+is the vocabulary the whole library speaks.
+
+A *dyadic box* is a cross product of dyadic intervals, one per dimension;
+the multidimensional SHIFT-SPLIT operations act on dyadic boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.util.bits import ilog2, is_power_of_two
+
+
+@dataclass(frozen=True)
+class DyadicInterval:
+    """The dyadic interval ``I_{scale, translation}``.
+
+    Attributes
+    ----------
+    scale:
+        The ``j`` in ``I_{j,k}``; the interval has length ``2**scale``.
+    translation:
+        The ``k`` in ``I_{j,k}``; the interval starts at ``k * 2**scale``.
+    """
+
+    scale: int
+    translation: int
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError(f"scale must be >= 0, got {self.scale}")
+        if self.translation < 0:
+            raise ValueError(
+                f"translation must be >= 0, got {self.translation}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of points covered: ``2**scale``."""
+        return 1 << self.scale
+
+    @property
+    def start(self) -> int:
+        """First covered index (inclusive)."""
+        return self.translation << self.scale
+
+    @property
+    def stop(self) -> int:
+        """One past the last covered index (exclusive)."""
+        return (self.translation + 1) << self.scale
+
+    @classmethod
+    def from_range(cls, start: int, stop: int) -> "DyadicInterval":
+        """Build the dyadic interval ``[start, stop)``.
+
+        Raises ``ValueError`` unless the range really is dyadic, i.e.
+        its length is a power of two and its start is aligned to it.
+        """
+        length = stop - start
+        if not is_power_of_two(length):
+            raise ValueError(
+                f"range [{start}, {stop}) has non-power-of-two length"
+            )
+        scale = ilog2(length)
+        if start % length != 0:
+            raise ValueError(
+                f"range [{start}, {stop}) is not aligned to its length"
+            )
+        return cls(scale=scale, translation=start // length)
+
+    def contains(self, other: "DyadicInterval") -> bool:
+        """True if ``other`` lies completely inside this interval.
+
+        This is the paper's *covers* relation (Definition 2) applied to
+        support intervals: nested dyadic intervals are either disjoint
+        or one contains the other.
+        """
+        return self.start <= other.start and other.stop <= self.stop
+
+    def overlaps(self, other: "DyadicInterval") -> bool:
+        """True if the two intervals share at least one point."""
+        return self.start < other.stop and other.start < self.stop
+
+    def parent(self) -> "DyadicInterval":
+        """The dyadic interval one scale up that contains this one."""
+        return DyadicInterval(self.scale + 1, self.translation // 2)
+
+    def is_left_child(self) -> bool:
+        """True if this interval is the left half of its parent."""
+        return self.translation % 2 == 0
+
+    def halves(self) -> Tuple["DyadicInterval", "DyadicInterval"]:
+        """The two child intervals one scale down (requires scale > 0)."""
+        if self.scale == 0:
+            raise ValueError("a scale-0 interval has no halves")
+        left = DyadicInterval(self.scale - 1, 2 * self.translation)
+        right = DyadicInterval(self.scale - 1, 2 * self.translation + 1)
+        return left, right
+
+
+@dataclass(frozen=True)
+class DyadicBox:
+    """A cross product of per-dimension dyadic intervals."""
+
+    intervals: Tuple[DyadicInterval, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(interval.length for interval in self.intervals)
+
+    @property
+    def starts(self) -> Tuple[int, ...]:
+        return tuple(interval.start for interval in self.intervals)
+
+    @property
+    def cells(self) -> int:
+        total = 1
+        for interval in self.intervals:
+            total *= interval.length
+        return total
+
+    @classmethod
+    def from_corner(
+        cls, corner: Sequence[int], shape: Sequence[int]
+    ) -> "DyadicBox":
+        """Build a dyadic box from a corner point and a shape.
+
+        Every extent must be a power of two and every corner coordinate
+        must be aligned to the corresponding extent.
+        """
+        if len(corner) != len(shape):
+            raise ValueError("corner and shape must have equal length")
+        intervals = tuple(
+            DyadicInterval.from_range(start, start + extent)
+            for start, extent in zip(corner, shape)
+        )
+        return cls(intervals)
+
+    def is_cubic(self) -> bool:
+        """True if all per-dimension extents are equal."""
+        lengths = {interval.length for interval in self.intervals}
+        return len(lengths) == 1
+
+    def as_slices(self) -> Tuple[slice, ...]:
+        """Numpy-style slices selecting this box from a full array."""
+        return tuple(
+            slice(interval.start, interval.stop) for interval in self.intervals
+        )
+
+    def contains(self, other: "DyadicBox") -> bool:
+        if self.ndim != other.ndim:
+            raise ValueError("dimension mismatch")
+        return all(
+            mine.contains(theirs)
+            for mine, theirs in zip(self.intervals, other.intervals)
+        )
+
+
+def dyadic_cover(start: int, stop: int) -> Iterator[DyadicInterval]:
+    """Decompose an arbitrary range ``[start, stop)`` into maximal
+    disjoint dyadic intervals (the canonical dyadic cover).
+
+    The paper reduces arbitrary selection ranges to collections of
+    dyadic ranges (Section 5.4); this is that reduction.  The cover has
+    at most ``2 * log2(stop - start) + O(1)`` pieces.
+
+    >>> [(i.start, i.stop) for i in dyadic_cover(3, 9)]
+    [(3, 4), (4, 8), (8, 9)]
+    """
+    if start < 0 or stop < start:
+        raise ValueError(f"invalid range [{start}, {stop})")
+    position = start
+    while position < stop:
+        remaining = stop - position
+        # Largest power of two that fits in the remaining range...
+        size = 1 << (remaining.bit_length() - 1)
+        # ...capped by the alignment of the current position (position 0
+        # is aligned to everything).
+        alignment = position & -position
+        if alignment and alignment < size:
+            size = alignment
+        yield DyadicInterval.from_range(position, position + size)
+        position += size
+
+
+def dyadic_box_cover(
+    starts: Sequence[int], stops: Sequence[int]
+) -> Iterator[DyadicBox]:
+    """Cover an arbitrary axis-aligned box with disjoint dyadic boxes.
+
+    The cover is the cross product of the per-dimension canonical
+    dyadic covers.
+    """
+    if len(starts) != len(stops):
+        raise ValueError("starts and stops must have equal length")
+    per_dim = [list(dyadic_cover(lo, hi)) for lo, hi in zip(starts, stops)]
+
+    def recurse(dim: int, chosen: list) -> Iterator[DyadicBox]:
+        if dim == len(per_dim):
+            yield DyadicBox(tuple(chosen))
+            return
+        for interval in per_dim[dim]:
+            chosen.append(interval)
+            yield from recurse(dim + 1, chosen)
+            chosen.pop()
+
+    yield from recurse(0, [])

@@ -1,0 +1,62 @@
+"""Padding helpers for non-power-of-two data.
+
+The wavelet machinery (like the paper) assumes power-of-two extents.
+Real datasets rarely oblige; these helpers zero-pad an array up to the
+next powers of two and crop results back, so downstream users can feed
+arbitrary shapes through the public API.
+
+Zero padding composes cleanly with SHIFT-SPLIT: the padded region is a
+collection of all-zero chunks, which the sparse-aware bulk transform
+(``skip_zero_chunks``) skips at no I/O cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import as_float_array
+
+__all__ = ["next_power_of_two", "pad_to_pow2", "crop_to_shape"]
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two ``>= value`` (``value >= 1``)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def pad_to_pow2(data) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Zero-pad every axis up to the next power of two.
+
+    Returns ``(padded, original_shape)``; pass the shape to
+    :func:`crop_to_shape` to undo.
+    """
+    array = as_float_array(data)
+    original_shape = array.shape
+    padded_shape = tuple(
+        next_power_of_two(extent) for extent in original_shape
+    )
+    if padded_shape == original_shape:
+        return array.copy(), original_shape
+    padded = np.zeros(padded_shape, dtype=np.float64)
+    padded[tuple(slice(0, extent) for extent in original_shape)] = array
+    return padded, original_shape
+
+
+def crop_to_shape(data, shape: Sequence[int]) -> np.ndarray:
+    """Crop ``data`` back to ``shape`` (inverse of :func:`pad_to_pow2`)."""
+    array = np.asarray(data)
+    shape = tuple(int(extent) for extent in shape)
+    if len(shape) != array.ndim:
+        raise ValueError(
+            f"shape rank {len(shape)} does not match array rank {array.ndim}"
+        )
+    if any(
+        extent > available
+        for extent, available in zip(shape, array.shape)
+    ):
+        raise ValueError(f"cannot crop {array.shape} down to {shape}")
+    return array[tuple(slice(0, extent) for extent in shape)].copy()

@@ -1,0 +1,46 @@
+"""Argument-validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.bits import is_power_of_two
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def require_power_of_two_shape(
+    shape: Sequence[int], name: str = "shape"
+) -> Tuple[int, ...]:
+    """Validate that every extent of ``shape`` is a positive power of two."""
+    shape = tuple(int(extent) for extent in shape)
+    if not shape:
+        raise ValueError(f"{name} must have at least one dimension")
+    for axis, extent in enumerate(shape):
+        if not is_power_of_two(extent):
+            raise ValueError(
+                f"{name}[{axis}] must be a positive power of two, got {extent}"
+            )
+    return shape
+
+
+def as_float_array(data, name: str = "data") -> np.ndarray:
+    """Convert ``data`` to a float64 ndarray, copying only if needed."""
+    array = np.asarray(data, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return array
+
+
+def require_in_range(value: int, low: int, high: int, name: str) -> int:
+    """Validate ``low <= value <= high`` and return ``value``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,76 @@
+"""Haar wavelet substrate: 1-d transform, both multidimensional forms,
+coefficient addressing and tree navigation."""
+
+from repro.wavelet.haar1d import (
+    detail_basis_norm,
+    haar_dwt,
+    haar_dwt_ortho,
+    haar_idwt,
+    haar_idwt_ortho,
+    haar_step,
+    haar_unstep,
+    scaling_basis_norm,
+)
+from repro.wavelet.keys import (
+    NonStandardKey,
+    nonstandard_keys_of_node,
+    standard_position,
+)
+from repro.wavelet.layout import (
+    SCALING_INDEX,
+    detail_index,
+    index_level,
+    index_to_detail,
+    level_slice,
+    num_details,
+    support_of_index,
+)
+from repro.wavelet.nonstandard import (
+    nonstandard_basis_norm,
+    nonstandard_dwt,
+    nonstandard_idwt,
+    nonstandard_scaling_norm,
+    require_cubic,
+)
+from repro.wavelet.quadtree import NonStandardTree
+from repro.wavelet.standard import (
+    standard_basis_norm,
+    standard_dwt,
+    standard_dwt_axis,
+    standard_idwt,
+    standard_idwt_axis,
+)
+from repro.wavelet.tree import WaveletTree
+
+__all__ = [
+    "NonStandardKey",
+    "NonStandardTree",
+    "SCALING_INDEX",
+    "WaveletTree",
+    "detail_basis_norm",
+    "detail_index",
+    "haar_dwt",
+    "haar_dwt_ortho",
+    "haar_idwt",
+    "haar_idwt_ortho",
+    "haar_step",
+    "haar_unstep",
+    "index_level",
+    "index_to_detail",
+    "level_slice",
+    "nonstandard_basis_norm",
+    "nonstandard_dwt",
+    "nonstandard_idwt",
+    "nonstandard_keys_of_node",
+    "nonstandard_scaling_norm",
+    "num_details",
+    "require_cubic",
+    "scaling_basis_norm",
+    "standard_basis_norm",
+    "standard_dwt",
+    "standard_dwt_axis",
+    "standard_idwt",
+    "standard_idwt_axis",
+    "standard_position",
+    "support_of_index",
+]

@@ -1,0 +1,185 @@
+"""One-dimensional Haar wavelet transform.
+
+The paper (Section 2.1) uses the *unnormalised* database convention:
+
+* average  ``u = (a + b) / 2``
+* detail   ``w = (a - b) / 2``
+* inverse  ``a = u + w``, ``b = u - w``
+
+so that ``DWT([3, 5, 7, 5]) == [5, -1, -1, 1]`` (the paper's running
+example).  The transformed vector is laid out as
+
+``â[0] = u_{n,0}`` and ``â[2^{n-j} + k] = w_{j,k}``
+
+for decomposition levels ``j = 1..n`` (level ``n`` is the coarsest).
+This flat layout coincides with the Mallat pyramid layout, which lets
+the standard and non-standard multidimensional forms share the same
+per-axis indexing.
+
+Orthonormal (``/ sqrt(2)``) variants are provided because the best
+K-term synopsis argument (Section 5.3) is an L2 argument; see
+:func:`detail_basis_norm` for how the two conventions relate.
+
+All functions are fully vectorised and also operate batch-wise on the
+*last* axis of a multidimensional array, which is what the standard
+multidimensional transform builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.bits import ilog2
+from repro.util.validation import as_float_array
+
+__all__ = [
+    "haar_dwt",
+    "haar_idwt",
+    "haar_dwt_ortho",
+    "haar_idwt_ortho",
+    "haar_step",
+    "haar_unstep",
+    "detail_basis_norm",
+    "scaling_basis_norm",
+]
+
+
+def haar_step(data: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """One level of pairwise averaging/differencing on the last axis.
+
+    Returns ``(averages, details)``, each of half the input length.
+    """
+    if data.shape[-1] % 2:
+        raise ValueError(
+            f"last axis must have even length, got {data.shape[-1]}"
+        )
+    even = data[..., 0::2]
+    odd = data[..., 1::2]
+    return (even + odd) / 2.0, (even - odd) / 2.0
+
+
+def haar_unstep(averages: np.ndarray, details: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_step` on the last axis."""
+    if averages.shape != details.shape:
+        raise ValueError("averages and details must have the same shape")
+    out_shape = averages.shape[:-1] + (2 * averages.shape[-1],)
+    out = np.empty(out_shape, dtype=np.float64)
+    out[..., 0::2] = averages + details
+    out[..., 1::2] = averages - details
+    return out
+
+
+def haar_dwt(data, levels: int | None = None) -> np.ndarray:
+    """Full (or partial) unnormalised Haar DWT of the last axis.
+
+    Parameters
+    ----------
+    data:
+        Array whose last axis has power-of-two length ``N = 2^n``.
+    levels:
+        Number of decomposition levels; defaults to the full ``n``.
+        After ``levels`` steps, slots ``[0, N / 2^levels)`` hold the
+        remaining scaling coefficients and the rest hold details in the
+        pyramid layout.
+
+    Returns a new array; the input is never modified.
+    """
+    array = as_float_array(data).copy()
+    n = ilog2(array.shape[-1])
+    if levels is None:
+        levels = n
+    if not 0 <= levels <= n:
+        raise ValueError(f"levels must be in [0, {n}], got {levels}")
+    length = array.shape[-1]
+    for _ in range(levels):
+        averages, details = haar_step(array[..., :length])
+        half = length // 2
+        array[..., :half] = averages
+        array[..., half:length] = details
+        length = half
+    return array
+
+
+def haar_idwt(coeffs, levels: int | None = None) -> np.ndarray:
+    """Invert :func:`haar_dwt` (last axis, unnormalised convention)."""
+    array = as_float_array(coeffs).copy()
+    n = ilog2(array.shape[-1])
+    if levels is None:
+        levels = n
+    if not 0 <= levels <= n:
+        raise ValueError(f"levels must be in [0, {n}], got {levels}")
+    length = array.shape[-1] >> levels
+    for _ in range(levels):
+        doubled = haar_unstep(
+            array[..., :length], array[..., length : 2 * length]
+        )
+        array[..., : 2 * length] = doubled
+        length *= 2
+    return array
+
+
+def haar_dwt_ortho(data, levels: int | None = None) -> np.ndarray:
+    """Orthonormal Haar DWT (``(a ± b) / sqrt(2)``) of the last axis.
+
+    Preserves the L2 norm exactly (Parseval), which makes coefficient
+    magnitude the right ranking key for best K-term approximation.
+    """
+    array = as_float_array(data).copy()
+    n = ilog2(array.shape[-1])
+    if levels is None:
+        levels = n
+    if not 0 <= levels <= n:
+        raise ValueError(f"levels must be in [0, {n}], got {levels}")
+    sqrt2 = np.sqrt(2.0)
+    length = array.shape[-1]
+    for _ in range(levels):
+        averages, details = haar_step(array[..., :length])
+        half = length // 2
+        array[..., :half] = averages * sqrt2
+        array[..., half:length] = details * sqrt2
+        length = half
+    return array
+
+
+def haar_idwt_ortho(coeffs, levels: int | None = None) -> np.ndarray:
+    """Invert :func:`haar_dwt_ortho`."""
+    array = as_float_array(coeffs).copy()
+    n = ilog2(array.shape[-1])
+    if levels is None:
+        levels = n
+    if not 0 <= levels <= n:
+        raise ValueError(f"levels must be in [0, {n}], got {levels}")
+    sqrt2 = np.sqrt(2.0)
+    length = array.shape[-1] >> levels
+    for _ in range(levels):
+        doubled = haar_unstep(
+            array[..., :length] / sqrt2, array[..., length : 2 * length] / sqrt2
+        )
+        array[..., : 2 * length] = doubled
+        length *= 2
+    return array
+
+
+def detail_basis_norm(level: int) -> float:
+    """L2 norm of the unnormalised Haar detail basis vector at ``level``.
+
+    The basis vector of ``w_{j,k}`` has ``2^j`` entries of ``±1``, so its
+    norm is ``2^{j/2}``.  Multiplying an unnormalised coefficient by this
+    factor yields the orthonormal-convention coefficient magnitude, which
+    is the key used for L2-optimal top-K ranking.
+    """
+    if level < 1:
+        raise ValueError(f"detail level must be >= 1, got {level}")
+    return float(2.0 ** (level / 2.0))
+
+
+def scaling_basis_norm(level: int) -> float:
+    """L2 norm of the unnormalised Haar scaling basis vector at ``level``.
+
+    The scaling vector of ``u_{j,k}`` has ``2^j`` entries of ``1``.
+    """
+    if level < 0:
+        raise ValueError(f"scaling level must be >= 0, got {level}")
+    return float(2.0 ** (level / 2.0))

@@ -1,0 +1,113 @@
+"""Coefficient keys for the two multidimensional decomposition forms.
+
+Standard form (Section 3.1, Figure 5)
+    Every coefficient is a tensor product of per-dimension 1-d basis
+    functions, so its address is simply the tuple of per-dimension flat
+    1-d indices.  No extra key type is needed — a ``tuple[int, ...]``
+    of per-axis indices *is* the key, and it doubles as the position in
+    the transformed ndarray.
+
+Non-standard form (Section 3.1, Figure 7)
+    Coefficients live on a ``2^d``-ary quadtree.  A node at level ``j``
+    and position ``(k_1..k_d)`` (each ``k_i < N / 2^j``) holds the
+    ``2^d - 1`` details of its support hypercube, one per nonzero
+    *type* bitmask (bit ``i`` set means "differencing along axis
+    ``i``").  :class:`NonStandardKey` captures ``(level, node, type)``
+    and knows its position in the Mallat-layout ndarray.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "NonStandardKey",
+    "nonstandard_keys_of_node",
+    "standard_position",
+]
+
+
+@dataclass(frozen=True)
+class NonStandardKey:
+    """Address of one non-standard detail coefficient.
+
+    Attributes
+    ----------
+    level:
+        Decomposition level ``j`` in ``[1, n]`` (coarsest is ``n``).
+    node:
+        Quadtree node position ``(k_1..k_d)``, each in ``[0, N/2^j)``.
+    type_mask:
+        Nonzero bitmask over axes; bit ``i`` set means the basis
+        function differences along axis ``i`` (and averages along the
+        others).  In 2-d these are the paper's ``W_h``, ``W_v``,
+        ``W_d`` subspaces.
+    """
+
+    level: int
+    node: Tuple[int, ...]
+    type_mask: int
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError(f"level must be >= 1, got {self.level}")
+        ndim = len(self.node)
+        if ndim == 0:
+            raise ValueError("node position must have at least one axis")
+        if not 1 <= self.type_mask < (1 << ndim):
+            raise ValueError(
+                f"type_mask must be in [1, 2^{ndim}), got {self.type_mask}"
+            )
+        if any(k < 0 for k in self.node):
+            raise ValueError(f"node coordinates must be >= 0, got {self.node}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.node)
+
+    def position(self, size: int) -> Tuple[int, ...]:
+        """Position of this coefficient in the Mallat-layout ndarray.
+
+        Along axis ``i`` the coordinate is ``k_i`` when the type bit is
+        clear (smooth direction) and ``N/2^j + k_i`` when it is set
+        (detail direction) — exactly the 1-d flat layout applied per
+        axis.
+        """
+        width = size >> self.level
+        if width == 0:
+            raise ValueError(
+                f"level {self.level} is too deep for domain size {size}"
+            )
+        return tuple(
+            k + width if (self.type_mask >> axis) & 1 else k
+            for axis, k in enumerate(self.node)
+        )
+
+    def support_slices(self) -> Tuple[slice, ...]:
+        """Slices of the original data covered by this coefficient."""
+        edge = 1 << self.level
+        return tuple(slice(k * edge, (k + 1) * edge) for k in self.node)
+
+    def parent_node(self) -> Tuple[int, ...]:
+        """Quadtree node position of the parent (level + 1)."""
+        return tuple(k // 2 for k in self.node)
+
+
+def nonstandard_keys_of_node(
+    level: int, node: Tuple[int, ...]
+) -> Iterator[NonStandardKey]:
+    """All ``2^d - 1`` detail keys stored in one quadtree node."""
+    ndim = len(node)
+    for type_mask in range(1, 1 << ndim):
+        yield NonStandardKey(level=level, node=node, type_mask=type_mask)
+
+
+def standard_position(per_axis_indices: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Position of a standard-form coefficient in the transformed array.
+
+    Identity by construction (the per-axis flat indices *are* the array
+    position); exists so call sites read as intent rather than as a
+    coincidence of layouts.
+    """
+    return per_axis_indices

@@ -1,0 +1,95 @@
+"""Coefficient addressing: ``(level, position) <-> flat index``.
+
+The flat 1-d layout (shared by :mod:`repro.wavelet.haar1d` and the
+Mallat pyramid of the non-standard form) is::
+
+    index 0            -> u_{n,0}                (the overall average)
+    index 2^{n-j} + k   -> w_{j,k}, j in [1, n], k in [0, 2^{n-j})
+
+Level ``n`` is the coarsest (one detail), level ``1`` the finest.
+A coefficient of the *standard* multidimensional transform is addressed
+by a tuple of per-dimension 1-d indices; a coefficient of the
+*non-standard* transform by ``(level, node, type)`` — see
+:mod:`repro.wavelet.keys`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "SCALING_INDEX",
+    "detail_index",
+    "index_level",
+    "index_to_detail",
+    "level_slice",
+    "num_details",
+    "support_of_index",
+]
+
+#: Flat index of the overall average ``u_{n,0}``.
+SCALING_INDEX = 0
+
+
+def detail_index(n: int, level: int, position: int) -> int:
+    """Flat index of ``w_{level, position}`` in a size ``2^n`` transform."""
+    if not 1 <= level <= n:
+        raise ValueError(f"level must be in [1, {n}], got {level}")
+    width = 1 << (n - level)
+    if not 0 <= position < width:
+        raise ValueError(
+            f"position must be in [0, {width}) at level {level}, got {position}"
+        )
+    return width + position
+
+
+def index_to_detail(n: int, index: int) -> Tuple[int, int]:
+    """Invert :func:`detail_index`: flat index -> ``(level, position)``.
+
+    Raises ``ValueError`` for index 0 (the scaling coefficient) so the
+    caller never silently treats the average as a detail.
+    """
+    index = int(index)  # accept numpy integers
+    if not 1 <= index < (1 << n):
+        raise ValueError(f"detail index must be in [1, 2^{n}), got {index}")
+    power = index.bit_length() - 1
+    return n - power, index - (1 << power)
+
+
+def index_level(n: int, index: int) -> int:
+    """Decomposition level of a flat index; the scaling slot reports ``n``.
+
+    Useful when only the scale matters (e.g. computing basis norms).
+    """
+    if index == SCALING_INDEX:
+        return n
+    return index_to_detail(n, index)[0]
+
+
+def level_slice(n: int, level: int) -> slice:
+    """Slice of the flat vector holding all details of ``level``."""
+    if not 1 <= level <= n:
+        raise ValueError(f"level must be in [1, {n}], got {level}")
+    width = 1 << (n - level)
+    return slice(width, 2 * width)
+
+
+def num_details(n: int, level: int) -> int:
+    """Number of detail coefficients at ``level``: ``2^{n-level}``."""
+    if not 1 <= level <= n:
+        raise ValueError(f"level must be in [1, {n}], got {level}")
+    return 1 << (n - level)
+
+
+def support_of_index(n: int, index: int) -> Tuple[int, int]:
+    """Support interval ``[start, stop)`` of the coefficient at ``index``.
+
+    Property 1 of the paper: the support of ``w_{j,k}`` (and ``u_{j,k}``)
+    is the dyadic interval ``I_{j,k}``; the scaling slot covers the whole
+    domain.
+    """
+    if index == SCALING_INDEX:
+        return 0, 1 << n
+    level, position = index_to_detail(n, index)
+    start = position << level
+    return start, start + (1 << level)

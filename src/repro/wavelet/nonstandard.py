@@ -1,0 +1,113 @@
+"""Non-standard multidimensional Haar transform (paper, Appendix B).
+
+The non-standard form interleaves dimensions: at each level it performs
+*one* pairwise averaging/differencing step along every axis of the
+current smooth corner cube, then recurses only on the averages.  The
+result is stored in the Mallat pyramid layout: after level ``j`` the
+smooth cube occupies the ``[0, N/2^j)^d`` corner and the ``2^d - 1``
+detail hyperquadrants of that level surround it.
+
+The support intervals of the coefficients form a ``2^d``-ary quadtree
+(Figure 7): the node at level ``j`` and position ``(k_1..k_d)`` holds
+the ``2^d - 1`` details whose support is the hypercube with corner
+``(k_i * 2^j)`` and edge ``2^j``.
+
+The non-standard form requires a *cubic* domain (all extents equal);
+non-cubic data streams are handled by the hybrid decomposition of
+Section 5.3 (see :mod:`repro.streams.streamnd`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bits import ilog2
+from repro.util.validation import as_float_array, require_power_of_two_shape
+from repro.wavelet.haar1d import haar_step, haar_unstep
+from repro.wavelet.keys import NonStandardKey
+
+__all__ = [
+    "nonstandard_dwt",
+    "nonstandard_idwt",
+    "nonstandard_basis_norm",
+    "nonstandard_scaling_norm",
+    "require_cubic",
+]
+
+
+def require_cubic(shape) -> int:
+    """Validate a cubic power-of-two shape; return the edge length."""
+    shape = require_power_of_two_shape(shape)
+    edges = set(shape)
+    if len(edges) != 1:
+        raise ValueError(
+            f"the non-standard form requires a cubic domain, got shape {shape}"
+        )
+    return shape[0]
+
+
+def _step_axis(cube: np.ndarray, axis: int) -> np.ndarray:
+    """One averaging/differencing step along ``axis`` of a cube view."""
+    moved = np.moveaxis(cube, axis, -1)
+    averages, details = haar_step(moved)
+    stacked = np.concatenate([averages, details], axis=-1)
+    return np.moveaxis(stacked, -1, axis)
+
+
+def _unstep_axis(cube: np.ndarray, axis: int) -> np.ndarray:
+    """Invert :func:`_step_axis`."""
+    moved = np.moveaxis(cube, axis, -1)
+    half = moved.shape[-1] // 2
+    restored = haar_unstep(moved[..., :half], moved[..., half:])
+    return np.moveaxis(restored, -1, axis)
+
+
+def nonstandard_dwt(data) -> np.ndarray:
+    """Non-standard DWT of a cubic array, in Mallat layout.
+
+    The entry at :meth:`NonStandardKey.position` is the detail for that
+    key; the origin holds the overall average.
+    """
+    array = as_float_array(data).copy()
+    edge = require_cubic(array.shape)
+    ndim = array.ndim
+    size = edge
+    while size > 1:
+        corner = tuple(slice(0, size) for __ in range(ndim))
+        cube = array[corner]
+        for axis in range(ndim):
+            cube = _step_axis(cube, axis)
+        array[corner] = cube
+        size //= 2
+    return array
+
+
+def nonstandard_idwt(coeffs) -> np.ndarray:
+    """Invert :func:`nonstandard_dwt`."""
+    array = as_float_array(coeffs).copy()
+    edge = require_cubic(array.shape)
+    ndim = array.ndim
+    size = 2
+    while size <= edge:
+        corner = tuple(slice(0, size) for __ in range(ndim))
+        cube = array[corner]
+        for axis in range(ndim - 1, -1, -1):
+            cube = _unstep_axis(cube, axis)
+        array[corner] = cube
+        size *= 2
+    return array
+
+
+def nonstandard_basis_norm(key: NonStandardKey) -> float:
+    """L2 norm of the unnormalised non-standard basis function of ``key``.
+
+    The basis function has ``±1`` entries over a support of
+    ``2^{level * d}`` cells, so its norm is ``2^{level * d / 2}``.
+    """
+    return float(2.0 ** (key.level * key.ndim / 2.0))
+
+
+def nonstandard_scaling_norm(size: int, ndim: int) -> float:
+    """L2 norm of the overall-average basis function (all-ones cube)."""
+    n = ilog2(size)
+    return float(2.0 ** (n * ndim / 2.0))

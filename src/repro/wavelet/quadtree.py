@@ -1,0 +1,147 @@
+"""Quadtree navigation for the non-standard form (paper, Figure 7).
+
+The non-standard decomposition of a ``d``-dimensional cube induces a
+``D = 2^d``-ary tree whose node at level ``j``, position ``(k_1..k_d)``
+holds the ``D - 1`` detail coefficients with support hypercube of edge
+``2^j`` at corner ``(k_i * 2^j)``.  Reconstructing a point traverses
+the leaf-to-root node path and uses all ``D - 1`` details per node plus
+the overall average.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.util.bits import ilog2
+from repro.wavelet.keys import NonStandardKey, nonstandard_keys_of_node
+
+__all__ = ["NonStandardTree"]
+
+Node = Tuple[int, Tuple[int, ...]]  # (level, position)
+
+
+class NonStandardTree:
+    """Navigation over the non-standard quadtree of an ``N^d`` cube."""
+
+    def __init__(self, size: int, ndim: int) -> None:
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        self._n = ilog2(size)
+        self._size = size
+        self._ndim = ndim
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def ndim(self) -> int:
+        return self._ndim
+
+    @property
+    def levels(self) -> int:
+        return self._n
+
+    @property
+    def branching(self) -> int:
+        """``D = 2^d``."""
+        return 1 << self._ndim
+
+    def _check_node(self, node: Node) -> None:
+        level, position = node
+        if not 1 <= level <= self._n:
+            raise ValueError(f"level must be in [1, {self._n}], got {level}")
+        if len(position) != self._ndim:
+            raise ValueError(
+                f"position must have {self._ndim} axes, got {position}"
+            )
+        width = self._size >> level
+        if any(not 0 <= k < width for k in position):
+            raise ValueError(
+                f"position {position} out of range at level {level}"
+            )
+
+    def parent(self, node: Node) -> Node:
+        """Parent node one level up (``ValueError`` at the root level)."""
+        self._check_node(node)
+        level, position = node
+        if level == self._n:
+            raise ValueError("the root node has no parent")
+        return level + 1, tuple(k // 2 for k in position)
+
+    def children(self, node: Node) -> List[Node]:
+        """The ``2^d`` child nodes (empty list at level 1)."""
+        self._check_node(node)
+        level, position = node
+        if level == 1:
+            return []
+        children: List[Node] = []
+        for mask in range(1 << self._ndim):
+            child = tuple(
+                2 * k + ((mask >> axis) & 1) for axis, k in enumerate(position)
+            )
+            children.append((level - 1, child))
+        return children
+
+    def node_of_point(self, point: Tuple[int, ...], level: int) -> Node:
+        """The level-``level`` node whose support contains ``point``."""
+        if len(point) != self._ndim:
+            raise ValueError(f"point must have {self._ndim} axes, got {point}")
+        if any(not 0 <= x < self._size for x in point):
+            raise ValueError(f"point {point} out of the domain")
+        return level, tuple(x >> level for x in point)
+
+    def root_path_nodes(self, point: Tuple[int, ...]) -> List[Node]:
+        """Leaf-to-root node path covering ``point`` (finest first)."""
+        return [
+            self.node_of_point(point, level)
+            for level in range(1, self._n + 1)
+        ]
+
+    def root_path_keys(self, point: Tuple[int, ...]) -> List[NonStandardKey]:
+        """All detail keys needed to reconstruct ``data[point]``.
+
+        ``(2^d - 1) * n`` keys; the overall average is the extra
+        ``+1`` coefficient.
+        """
+        keys: List[NonStandardKey] = []
+        for level, position in self.root_path_nodes(point):
+            keys.extend(nonstandard_keys_of_node(level, position))
+        return keys
+
+    def reconstruction_weight(
+        self, key: NonStandardKey, point: Tuple[int, ...]
+    ) -> float:
+        """Weight of ``key``'s coefficient in reconstructing ``point``.
+
+        ``±1`` — the product over differenced axes of the half-signs —
+        when the key's support contains the point, else ``0``.
+        """
+        sign = 1.0
+        for axis, k in enumerate(key.node):
+            coordinate = point[axis]
+            if coordinate >> key.level != k:
+                return 0.0
+            if (key.type_mask >> axis) & 1:
+                if (coordinate >> (key.level - 1)) & 1:
+                    sign = -sign
+        return sign
+
+    def subtree_nodes(
+        self, node: Node, height: int | None = None
+    ) -> Iterator[Node]:
+        """Yield nodes of the subtree at ``node`` (BFS, root first)."""
+        if height is not None and height < 1:
+            raise ValueError(f"height must be >= 1, got {height}")
+        frontier = [node]
+        remaining = height
+        while frontier:
+            yield from frontier
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    return
+            next_frontier: List[Node] = []
+            for current in frontier:
+                next_frontier.extend(self.children(current))
+            frontier = next_frontier

@@ -1,0 +1,91 @@
+"""Standard-form multidimensional Haar transform (paper, Appendix B).
+
+The standard form applies a *full* 1-d decomposition along each
+dimension in turn.  Because the 1-d transform is linear, the result is
+independent of the dimension order, and every coefficient is a tensor
+product of per-dimension 1-d basis functions addressed by the tuple of
+per-dimension flat indices (see :mod:`repro.wavelet.keys`).
+
+Dimension sizes may differ but each must be a power of two.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import as_float_array, require_power_of_two_shape
+from repro.wavelet.haar1d import haar_dwt, haar_idwt
+from repro.wavelet.layout import index_to_detail
+
+__all__ = [
+    "standard_dwt",
+    "standard_idwt",
+    "standard_basis_norm",
+    "standard_dwt_axis",
+    "standard_idwt_axis",
+]
+
+
+def standard_dwt_axis(data: np.ndarray, axis: int) -> np.ndarray:
+    """Fully decompose one axis of ``data`` (all other axes batched)."""
+    array = as_float_array(data)
+    moved = np.moveaxis(array, axis, -1)
+    transformed = haar_dwt(moved)
+    return np.moveaxis(transformed, -1, axis)
+
+
+def standard_idwt_axis(coeffs: np.ndarray, axis: int) -> np.ndarray:
+    """Invert :func:`standard_dwt_axis`."""
+    array = as_float_array(coeffs)
+    moved = np.moveaxis(array, axis, -1)
+    restored = haar_idwt(moved)
+    return np.moveaxis(restored, -1, axis)
+
+
+def standard_dwt(data) -> np.ndarray:
+    """Standard-form DWT of a multidimensional array.
+
+    Returns a new array of the same shape whose entry at per-axis
+    position ``(t_1..t_d)`` is the coefficient with per-axis 1-d flat
+    indices ``(t_1..t_d)`` (index 0 = smooth direction).
+    """
+    array = as_float_array(data)
+    require_power_of_two_shape(array.shape)
+    for axis in range(array.ndim):
+        array = standard_dwt_axis(array, axis)
+    return array
+
+
+def standard_idwt(coeffs) -> np.ndarray:
+    """Invert :func:`standard_dwt`."""
+    array = as_float_array(coeffs)
+    require_power_of_two_shape(array.shape)
+    for axis in range(array.ndim):
+        array = standard_idwt_axis(array, axis)
+    return array
+
+
+def standard_basis_norm(
+    shape: Tuple[int, ...], position: Tuple[int, ...]
+) -> float:
+    """L2 norm of the (unnormalised) basis function at ``position``.
+
+    The norm is the product over axes of the 1-d basis norms:
+    ``2^{j/2}`` for a detail at level ``j`` and ``2^{n/2}`` for the
+    per-axis scaling direction.  Multiplying an unnormalised
+    coefficient by this factor gives its orthonormal magnitude, the
+    L2-optimal top-K ranking key.
+    """
+    if len(shape) != len(position):
+        raise ValueError("shape and position must have equal length")
+    log_norm2 = 0  # twice the log2 of the norm, kept integral
+    for extent, index in zip(shape, position):
+        n = extent.bit_length() - 1
+        if index == 0:
+            log_norm2 += n
+        else:
+            level, __ = index_to_detail(n, index)
+            log_norm2 += level
+    return float(2.0 ** (log_norm2 / 2.0))

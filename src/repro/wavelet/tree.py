@@ -1,0 +1,163 @@
+"""Haar wavelet tree navigation (paper, Section 2.2).
+
+The multiresolution property of the Haar basis induces a binary tree on
+the detail coefficients: ``w_{j,k}`` has children ``w_{j-1,2k}`` and
+``w_{j-1,2k+1}``, and the scaling coefficient ``u_{n,0}`` sits above the
+root detail ``w_{n,0}``.  Reconstructing a data point needs exactly the
+``n + 1`` coefficients on the leaf-to-root path (Lemma 1), and a range
+sum needs at most ``2n + 1`` (Lemma 2).  These walks drive the tiling
+access-pattern analysis and the stream "crest" bookkeeping.
+
+All functions below speak *flat indices* (see
+:mod:`repro.wavelet.layout`); index 0 is the scaling coefficient.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.util.bits import ilog2
+from repro.wavelet.layout import (
+    SCALING_INDEX,
+    detail_index,
+    index_to_detail,
+)
+
+__all__ = [
+    "WaveletTree",
+]
+
+
+class WaveletTree:
+    """Navigation over the wavelet tree of a size ``2^n`` transform.
+
+    The tree is implicit — this class holds only ``n`` — so instances
+    are cheap and immutable and can be shared freely.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._n = ilog2(size)
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """Domain size ``N = 2^n``."""
+        return self._size
+
+    @property
+    def levels(self) -> int:
+        """Number of decomposition levels ``n``."""
+        return self._n
+
+    def parent(self, index: int) -> int:
+        """Flat index of the parent coefficient.
+
+        The parent of ``w_{n,0}`` is the scaling coefficient; the
+        scaling coefficient has no parent (``ValueError``).
+        """
+        if index == SCALING_INDEX:
+            raise ValueError("the scaling coefficient has no parent")
+        level, position = index_to_detail(self._n, index)
+        if level == self._n:
+            return SCALING_INDEX
+        return detail_index(self._n, level + 1, position // 2)
+
+    def children(self, index: int) -> Tuple[int, ...]:
+        """Flat indices of the child coefficients (empty at level 1).
+
+        The scaling coefficient has the single child ``w_{n,0}``.
+        """
+        if index == SCALING_INDEX:
+            if self._n == 0:
+                return ()
+            return (detail_index(self._n, self._n, 0),)
+        level, position = index_to_detail(self._n, index)
+        if level == 1:
+            return ()
+        return (
+            detail_index(self._n, level - 1, 2 * position),
+            detail_index(self._n, level - 1, 2 * position + 1),
+        )
+
+    def root_path(self, data_position: int) -> List[int]:
+        """Flat indices needed to reconstruct ``data[data_position]``.
+
+        Lemma 1: exactly ``n + 1`` coefficients — the scaling
+        coefficient plus the covering detail at every level.
+        """
+        if not 0 <= data_position < self._size:
+            raise ValueError(
+                f"data position must be in [0, {self._size}), got {data_position}"
+            )
+        path = [SCALING_INDEX]
+        path.extend(
+            detail_index(self._n, level, data_position >> level)
+            for level in range(self._n, 0, -1)
+        )
+        return path
+
+    def reconstruction_signs(self, data_position: int) -> List[float]:
+        """Signs pairing with :meth:`root_path` to rebuild a value.
+
+        ``data[i] = u_{n,0} + sum_j sign_j * w_{j, i >> j}`` where the
+        sign is ``+1`` when the point lies in the left half of the
+        coefficient's support and ``-1`` otherwise.
+        """
+        if not 0 <= data_position < self._size:
+            raise ValueError(
+                f"data position must be in [0, {self._size}), got {data_position}"
+            )
+        signs = [1.0]
+        signs.extend(
+            -1.0 if (data_position >> (level - 1)) & 1 else 1.0
+            for level in range(self._n, 0, -1)
+        )
+        return signs
+
+    def crest(self, data_position: int) -> List[int]:
+        """The *wavelet crest* of a stream at time ``data_position``.
+
+        The detail coefficients whose value can still change when items
+        arrive at positions ``>= data_position`` in the time-series
+        model — exactly the covering details of ``data_position``
+        (Section 5.3).  The scaling coefficient, which also keeps
+        changing, is reported separately by callers.
+        """
+        if not 0 <= data_position < self._size:
+            raise ValueError(
+                f"data position must be in [0, {self._size}), got {data_position}"
+            )
+        return [
+            detail_index(self._n, level, data_position >> level)
+            for level in range(self._n, 0, -1)
+        ]
+
+    def subtree(self, index: int, height: int | None = None) -> Iterator[int]:
+        """Yield the flat indices of the subtree rooted at ``index``.
+
+        ``height`` limits the walk: ``height=1`` yields only the root,
+        ``height=2`` the root and its children, and so on.  ``None``
+        walks to the leaves.  The scaling coefficient's subtree is the
+        whole tree.
+        """
+        if height is not None and height < 1:
+            raise ValueError(f"height must be >= 1, got {height}")
+        frontier = [index]
+        remaining = height
+        while frontier:
+            yield from frontier
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    return
+            next_frontier: List[int] = []
+            for node in frontier:
+                next_frontier.extend(self.children(node))
+            frontier = next_frontier
+
+    def descendant_count(self, index: int) -> int:
+        """Number of detail coefficients in the subtree at ``index``."""
+        if index == SCALING_INDEX:
+            return self._size - 1
+        level, __ = index_to_detail(self._n, index)
+        return (1 << level) - 1

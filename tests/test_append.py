@@ -1,0 +1,217 @@
+"""Tests for appending and domain expansion (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.append.appender import StandardAppender
+from repro.append.expansion import expand_standard_axis, expansion_axis_map
+from repro.storage.dense import DenseStandardStore
+from repro.storage.tiled import TiledStandardStore
+from repro.wavelet.standard import standard_dwt
+
+
+class TestExpansionAxisMap:
+    def test_old_average_splits_in_half(self):
+        sources, weights, targets = expansion_axis_map(8)
+        assert list(sources[:2]) == [0, 0]
+        assert list(weights[:2]) == [0.5, 0.5]
+        assert list(targets[:2]) == [0, 1]
+
+    def test_details_keep_level_identity(self):
+        from repro.wavelet.layout import index_to_detail
+
+        extent = 16
+        sources, weights, targets = expansion_axis_map(extent)
+        for source, weight, target in zip(
+            sources[2:], weights[2:], targets[2:]
+        ):
+            assert weight == 1.0
+            level_old, k_old = index_to_detail(4, int(source))
+            level_new, k_new = index_to_detail(5, int(target))
+            assert (level_old, k_old) == (level_new, k_new)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_equals_zero_padded_transform(self, n, seed):
+        """Expanding â must equal DWT of the data zero-padded to 2N."""
+        size = 1 << n
+        data = np.random.default_rng(seed).normal(size=size)
+        old = standard_dwt(data)
+        sources, weights, targets = expansion_axis_map(size)
+        expanded = np.zeros(2 * size)
+        expanded[targets] = old[sources] * weights
+        padded = np.zeros(2 * size)
+        padded[:size] = data
+        assert np.allclose(expanded, standard_dwt(padded))
+
+    def test_multidimensional_expansion(self):
+        data = np.random.default_rng(1).normal(size=(8, 16))
+        old = DenseStandardStore((8, 16))
+        old.set_region(
+            [np.arange(8), np.arange(16)], standard_dwt(data)
+        )
+        new = DenseStandardStore((8, 32))
+        expand_standard_axis(old, new, axis=1)
+        padded = np.zeros((8, 32))
+        padded[:, :16] = data
+        assert np.allclose(new.to_array(), standard_dwt(padded))
+
+    def test_shape_mismatch_rejected(self):
+        old = DenseStandardStore((8, 8))
+        new = DenseStandardStore((8, 8))
+        with pytest.raises(ValueError):
+            expand_standard_axis(old, new, axis=0)
+
+
+class TestAppender:
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_appended_transform_equals_from_scratch(self, slabs, seed):
+        rng = np.random.default_rng(seed)
+        appender = StandardAppender(
+            (4, 4),
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        pieces = [rng.normal(size=(4, 4)) for __ in range(slabs)]
+        for piece in pieces:
+            appender.append(piece)
+        domain_t = appender.domain_shape[1]
+        full = np.zeros((4, domain_t))
+        for index, piece in enumerate(pieces):
+            full[:, index * 4 : (index + 1) * 4] = piece
+        assert np.allclose(appender.to_array(), standard_dwt(full))
+        assert appender.logical_extent == slabs * 4
+
+    def test_expansion_happens_at_powers_of_two(self):
+        appender = StandardAppender(
+            (2, 4),
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        expansions = []
+        for index in range(8):
+            record = appender.append(np.ones((2, 4)))
+            if record.expanded:
+                expansions.append(index)
+        # Domain: 4 -> 8 at slab 1, -> 16 at 2, -> 32 at 4.
+        assert expansions == [1, 2, 4]
+
+    def test_expansion_cost_dwarfs_steady_appends(self):
+        """Figure 13's jumps: expansion I/O >> steady-state I/O."""
+        appender = StandardAppender(
+            (4, 8),
+            grow_axis=1,
+            store_factory=lambda shape, stats: TiledStandardStore(
+                shape, block_edge=4, pool_capacity=16, stats=stats
+            ),
+        )
+        rng = np.random.default_rng(3)
+        records = [
+            appender.append(rng.normal(size=(4, 8))) for __ in range(16)
+        ]
+        steady = [r.io_delta.block_ios for r in records if not r.expanded]
+        jumps = [r.io_delta.block_ios for r in records if r.expanded]
+        assert jumps and steady
+        assert max(jumps) > max(steady)
+
+    def test_tiled_append_matches_dense(self):
+        rng = np.random.default_rng(4)
+        pieces = [rng.normal(size=(4, 8)) for __ in range(5)]
+        dense = StandardAppender(
+            (4, 8),
+            1,
+            lambda shape, stats: DenseStandardStore(shape, stats=stats),
+        )
+        tiled = StandardAppender(
+            (4, 8),
+            1,
+            lambda shape, stats: TiledStandardStore(
+                shape, block_edge=4, pool_capacity=16, stats=stats
+            ),
+        )
+        for piece in pieces:
+            dense.append(piece)
+            tiled.append(piece)
+        assert np.allclose(dense.to_array(), tiled.to_array())
+
+    def test_wrong_slab_shape_rejected(self):
+        appender = StandardAppender(
+            (4, 4),
+            1,
+            lambda shape, stats: DenseStandardStore(shape, stats=stats),
+        )
+        with pytest.raises(ValueError):
+            appender.append(np.zeros((4, 8)))
+
+    def test_bad_grow_axis_rejected(self):
+        with pytest.raises(ValueError):
+            StandardAppender(
+                (4, 4),
+                2,
+                lambda shape, stats: DenseStandardStore(shape, stats=stats),
+            )
+
+
+class TestAppendBlock:
+    def test_growth_in_a_non_time_dimension(self):
+        """The paper's 'possibly on other measure dimensions': a block
+        beyond the current extent of ANY axis triggers expansion
+        there."""
+        rng = np.random.default_rng(11)
+        appender = StandardAppender(
+            (4, 4),
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        base = rng.normal(size=(4, 4))
+        right = rng.normal(size=(4, 4))
+        below = rng.normal(size=(4, 4))
+        appender.append_block(base, (0, 0))
+        appender.append_block(right, (0, 1))  # grows axis 1
+        appender.append_block(below, (1, 0))  # grows axis 0
+        full = np.zeros((8, 8))
+        full[0:4, 0:4] = base
+        full[0:4, 4:8] = right
+        full[4:8, 0:4] = below
+        assert appender.domain_shape == (8, 8)
+        assert np.allclose(appender.to_array(), standard_dwt(full))
+
+    def test_far_position_expands_repeatedly(self):
+        appender = StandardAppender(
+            (2, 2),
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        appender.append_block(np.ones((2, 2)), (0, 0))
+        record = appender.append_block(np.ones((2, 2)), (0, 7))
+        assert record.expanded
+        assert appender.domain_shape == (2, 16)
+
+    def test_invalid_position_rejected(self):
+        appender = StandardAppender(
+            (2, 2),
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        with pytest.raises(ValueError):
+            appender.append_block(np.ones((2, 2)), (0, -1))
+        with pytest.raises(ValueError):
+            appender.append_block(np.ones((2, 2)), (0,))
+        with pytest.raises(ValueError):
+            appender.append_block(np.ones((2, 4)), (0, 0))

@@ -1,0 +1,87 @@
+"""Unit tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import ceil_div, ceil_log, ilog2, is_power_of_two
+
+
+class TestIsPowerOfTwo:
+    def test_powers_are_accepted(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in [0, -1, -8, 3, 6, 12, 100]:
+            assert not is_power_of_two(value)
+
+    def test_non_integers_are_rejected(self):
+        assert not is_power_of_two(2.0)
+        assert not is_power_of_two("8")
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_matches_bit_count_definition(self, value):
+        assert is_power_of_two(value) == (bin(value).count("1") == 1)
+
+
+class TestIlog2:
+    def test_exact_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(1024) == 10
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_roundtrip(self, exponent):
+        assert ilog2(1 << exponent) == exponent
+
+
+class TestCeilDiv:
+    def test_exact_and_inexact(self):
+        assert ceil_div(8, 4) == 2
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10**4),
+    )
+    def test_is_ceiling(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert result * denominator >= numerator
+        assert (result - 1) * denominator < numerator
+
+
+class TestCeilLog:
+    def test_small_cases(self):
+        assert ceil_log(1, 2) == 0
+        assert ceil_log(2, 2) == 1
+        assert ceil_log(3, 2) == 2
+        assert ceil_log(9, 3) == 2
+        assert ceil_log(10, 3) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ceil_log(0, 2)
+        with pytest.raises(ValueError):
+            ceil_log(4, 1)
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_is_smallest_exponent(self, value, base):
+        exponent = ceil_log(value, base)
+        assert base**exponent >= value
+        if exponent:
+            assert base ** (exponent - 1) < value

@@ -1,0 +1,96 @@
+"""Unit tests for the simulated block device."""
+
+import numpy as np
+import pytest
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.iostats import IOStats
+
+
+class TestAllocation:
+    def test_ids_are_sequential(self):
+        device = BlockDevice(4)
+        assert device.allocate() == 0
+        assert device.allocate() == 1
+        assert device.num_blocks == 2
+
+    def test_allocation_charges_no_io(self):
+        device = BlockDevice(4)
+        device.allocate()
+        assert device.stats.block_ios == 0
+
+    def test_invalid_block_slots_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(0)
+
+
+class TestReadWrite:
+    def test_fresh_block_reads_zero(self):
+        device = BlockDevice(4)
+        block = device.allocate()
+        assert np.array_equal(device.read_block(block), np.zeros(4))
+
+    def test_write_then_read(self):
+        device = BlockDevice(4)
+        block = device.allocate()
+        payload = np.array([1.0, 2.0, 3.0, 4.0])
+        device.write_block(block, payload)
+        assert np.array_equal(device.read_block(block), payload)
+
+    def test_read_returns_private_copy(self):
+        device = BlockDevice(2)
+        block = device.allocate()
+        device.write_block(block, np.array([1.0, 2.0]))
+        copy = device.read_block(block)
+        copy[0] = 99.0
+        assert device.read_block(block)[0] == 1.0
+
+    def test_io_counting(self):
+        stats = IOStats()
+        device = BlockDevice(2, stats=stats)
+        block = device.allocate()
+        device.write_block(block, np.zeros(2))
+        device.read_block(block)
+        device.read_block(block)
+        assert stats.block_writes == 1
+        assert stats.block_reads == 2
+        assert stats.block_ios == 3
+
+    def test_unallocated_block_rejected(self):
+        device = BlockDevice(2)
+        with pytest.raises(KeyError):
+            device.read_block(0)
+        with pytest.raises(KeyError):
+            device.write_block(5, np.zeros(2))
+
+    def test_wrong_shape_rejected(self):
+        device = BlockDevice(4)
+        block = device.allocate()
+        with pytest.raises(ValueError):
+            device.write_block(block, np.zeros(3))
+
+    def test_bytes_used(self):
+        device = BlockDevice(16)
+        device.allocate()
+        device.allocate()
+        assert device.bytes_used() == 2 * 16 * 8
+
+
+class TestIOStats:
+    def test_snapshot_and_delta(self):
+        stats = IOStats(block_reads=5, coefficient_writes=3)
+        snap = stats.snapshot()
+        stats.block_reads += 2
+        delta = stats.delta_since(snap)
+        assert delta.block_reads == 2
+        assert delta.coefficient_writes == 0
+
+    def test_reset(self):
+        stats = IOStats(block_reads=1, block_writes=2, cache_hits=3)
+        stats.reset()
+        assert stats.block_ios == 0
+        assert stats.cache_hits == 0
+
+    def test_str_is_informative(self):
+        text = str(IOStats(block_reads=1))
+        assert "1r" in text

@@ -1,0 +1,139 @@
+"""Unit tests for the write-back LRU buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+
+
+def _make(capacity=2, slots=2):
+    device = BlockDevice(slots)
+    pool = BufferPool(device, capacity)
+    return device, pool
+
+
+class TestCaching:
+    def test_repeat_get_hits_cache(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.write_block(block, np.array([1.0, 2.0]))
+        device.stats.reset()
+        pool.get(block)
+        pool.get(block)
+        assert device.stats.block_reads == 1
+        assert device.stats.cache_hits == 1
+
+    def test_lru_eviction_order(self):
+        device, pool = _make(capacity=2)
+        blocks = [device.allocate() for __ in range(3)]
+        for block in blocks:
+            device.write_block(block, np.full(2, float(block)))
+        device.stats.reset()
+        pool.get(blocks[0])
+        pool.get(blocks[1])
+        pool.get(blocks[0])  # refresh 0 so 1 is the LRU victim
+        pool.get(blocks[2])  # evicts 1
+        pool.get(blocks[0])  # still resident: hit
+        assert device.stats.block_reads == 3
+        pool.get(blocks[1])  # must be re-read
+        assert device.stats.block_reads == 4
+
+    def test_clean_eviction_skips_writeback(self):
+        device, pool = _make(capacity=1)
+        first = device.allocate()
+        second = device.allocate()
+        device.write_block(first, np.zeros(2))
+        device.write_block(second, np.zeros(2))
+        device.stats.reset()
+        pool.get(first)
+        pool.get(second)  # evicts clean `first`
+        assert device.stats.block_writes == 0
+
+
+class TestWriteBack:
+    def test_dirty_eviction_writes_back(self):
+        device, pool = _make(capacity=1)
+        first = device.allocate()
+        second = device.allocate()
+        data = pool.get(first, for_write=True)
+        data[:] = [7.0, 8.0]
+        pool.get(second)  # evicts dirty `first`
+        assert np.array_equal(device.read_block(first), [7.0, 8.0])
+
+    def test_flush_writes_dirty_blocks_once(self):
+        device, pool = _make()
+        block = device.allocate()
+        data = pool.get(block, for_write=True)
+        data[0] = 5.0
+        device.stats.reset()
+        pool.flush()
+        pool.flush()  # second flush: nothing dirty
+        assert device.stats.block_writes == 1
+        assert device.read_block(block)[0] == 5.0
+
+    def test_flush_single_block(self):
+        device, pool = _make()
+        a = device.allocate()
+        b = device.allocate()
+        pool.get(a, for_write=True)[0] = 1.0
+        pool.get(b, for_write=True)[0] = 2.0
+        device.stats.reset()
+        pool.flush(a)
+        assert device.stats.block_writes == 1
+
+    def test_mark_dirty_after_plain_get(self):
+        device, pool = _make()
+        block = device.allocate()
+        data = pool.get(block)
+        data[1] = 9.0
+        pool.mark_dirty(block)
+        pool.flush()
+        assert device.read_block(block)[1] == 9.0
+
+    def test_mark_dirty_requires_residency(self):
+        device, pool = _make()
+        block = device.allocate()
+        with pytest.raises(KeyError):
+            pool.mark_dirty(block)
+
+    def test_drop_all_flushes_and_clears(self):
+        device, pool = _make()
+        block = device.allocate()
+        pool.get(block, for_write=True)[0] = 3.0
+        pool.drop_all()
+        assert pool.resident == 0
+        assert device.read_block(block)[0] == 3.0
+
+
+class TestCreate:
+    def test_create_charges_no_read(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.stats.reset()
+        data = pool.create(block)
+        assert device.stats.block_reads == 0
+        assert np.array_equal(data, np.zeros(2))
+
+    def test_create_is_dirty(self):
+        device, pool = _make(capacity=1)
+        first = device.allocate()
+        second = device.allocate()
+        data = pool.create(first)
+        data[0] = 4.0
+        pool.get(second)  # evict
+        assert device.read_block(first)[0] == 4.0
+
+    def test_create_rejects_resident_block(self):
+        device, pool = _make()
+        block = device.allocate()
+        pool.create(block)
+        with pytest.raises(KeyError):
+            pool.create(block)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        device = BlockDevice(2)
+        with pytest.raises(ValueError):
+            BufferPool(device, 0)

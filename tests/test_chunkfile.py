@@ -1,0 +1,111 @@
+"""Tests for the chunk-organised source file."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.chunkfile import ChunkedDataFile
+from repro.storage.dense import DenseStandardStore
+from repro.transform.chunked import transform_standard_chunked
+from repro.wavelet.standard import standard_dwt
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_from_array_roundtrip(self, seed):
+        data = np.random.default_rng(seed).normal(size=(16, 24))
+        chunked = ChunkedDataFile.from_array(data, (4, 8))
+        assert chunked.data_shape == (16, 24)
+        assert np.allclose(chunked.to_array(), data)
+
+    def test_chunk_level_access(self):
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        chunked = ChunkedDataFile.from_array(data, (4, 4))
+        assert np.allclose(chunked.read_chunk((1, 0)), data[4:8, 0:4])
+
+    def test_overwrite_chunk(self):
+        chunked = ChunkedDataFile((2, 2), (2, 2))
+        chunked.write_chunk((0, 1), np.ones((2, 2)))
+        chunked.write_chunk((0, 1), np.full((2, 2), 7.0))
+        assert np.allclose(chunked.read_chunk((0, 1)), 7.0)
+
+
+class TestSparseness:
+    def test_zero_chunks_are_not_materialised(self):
+        data = np.zeros((16, 16))
+        data[0:4, 0:4] = 1.0
+        chunked = ChunkedDataFile.from_array(data, (4, 4))
+        assert chunked.occupied_chunks == 1
+        assert list(chunked.occupied()) == [(0, 0)]
+
+    def test_absent_chunk_reads_zero_for_free(self):
+        chunked = ChunkedDataFile((4, 4), (2, 2))
+        before = chunked.stats.snapshot()
+        block = chunked.read_chunk((3, 3))
+        assert not block.any()
+        assert chunked.stats.delta_since(before).block_ios == 0
+
+    def test_disk_footprint_tracks_occupancy(self):
+        dense = ChunkedDataFile.from_array(
+            np.ones((16, 16)), (4, 4)
+        )
+        sparse_data = np.zeros((16, 16))
+        sparse_data[0, 0] = 1.0
+        sparse = ChunkedDataFile.from_array(sparse_data, (4, 4))
+        assert (
+            sparse.stats.block_writes < dense.stats.block_writes
+        )
+
+
+class TestAsSource:
+    def test_drives_the_bulk_transform(self):
+        data = np.random.default_rng(0).normal(size=(32, 32))
+        chunked = ChunkedDataFile.from_array(data, (8, 8))
+        chunked.stats.reset()
+        store = DenseStandardStore((32, 32))
+        transform_standard_chunked(
+            store, chunked.as_chunk_source(), (8, 8)
+        )
+        assert np.allclose(store.to_array(), standard_dwt(data))
+        # Every occupied chunk was read exactly once.
+        assert chunked.stats.block_reads == 16
+
+    def test_sparse_end_to_end(self):
+        data = np.zeros((32, 32))
+        data[8:16, 16:24] = np.random.default_rng(1).normal(size=(8, 8))
+        chunked = ChunkedDataFile.from_array(data, (8, 8))
+        chunked.stats.reset()
+        store = DenseStandardStore((32, 32))
+        report = transform_standard_chunked(
+            store,
+            chunked.as_chunk_source(),
+            (8, 8),
+            skip_zero_chunks=True,
+        )
+        assert np.allclose(store.to_array(), standard_dwt(data))
+        assert report.chunks == 1
+        assert report.extras["skipped_chunks"] == 15
+
+
+class TestValidation:
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkedDataFile((0, 2), (2, 2))
+        with pytest.raises(ValueError):
+            ChunkedDataFile((2,), (2, 2))
+
+    def test_bad_chunk_shape_rejected(self):
+        chunked = ChunkedDataFile((2, 2), (2, 2))
+        with pytest.raises(ValueError):
+            chunked.write_chunk((0, 0), np.ones((2, 4)))
+
+    def test_out_of_grid_rejected(self):
+        chunked = ChunkedDataFile((2, 2), (2, 2))
+        with pytest.raises(ValueError):
+            chunked.read_chunk((2, 0))
+
+    def test_from_array_alignment_checked(self):
+        with pytest.raises(ValueError):
+            ChunkedDataFile.from_array(np.ones((10, 8)), (4, 4))

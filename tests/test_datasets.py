@@ -1,0 +1,105 @@
+"""Tests for the synthetic dataset and stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.streams import (
+    bursty_stream,
+    random_walk_stream,
+    slab_stream,
+)
+from repro.datasets.synthetic import (
+    precipitation_cube,
+    precipitation_months,
+    random_cube,
+    sparse_cube,
+    temperature_cube,
+    zipf_cube,
+)
+
+
+class TestTemperature:
+    def test_shape_and_determinism(self):
+        cube = temperature_cube((8, 8, 4, 16), seed=1)
+        assert cube.shape == (8, 8, 4, 16)
+        assert np.array_equal(cube, temperature_cube((8, 8, 4, 16), seed=1))
+
+    def test_values_look_like_kelvin(self):
+        cube = temperature_cube((8, 8, 4, 16))
+        assert 150 < cube.mean() < 350
+
+    def test_altitude_lapse(self):
+        cube = temperature_cube((8, 8, 8, 16))
+        by_altitude = cube.mean(axis=(0, 1, 3))
+        assert by_altitude[0] > by_altitude[-1]
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            temperature_cube((8, 8, 8))
+
+
+class TestPrecipitation:
+    def test_monthly_geometry(self):
+        slabs = list(precipitation_months(3))
+        assert len(slabs) == 3
+        assert slabs[0].shape == (8, 8, 32)
+
+    def test_non_negative_and_bursty(self):
+        cube = precipitation_cube(6)
+        assert cube.min() >= 0.0
+        assert (cube == 0).mean() > 0.2  # plenty of dry samples
+
+    def test_cube_assembles_months(self):
+        cube = precipitation_cube(4, seed=2)
+        slabs = list(precipitation_months(4, seed=2))
+        assert np.array_equal(cube[..., 32:64], slabs[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(precipitation_months(0))
+
+
+class TestOtherCubes:
+    def test_zipf_is_heavy_tailed(self):
+        cube = zipf_cube((32, 32))
+        magnitudes = np.sort(np.abs(cube).ravel())[::-1]
+        top_energy = (magnitudes[:32] ** 2).sum()
+        assert top_energy > 0.5 * (magnitudes**2).sum()
+
+    def test_sparse_density(self):
+        cube = sparse_cube((64, 64), density=0.05)
+        assert np.isclose((cube != 0).mean(), 0.05, atol=0.01)
+
+    def test_random_cube_shape(self):
+        assert random_cube((4, 8)).shape == (4, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_cube((8,), alpha=0.0)
+        with pytest.raises(ValueError):
+            sparse_cube((8,), density=0.0)
+
+
+class TestStreams:
+    def test_random_walk_is_cumulative(self):
+        stream = random_walk_stream(128, seed=3)
+        assert stream.shape == (128,)
+        increments = np.diff(stream)
+        assert np.std(increments) < np.std(stream)
+
+    def test_bursty_has_outliers(self):
+        stream = bursty_stream(4096)
+        assert np.abs(stream).max() > 10 * np.abs(stream).std()
+
+    def test_slab_stream_shapes(self):
+        slabs = list(slab_stream((4, 4), 5))
+        assert len(slabs) == 5
+        assert all(slab.shape == (4, 4) for slab in slabs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_stream(0)
+        with pytest.raises(ValueError):
+            bursty_stream(8, burst_probability=0.0)
+        with pytest.raises(ValueError):
+            list(slab_stream((4,), 0))

@@ -1,0 +1,135 @@
+"""Differential and fuzz tests: every storage/maintenance path must
+agree with an independent reference implementation under randomized
+operation sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.append.appender import StandardAppender
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.dense import DenseStandardStore
+from repro.storage.tile_store import TileStore
+from repro.storage.tiled import TiledStandardStore
+from repro.wavelet.standard import standard_dwt
+
+
+class TestBufferPoolAgainstUncachedDevice:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_cached_and_uncached_contents_agree(self, seed):
+        """Random read/write/flush sequences through a tiny pool yield
+        exactly the contents a direct (uncached) device would hold."""
+        rng = np.random.default_rng(seed)
+        slots = 3
+        device = BlockDevice(slots)
+        pool = BufferPool(device, capacity=2)
+        reference = {}
+        blocks = [device.allocate() for __ in range(6)]
+        for __ in range(60):
+            action = rng.integers(0, 3)
+            block = int(rng.choice(blocks))
+            if action == 0:  # write through the pool
+                values = rng.normal(size=slots)
+                data = pool.get(block, for_write=True)
+                data[:] = values
+                reference[block] = values.copy()
+            elif action == 1:  # read through the pool
+                expected = reference.get(block, np.zeros(slots))
+                assert np.allclose(pool.get(block), expected)
+            else:
+                pool.flush()
+        pool.drop_all()
+        for block in blocks:
+            expected = reference.get(block, np.zeros(slots))
+            assert np.allclose(device.read_block(block), expected)
+
+
+class TestTileStoreAgainstDict:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_slot_operations_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        store = TileStore(block_slots=4, pool_capacity=2)
+        reference = {}
+        keys = ["a", "b", "c", ("nested", 1), ("nested", 2)]
+        for __ in range(80):
+            action = rng.integers(0, 3)
+            key = keys[rng.integers(0, len(keys))]
+            slot = int(rng.integers(0, 4))
+            if action == 0:
+                value = float(rng.normal())
+                store.write_slot(key, slot, value)
+                reference[(key, slot)] = value
+            elif action == 1:
+                delta = float(rng.normal())
+                store.add_to_slot(key, slot, delta)
+                reference[(key, slot)] = (
+                    reference.get((key, slot), 0.0) + delta
+                )
+            else:
+                expected = reference.get((key, slot), 0.0)
+                assert np.isclose(store.read_slot(key, slot), expected)
+        for (key, slot), expected in reference.items():
+            assert np.isclose(store.read_slot(key, slot), expected)
+
+
+class TestAppenderAgainstFromScratch:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.sampled_from([(2, 4), (4, 8), (8, 4)]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_slab_count_and_shape(self, slabs, slab_shape, seed):
+        rng = np.random.default_rng(seed)
+        appender = StandardAppender(
+            slab_shape,
+            grow_axis=1,
+            store_factory=lambda shape, stats: DenseStandardStore(
+                shape, stats=stats
+            ),
+        )
+        pieces = [rng.normal(size=slab_shape) for __ in range(slabs)]
+        for piece in pieces:
+            appender.append(piece)
+        thickness = slab_shape[1]
+        extent = appender.domain_shape[1]
+        full = np.zeros((slab_shape[0], extent))
+        for index, piece in enumerate(pieces):
+            full[:, index * thickness : (index + 1) * thickness] = piece
+        assert np.allclose(appender.to_array(), standard_dwt(full))
+
+
+class TestTiledStoreUnderPoolPressure:
+    @given(
+        st.sampled_from([1, 2, 7]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_tiny_pools_never_lose_data(self, capacity, seed):
+        """Correctness must not depend on the pool size — only I/O
+        counts may change."""
+        from repro.transform.chunked import transform_standard_chunked
+
+        data = np.random.default_rng(seed).normal(size=(32, 32))
+        store = TiledStandardStore(
+            (32, 32), block_edge=4, pool_capacity=capacity
+        )
+        transform_standard_chunked(store, data, (8, 8))
+        assert np.allclose(store.to_array(), standard_dwt(data))
+
+    def test_smaller_pools_cost_more_io(self):
+        from repro.transform.chunked import transform_standard_chunked
+
+        data = np.random.default_rng(3).normal(size=(64, 64))
+        costs = {}
+        for capacity in (1, 64):
+            store = TiledStandardStore(
+                (64, 64), block_edge=8, pool_capacity=capacity
+            )
+            transform_standard_chunked(store, data, (8, 8))
+            costs[capacity] = store.stats.block_ios
+        assert costs[1] > costs[64]

@@ -1,0 +1,156 @@
+"""Unit and property tests for dyadic intervals, boxes and covers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.dyadic import (
+    DyadicBox,
+    DyadicInterval,
+    dyadic_box_cover,
+    dyadic_cover,
+)
+
+
+class TestDyadicInterval:
+    def test_geometry(self):
+        interval = DyadicInterval(scale=3, translation=2)
+        assert interval.length == 8
+        assert interval.start == 16
+        assert interval.stop == 24
+
+    def test_from_range(self):
+        interval = DyadicInterval.from_range(16, 24)
+        assert interval.scale == 3
+        assert interval.translation == 2
+
+    def test_from_range_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            DyadicInterval.from_range(4, 12)  # length 8, start not aligned
+
+    def test_from_range_rejects_non_power_length(self):
+        with pytest.raises(ValueError):
+            DyadicInterval.from_range(0, 6)
+
+    def test_contains_and_overlaps(self):
+        parent = DyadicInterval(3, 0)  # [0, 8)
+        child = DyadicInterval(2, 1)  # [4, 8)
+        outside = DyadicInterval(2, 2)  # [8, 12)
+        assert parent.contains(child)
+        assert not child.contains(parent)
+        assert parent.overlaps(child)
+        assert not parent.overlaps(outside)
+
+    def test_parent_and_halves(self):
+        interval = DyadicInterval(2, 3)  # [12, 16)
+        assert interval.parent() == DyadicInterval(3, 1)
+        left, right = interval.halves()
+        assert left == DyadicInterval(1, 6)
+        assert right == DyadicInterval(1, 7)
+        assert left.is_left_child()
+        assert not right.is_left_child()
+
+    def test_scale_zero_has_no_halves(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(0, 5).halves()
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(-1, 0)
+        with pytest.raises(ValueError):
+            DyadicInterval(0, -1)
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_nested_dyadic_laminarity(self, scale, translation):
+        """Two dyadic intervals either nest or are disjoint."""
+        first = DyadicInterval(scale, translation)
+        second = DyadicInterval(max(0, scale - 2), translation * 3 + 1)
+        if first.overlaps(second):
+            assert first.contains(second) or second.contains(first)
+
+
+class TestDyadicBox:
+    def test_from_corner(self):
+        box = DyadicBox.from_corner((8, 0), (8, 4))
+        assert box.shape == (8, 4)
+        assert box.starts == (8, 0)
+        assert box.cells == 32
+        assert not box.is_cubic()
+
+    def test_cubic(self):
+        assert DyadicBox.from_corner((4, 4), (4, 4)).is_cubic()
+
+    def test_as_slices(self):
+        box = DyadicBox.from_corner((8, 0), (8, 4))
+        assert box.as_slices() == (slice(8, 16), slice(0, 4))
+
+    def test_contains(self):
+        outer = DyadicBox.from_corner((0, 0), (8, 8))
+        inner = DyadicBox.from_corner((4, 0), (4, 4))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_from_corner_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            DyadicBox.from_corner((2,), (4,))
+
+
+class TestDyadicCover:
+    def test_paper_style_example(self):
+        pieces = [(i.start, i.stop) for i in dyadic_cover(3, 9)]
+        assert pieces == [(3, 4), (4, 8), (8, 9)]
+
+    def test_empty_range(self):
+        assert list(dyadic_cover(5, 5)) == []
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            list(dyadic_cover(5, 3))
+
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_cover_partitions_range(self, start, length):
+        stop = start + length
+        pieces = list(dyadic_cover(start, stop))
+        position = start
+        for piece in pieces:
+            assert piece.start == position  # contiguous, in order
+            assert piece.start % piece.length == 0  # dyadic alignment
+            position = piece.stop
+        assert position == stop
+
+    @given(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=1, max_value=2**16),
+    )
+    def test_cover_size_is_logarithmic(self, start, length):
+        pieces = list(dyadic_cover(start, start + length))
+        assert len(pieces) <= 2 * length.bit_length() + 2
+
+
+class TestDyadicBoxCover:
+    def test_cross_product_of_axis_covers(self):
+        boxes = list(dyadic_box_cover((3, 0), (9, 4)))
+        # Axis 0 cover has 3 pieces, axis 1 cover has 1.
+        assert len(boxes) == 3
+        cells = sum(box.cells for box in boxes)
+        assert cells == 6 * 4
+
+    def test_disjoint_and_covering(self):
+        boxes = list(dyadic_box_cover((1, 2), (6, 7)))
+        seen = set()
+        for box in boxes:
+            for x in range(box.intervals[0].start, box.intervals[0].stop):
+                for y in range(box.intervals[1].start, box.intervals[1].stop):
+                    assert (x, y) not in seen
+                    seen.add((x, y))
+        assert seen == {(x, y) for x in range(1, 6) for y in range(2, 7)}
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            list(dyadic_box_cover((0,), (4, 4)))

@@ -1,0 +1,145 @@
+"""Edge-case and stress tests across the stack: degenerate geometries,
+minimal pools, maximal tiles, and the time model."""
+
+import numpy as np
+import pytest
+
+from repro.append.appender import StandardAppender
+from repro.core.standard_ops import apply_chunk_standard
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
+from repro.storage.iostats import IOStats
+from repro.storage.tiled import TiledStandardStore
+from repro.tiling.onedim import OneDimTiling
+from repro.tiling.nonstandard import NonStandardTiling
+from repro.transform.chunked import (
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+)
+from repro.wavelet.haar1d import haar_dwt
+from repro.wavelet.standard import standard_dwt
+
+
+class TestDegenerateGeometries:
+    def test_size_one_domain(self):
+        """N = 1: the transform is the single value itself."""
+        assert np.allclose(haar_dwt([7.0]), [7.0])
+        store = DenseStandardStore((1,))
+        apply_chunk_standard(store, np.asarray([3.0]), (0,))
+        assert store.to_array()[0] == 3.0
+
+    def test_chunk_equals_domain(self):
+        """M = N: SHIFT is the identity, SPLIT touches only the
+        average."""
+        data = np.random.default_rng(0).normal(size=(8, 8))
+        store = DenseStandardStore((8, 8))
+        report_chunks = transform_standard_chunked(store, data, (8, 8))
+        assert report_chunks.chunks == 1
+        assert np.allclose(store.to_array(), standard_dwt(data))
+
+    def test_single_cell_chunks(self):
+        """M = 1: every chunk is pure SPLIT (the per-item stream
+        regime)."""
+        data = np.random.default_rng(1).normal(size=(4, 4))
+        store = DenseStandardStore((4, 4))
+        transform_standard_chunked(store, data, (1, 1))
+        assert np.allclose(store.to_array(), standard_dwt(data))
+
+    def test_one_dimensional_nonstandard_chunking(self):
+        data = np.random.default_rng(2).normal(size=16)
+        store = DenseNonStandardStore(16, 1)
+        transform_nonstandard_chunked(store, data, 4)
+        assert np.allclose(store.to_array(), haar_dwt(data))
+
+
+class TestTilingExtremes:
+    def test_block_edge_equals_domain(self):
+        """b = n: one band, a single tile holds the whole tree."""
+        tiling = OneDimTiling(16, 16)
+        assert tiling.num_bands == 1
+        assert tiling.num_tiles == 1
+        for index in range(16):
+            tile, slot = tiling.locate_index(index)
+            assert tile == (0, 0)
+            assert slot == index  # heap order == flat order at full size
+
+    def test_minimal_block_edge(self):
+        """b = 1: every detail is its own tile (with its scaling)."""
+        tiling = OneDimTiling(8, 2)
+        assert tiling.num_bands == 3
+        assert tiling.num_tiles == 4 + 2 + 1
+
+    def test_nonstandard_single_tile(self):
+        tiling = NonStandardTiling(8, 2, 8)
+        assert tiling.num_bands == 1
+        assert tiling.num_tiles == 1
+        assert tiling.block_slots == 64
+
+    def test_store_with_whole_domain_tiles(self):
+        data = np.random.default_rng(3).normal(size=(16, 16))
+        store = TiledStandardStore((16, 16), block_edge=16, pool_capacity=2)
+        transform_standard_chunked(store, data, (16, 16))
+        assert np.allclose(store.to_array(), standard_dwt(data))
+        # Everything fits in exactly one block.
+        assert store.tile_store.num_tiles == 1
+
+
+class TestExpansionUnderPoolPressure:
+    def test_appender_with_single_block_pool(self):
+        """Expansions must stay correct when the pool can hold one
+        block: every tile round-trips through the device."""
+        rng = np.random.default_rng(4)
+        appender = StandardAppender(
+            (4, 4),
+            grow_axis=1,
+            store_factory=lambda shape, stats: TiledStandardStore(
+                shape, block_edge=2, pool_capacity=1, stats=stats
+            ),
+        )
+        pieces = [rng.normal(size=(4, 4)) for __ in range(6)]
+        for piece in pieces:
+            appender.append(piece)
+        extent = appender.domain_shape[1]
+        full = np.zeros((4, extent))
+        for index, piece in enumerate(pieces):
+            full[:, index * 4 : (index + 1) * 4] = piece
+        assert np.allclose(appender.to_array(), standard_dwt(full))
+
+
+class TestTimeModel:
+    def test_estimated_seconds_scales_with_transfers(self):
+        one = IOStats(block_reads=1)
+        many = IOStats(block_reads=100)
+        assert many.estimated_seconds() == pytest.approx(
+            100 * one.estimated_seconds()
+        )
+
+    def test_zero_io_is_zero_seconds(self):
+        assert IOStats().estimated_seconds() == 0.0
+
+    def test_parameters_validated(self):
+        stats = IOStats(block_reads=1)
+        with pytest.raises(ValueError):
+            stats.estimated_seconds(block_bytes=0)
+        with pytest.raises(ValueError):
+            stats.estimated_seconds(transfer_mb_per_s=0)
+
+    def test_seek_dominates_small_blocks(self):
+        stats = IOStats(block_reads=10)
+        fast_seek = stats.estimated_seconds(seek_ms=0.1)
+        slow_seek = stats.estimated_seconds(seek_ms=20.0)
+        assert slow_seek > fast_seek
+
+
+class TestPartialLevelTransforms:
+    def test_batched_partial_levels(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(3, 16))
+        partial = haar_dwt(data, levels=2)
+        # The first quarter holds level-2 scaling coefficients.
+        expected_scaling = data.reshape(3, 4, 4).mean(axis=2)
+        assert np.allclose(partial[:, :4], expected_scaling)
+
+    def test_zero_levels_is_identity(self):
+        data = np.random.default_rng(6).normal(size=8)
+        assert np.allclose(haar_dwt(data, levels=0), data)

@@ -1,0 +1,149 @@
+"""Smoke and shape tests for the experiment harness: each experiment
+runs at a small scale and must reproduce the paper's *qualitative*
+claims (who wins, what trends hold)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_tiling,
+    ablation_zorder,
+    fig11,
+    fig12,
+    fig13,
+    reconstruct_exp,
+    stream_buffer,
+    stream_space,
+    table1,
+    table2,
+)
+
+
+class TestFig11:
+    def test_paper_shape(self):
+        rows = fig11.run_fig11(edge=16, memory_edges=(4, 8))
+        # Vitter is flat in memory.
+        vitter = {row["vitter_io"] for row in rows}
+        assert len(vitter) == 1
+        for row in rows:
+            # In the paper's plotted regime SHIFT-SPLIT beats Vitter.
+            assert row["shift_split_standard_io"] < row["vitter_io"]
+            assert (
+                row["shift_split_nonstandard_io"]
+                < row["shift_split_standard_io"]
+            )
+        # Standard improves with memory.
+        assert (
+            rows[-1]["shift_split_standard_io"]
+            < rows[0]["shift_split_standard_io"]
+        )
+
+
+class TestFig12:
+    def test_paper_shape(self):
+        rows = fig12.run_fig12(
+            dataset_edges=(64, 128), tile_edges=(8, 16)
+        )
+        by_key = {
+            (row["dataset_edge"], row["tile_edge"]): row for row in rows
+        }
+        # Larger tiles cost fewer blocks.
+        assert (
+            by_key[(128, 16)]["standard_block_io"]
+            < by_key[(128, 8)]["standard_block_io"]
+        )
+        # Larger datasets cost more blocks.
+        assert (
+            by_key[(128, 8)]["standard_block_io"]
+            > by_key[(64, 8)]["standard_block_io"]
+        )
+        # Non-standard never needs more blocks than standard.
+        for row in rows:
+            assert row["nonstandard_block_io"] <= row["standard_block_io"]
+
+
+class TestFig13:
+    def test_paper_shape(self):
+        rows = fig13.run_fig13(months=9, tile_edges=(2, 8))
+        jumps = {
+            row["tile_edge"]: []
+            for row in rows
+        }
+        steady = {row["tile_edge"]: [] for row in rows}
+        for row in rows:
+            (jumps if row["expanded"] else steady)[row["tile_edge"]].append(
+                row["block_io"]
+            )
+        # Expansions are the spikes.
+        for tile_edge in jumps:
+            assert max(jumps[tile_edge]) > max(steady[tile_edge])
+        # Larger tiles damp the spikes.
+        assert max(jumps[8]) < max(jumps[2])
+
+
+class TestTables:
+    def test_table1_measured_close_to_formula(self):
+        rows = table1.run_table1(configs=((1024, 64, 8, 1), (256, 16, 4, 2)))
+        for row in rows:
+            assert row["std_shift"] >= row["std_shift_formula"]
+            # Geometric-series slack only: within 2x of the formula.
+            assert row["std_shift"] <= 2 * row["std_shift_formula"] + 2
+            assert row["ns_split"] <= row["ns_split_formula"] + 1
+
+    def test_table2_ratios_are_stable(self):
+        rows = table2.run_table2(edges=(64, 128))
+        for column in ("vitter_ratio", "std_ratio", "ns_ratio"):
+            values = [row[column] for row in rows]
+            assert max(values) / min(values) < 1.2
+
+
+class TestStreamExperiments:
+    def test_buffer_sweep_matches_formula(self):
+        rows = stream_buffer.run_stream_buffer(
+            domain_log2=12, buffer_sizes=(1, 16, 256)
+        )
+        for row in rows:
+            assert row["crest_updates_per_item"] == row["formula"]
+            assert row["live_memory_coefficients"] <= row["memory_bound"]
+        assert (
+            rows[-1]["crest_updates_per_item"]
+            < rows[0]["crest_updates_per_item"]
+        )
+
+    def test_space_bounds_hold(self):
+        rows = stream_space.run_stream_space()
+        for row in rows:
+            assert row["measured_live"] <= row["bound"], row["result"]
+
+
+class TestReconstructExperiment:
+    def test_shift_split_beats_naive(self):
+        rows = reconstruct_exp.run_reconstruct(
+            edge=64, region_edges=(4, 16)
+        )
+        for row in rows:
+            assert row["std_shift_split_io"] == row["std_formula"]
+            assert row["ns_shift_split_io"] == row["ns_formula"]
+            assert row["std_shift_split_io"] < row["pointwise_io"]
+            assert row["std_shift_split_io"] < row["full_reconstruction_io"]
+
+
+class TestAblations:
+    def test_tiling_beats_naive_blocking(self):
+        rows = ablation_tiling.run_ablation_tiling(edge=64, block_edge=4)
+        tiled, scalings, naive = rows
+        assert (
+            tiled["point_blocks_per_query"]
+            < naive["point_blocks_per_query"]
+        )
+        assert scalings["point_blocks_per_query"] == 1.0
+
+    def test_zorder_minimises_buffer(self):
+        rows = ablation_zorder.run_ablation_zorder(edge=32, chunk_edge=4)
+        by_name = {row["configuration"]: row for row in rows}
+        zorder = by_name["zorder + crest buffer"]
+        rowmajor = by_name["rowmajor + crest buffer"]
+        unbuffered = by_name["rowmajor, no buffer"]
+        assert zorder["crest_buffer_peak"] < rowmajor["crest_buffer_peak"]
+        assert zorder["coefficient_io"] == rowmajor["coefficient_io"]
+        assert unbuffered["coefficient_io"] > zorder["coefficient_io"]

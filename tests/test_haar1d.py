@@ -1,0 +1,149 @@
+"""Unit and property tests for the 1-d Haar transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelet.haar1d import (
+    detail_basis_norm,
+    haar_dwt,
+    haar_dwt_ortho,
+    haar_idwt,
+    haar_idwt_ortho,
+    haar_step,
+    haar_unstep,
+    scaling_basis_norm,
+)
+
+power_of_two_vectors = st.integers(min_value=0, max_value=8).flatmap(
+    lambda n: st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=1 << n,
+        max_size=1 << n,
+    )
+)
+
+
+class TestPaperExample:
+    def test_section_2_1_running_example(self):
+        """DWT({3,5,7,5}) = {5,-1,-1,1} — the paper's worked example."""
+        result = haar_dwt([3.0, 5.0, 7.0, 5.0])
+        assert np.allclose(result, [5.0, -1.0, -1.0, 1.0])
+
+    def test_first_level_averages_and_differences(self):
+        partial = haar_dwt([3.0, 5.0, 7.0, 5.0], levels=1)
+        assert np.allclose(partial, [4.0, 6.0, -1.0, 1.0])
+
+
+class TestRoundTrips:
+    @given(power_of_two_vectors)
+    @settings(max_examples=50)
+    def test_unnormalised_roundtrip(self, values):
+        data = np.asarray(values)
+        assert np.allclose(haar_idwt(haar_dwt(data)), data, atol=1e-6)
+
+    @given(power_of_two_vectors)
+    @settings(max_examples=50)
+    def test_ortho_roundtrip(self, values):
+        data = np.asarray(values)
+        assert np.allclose(haar_idwt_ortho(haar_dwt_ortho(data)), data, atol=1e-6)
+
+    def test_partial_levels_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=32)
+        for levels in range(6):
+            assert np.allclose(
+                haar_idwt(haar_dwt(data, levels=levels), levels=levels), data
+            )
+
+    def test_batched_last_axis(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(3, 5, 16))
+        transformed = haar_dwt(data)
+        assert transformed.shape == data.shape
+        for i in range(3):
+            for j in range(5):
+                assert np.allclose(transformed[i, j], haar_dwt(data[i, j]))
+
+
+class TestInvariants:
+    @given(power_of_two_vectors)
+    @settings(max_examples=50)
+    def test_ortho_preserves_energy(self, values):
+        data = np.asarray(values)
+        assert np.isclose(
+            np.linalg.norm(haar_dwt_ortho(data)),
+            np.linalg.norm(data),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(power_of_two_vectors)
+    @settings(max_examples=50)
+    def test_first_coefficient_is_mean(self, values):
+        data = np.asarray(values)
+        assert np.isclose(haar_dwt(data)[0], data.mean(), atol=1e-6)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(2, 64))
+        assert np.allclose(
+            haar_dwt(2.0 * a - 3.0 * b), 2.0 * haar_dwt(a) - 3.0 * haar_dwt(b)
+        )
+
+    def test_conventions_relate_by_basis_norms(self):
+        """ortho coefficient = unnormalised coefficient * basis norm."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=16)
+        n = 4
+        plain = haar_dwt(data)
+        ortho = haar_dwt_ortho(data)
+        assert np.isclose(ortho[0], plain[0] * scaling_basis_norm(n))
+        for level in range(1, n + 1):
+            width = 1 << (n - level)
+            for k in range(width):
+                assert np.isclose(
+                    ortho[width + k],
+                    plain[width + k] * detail_basis_norm(level),
+                )
+
+
+class TestStepHelpers:
+    def test_step_then_unstep(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(4, 10))
+        averages, details = haar_step(data)
+        assert np.allclose(haar_unstep(averages, details), data)
+
+    def test_step_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            haar_step(np.zeros(5))
+
+    def test_unstep_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            haar_unstep(np.zeros(4), np.zeros(3))
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.zeros(6))
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.zeros(8), levels=4)
+        with pytest.raises(ValueError):
+            haar_idwt(np.zeros(8), levels=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt([])
+
+    def test_basis_norm_validation(self):
+        with pytest.raises(ValueError):
+            detail_basis_norm(0)
+        with pytest.raises(ValueError):
+            scaling_basis_norm(-1)

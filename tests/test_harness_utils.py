@@ -1,0 +1,89 @@
+"""Tests for the experiment-harness utilities (table formatting, CSV
+export, transform reports)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.common import format_table, print_experiment
+from repro.experiments.export import export_all, write_csv
+from repro.storage.iostats import IOStats
+from repro.transform.report import TransformReport
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        rows = [
+            {"name": "alpha", "value": 1},
+            {"name": "b", "value": 12345},
+        ]
+        table = format_table(rows, ["name", "value"])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "12345" in lines[3]
+        # All rows padded to the same width.
+        assert len({len(line.rstrip()) for line in lines[:2]}) <= 2
+
+    def test_missing_columns_render_empty(self):
+        table = format_table([{"a": 1}], ["a", "b"])
+        assert "b" in table
+
+    def test_empty_rows(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+    def test_print_experiment_includes_banner(self, capsys):
+        print_experiment("My Title", [{"a": 1}], ["a"], note="a note")
+        out = capsys.readouterr().out
+        assert "My Title" in out
+        assert "a note" in out
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"x": 1, "y": "a"},
+            {"x": 2, "y": "b", "z": 3.5},
+        ]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with open(path) as handle:
+            read = list(csv.DictReader(handle))
+        assert read[0]["x"] == "1"
+        assert read[1]["z"] == "3.5"
+        assert read[0]["z"] == ""  # union of columns
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv([{"a": 1}], tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()
+
+    def test_export_all(self, tmp_path):
+        written = export_all(
+            {"one": [{"a": 1}], "two": [{"b": 2}]}, tmp_path
+        )
+        assert sorted(p.name for p in written) == ["one.csv", "two.csv"]
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "f.csv")
+
+
+class TestTransformReport:
+    def test_totals(self):
+        report = TransformReport(
+            chunks=3,
+            source_reads=100,
+            store_stats=IOStats(
+                coefficient_reads=10,
+                coefficient_writes=20,
+                block_reads=4,
+                block_writes=5,
+            ),
+        )
+        assert report.coefficient_ios == 130
+        assert report.block_ios == 9
+
+    def test_defaults(self):
+        report = TransformReport()
+        assert report.chunks == 0
+        assert report.coefficient_ios == 0
+        assert report.extras == {}

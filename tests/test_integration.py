@@ -1,0 +1,115 @@
+"""End-to-end integration: a full maintenance lifecycle on one dataset.
+
+Bulk-load a tiled transform with SHIFT-SPLIT, query it, append to it,
+extract regions from it, and keep a stream synopsis of the same data —
+verifying every stage against ground truth computed directly.
+"""
+
+import numpy as np
+
+from repro.append.appender import StandardAppender
+from repro.datasets.synthetic import precipitation_cube, temperature_cube
+from repro.reconstruct.point import point_query_standard
+from repro.reconstruct.rangesum import range_sum_standard
+from repro.reconstruct.region import reconstruct_box_standard
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+from repro.streams.stream1d import StreamSynopsis1D
+from repro.transform.chunked import (
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+)
+from repro.wavelet.haar1d import haar_dwt
+from repro.wavelet.layout import index_level
+from repro.wavelet.nonstandard import nonstandard_dwt
+from repro.wavelet.standard import standard_dwt
+
+
+class TestTemperatureLifecycle:
+    def test_load_query_extract(self):
+        cube = temperature_cube((8, 8, 4, 16), seed=42)
+        store = TiledStandardStore(
+            cube.shape, block_edge=4, pool_capacity=128
+        )
+        report = transform_standard_chunked(store, cube, (4, 4, 4, 4))
+        assert report.chunks == 2 * 2 * 1 * 4
+        store.flush()
+        assert np.allclose(store.to_array(), standard_dwt(cube))
+
+        # Point queries.
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            position = tuple(
+                int(rng.integers(0, extent)) for extent in cube.shape
+            )
+            assert np.isclose(
+                point_query_standard(store, position), cube[position]
+            )
+
+        # An OLAP range-sum: average temperature over a lat/lon window.
+        value = range_sum_standard(store, (2, 2, 0, 0), (5, 5, 3, 15))
+        assert np.isclose(value, cube[2:6, 2:6, 0:4, 0:16].sum())
+
+        # Partial reconstruction of an arbitrary window.
+        window = reconstruct_box_standard(
+            store, (1, 2, 0, 3), (6, 7, 3, 11)
+        )
+        assert np.allclose(window, cube[1:6, 2:7, 0:3, 3:11])
+
+
+class TestPrecipitationAppendLifecycle:
+    def test_monthly_appends_match_from_scratch(self):
+        months = 5
+        cube = precipitation_cube(months, seed=7)
+        appender = StandardAppender(
+            (8, 8, 32),
+            grow_axis=2,
+            store_factory=lambda shape, stats: TiledStandardStore(
+                shape, block_edge=4, pool_capacity=64, stats=stats
+            ),
+        )
+        for month in range(months):
+            appender.append(cube[..., month * 32 : (month + 1) * 32])
+        domain_t = appender.domain_shape[2]
+        padded = np.zeros((8, 8, domain_t))
+        padded[..., : months * 32] = cube
+        assert np.allclose(appender.to_array(), standard_dwt(padded))
+
+        # The appended store answers queries over the union of months.
+        store = appender.store
+        total = range_sum_standard(
+            store, (0, 0, 0), (7, 7, months * 32 - 1)
+        )
+        assert np.isclose(total, cube.sum())
+
+
+class TestNonStandardLifecycle:
+    def test_load_and_verify(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(32, 32))
+        store = TiledNonStandardStore(32, 2, block_edge=4, pool_capacity=64)
+        transform_nonstandard_chunked(store, data, 8, order="zorder")
+        store.flush()
+        assert np.allclose(store.to_array(), nonstandard_dwt(data))
+
+
+class TestStreamAgainstBulk:
+    def test_stream_synopsis_matches_bulk_topk(self):
+        """The streaming top-K equals the offline top-K of the same
+        series (ties aside) — stream and bulk paths agree."""
+        size, k = 512, 24
+        series = temperature_cube((2, 2, 2, size // 8), seed=3).ravel()[
+            :size
+        ]
+        synopsis = StreamSynopsis1D(size, k=k, buffer_size=32)
+        synopsis.extend(series)
+        offline = haar_dwt(series)
+        n = 9
+        significances = np.asarray(
+            [
+                abs(offline[index]) * 2.0 ** (index_level(n, index) / 2.0)
+                for index in range(size)
+            ]
+        )
+        best = set(np.argsort(-significances)[:k])
+        got = set(synopsis.synopsis().keys())
+        assert len(best & got) >= k - 2

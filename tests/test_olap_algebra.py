@@ -1,0 +1,135 @@
+"""Tests for wavelet-domain OLAP algebra (roll-up, slice, dice)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.standard_ops import apply_chunk_standard
+from repro.olap.algebra import (
+    dice_transform_standard,
+    rollup_sum_standard,
+    slice_standard,
+)
+from repro.storage.dense import DenseStandardStore
+from repro.storage.tiled import TiledStandardStore
+from repro.wavelet.standard import standard_dwt, standard_idwt
+
+
+def _loaded(shape, seed=0):
+    data = np.random.default_rng(seed).normal(size=shape)
+    store = DenseStandardStore(shape)
+    apply_chunk_standard(store, data, (0,) * len(shape))
+    return data, store
+
+
+class TestRollUp:
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rollup_equals_transform_of_summed_data(self, axis, seed):
+        data, store = _loaded((8, 16, 4), seed=seed % 50)
+        rolled = rollup_sum_standard(store, axis)
+        expected = standard_dwt(data.sum(axis=axis))
+        assert np.allclose(rolled, expected)
+
+    def test_rollup_io_is_one_hyperplane(self):
+        data, store = _loaded((16, 16))
+        store.stats.reset()
+        rollup_sum_standard(store, 0)
+        assert store.stats.coefficient_reads == 16
+
+    def test_rollup_composes(self):
+        """Rolling up twice equals summing two axes."""
+        data, store = _loaded((8, 8, 8))
+        once = rollup_sum_standard(store, 2)
+        derived = DenseStandardStore((8, 8))
+        derived.set_region(
+            [np.arange(8), np.arange(8)], once
+        )
+        twice = rollup_sum_standard(derived, 1)
+        assert np.allclose(
+            twice, standard_dwt(data.sum(axis=2).sum(axis=1))
+        )
+
+    def test_validation(self):
+        __, store = _loaded((8, 8))
+        with pytest.raises(ValueError):
+            rollup_sum_standard(store, 2)
+        one_d = DenseStandardStore((8,))
+        with pytest.raises(ValueError):
+            rollup_sum_standard(one_d, 0)
+
+
+class TestSlice:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_slice_equals_transform_of_sliced_data(self, position, seed):
+        data, store = _loaded((16, 8), seed=seed % 50)
+        sliced = slice_standard(store, 0, position)
+        expected = standard_dwt(data[position, :])
+        assert np.allclose(sliced, expected)
+
+    def test_slice_middle_axis(self):
+        data, store = _loaded((4, 8, 4))
+        sliced = slice_standard(store, 1, 5)
+        assert np.allclose(sliced, standard_dwt(data[:, 5, :]))
+
+    def test_slice_io_is_logarithmic_hyperplanes(self):
+        data, store = _loaded((16, 16))
+        store.stats.reset()
+        slice_standard(store, 0, 7)
+        assert store.stats.coefficient_reads == (4 + 1) * 16
+
+    def test_validation(self):
+        __, store = _loaded((8, 8))
+        with pytest.raises(ValueError):
+            slice_standard(store, 3, 0)
+        one_d = DenseStandardStore((8,))
+        with pytest.raises(ValueError):
+            slice_standard(one_d, 0, 0)
+
+
+class TestDice:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_dice_is_the_regions_own_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        data, store = _loaded((16, 32), seed=seed % 50)
+        corner = (int(rng.integers(0, 4)) * 4, int(rng.integers(0, 4)) * 8)
+        diced = dice_transform_standard(store, corner, (4, 8))
+        expected = standard_dwt(
+            data[corner[0] : corner[0] + 4, corner[1] : corner[1] + 8]
+        )
+        assert np.allclose(diced, expected)
+
+    def test_dice_then_invert_matches_extract(self):
+        from repro.core.standard_ops import extract_region_standard
+
+        data, store = _loaded((16, 16))
+        diced = dice_transform_standard(store, (8, 0), (8, 8))
+        assert np.allclose(
+            standard_idwt(diced),
+            extract_region_standard(store, (8, 0), (8, 8)),
+        )
+
+    def test_dice_result_is_restorable(self):
+        """A diced transform can seed a new store — wavelet-domain
+        data movement end to end."""
+        data, store = _loaded((16, 16))
+        diced = dice_transform_standard(store, (0, 8), (8, 8))
+        small = TiledStandardStore((8, 8), block_edge=4, pool_capacity=8)
+        apply_chunk_standard(
+            small, diced, (0, 0), chunk_is_transformed=True
+        )
+        assert np.allclose(small.to_array(), standard_dwt(data[0:8, 8:16]))
+
+    def test_misaligned_rejected(self):
+        __, store = _loaded((16, 16))
+        with pytest.raises(ValueError):
+            dice_transform_standard(store, (2, 0), (4, 4))

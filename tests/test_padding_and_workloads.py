@@ -1,0 +1,116 @@
+"""Tests for padding helpers and query-workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.workloads import point_workload, range_workload
+from repro.util.padding import crop_to_shape, next_power_of_two, pad_to_pow2
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1000) == 1024
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_is_smallest(self, value):
+        result = next_power_of_two(value)
+        assert result >= value
+        assert result & (result - 1) == 0
+        assert result // 2 < value
+
+
+class TestPadding:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=3)
+    )
+    @settings(max_examples=30)
+    def test_roundtrip(self, shape):
+        data = np.random.default_rng(0).normal(size=tuple(shape))
+        padded, original = pad_to_pow2(data)
+        assert all(
+            extent & (extent - 1) == 0 for extent in padded.shape
+        )
+        assert np.allclose(crop_to_shape(padded, original), data)
+
+    def test_padding_is_zeros(self):
+        data = np.ones((3, 5))
+        padded, __ = pad_to_pow2(data)
+        assert padded.shape == (4, 8)
+        assert padded.sum() == 15.0  # only the original cells
+
+    def test_already_pow2_is_a_copy(self):
+        data = np.ones((4, 8))
+        padded, shape = pad_to_pow2(data)
+        padded[0, 0] = 99.0
+        assert data[0, 0] == 1.0
+        assert shape == (4, 8)
+
+    def test_padded_data_transforms_losslessly(self):
+        """The intended pipeline: pad, transform, query, crop."""
+        from repro.core.standard_ops import apply_chunk_standard
+        from repro.reconstruct.region import reconstruct_box_standard
+        from repro.storage.dense import DenseStandardStore
+
+        data = np.random.default_rng(1).normal(size=(6, 11))
+        padded, original = pad_to_pow2(data)
+        store = DenseStandardStore(padded.shape)
+        apply_chunk_standard(store, padded, (0, 0))
+        recovered = crop_to_shape(
+            reconstruct_box_standard(
+                store, (0, 0), padded.shape
+            ),
+            original,
+        )
+        assert np.allclose(recovered, data)
+
+    def test_crop_validation(self):
+        with pytest.raises(ValueError):
+            crop_to_shape(np.zeros((4, 4)), (8, 4))
+        with pytest.raises(ValueError):
+            crop_to_shape(np.zeros((4, 4)), (4,))
+
+
+class TestWorkloads:
+    def test_point_workload_uniform(self):
+        points = list(point_workload((16, 8), 50, seed=1))
+        assert len(points) == 50
+        assert all(0 <= x < 16 and 0 <= y < 8 for x, y in points)
+
+    def test_point_workload_skew_concentrates(self):
+        uniform = list(point_workload((256,), 500, skew=0.0, seed=2))
+        skewed = list(point_workload((256,), 500, skew=8.0, seed=2))
+        assert np.std([p[0] for p in skewed]) < np.std(
+            [p[0] for p in uniform]
+        )
+
+    def test_range_workload_bounds_and_selectivity(self):
+        boxes = list(range_workload((64, 64), 100, selectivity=0.25, seed=3))
+        assert len(boxes) == 100
+        widths = []
+        for lows, highs in boxes:
+            for low, high, extent in zip(lows, highs, (64, 64)):
+                assert 0 <= low <= high < extent
+                widths.append(high - low + 1)
+        assert 8 <= np.mean(widths) <= 32  # around 0.25 * 64
+
+    def test_workloads_are_reproducible(self):
+        first = list(range_workload((32,), 10, seed=7))
+        second = list(range_workload((32,), 10, seed=7))
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(point_workload((8,), -1))
+        with pytest.raises(ValueError):
+            list(point_workload((8,), 1, skew=-1))
+        with pytest.raises(ValueError):
+            list(range_workload((8,), 1, selectivity=0.0))

@@ -1,0 +1,81 @@
+"""Tests for store persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.reconstruct.point import point_query_standard
+from repro.storage.persist import (
+    load_nonstandard_store,
+    load_standard_store,
+    save_nonstandard_store,
+    save_standard_store,
+)
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+from repro.transform.chunked import transform_standard_chunked
+from repro.wavelet.nonstandard import nonstandard_dwt
+
+
+class TestStandardRoundTrip:
+    def test_transform_survives(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(32, 16))
+        store = TiledStandardStore((32, 16), block_edge=4, pool_capacity=64)
+        transform_standard_chunked(store, data, (8, 8))
+        path = tmp_path / "cube.npz"
+        save_standard_store(store, path)
+
+        reopened = load_standard_store(path, pool_capacity=16)
+        assert np.allclose(reopened.to_array(), store.to_array())
+        # And it answers queries.
+        assert np.isclose(
+            point_query_standard(reopened, (13, 7)), data[13, 7]
+        )
+
+    def test_reopened_store_counts_fresh_io(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(16, 16))
+        store = TiledStandardStore((16, 16), block_edge=4, pool_capacity=64)
+        transform_standard_chunked(store, data, (8, 8))
+        path = tmp_path / "cube.npz"
+        save_standard_store(store, path)
+        reopened = load_standard_store(path)
+        assert reopened.stats.block_ios == 0  # loading is uncounted
+        point_query_standard(reopened, (5, 5))
+        assert reopened.stats.block_reads > 0
+
+    def test_reopened_store_accepts_updates(self, tmp_path):
+        from repro.update.batch import batch_update_standard
+        from repro.wavelet.standard import standard_dwt
+
+        data = np.random.default_rng(2).normal(size=(16, 16))
+        store = TiledStandardStore((16, 16), block_edge=4, pool_capacity=64)
+        transform_standard_chunked(store, data, (8, 8))
+        path = tmp_path / "cube.npz"
+        save_standard_store(store, path)
+        reopened = load_standard_store(path, pool_capacity=64)
+        deltas = np.ones((4, 4))
+        batch_update_standard(reopened, deltas, (4, 8))
+        reopened.flush()
+        updated = data.copy()
+        updated[4:8, 8:12] += 1.0
+        assert np.allclose(reopened.to_array(), standard_dwt(updated))
+
+
+class TestNonStandardRoundTrip:
+    def test_transform_survives(self, tmp_path):
+        data = np.random.default_rng(3).normal(size=(16, 16))
+        store = TiledNonStandardStore(16, 2, block_edge=2, pool_capacity=64)
+        apply_chunk_nonstandard(store, data, (0, 0))
+        path = tmp_path / "ns.npz"
+        save_nonstandard_store(store, path)
+        reopened = load_nonstandard_store(path)
+        assert np.allclose(reopened.to_array(), nonstandard_dwt(data))
+
+
+class TestValidation:
+    def test_kind_mismatch_rejected(self, tmp_path):
+        store = TiledStandardStore((8, 8), block_edge=2)
+        store.write_point((1, 1), 1.0)
+        path = tmp_path / "cube.npz"
+        save_standard_store(store, path)
+        with pytest.raises(ValueError):
+            load_nonstandard_store(path)

@@ -1,0 +1,91 @@
+"""Tests for progressive range-sum answering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.standard_ops import apply_chunk_standard
+from repro.reconstruct.progressive import progressive_range_sum_standard
+from repro.reconstruct.rangesum import range_sum_standard
+from repro.storage.dense import DenseStandardStore
+
+
+def _loaded(shape, seed=0, offset=5.0):
+    data = np.random.default_rng(seed).normal(size=shape) + offset
+    store = DenseStandardStore(shape)
+    apply_chunk_standard(store, data, (0,) * len(shape))
+    return data, store
+
+
+class TestExactness:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_final_estimate_is_exact(self, data_strategy):
+        data, store = _loaded((32, 16), seed=data_strategy.draw(st.integers(0, 50)))
+        lows = (
+            data_strategy.draw(st.integers(0, 31)),
+            data_strategy.draw(st.integers(0, 15)),
+        )
+        highs = (
+            data_strategy.draw(st.integers(lows[0], 31)),
+            data_strategy.draw(st.integers(lows[1], 15)),
+        )
+        steps = list(progressive_range_sum_standard(store, lows, highs))
+        assert steps, "must yield at least one estimate"
+        assert steps[-1].exact
+        truth = data[
+            lows[0] : highs[0] + 1, lows[1] : highs[1] + 1
+        ].sum()
+        assert np.isclose(steps[-1].estimate, truth)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_total_io_equals_plain_range_sum(self, data_strategy):
+        data, store = _loaded((32, 32), seed=data_strategy.draw(st.integers(0, 50)))
+        lows = (
+            data_strategy.draw(st.integers(0, 31)),
+            data_strategy.draw(st.integers(0, 31)),
+        )
+        highs = (
+            data_strategy.draw(st.integers(lows[0], 31)),
+            data_strategy.draw(st.integers(lows[1], 31)),
+        )
+        steps = list(progressive_range_sum_standard(store, lows, highs))
+        store.stats.reset()
+        range_sum_standard(store, lows, highs)
+        assert steps[-1].coefficients_read == store.stats.coefficient_reads
+
+
+class TestRefinementBehaviour:
+    def test_reads_are_monotone(self):
+        __, store = _loaded((64, 64), seed=7)
+        steps = list(
+            progressive_range_sum_standard(store, (3, 10), (50, 61))
+        )
+        reads = [step.coefficients_read for step in steps]
+        assert reads == sorted(reads)
+        assert len(steps) > 2  # genuinely progressive
+
+    def test_early_estimate_is_already_close_on_smooth_data(self):
+        """On smooth (offset) data, the first refinements carry most of
+        the mass — the point of progressive answering."""
+        data, store = _loaded((64, 64), seed=9, offset=100.0)
+        lows, highs = (5, 8), (58, 49)
+        truth = data[5:59, 8:50].sum()
+        steps = list(progressive_range_sum_standard(store, lows, highs))
+        halfway = steps[len(steps) // 2]
+        assert abs(halfway.estimate - truth) / abs(truth) < 0.01
+        assert halfway.coefficients_read < steps[-1].coefficients_read
+
+    def test_full_domain_query_is_one_coefficient(self):
+        __, store = _loaded((32, 32), seed=11)
+        steps = list(
+            progressive_range_sum_standard(store, (0, 0), (31, 31))
+        )
+        assert steps[-1].coefficients_read == 1
+
+    def test_rank_mismatch_rejected(self):
+        __, store = _loaded((16, 16))
+        with pytest.raises(ValueError):
+            list(progressive_range_sum_standard(store, (0,), (3,)))

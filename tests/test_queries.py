@@ -1,0 +1,216 @@
+"""Tests for point queries, range sums, and region reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.standard_ops import apply_chunk_standard
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.reconstruct.point import (
+    point_query_cost_nonstandard,
+    point_query_cost_standard,
+    point_query_nonstandard,
+    point_query_standard,
+)
+from repro.reconstruct.rangesum import (
+    range_sum_nonstandard,
+    range_sum_standard,
+    range_sum_weights,
+)
+from repro.reconstruct.region import (
+    cubic_dyadic_cover,
+    reconstruct_box_nonstandard,
+    reconstruct_box_pointwise,
+    reconstruct_box_standard,
+    reconstruct_full_nonstandard,
+    reconstruct_full_standard,
+)
+from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
+from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
+
+
+@pytest.fixture(scope="module")
+def standard_setup():
+    data = np.random.default_rng(0).normal(size=(32, 16))
+    store = DenseStandardStore((32, 16))
+    apply_chunk_standard(store, data, (0, 0))
+    return data, store
+
+
+@pytest.fixture(scope="module")
+def nonstandard_setup():
+    data = np.random.default_rng(1).normal(size=(16, 16))
+    store = DenseNonStandardStore(16, 2)
+    apply_chunk_nonstandard(store, data, (0, 0))
+    return data, store
+
+
+class TestPointQueries:
+    @given(st.integers(0, 31), st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_standard_point(self, x, y):
+        data = np.random.default_rng(0).normal(size=(32, 16))
+        store = DenseStandardStore((32, 16))
+        apply_chunk_standard(store, data, (0, 0))
+        assert np.isclose(point_query_standard(store, (x, y)), data[x, y])
+
+    def test_standard_cost_is_lemma_1_cross_product(self, standard_setup):
+        data, store = standard_setup
+        store.stats.reset()
+        point_query_standard(store, (5, 7))
+        assert store.stats.coefficient_reads == (5 + 1) * (4 + 1)
+        assert point_query_cost_standard((32, 16)) == 30
+
+    def test_nonstandard_point(self, nonstandard_setup):
+        data, store = nonstandard_setup
+        for position in [(0, 0), (7, 12), (15, 15)]:
+            assert np.isclose(
+                point_query_nonstandard(store, position), data[position]
+            )
+
+    def test_nonstandard_cost(self, nonstandard_setup):
+        data, store = nonstandard_setup
+        store.stats.reset()
+        point_query_nonstandard(store, (3, 9))
+        assert store.stats.coefficient_reads == 3 * 4 + 1
+        assert point_query_cost_nonstandard(16, 2) == 13
+
+    def test_out_of_domain_rejected(self, standard_setup):
+        __, store = standard_setup
+        with pytest.raises(ValueError):
+            point_query_standard(store, (32, 0))
+
+    def test_tiled_point_queries_touch_one_tile_per_band_product(self):
+        data = np.random.default_rng(2).normal(size=(64, 64))
+        store = TiledStandardStore((64, 64), block_edge=8, pool_capacity=64)
+        apply_chunk_standard(store, data, (0, 0))
+        store.flush()
+        store.drop_cache()
+        before = store.stats.snapshot()
+        value = point_query_standard(store, (33, 21))
+        assert np.isclose(value, data[33, 21])
+        # 2 bands per axis -> at most 4 blocks.
+        assert store.stats.delta_since(before).block_reads <= 4
+
+
+class TestRangeSumWeights:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_2_bound_and_correctness(self, n, data):
+        size = 1 << n
+        low = data.draw(st.integers(0, size - 1))
+        high = data.draw(st.integers(low, size - 1))
+        vector = np.random.default_rng(
+            data.draw(st.integers(0, 2**31))
+        ).normal(size=size)
+        from repro.wavelet.haar1d import haar_dwt
+
+        indices, weights = range_sum_weights(size, low, high)
+        assert len(indices) <= 2 * n + 1
+        value = float(haar_dwt(vector)[indices] @ weights)
+        assert np.isclose(value, vector[low : high + 1].sum())
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            range_sum_weights(8, 5, 3)
+        with pytest.raises(ValueError):
+            range_sum_weights(8, 0, 8)
+
+
+class TestRangeSums:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_standard_range_sum(self, data):
+        cube, store = (
+            np.random.default_rng(0).normal(size=(32, 16)),
+            None,
+        )
+        store = DenseStandardStore((32, 16))
+        apply_chunk_standard(store, cube, (0, 0))
+        lows = (data.draw(st.integers(0, 31)), data.draw(st.integers(0, 15)))
+        highs = (
+            data.draw(st.integers(lows[0], 31)),
+            data.draw(st.integers(lows[1], 15)),
+        )
+        expected = cube[
+            lows[0] : highs[0] + 1, lows[1] : highs[1] + 1
+        ].sum()
+        assert np.isclose(range_sum_standard(store, lows, highs), expected)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_nonstandard_range_sum(self, data):
+        cube = np.random.default_rng(1).normal(size=(16, 16))
+        store = DenseNonStandardStore(16, 2)
+        apply_chunk_nonstandard(store, cube, (0, 0))
+        lows = (data.draw(st.integers(0, 15)), data.draw(st.integers(0, 15)))
+        highs = (
+            data.draw(st.integers(lows[0], 15)),
+            data.draw(st.integers(lows[1], 15)),
+        )
+        expected = cube[
+            lows[0] : highs[0] + 1, lows[1] : highs[1] + 1
+        ].sum()
+        assert np.isclose(
+            range_sum_nonstandard(store, lows, highs), expected
+        )
+
+
+class TestRegionReconstruction:
+    def test_arbitrary_boxes_standard(self, standard_setup):
+        data, store = standard_setup
+        box = reconstruct_box_standard(store, (3, 2), (19, 13))
+        assert np.allclose(box, data[3:19, 2:13])
+
+    def test_arbitrary_boxes_nonstandard(self, nonstandard_setup):
+        data, store = nonstandard_setup
+        box = reconstruct_box_nonstandard(store, (1, 5), (12, 14))
+        assert np.allclose(box, data[1:12, 5:14])
+
+    def test_pointwise_baseline(self, standard_setup):
+        data, store = standard_setup
+        box = reconstruct_box_pointwise(store, (4, 4), (7, 8))
+        assert np.allclose(box, data[4:7, 4:8])
+
+    def test_pointwise_nonstandard(self, nonstandard_setup):
+        data, store = nonstandard_setup
+        box = reconstruct_box_pointwise(
+            store, (4, 4), (6, 6), form="nonstandard"
+        )
+        assert np.allclose(box, data[4:6, 4:6])
+
+    def test_full_reconstruction(self, standard_setup, nonstandard_setup):
+        data_std, store_std = standard_setup
+        assert np.allclose(reconstruct_full_standard(store_std), data_std)
+        data_ns, store_ns = nonstandard_setup
+        assert np.allclose(reconstruct_full_nonstandard(store_ns), data_ns)
+
+    def test_tiled_region_reconstruction(self):
+        data = np.random.default_rng(3).normal(size=(16, 16))
+        store = TiledNonStandardStore(16, 2, block_edge=2, pool_capacity=32)
+        apply_chunk_nonstandard(store, data, (0, 0))
+        box = reconstruct_box_nonstandard(store, (2, 3), (11, 15))
+        assert np.allclose(box, data[2:11, 3:15])
+
+    def test_unknown_form_rejected(self, standard_setup):
+        __, store = standard_setup
+        with pytest.raises(ValueError):
+            reconstruct_box_pointwise(store, (0, 0), (2, 2), form="magic")
+
+
+class TestCubicCover:
+    def test_pieces_are_cubic_disjoint_and_cover(self):
+        boxes = list(cubic_dyadic_cover((1, 2), (7, 11)))
+        seen = set()
+        for box in boxes:
+            assert box.is_cubic()
+            edge = box.intervals[0].length
+            for interval in box.intervals:
+                assert interval.length == edge
+                assert interval.start % edge == 0
+            for x in range(box.intervals[0].start, box.intervals[0].stop):
+                for y in range(box.intervals[1].start, box.intervals[1].stop):
+                    assert (x, y) not in seen
+                    seen.add((x, y))
+        assert seen == {(x, y) for x in range(1, 7) for y in range(2, 11)}

@@ -1,0 +1,23 @@
+"""Guard: the README quickstart must actually run."""
+
+import re
+from pathlib import Path
+
+
+def test_readme_quickstart_executes():
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), re.S)
+    assert blocks, "README must contain a python quickstart block"
+    quickstart = blocks[0]
+    namespace = {}
+    exec(compile(quickstart, "README-quickstart", "exec"), namespace)
+    # The quickstart builds a store and queries it.
+    assert "store" in namespace
+
+
+def test_readme_mentions_every_example():
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    for script in examples.glob("*.py"):
+        assert script.name in text, f"README must list {script.name}"

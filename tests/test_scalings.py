@@ -1,0 +1,86 @@
+"""Tests for the redundant per-tile scalings and single-block queries
+(Section 3's query-cost claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reconstruct.scalings import (
+    point_query_single_tile,
+    populate_scalings_standard,
+)
+from repro.storage.tiled import TiledStandardStore
+from repro.transform.chunked import transform_standard_chunked
+
+
+def _loaded_store(shape, block_edge, seed=0, pool=512):
+    data = np.random.default_rng(seed).normal(size=shape)
+    store = TiledStandardStore(shape, block_edge=block_edge, pool_capacity=pool)
+    chunk = tuple(min(8, extent) for extent in shape)
+    transform_standard_chunked(store, data, chunk)
+    return data, store
+
+
+class TestPopulate:
+    def test_writes_every_tile(self):
+        __, store = _loaded_store((64,), 8)
+        written = populate_scalings_standard(store)
+        assert written == store.tiling.num_tiles
+
+    def test_slot_zero_holds_the_subtree_scaling(self):
+        """In 1-d, slot 0 of tile (band, p) must equal u_{r,p} — the
+        average of the data over the subtree's support."""
+        data, store = _loaded_store((64,), 8)
+        populate_scalings_standard(store)
+        tiling = store.tiling.dim(0)
+        for band in range(tiling.num_bands):
+            for root in range(tiling.tiles_in_band(band)):
+                level, position = tiling.scaling_of_tile((band, root))
+                stored = store.tile_store.read_slot(((band, root),), 0)
+                expected = data[
+                    position << level : (position + 1) << level
+                ].mean()
+                assert np.isclose(stored, expected), (band, root)
+
+    def test_preserves_the_transform_itself(self):
+        data, store = _loaded_store((32, 16), 4)
+        before = store.to_array()
+        populate_scalings_standard(store)
+        assert np.allclose(store.to_array(), before)
+
+
+class TestSingleTileQuery:
+    @given(
+        st.sampled_from([((64,), 8), ((32, 16), 4), ((16, 16), 4)]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_exact_values(self, config, seed):
+        shape, block_edge = config
+        data, store = _loaded_store(shape, block_edge, seed=seed % 100)
+        populate_scalings_standard(store)
+        rng = np.random.default_rng(seed)
+        for __ in range(5):
+            position = tuple(
+                int(rng.integers(0, extent)) for extent in shape
+            )
+            assert np.isclose(
+                point_query_single_tile(store, position), data[position]
+            )
+
+    def test_exactly_one_block_read(self):
+        data, store = _loaded_store((64, 64), 8)
+        populate_scalings_standard(store)
+        store.drop_cache()
+        before = store.stats.snapshot()
+        point_query_single_tile(store, (41, 13))
+        assert store.stats.delta_since(before).block_reads == 1
+
+    def test_out_of_domain_rejected(self):
+        __, store = _loaded_store((16, 16), 4)
+        populate_scalings_standard(store)
+        with pytest.raises(ValueError):
+            point_query_single_tile(store, (16, 0))
+        with pytest.raises(ValueError):
+            point_query_single_tile(store, (0,))

@@ -1,0 +1,88 @@
+"""Tests for the non-standard per-tile scalings and single-block
+queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.reconstruct.scalings_ns import (
+    point_query_single_tile_nonstandard,
+    populate_scalings_nonstandard,
+)
+from repro.storage.tiled import TiledNonStandardStore
+
+
+def _loaded(size, ndim, block_edge, seed=0):
+    data = np.random.default_rng(seed).normal(size=(size,) * ndim)
+    store = TiledNonStandardStore(
+        size, ndim, block_edge=block_edge, pool_capacity=512
+    )
+    apply_chunk_nonstandard(store, data, (0,) * ndim)
+    return data, store
+
+
+class TestPopulate:
+    def test_writes_every_tile(self):
+        __, store = _loaded(16, 2, 4)
+        assert populate_scalings_nonstandard(store) == store.tiling.num_tiles
+
+    def test_slot_zero_is_the_support_average(self):
+        data, store = _loaded(16, 2, 2)
+        populate_scalings_nonstandard(store)
+        tiling = store.tiling
+        for band in range(tiling.num_bands):
+            root_level = tiling.band_root_level(band)
+            edge = 1 << root_level
+            side = 16 >> root_level
+            for root in np.ndindex(side, side):
+                stored = store.tile_store.read_slot((band, tuple(root)), 0)
+                expected = data[
+                    root[0] * edge : (root[0] + 1) * edge,
+                    root[1] * edge : (root[1] + 1) * edge,
+                ].mean()
+                assert np.isclose(stored, expected), (band, root)
+
+    def test_preserves_the_transform(self):
+        data, store = _loaded(16, 2, 4)
+        before = store.to_array()
+        populate_scalings_nonstandard(store)
+        assert np.allclose(store.to_array(), before)
+
+
+class TestSingleTileQuery:
+    @given(
+        st.sampled_from([(16, 2, 2), (8, 3, 2), (32, 1, 4)]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_exact_values(self, config, seed):
+        size, ndim, block_edge = config
+        data, store = _loaded(size, ndim, block_edge, seed=seed % 50)
+        populate_scalings_nonstandard(store)
+        rng = np.random.default_rng(seed)
+        for __ in range(5):
+            position = tuple(
+                int(rng.integers(0, size)) for __ in range(ndim)
+            )
+            assert np.isclose(
+                point_query_single_tile_nonstandard(store, position),
+                data[position],
+            )
+
+    def test_one_block_read(self):
+        data, store = _loaded(16, 2, 4)
+        populate_scalings_nonstandard(store)
+        store.drop_cache()
+        before = store.stats.snapshot()
+        point_query_single_tile_nonstandard(store, (9, 3))
+        assert store.stats.delta_since(before).block_reads == 1
+
+    def test_bounds_checked(self):
+        __, store = _loaded(16, 2, 4)
+        populate_scalings_nonstandard(store)
+        with pytest.raises(ValueError):
+            point_query_single_tile_nonstandard(store, (16, 0))
+        with pytest.raises(ValueError):
+            point_query_single_tile_nonstandard(store, (0,))

@@ -1,0 +1,161 @@
+"""Unit and property tests for the 1-d SHIFT and SPLIT operations —
+the paper's central algebra (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shiftsplit1d import (
+    axis_shift_split,
+    shift_target_indices,
+    split_contributions,
+    split_weights,
+)
+from repro.wavelet.haar1d import haar_dwt
+
+geometries = st.tuples(
+    st.integers(min_value=0, max_value=8),  # m
+    st.integers(min_value=0, max_value=4),  # extra levels (n - m)
+).flatmap(
+    lambda pair: st.tuples(
+        st.just(1 << (pair[0] + pair[1])),  # N
+        st.just(1 << pair[0]),  # M
+        st.integers(min_value=0, max_value=(1 << pair[1]) - 1),  # k
+    )
+)
+
+
+class TestAgainstDirectTransform:
+    """The defining property: DWT of a zero vector with chunk b at
+    dyadic slot k equals SHIFT(details of b̂) plus SPLIT(average)."""
+
+    @given(geometries, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_split_assembles_embedded_transform(
+        self, geometry, seed
+    ):
+        size, chunk, translation = geometry
+        rng = np.random.default_rng(seed)
+        block = rng.normal(size=chunk)
+        embedded = np.zeros(size)
+        embedded[translation * chunk : (translation + 1) * chunk] = block
+        direct = haar_dwt(embedded)
+
+        assembled = np.zeros(size)
+        block_hat = haar_dwt(block)
+        targets = shift_target_indices(size, chunk, translation)
+        for local in range(1, chunk):
+            assembled[targets[local]] = block_hat[local]
+        for index, delta in split_contributions(
+            size, chunk, translation, float(block_hat[0])
+        ):
+            assembled[index] += delta
+        assert np.allclose(assembled, direct)
+
+    @given(geometries, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_axis_map_is_equivalent(self, geometry, seed):
+        """The packed AxisShiftSplit reproduces the two raw maps."""
+        size, chunk, translation = geometry
+        rng = np.random.default_rng(seed)
+        block_hat = haar_dwt(rng.normal(size=chunk))
+        axis_map = axis_shift_split(size, chunk, translation)
+        assembled = np.zeros(size)
+        np.add.at(
+            assembled,
+            axis_map.target,
+            block_hat[axis_map.source] * axis_map.weight,
+        )
+        # Rebuild via the raw maps for the comparison.
+        expected = np.zeros(size)
+        targets = shift_target_indices(size, chunk, translation)
+        for local in range(1, chunk):
+            expected[targets[local]] = block_hat[local]
+        for index, delta in split_contributions(
+            size, chunk, translation, float(block_hat[0])
+        ):
+            expected[index] += delta
+        assert np.allclose(assembled, expected)
+
+
+class TestShiftTargets:
+    def test_identity_when_chunk_is_whole_domain(self):
+        targets = shift_target_indices(16, 16, 0)
+        assert targets[0] == -1
+        assert np.array_equal(targets[1:], np.arange(1, 16))
+
+    def test_level_preservation(self):
+        """SHIFT re-indexes within the same level: w^b_{j,i} lands at
+        w^a_{j, k 2^{m-j} + i}."""
+        from repro.wavelet.layout import index_to_detail
+
+        size, chunk, translation = 64, 8, 5
+        targets = shift_target_indices(size, chunk, translation)
+        for local in range(1, chunk):
+            level_b, i = index_to_detail(3, local)
+            level_a, k = index_to_detail(6, int(targets[local]))
+            assert level_a == level_b
+            assert k == translation * (1 << (3 - level_b)) + i
+
+    def test_single_cell_chunk_has_no_shift(self):
+        targets = shift_target_indices(8, 1, 3)
+        assert targets.shape == (1,)
+        assert targets[0] == -1
+
+    def test_bad_translation_rejected(self):
+        with pytest.raises(ValueError):
+            shift_target_indices(16, 4, 4)
+        with pytest.raises(ValueError):
+            shift_target_indices(16, 32, 0)
+
+
+class TestSplitWeights:
+    def test_paper_magnitudes(self):
+        """δw_{j,·} = ± u / 2^{j-m}, δu = u / 2^{n-m}."""
+        size, chunk = 64, 8  # n = 6, m = 3
+        indices, weights = split_weights(size, chunk, 0)
+        assert len(indices) == 4  # levels 4, 5, 6 + scaling
+        assert np.allclose(np.abs(weights), [1 / 2, 1 / 4, 1 / 8, 1 / 8])
+        assert indices[-1] == 0
+
+    def test_signs_track_halves(self):
+        """A chunk in the right half of a support contributes
+        negatively at that level."""
+        indices, weights = split_weights(16, 4, 3)  # k=3: right, right
+        assert np.allclose(weights, [-1 / 2, -1 / 4, 1 / 4])
+
+    def test_whole_domain_chunk_only_touches_scaling(self):
+        indices, weights = split_weights(8, 8, 0)
+        assert list(indices) == [0]
+        assert list(weights) == [1.0]
+
+    @given(geometries)
+    @settings(max_examples=40)
+    def test_split_indices_lie_on_root_path(self, geometry):
+        from repro.wavelet.layout import index_to_detail
+
+        size, chunk, translation = geometry
+        n = size.bit_length() - 1
+        m = chunk.bit_length() - 1
+        indices, __ = split_weights(size, chunk, translation)
+        for index in indices[:-1]:
+            level, position = index_to_detail(n, int(index))
+            assert m < level <= n
+            assert position == translation >> (level - m)
+
+
+class TestAxisMapStructure:
+    def test_entry_count_is_m_plus_n_minus_m(self):
+        axis_map = axis_shift_split(64, 8, 2)
+        assert axis_map.num_entries == 8 + (6 - 3)
+        assert axis_map.num_shift == 7
+
+    def test_inverse_weights_are_signs(self):
+        axis_map = axis_shift_split(64, 8, 5)
+        split = axis_map.split_slice()
+        assert np.allclose(np.abs(axis_map.inverse_weight[split]), 1.0)
+        assert np.allclose(
+            np.sign(axis_map.weight[split][:-1]),
+            axis_map.inverse_weight[split][:-1],
+        )

@@ -1,0 +1,134 @@
+"""Tests for the sparse-data transform variant and the non-standard
+cubic expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.append.nonstandard import expand_nonstandard
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.datasets.synthetic import sparse_cube
+from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
+from repro.storage.tiled import TiledNonStandardStore
+from repro.transform.chunked import (
+    transform_nonstandard_chunked,
+    transform_standard_chunked,
+)
+from repro.wavelet.nonstandard import nonstandard_dwt
+from repro.wavelet.standard import standard_dwt
+
+
+class TestSparseTransforms:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_standard_skipping_is_lossless(self, seed):
+        data = sparse_cube((32, 32), density=0.02, seed=seed % 100)
+        store = DenseStandardStore((32, 32))
+        report = transform_standard_chunked(
+            store, data, (4, 4), skip_zero_chunks=True
+        )
+        assert np.allclose(store.to_array(), standard_dwt(data))
+        assert report.extras["skipped_chunks"] > 0
+        assert report.chunks + report.extras["skipped_chunks"] == 64
+
+    @given(
+        st.sampled_from(["zorder", "rowmajor"]),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_nonstandard_skipping_is_lossless(self, order, buffered, seed):
+        data = sparse_cube((32, 32), density=0.02, seed=seed % 100)
+        store = DenseNonStandardStore(32, 2)
+        report = transform_nonstandard_chunked(
+            store,
+            data,
+            4,
+            order=order,
+            buffer_crest=buffered,
+            skip_zero_chunks=True,
+        )
+        assert np.allclose(store.to_array(), nonstandard_dwt(data))
+        assert report.extras["skipped_chunks"] > 0
+
+    def test_io_tracks_occupancy_not_domain(self):
+        dense_data = sparse_cube((64, 64), density=1.0, seed=1)
+        sparse_data = sparse_cube((64, 64), density=0.005, seed=1)
+        full_store = DenseStandardStore((64, 64))
+        full = transform_standard_chunked(
+            full_store, dense_data, (8, 8), skip_zero_chunks=True
+        )
+        thin_store = DenseStandardStore((64, 64))
+        thin = transform_standard_chunked(
+            thin_store, sparse_data, (8, 8), skip_zero_chunks=True
+        )
+        assert thin.coefficient_ios < full.coefficient_ios / 2
+
+    def test_all_zero_dataset_costs_nothing(self):
+        store = DenseStandardStore((16, 16))
+        report = transform_standard_chunked(
+            store, np.zeros((16, 16)), (4, 4), skip_zero_chunks=True
+        )
+        assert report.coefficient_ios == 0
+        assert report.chunks == 0
+
+
+class TestNonStandardExpansion:
+    @given(
+        st.sampled_from([(8, 1), (8, 2), (4, 3)]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_expansion_equals_zero_padded_transform(self, geometry, seed):
+        size, ndim = geometry
+        data = np.random.default_rng(seed).normal(size=(size,) * ndim)
+        old = DenseNonStandardStore(size, ndim)
+        apply_chunk_nonstandard(old, data, (0,) * ndim)
+        new = DenseNonStandardStore(2 * size, ndim)
+        expand_nonstandard(old, new)
+        padded = np.zeros((2 * size,) * ndim)
+        padded[tuple(slice(0, size) for __ in range(ndim))] = data
+        assert np.allclose(new.to_array(), nonstandard_dwt(padded))
+
+    def test_expanded_store_accepts_new_chunks(self):
+        """After expansion the other three quadrants can be filled by
+        ordinary SHIFT-SPLIT chunk loads."""
+        rng = np.random.default_rng(5)
+        quadrants = rng.normal(size=(2, 2, 8, 8))
+        old = DenseNonStandardStore(8, 2)
+        apply_chunk_nonstandard(old, quadrants[0, 0], (0, 0))
+        new = DenseNonStandardStore(16, 2)
+        expand_nonstandard(old, new)
+        for gx in range(2):
+            for gy in range(2):
+                if gx == 0 and gy == 0:
+                    continue
+                apply_chunk_nonstandard(
+                    new, quadrants[gx, gy], (gx, gy), fresh=False
+                )
+        full = np.block(
+            [
+                [quadrants[0, 0], quadrants[0, 1]],
+                [quadrants[1, 0], quadrants[1, 1]],
+            ]
+        )
+        assert np.allclose(new.to_array(), nonstandard_dwt(full))
+
+    def test_tiled_expansion(self):
+        data = np.random.default_rng(6).normal(size=(8, 8))
+        old = TiledNonStandardStore(8, 2, block_edge=2, pool_capacity=32)
+        apply_chunk_nonstandard(old, data, (0, 0))
+        new = TiledNonStandardStore(16, 2, block_edge=2, pool_capacity=32)
+        expand_nonstandard(old, new)
+        new.flush()
+        padded = np.zeros((16, 16))
+        padded[:8, :8] = data
+        assert np.allclose(new.to_array(), nonstandard_dwt(padded))
+
+    def test_size_mismatch_rejected(self):
+        old = DenseNonStandardStore(8, 2)
+        with pytest.raises(ValueError):
+            expand_nonstandard(old, DenseNonStandardStore(8, 2))
+        with pytest.raises(ValueError):
+            expand_nonstandard(old, DenseNonStandardStore(16, 3))

@@ -1,0 +1,95 @@
+"""Unit and property tests for the standard multidimensional form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelet.standard import (
+    standard_basis_norm,
+    standard_dwt,
+    standard_dwt_axis,
+    standard_idwt,
+)
+
+shapes = st.lists(
+    st.sampled_from([2, 4, 8, 16]), min_size=1, max_size=3
+).map(tuple)
+
+
+class TestRoundTrip:
+    @given(shapes, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, shape, seed):
+        data = np.random.default_rng(seed).normal(size=shape)
+        assert np.allclose(standard_idwt(standard_dwt(data)), data)
+
+    def test_non_square_shapes(self):
+        data = np.random.default_rng(0).normal(size=(4, 32, 8))
+        assert np.allclose(standard_idwt(standard_dwt(data)), data)
+
+
+class TestStructure:
+    def test_axis_order_independence(self):
+        """Per-dimension decompositions commute."""
+        data = np.random.default_rng(1).normal(size=(8, 8))
+        ab = standard_dwt_axis(standard_dwt_axis(data, 0), 1)
+        ba = standard_dwt_axis(standard_dwt_axis(data, 1), 0)
+        assert np.allclose(ab, ba)
+        assert np.allclose(ab, standard_dwt(data))
+
+    def test_origin_is_grand_mean(self):
+        data = np.random.default_rng(2).normal(size=(16, 8))
+        assert np.isclose(standard_dwt(data)[0, 0], data.mean())
+
+    def test_separability(self):
+        """The transform of an outer product is the outer product of
+        the 1-d transforms."""
+        from repro.wavelet.haar1d import haar_dwt
+
+        rng = np.random.default_rng(3)
+        u, v = rng.normal(size=8), rng.normal(size=16)
+        outer = np.outer(u, v)
+        assert np.allclose(
+            standard_dwt(outer), np.outer(haar_dwt(u), haar_dwt(v))
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            standard_dwt(np.zeros((4, 6)))
+
+
+class TestBasisNorm:
+    def test_matches_explicit_basis_vector(self):
+        """standard_basis_norm equals the L2 norm of the actual basis
+        function: put a 1 at one coefficient and invert."""
+        shape = (8, 16)
+        rng = np.random.default_rng(4)
+        for __ in range(20):
+            position = tuple(rng.integers(0, extent) for extent in shape)
+            coeffs = np.zeros(shape)
+            coeffs[position] = 1.0
+            basis_function = standard_idwt(coeffs)
+            assert np.isclose(
+                np.linalg.norm(basis_function),
+                standard_basis_norm(shape, position),
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            standard_basis_norm((8, 8), (0,))
+
+
+class TestParsevalViaNorms:
+    def test_weighted_coefficients_preserve_energy(self):
+        """Unnormalised coefficients scaled by their basis norms carry
+        the data's L2 energy (the top-K ranking rationale)."""
+        shape = (8, 8)
+        data = np.random.default_rng(5).normal(size=shape)
+        hat = standard_dwt(data)
+        weighted = np.empty_like(hat)
+        for position in np.ndindex(*shape):
+            weighted[position] = hat[position] * standard_basis_norm(
+                shape, position
+            )
+        assert np.isclose(np.linalg.norm(weighted), np.linalg.norm(data))

@@ -1,0 +1,126 @@
+"""Tests for multidimensional standard-form SHIFT-SPLIT application and
+inverse (Sections 4.1 and 5.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.standard_ops import (
+    apply_chunk_standard,
+    chunk_axis_maps,
+    contribution_tensor,
+    extract_region_standard,
+    shift_split_region_counts,
+)
+from repro.storage.dense import DenseStandardStore
+from repro.wavelet.standard import standard_dwt
+
+configurations = st.lists(
+    st.tuples(
+        st.sampled_from([1, 2]),  # log2 chunk extent
+        st.integers(min_value=0, max_value=2),  # extra levels
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _geometry(config):
+    domain = tuple(1 << (m + extra) for m, extra in config)
+    chunk = tuple(1 << m for m, __ in config)
+    return domain, chunk
+
+
+class TestChunkedAssembly:
+    @given(configurations, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_all_chunks_assemble_full_transform(self, config, seed):
+        domain, chunk = _geometry(config)
+        data = np.random.default_rng(seed).normal(size=domain)
+        store = DenseStandardStore(domain)
+        grid = tuple(n // m for n, m in zip(domain, chunk))
+        for position in np.ndindex(*grid):
+            selector = tuple(
+                slice(g * m, (g + 1) * m) for g, m in zip(position, chunk)
+            )
+            apply_chunk_standard(store, data[selector], position)
+        assert np.allclose(store.to_array(), standard_dwt(data))
+
+    def test_update_mode_accumulates(self):
+        """fresh=False implements Example 2: batch updates add to an
+        existing transform."""
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(16, 16))
+        delta = rng.normal(size=(4, 4))
+        store = DenseStandardStore((16, 16))
+        apply_chunk_standard(store, base, (0, 0), fresh=True)
+        apply_chunk_standard(store, delta, (2, 1), fresh=False)
+        updated = base.copy()
+        updated[8:12, 4:8] += delta
+        assert np.allclose(store.to_array(), standard_dwt(updated))
+
+    def test_pretransformed_chunk_accepted(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(8,))
+        store = DenseStandardStore((16,))
+        apply_chunk_standard(
+            store, standard_dwt(data), (1,), chunk_is_transformed=True
+        )
+        expected = np.zeros(16)
+        expected[8:] = data
+        assert np.allclose(store.to_array(), standard_dwt(expected))
+
+    def test_rank_mismatch_rejected(self):
+        store = DenseStandardStore((8, 8))
+        with pytest.raises(ValueError):
+            apply_chunk_standard(store, np.zeros((4,)), (0,))
+
+
+class TestContributionTensor:
+    def test_counts_match_section_4_1(self):
+        """SHIFT affects (M-1)^d coefficients; SPLIT
+        (M + n - m)^d - (M-1)^d."""
+        counts = shift_split_region_counts((64, 64), (8, 8))
+        assert counts["shift"] == 7 * 7
+        assert counts["total"] == (8 + 3) ** 2
+        assert counts["split"] == 11**2 - 49
+
+    def test_tensor_shape(self):
+        maps = chunk_axis_maps((64, 32), (8, 4), (0, 0))
+        tensor = contribution_tensor(np.zeros((8, 4)), maps)
+        assert tensor.shape == (8 + 3, 4 + 3)
+
+
+class TestExtraction:
+    @given(configurations, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_extract_inverts_any_dyadic_region(self, config, seed):
+        domain, chunk = _geometry(config)
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=domain)
+        store = DenseStandardStore(domain)
+        apply_chunk_standard(store, data, (0,) * len(domain))
+        grid = tuple(n // m for n, m in zip(domain, chunk))
+        position = tuple(int(rng.integers(0, g)) for g in grid)
+        corner = tuple(g * m for g, m in zip(position, chunk))
+        region = extract_region_standard(store, corner, chunk)
+        selector = tuple(
+            slice(c, c + m) for c, m in zip(corner, chunk)
+        )
+        assert np.allclose(region, data[selector])
+
+    def test_misaligned_corner_rejected(self):
+        store = DenseStandardStore((16, 16))
+        with pytest.raises(ValueError):
+            extract_region_standard(store, (2, 0), (4, 4))
+
+    def test_extraction_cost_matches_result_6(self):
+        """(M + log(N/M))^d coefficient reads."""
+        rng = np.random.default_rng(9)
+        data = rng.normal(size=(64, 64))
+        store = DenseStandardStore((64, 64))
+        apply_chunk_standard(store, data, (0, 0))
+        store.stats.reset()
+        extract_region_standard(store, (16, 32), (8, 8))
+        assert store.stats.coefficient_reads == (8 + 3) ** 2

@@ -1,0 +1,133 @@
+"""Tests for the 1-d stream synopsis (Result 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.stream1d import StreamSynopsis1D
+from repro.wavelet.haar1d import haar_dwt
+from repro.wavelet.layout import index_level
+
+
+def _significances(transform, n):
+    weights = np.empty_like(transform)
+    for index in range(transform.size):
+        weights[index] = abs(transform[index]) * 2.0 ** (
+            index_level(n, index) / 2.0
+        )
+    return weights
+
+
+class TestExactness:
+    @given(
+        st.sampled_from([1, 4, 16]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_full_k_recovers_the_signal(self, buffer_size, seed):
+        size = 64
+        data = np.random.default_rng(seed).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=buffer_size)
+        synopsis.extend(data)
+        assert np.allclose(synopsis.estimate(), data)
+
+    @given(
+        st.sampled_from([1, 8]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_finalised_coefficients_match_offline_transform(
+        self, buffer_size, seed
+    ):
+        size = 64
+        data = np.random.default_rng(seed).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=buffer_size)
+        synopsis.extend(data)
+        offline = haar_dwt(data)
+        for index, value in synopsis.synopsis().items():
+            assert np.isclose(value, offline[index]), index
+
+    def test_buffer_size_does_not_change_the_synopsis(self):
+        size, k = 256, 12
+        data = np.random.default_rng(5).normal(size=size)
+        baseline = StreamSynopsis1D(size, k=k, buffer_size=1)
+        buffered = StreamSynopsis1D(size, k=k, buffer_size=32)
+        baseline.extend(data)
+        buffered.extend(data)
+        base_items = baseline.synopsis()
+        buff_items = buffered.synopsis()
+        for index in set(base_items) & set(buff_items):
+            assert np.isclose(base_items[index], buff_items[index])
+        # At least K-1 agreement (ties may be broken differently).
+        assert len(set(base_items) & set(buff_items)) >= k - 1
+
+    def test_topk_is_offline_best_k(self):
+        size, k = 128, 8
+        data = np.random.default_rng(6).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=k, buffer_size=16)
+        synopsis.extend(data)
+        offline = haar_dwt(data)
+        significances = _significances(offline, 7)
+        best = set(np.argsort(-significances)[:k])
+        got = set(synopsis.synopsis().keys())
+        assert len(best & got) >= k - 1  # ties
+
+
+class TestCostModel:
+    @given(st.sampled_from([1, 2, 8, 32]))
+    @settings(max_examples=10, deadline=None)
+    def test_crest_updates_match_result_3(self, buffer_size):
+        """(log(N/B) + 1) crest updates per flushed buffer."""
+        size = 256
+        data = np.zeros(size)
+        synopsis = StreamSynopsis1D(size, k=4, buffer_size=buffer_size)
+        synopsis.extend(data)
+        n = 8
+        b = buffer_size.bit_length() - 1
+        flushes = size // buffer_size
+        assert synopsis.crest_updates == flushes * ((n - b) + 1)
+
+    def test_memory_bound(self):
+        """Peak live memory <= B + log(N/B) + 1."""
+        size, buffer_size = 1024, 16
+        synopsis = StreamSynopsis1D(size, k=4, buffer_size=buffer_size)
+        synopsis.extend(np.random.default_rng(7).normal(size=size))
+        assert synopsis.max_live_coefficients <= buffer_size + (10 - 4) + 1
+
+    def test_all_coefficients_eventually_finalise(self):
+        size = 128
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=8)
+        synopsis.extend(np.ones(size))
+        assert synopsis.finalized == size
+        assert synopsis.live_coefficients() == 0
+
+
+class TestPrefixSemantics:
+    def test_estimate_with_crest_is_exact_on_seen_prefix(self):
+        size = 64
+        data = np.random.default_rng(8).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=4)
+        synopsis.extend(data[:40])
+        estimate = synopsis.estimate_with_crest()
+        assert np.allclose(estimate[:40], data[:40])
+        # The unseen suffix is a smooth extension, not garbage.
+        assert np.all(np.isfinite(estimate))
+
+
+class TestValidation:
+    def test_overflow_rejected(self):
+        synopsis = StreamSynopsis1D(4, k=2, buffer_size=1)
+        synopsis.extend([1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            synopsis.push(5.0)
+
+    def test_buffer_larger_than_domain_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSynopsis1D(8, k=2, buffer_size=16)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSynopsis1D(9, k=2)
+        with pytest.raises(ValueError):
+            StreamSynopsis1D(8, k=2, buffer_size=3)

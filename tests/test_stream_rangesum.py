@@ -1,0 +1,60 @@
+"""Tests for range-sum estimation straight from a stream synopsis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.stream1d import StreamSynopsis1D
+
+
+class TestStreamRangeSum:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_with_full_k(self, data_strategy):
+        size = 128
+        seed = data_strategy.draw(st.integers(0, 100))
+        stream = np.random.default_rng(seed).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=8)
+        synopsis.extend(stream)
+        low = data_strategy.draw(st.integers(0, size - 1))
+        high = data_strategy.draw(st.integers(low, size - 1))
+        estimate = synopsis.range_sum_estimate(low, high)
+        assert np.isclose(estimate, stream[low : high + 1].sum())
+
+    def test_exact_on_seen_prefix_with_crest(self):
+        size = 256
+        stream = np.random.default_rng(1).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=16)
+        synopsis.extend(stream[:160])
+        # Ranges inside the seen prefix are exact when crest included.
+        assert np.isclose(
+            synopsis.range_sum_estimate(10, 150),
+            stream[10:151].sum(),
+        )
+
+    def test_small_k_estimate_is_reasonable(self):
+        """With few terms on smooth data, relative error stays small."""
+        size = 1024
+        time = np.arange(size)
+        stream = 50.0 + np.sin(2 * np.pi * time / size) * 10.0
+        synopsis = StreamSynopsis1D(size, k=16, buffer_size=32)
+        synopsis.extend(stream)
+        truth = stream[100:900].sum()
+        estimate = synopsis.range_sum_estimate(100, 899)
+        assert abs(estimate - truth) / abs(truth) < 0.05
+
+    def test_crest_flag(self):
+        size = 64
+        stream = np.random.default_rng(2).normal(size=size)
+        synopsis = StreamSynopsis1D(size, k=size, buffer_size=4)
+        synopsis.extend(stream[:32])
+        with_crest = synopsis.range_sum_estimate(0, 31, include_crest=True)
+        without = synopsis.range_sum_estimate(0, 31, include_crest=False)
+        assert np.isclose(with_crest, stream[:32].sum())
+        assert not np.isclose(without, with_crest)
+
+    def test_invalid_range_rejected(self):
+        synopsis = StreamSynopsis1D(16, k=4)
+        with pytest.raises(ValueError):
+            synopsis.range_sum_estimate(8, 4)

@@ -1,0 +1,120 @@
+"""Tests for the multidimensional stream synopses (Results 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.streams.streamnd import (
+    NonStandardStreamSynopsis,
+    StandardStreamSynopsis,
+)
+from repro.wavelet.standard import standard_dwt
+
+
+class TestStandardStream:
+    def test_full_k_recovers_the_cube(self):
+        fixed, time_domain = (4, 8), 16
+        rng = np.random.default_rng(0)
+        cube = rng.normal(size=fixed + (time_domain,))
+        synopsis = StandardStreamSynopsis(
+            fixed, time_domain, k=cube.size, time_buffer=4
+        )
+        for t in range(time_domain):
+            synopsis.push_slab(cube[..., t])
+        assert np.allclose(synopsis.estimate(), cube)
+
+    def test_finalised_match_offline_transform(self):
+        fixed, time_domain = (4, 4), 8
+        cube = np.random.default_rng(1).normal(size=fixed + (time_domain,))
+        synopsis = StandardStreamSynopsis(
+            fixed, time_domain, k=cube.size, time_buffer=2
+        )
+        for t in range(time_domain):
+            synopsis.push_slab(cube[..., t])
+        offline = standard_dwt(cube)
+        for key, value in synopsis.synopsis().items():
+            assert np.isclose(value, offline[key]), key
+
+    def test_memory_is_result_4_bound(self):
+        """Live memory <= M*N^{d-1} + N^{d-1}(log(T/M) + 1)."""
+        fixed, time_domain, buffer = (4, 4), 64, 4
+        synopsis = StandardStreamSynopsis(
+            fixed, time_domain, k=8, time_buffer=buffer
+        )
+        rng = np.random.default_rng(2)
+        for __ in range(time_domain):
+            synopsis.push_slab(rng.normal(size=fixed))
+        fixed_cells = 16
+        bound = buffer * fixed_cells + fixed_cells * ((6 - 2) + 1)
+        assert synopsis.max_live_coefficients <= bound
+
+    def test_slab_shape_enforced(self):
+        synopsis = StandardStreamSynopsis((4, 4), 8, k=4)
+        with pytest.raises(ValueError):
+            synopsis.push_slab(np.zeros((4, 8)))
+
+    def test_time_domain_exhaustion(self):
+        synopsis = StandardStreamSynopsis((2,), 2, k=4)
+        synopsis.push_slab(np.zeros(2))
+        synopsis.push_slab(np.zeros(2))
+        with pytest.raises(ValueError):
+            synopsis.push_slab(np.zeros(2))
+
+
+class TestNonStandardStream:
+    def _feed(self, synopsis, strip, edge, chunk_edge):
+        cubes = strip.shape[-1] // edge
+        for cube_index in range(cubes):
+            block = strip[..., cube_index * edge : (cube_index + 1) * edge]
+            for grid in synopsis.expected_chunk_order():
+                selector = tuple(
+                    slice(g * chunk_edge, (g + 1) * chunk_edge) for g in grid
+                )
+                synopsis.push_chunk(block[selector])
+
+    def test_full_k_recovers_the_stream(self):
+        edge, ndim, time_domain, chunk_edge = 8, 2, 32, 2
+        strip = np.random.default_rng(3).normal(size=(edge, time_domain))
+        synopsis = NonStandardStreamSynopsis(
+            edge, ndim, time_domain, k=strip.size, chunk_edge=chunk_edge
+        )
+        self._feed(synopsis, strip, edge, chunk_edge)
+        assert np.allclose(synopsis.estimate(), strip)
+
+    def test_memory_is_result_5_bound(self):
+        """Live coefficients (beyond chunk & K) stay within
+        (2^d - 1) log(N/M) + log(T/N) + O(1)."""
+        edge, ndim, time_domain, chunk_edge = 16, 2, 64, 2
+        strip = np.random.default_rng(4).normal(size=(edge, time_domain))
+        synopsis = NonStandardStreamSynopsis(
+            edge, ndim, time_domain, k=16, chunk_edge=chunk_edge
+        )
+        self._feed(synopsis, strip, edge, chunk_edge)
+        bound = 3 * (4 - 1) + 2 + 2  # (2^d-1)(n-m) + log(T/N) + slack
+        assert synopsis.max_live_coefficients <= bound
+
+    def test_chunk_shape_enforced(self):
+        synopsis = NonStandardStreamSynopsis(8, 2, 16, k=4, chunk_edge=2)
+        with pytest.raises(ValueError):
+            synopsis.push_chunk(np.zeros((4, 4)))
+
+    def test_chunks_per_cube(self):
+        synopsis = NonStandardStreamSynopsis(8, 2, 16, k=4, chunk_edge=2)
+        assert synopsis.chunks_per_cube == 16
+
+    def test_time_domain_must_be_cube_multiple(self):
+        with pytest.raises(ValueError):
+            NonStandardStreamSynopsis(8, 2, 20, k=4, chunk_edge=2)
+
+
+class TestValidation:
+    def test_non_power_of_two_fixed_shape_rejected(self):
+        with pytest.raises(ValueError):
+            StandardStreamSynopsis((3, 4), 8, k=4)
+
+    def test_bad_time_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            StandardStreamSynopsis((4,), 8, k=4, time_buffer=16)
+
+    def test_chunk_edge_exceeding_cube_rejected(self):
+        with pytest.raises(ValueError):
+            NonStandardStreamSynopsis(8, 2, 16, k=4, chunk_edge=16)

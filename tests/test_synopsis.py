@@ -1,0 +1,167 @@
+"""Tests for offline best-K synopses and error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopsis.compress import (
+    best_k_nonstandard,
+    best_k_standard,
+    nonstandard_significance,
+    standard_significance,
+)
+from repro.synopsis.error import max_abs_error, relative_l2_error, sse
+from repro.wavelet.nonstandard import nonstandard_idwt
+from repro.wavelet.standard import standard_idwt
+
+
+class TestSignificanceWeights:
+    def test_standard_weights_match_basis_norms(self):
+        from repro.wavelet.standard import standard_basis_norm
+
+        shape = (8, 16)
+        weights = standard_significance(shape)
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            position = tuple(
+                int(rng.integers(0, extent)) for extent in shape
+            )
+            assert np.isclose(
+                weights[position], standard_basis_norm(shape, position)
+            )
+
+    def test_nonstandard_weights_match_explicit_basis(self):
+        size, ndim = 8, 2
+        weights = nonstandard_significance(size, ndim)
+        for position in [(0, 0), (1, 0), (4, 4), (7, 3), (2, 6)]:
+            coeffs = np.zeros((size,) * ndim)
+            coeffs[position] = 1.0
+            assert np.isclose(
+                weights[position],
+                np.linalg.norm(nonstandard_idwt(coeffs)),
+            )
+
+
+class TestBestK:
+    @given(
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_standard_is_l2_optimal_among_transform_subsets(self, k, seed):
+        """No other K-subset of coefficients reconstructs better
+        (checked against random competitor subsets)."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(8, 8))
+        sparse, estimate = best_k_standard(data, k)
+        assert int((sparse != 0).sum()) <= k
+        best_error = sse(estimate, data)
+        from repro.wavelet.standard import standard_dwt
+
+        hat = standard_dwt(data)
+        for __ in range(5):
+            competitor = np.zeros_like(hat)
+            chosen = rng.choice(hat.size, size=min(k, hat.size), replace=False)
+            competitor.ravel()[chosen] = hat.ravel()[chosen]
+            assert (
+                sse(standard_idwt(competitor), data) >= best_error - 1e-9
+            )
+
+    def test_full_k_is_exact(self):
+        data = np.random.default_rng(1).normal(size=(16, 16))
+        __, std = best_k_standard(data, data.size)
+        __, ns = best_k_nonstandard(data, data.size)
+        assert np.allclose(std, data)
+        assert np.allclose(ns, data)
+
+    def test_error_decreases_with_k(self):
+        data = np.random.default_rng(2).normal(size=(16, 16)) + 3.0
+        errors = [
+            relative_l2_error(best_k_standard(data, k)[1], data)
+            for k in (1, 8, 64, 256)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_k_zero_gives_zero_estimate(self):
+        data = np.ones((8, 8))
+        sparse, estimate = best_k_standard(data, 0)
+        assert not sparse.any()
+        assert not estimate.any()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            best_k_standard(np.ones((4, 4)), -1)
+        with pytest.raises(ValueError):
+            best_k_nonstandard(np.ones((4, 4)), -1)
+
+    def test_matches_streaming_topk(self):
+        """Offline best-K equals the streaming synopsis of the same
+        data (the streaming machinery's reference)."""
+        from repro.streams.stream1d import StreamSynopsis1D
+        from repro.wavelet.haar1d import haar_dwt
+
+        data = np.random.default_rng(3).normal(size=128)
+        k = 10
+        sparse, __ = best_k_standard(data, k)
+        offline_keys = set(np.nonzero(sparse)[0])
+        synopsis = StreamSynopsis1D(128, k=k, buffer_size=8)
+        synopsis.extend(data)
+        streaming_keys = set(synopsis.synopsis().keys())
+        assert len(offline_keys & streaming_keys) >= k - 1  # ties
+
+
+class TestErrorMetrics:
+    def test_sse(self):
+        assert sse([1.0, 2.0], [1.0, 4.0]) == 4.0
+
+    def test_relative_l2(self):
+        assert relative_l2_error([0.0, 0.0], [3.0, 4.0]) == 1.0
+        assert relative_l2_error([3.0, 4.0], [3.0, 4.0]) == 0.0
+        assert relative_l2_error([0.0], [0.0]) == 0.0
+        assert relative_l2_error([1.0], [0.0]) == float("inf")
+
+    def test_max_abs(self):
+        assert max_abs_error([1.0, -5.0], [2.0, 0.0]) == 5.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            relative_l2_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            max_abs_error([1.0], [1.0, 2.0])
+
+
+class TestThreshold:
+    def test_error_equals_dropped_significance_energy(self):
+        """SSE of the thresholded reconstruction == sum of squared
+        dropped significances (orthogonality made concrete)."""
+        from repro.synopsis.compress import (
+            standard_significance,
+            threshold_standard,
+        )
+        from repro.wavelet.standard import standard_dwt
+
+        data = np.random.default_rng(7).normal(size=(16, 16))
+        epsilon = 2.0
+        sparse, estimate, kept = threshold_standard(data, epsilon)
+        hat = standard_dwt(data)
+        significance = np.abs(hat) * standard_significance(data.shape)
+        dropped = significance[significance < epsilon]
+        assert np.isclose(sse(estimate, data), float((dropped**2).sum()))
+        assert kept == int((significance >= epsilon).sum())
+
+    def test_zero_epsilon_keeps_everything(self):
+        from repro.synopsis.compress import threshold_standard
+
+        data = np.random.default_rng(8).normal(size=(8, 8))
+        __, estimate, kept = threshold_standard(data, 0.0)
+        assert np.allclose(estimate, data)
+        assert kept == data.size
+
+    def test_negative_epsilon_rejected(self):
+        from repro.synopsis.compress import threshold_standard
+
+        with pytest.raises(ValueError):
+            threshold_standard(np.ones((4, 4)), -1.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the keyed tile store."""
+
+import numpy as np
+
+from repro.storage.tile_store import TileStore
+
+
+class TestLazyAllocation:
+    def test_fresh_tile_costs_no_read(self):
+        store = TileStore(block_slots=4)
+        data = store.tile(("band", 0))
+        assert np.array_equal(data, np.zeros(4))
+        assert store.stats.block_reads == 0
+        assert store.num_tiles == 1
+
+    def test_peek_does_not_allocate(self):
+        store = TileStore(block_slots=4)
+        assert store.peek("nope") is None
+        assert store.num_tiles == 0
+        assert store.stats.block_ios == 0
+
+    def test_contains_and_keys(self):
+        store = TileStore(block_slots=2)
+        store.tile("a")
+        assert "a" in store
+        assert "b" not in store
+        assert list(store.keys()) == ["a"]
+
+
+class TestSlotOps:
+    def test_slot_roundtrip(self):
+        store = TileStore(block_slots=4)
+        store.write_slot("t", 2, 5.5)
+        assert store.read_slot("t", 2) == 5.5
+
+    def test_missing_tile_reads_zero_without_io(self):
+        store = TileStore(block_slots=4)
+        assert store.read_slot("absent", 1) == 0.0
+        assert store.stats.block_ios == 0
+
+    def test_add_to_slot(self):
+        store = TileStore(block_slots=4)
+        store.add_to_slot("t", 0, 1.5)
+        store.add_to_slot("t", 0, 2.5)
+        assert store.read_slot("t", 0) == 4.0
+
+
+class TestPersistence:
+    def test_eviction_and_reload(self):
+        store = TileStore(block_slots=2, pool_capacity=1)
+        store.write_slot("first", 0, 1.0)
+        store.write_slot("second", 0, 2.0)  # evicts "first" (dirty)
+        store.write_slot("third", 0, 3.0)  # evicts "second"
+        assert store.read_slot("first", 0) == 1.0
+        assert store.read_slot("second", 0) == 2.0
+        assert store.read_slot("third", 0) == 3.0
+
+    def test_flush_then_cold_read(self):
+        store = TileStore(block_slots=2, pool_capacity=4)
+        store.write_slot("t", 1, 7.0)
+        store.drop_cache()
+        before = store.stats.snapshot()
+        assert store.read_slot("t", 1) == 7.0
+        assert store.stats.delta_since(before).block_reads == 1
+
+    def test_io_accounting_read_modify_write(self):
+        store = TileStore(block_slots=2, pool_capacity=1)
+        store.write_slot("a", 0, 1.0)
+        store.flush()
+        store.drop_cache()
+        before = store.stats.snapshot()
+        store.add_to_slot("a", 0, 1.0)  # cold: read
+        store.flush()  # write back
+        delta = store.stats.delta_since(before)
+        assert delta.block_reads == 1
+        assert delta.block_writes == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the standard cross-product and non-standard quadtree
+tilings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiling.nonstandard import NonStandardTiling
+from repro.tiling.standard import StandardTiling
+from repro.wavelet.keys import NonStandardKey
+
+
+class TestStandardTiling:
+    def test_block_slots(self):
+        tiling = StandardTiling((32, 16), 4)
+        assert tiling.block_slots == 16
+        assert tiling.ndim == 2
+
+    def test_num_tiles_is_per_dim_product(self):
+        tiling = StandardTiling((32, 16), 4)
+        assert (
+            tiling.num_tiles
+            == tiling.dim(0).num_tiles * tiling.dim(1).num_tiles
+        )
+
+    def test_locate_composes_per_dim(self):
+        tiling = StandardTiling((16, 16), 4)
+        key, slot = tiling.locate((5, 0))
+        part0, slot0 = tiling.dim(0).locate_index(5)
+        part1, slot1 = tiling.dim(1).locate_index(0)
+        assert key == (part0, part1)
+        assert slot == slot0 * 4 + slot1
+
+    def test_locate_uniqueness(self):
+        tiling = StandardTiling((8, 8), 2)
+        seen = set()
+        for position in np.ndindex(8, 8):
+            key = tiling.locate(position)
+            assert key not in seen
+            seen.add(key)
+
+    def test_rank_checked(self):
+        tiling = StandardTiling((8, 8), 2)
+        with pytest.raises(ValueError):
+            tiling.locate((1,))
+
+    def test_cross_product_tile_count_matches_bruteforce(self):
+        tiling = StandardTiling((32, 32), 4)
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            axes = [
+                np.unique(rng.integers(0, 32, size=rng.integers(1, 10)))
+                for __ in range(2)
+            ]
+            expected = {
+                (
+                    tiling.dim(0).locate_index(int(x))[0],
+                    tiling.dim(1).locate_index(int(y))[0],
+                )
+                for x in axes[0]
+                for y in axes[1]
+            }
+            assert tiling.tiles_of_cross_product(axes) == len(expected)
+
+    def test_root_path_tiles_cross_product(self):
+        tiling = StandardTiling((16, 16), 4)
+        tiles = tiling.tiles_on_root_path((5, 9))
+        per_dim = tiling.dim(0).num_bands
+        assert len(tiles) == per_dim * per_dim
+
+
+class TestNonStandardTiling:
+    def test_block_slots_match_quadtree_arithmetic(self):
+        """D^b = B^d coefficients per tile."""
+        tiling = NonStandardTiling(32, 3, 4)
+        assert tiling.block_slots == 64
+        assert tiling.branching == 8
+
+    def test_locate_key_uniqueness_and_coverage(self):
+        """Every detail key maps to a unique (tile, slot); slots stay
+        within the block."""
+        tiling = NonStandardTiling(8, 2, 2)
+        seen = set()
+        for level in range(1, 4):
+            width = 8 >> level
+            for node in np.ndindex(width, width):
+                for mask in range(1, 4):
+                    key = NonStandardKey(level, tuple(node), mask)
+                    tile, slot = tiling.locate_key(key)
+                    assert 1 <= slot < tiling.block_slots
+                    assert (tile, slot) not in seen
+                    seen.add((tile, slot))
+        assert len(seen) == 8 * 8 - 1
+
+    def test_scaling_location(self):
+        tiling = NonStandardTiling(16, 2, 4)
+        tile, slot = tiling.locate_scaling()
+        assert slot == 0
+        assert tile[0] == tiling.num_bands - 1
+
+    def test_keys_of_tile_inverts_locate(self):
+        tiling = NonStandardTiling(16, 2, 4)
+        for band in range(tiling.num_bands):
+            side = 16 >> tiling.band_root_level(band)
+            for root in np.ndindex(side, side):
+                tile = (band, tuple(root))
+                for key in tiling.keys_of_tile(tile):
+                    located, __ = tiling.locate_key(key)
+                    assert located == tile
+
+    def test_tiles_of_subtree_matches_bruteforce(self):
+        tiling = NonStandardTiling(16, 2, 2)
+        level, node = 3, (1, 0)
+        expected = set()
+        for sub_level in range(1, level + 1):
+            shift = level - sub_level
+            for dx in range(1 << shift):
+                for dy in range(1 << shift):
+                    child = ((node[0] << shift) + dx, (node[1] << shift) + dy)
+                    expected.add(tiling.tile_of_node(sub_level, child))
+        assert set(tiling.tiles_of_subtree(level, node)) == expected
+
+    def test_root_path_one_tile_per_band(self):
+        tiling = NonStandardTiling(64, 2, 4)
+        tiles = tiling.tiles_on_root_path((17, 42))
+        assert len(tiles) == tiling.num_bands
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonStandardTiling(16, 0, 4)
+        with pytest.raises(ValueError):
+            NonStandardTiling(16, 2, 32)
+        tiling = NonStandardTiling(16, 2, 4)
+        with pytest.raises(ValueError):
+            tiling.locate_key(NonStandardKey(1, (0, 0, 0), 1))

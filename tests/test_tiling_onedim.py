@@ -1,0 +1,215 @@
+"""Unit and property tests for the 1-d subtree tiling (Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiling.onedim import OneDimTiling
+from repro.wavelet.layout import detail_index, support_of_index
+
+tiling_parameters = st.tuples(
+    st.integers(min_value=1, max_value=10),  # n
+    st.integers(min_value=1, max_value=4),  # b
+).filter(lambda pair: pair[1] <= pair[0])
+
+
+class TestBandGeometry:
+    def test_bottom_aligned_bands(self):
+        tiling = OneDimTiling(32, 4)  # n=5, b=2
+        assert tiling.num_bands == 3
+        assert tiling.band_of_level(1) == 0
+        assert tiling.band_of_level(2) == 0
+        assert tiling.band_of_level(3) == 1
+        assert tiling.band_of_level(5) == 2
+
+    def test_top_band_may_be_short(self):
+        tiling = OneDimTiling(32, 4)
+        assert tiling.band_height(0) == 2
+        assert tiling.band_height(2) == 1  # only level 5
+        assert tiling.band_root_level(2) == 5
+
+    def test_tiles_in_band(self):
+        tiling = OneDimTiling(32, 4)
+        assert tiling.tiles_in_band(0) == 8  # roots at level 2
+        assert tiling.tiles_in_band(1) == 2
+        assert tiling.tiles_in_band(2) == 1
+        assert tiling.num_tiles == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneDimTiling(32, 1)
+        with pytest.raises(ValueError):
+            OneDimTiling(8, 16)
+        with pytest.raises(ValueError):
+            OneDimTiling(32, 4).band_of_level(6)
+
+
+class TestLocation:
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=50)
+    def test_every_coefficient_has_unique_slot(self, parameters, data):
+        n, b = parameters
+        tiling = OneDimTiling(1 << n, 1 << b)
+        seen = {}
+        for level in range(1, n + 1):
+            for position in range(1 << (n - level)):
+                key = (
+                    tiling.tile_of_detail(level, position),
+                    tiling.slot_of_detail(level, position),
+                )
+                assert key not in seen
+                seen[key] = (level, position)
+                # Slots stay within the block (slot 0 is the scaling).
+                assert 1 <= key[1] < (1 << b)
+
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=50)
+    def test_vectorised_matches_scalar(self, parameters, data):
+        n, b = parameters
+        size = 1 << n
+        tiling = OneDimTiling(size, 1 << b)
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=size - 1),
+                min_size=1,
+                max_size=20,
+            )
+        )
+        bands, roots, slots = tiling.locate_indices(
+            np.asarray(indices, dtype=np.int64)
+        )
+        for position, index in enumerate(indices):
+            tile, slot = tiling.locate_index(index)
+            assert (bands[position], roots[position]) == tile
+            assert slots[position] == slot
+
+    def test_scaling_lives_in_top_tile(self):
+        tiling = OneDimTiling(32, 4)
+        tile, slot = tiling.locate_index(0)
+        assert tile == (tiling.num_bands - 1, 0)
+        assert slot == 0
+
+    def test_out_of_range_rejected(self):
+        tiling = OneDimTiling(16, 4)
+        with pytest.raises(ValueError):
+            tiling.locate_indices(np.asarray([16]))
+
+
+class TestTileEnumeration:
+    @given(tiling_parameters)
+    @settings(max_examples=30)
+    def test_details_of_tile_inverts_location(self, parameters):
+        n, b = parameters
+        tiling = OneDimTiling(1 << n, 1 << b)
+        for band in range(tiling.num_bands):
+            for root in range(tiling.tiles_in_band(band)):
+                tile = (band, root)
+                for level, position, slot in tiling.details_of_tile(tile):
+                    assert tiling.tile_of_detail(level, position) == tile
+                    assert tiling.slot_of_detail(level, position) == slot
+
+    def test_flat_indices_of_tile(self):
+        tiling = OneDimTiling(16, 4)
+        indices = tiling.flat_indices_of_tile((0, 2))
+        # Subtree rooted at w_{2,2}: details w_{2,2}, w_{1,4}, w_{1,5}.
+        assert set(indices) == {
+            detail_index(4, 2, 2),
+            detail_index(4, 1, 4),
+            detail_index(4, 1, 5),
+        }
+
+    def test_scaling_of_tile(self):
+        tiling = OneDimTiling(16, 4)
+        assert tiling.scaling_of_tile((0, 3)) == (2, 3)
+
+
+class TestAccessPatterns:
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=40)
+    def test_root_path_needs_one_tile_per_band(self, parameters, data):
+        n, b = parameters
+        size = 1 << n
+        tiling = OneDimTiling(size, 1 << b)
+        position = data.draw(st.integers(min_value=0, max_value=size - 1))
+        tiles = tiling.tiles_on_root_path(position)
+        assert len(tiles) == tiling.num_bands
+        # The root-path details of the position all live in these tiles.
+        tile_set = set(tiles)
+        for level in range(1, n + 1):
+            assert tiling.tile_of_detail(level, position >> level) in tile_set
+
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=40)
+    def test_tiles_of_subtree_matches_bruteforce(self, parameters, data):
+        n, b = parameters
+        size = 1 << n
+        tiling = OneDimTiling(size, 1 << b)
+        level = data.draw(st.integers(min_value=1, max_value=n))
+        position = data.draw(
+            st.integers(min_value=0, max_value=(1 << (n - level)) - 1)
+        )
+        expected = set()
+        for sub_level in range(1, level + 1):
+            shift = level - sub_level
+            for k in range(position << shift, (position + 1) << shift):
+                expected.add(tiling.tile_of_detail(sub_level, k))
+        assert set(tiling.tiles_of_subtree(level, position)) == expected
+
+    def test_subtree_tile_count_tracks_m_over_b(self):
+        """Section 4.2: SHIFT touches about M/B tiles."""
+        tiling = OneDimTiling(1 << 12, 1 << 3)
+        tiles = tiling.tiles_of_subtree(9, 0)  # M = 512, B = 8
+        assert len(tiles) == 64 + 8 + 1  # geometric M/B series
+
+
+class TestSupportAlignment:
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=30)
+    def test_tile_scaling_covers_all_members(self, parameters, data):
+        """The slot-0 scaling's support contains every detail in the
+        tile — the invariant that makes in-tile reconstruction work."""
+        n, b = parameters
+        tiling = OneDimTiling(1 << n, 1 << b)
+        band = data.draw(
+            st.integers(min_value=0, max_value=tiling.num_bands - 1)
+        )
+        root = data.draw(
+            st.integers(
+                min_value=0, max_value=tiling.tiles_in_band(band) - 1
+            )
+        )
+        level, position = tiling.scaling_of_tile((band, root))
+        start, stop = position << level, (position + 1) << level
+        for member_level, member_position, __ in tiling.details_of_tile(
+            (band, root)
+        ):
+            mstart, mstop = support_of_index(
+                n, detail_index(n, member_level, member_position)
+            )
+            assert start <= mstart and mstop <= stop
+
+
+class TestLogarithmicUtilisation:
+    """Section 3's guarantee: whenever a tile is fetched for a
+    root-path access, at least ``band height`` of its coefficients are
+    useful — the best possible without redundancy [10]."""
+
+    @given(tiling_parameters, st.data())
+    @settings(max_examples=40)
+    def test_full_bands_contribute_b_coefficients(self, parameters, data):
+        n, b = parameters
+        size = 1 << n
+        tiling = OneDimTiling(size, 1 << b)
+        position = data.draw(st.integers(min_value=0, max_value=size - 1))
+        # Useful coefficients = the root-path details inside each tile.
+        per_tile = {}
+        for level in range(1, n + 1):
+            tile = tiling.tile_of_detail(level, position >> level)
+            per_tile[tile] = per_tile.get(tile, 0) + 1
+        for tile, useful in per_tile.items():
+            band = tile[0]
+            assert useful == tiling.band_height(band)
+            # Full bands deliver the promised b coefficients.
+            if tiling.band_height(band) == b:
+                assert useful == b

@@ -1,0 +1,70 @@
+"""Unit tests for the top-K coefficient tracker."""
+
+from repro.streams.topk import TopKTracker
+
+
+class TestRetention:
+    def test_keeps_largest_by_significance(self):
+        tracker = TopKTracker(2)
+        tracker.offer("a", 1.0, norm=1.0)
+        tracker.offer("b", 5.0, norm=1.0)
+        tracker.offer("c", 3.0, norm=1.0)
+        assert set(tracker.items()) == {"b", "c"}
+
+    def test_norm_weights_the_ranking(self):
+        tracker = TopKTracker(1)
+        tracker.offer("small_value_big_norm", 1.0, norm=10.0)
+        tracker.offer("big_value_small_norm", 5.0, norm=1.0)
+        assert set(tracker.items()) == {"small_value_big_norm"}
+
+    def test_sign_is_ignored_for_ranking_but_value_kept(self):
+        tracker = TopKTracker(1)
+        tracker.offer("neg", -9.0)
+        tracker.offer("pos", 2.0)
+        assert tracker.items() == {"neg": -9.0}
+
+    def test_k_zero_keeps_nothing(self):
+        tracker = TopKTracker(0)
+        assert not tracker.offer("x", 100.0)
+        assert tracker.items() == {}
+
+    def test_under_capacity_keeps_everything(self):
+        tracker = TopKTracker(10)
+        for index in range(5):
+            tracker.offer(index, float(index))
+        assert len(tracker) == 5
+
+
+class TestOrderingAndStats:
+    def test_ordered_is_descending(self):
+        tracker = TopKTracker(3)
+        for key, value in [("a", 2.0), ("b", 9.0), ("c", 4.0)]:
+            tracker.offer(key, value)
+        keys = [key for key, __, __ in tracker.ordered()]
+        assert keys == ["b", "c", "a"]
+
+    def test_threshold(self):
+        tracker = TopKTracker(2)
+        assert tracker.threshold() == 0.0
+        tracker.offer("a", 3.0)
+        assert tracker.threshold() == 0.0  # not yet full
+        tracker.offer("b", 5.0)
+        assert tracker.threshold() == 3.0
+
+    def test_first_arrival_wins_ties(self):
+        tracker = TopKTracker(1)
+        assert tracker.offer("first", 2.0)
+        assert not tracker.offer("second", 2.0)
+        assert set(tracker.items()) == {"first"}
+
+    def test_offer_counter(self):
+        tracker = TopKTracker(1)
+        tracker.offer("a", 1.0)
+        tracker.offer("b", 2.0)
+        assert tracker.offers == 2
+
+    def test_negative_k_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TopKTracker(-1)

@@ -1,0 +1,114 @@
+"""Unit tests for wavelet-tree navigation (Lemma 1 and the crest)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelet.haar1d import haar_dwt
+from repro.wavelet.layout import SCALING_INDEX, index_to_detail
+from repro.wavelet.tree import WaveletTree
+
+
+class TestStructure:
+    def test_parent_child_inverse(self):
+        tree = WaveletTree(32)
+        for index in range(1, 32):
+            for child in tree.children(index):
+                assert tree.parent(child) == index
+
+    def test_root_chain(self):
+        tree = WaveletTree(16)
+        root_detail = 1  # w_{4,0}
+        assert tree.parent(root_detail) == SCALING_INDEX
+        assert tree.children(SCALING_INDEX) == (root_detail,)
+
+    def test_scaling_has_no_parent(self):
+        with pytest.raises(ValueError):
+            WaveletTree(8).parent(SCALING_INDEX)
+
+    def test_leaves_have_no_children(self):
+        tree = WaveletTree(8)
+        for index in range(4, 8):  # level-1 details
+            assert tree.children(index) == ()
+
+    def test_descendant_count(self):
+        tree = WaveletTree(16)
+        assert tree.descendant_count(SCALING_INDEX) == 15
+        assert tree.descendant_count(1) == 15  # w_{4,0}: whole detail tree
+        assert tree.descendant_count(2) == 7  # w_{3,0}
+        assert tree.descendant_count(8) == 1  # a leaf
+
+
+class TestRootPath:
+    @given(st.integers(min_value=1, max_value=9), st.data())
+    @settings(max_examples=40)
+    def test_lemma_1_path_length(self, n, data):
+        """Lemma 1: any value needs exactly n + 1 coefficients."""
+        size = 1 << n
+        position = data.draw(st.integers(min_value=0, max_value=size - 1))
+        tree = WaveletTree(size)
+        path = tree.root_path(position)
+        assert len(path) == n + 1
+        assert path[0] == SCALING_INDEX
+        # Every detail on the path covers the position.
+        for index in path[1:]:
+            level, k = index_to_detail(n, index)
+            assert k == position >> level
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    @settings(max_examples=40)
+    def test_path_reconstructs_value(self, n, data):
+        size = 1 << n
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        vector = rng.normal(size=size)
+        position = data.draw(st.integers(min_value=0, max_value=size - 1))
+        tree = WaveletTree(size)
+        transform = haar_dwt(vector)
+        value = sum(
+            sign * transform[index]
+            for sign, index in zip(
+                tree.reconstruction_signs(position), tree.root_path(position)
+            )
+        )
+        assert np.isclose(value, vector[position])
+
+    def test_position_bounds_checked(self):
+        tree = WaveletTree(8)
+        with pytest.raises(ValueError):
+            tree.root_path(8)
+        with pytest.raises(ValueError):
+            tree.reconstruction_signs(-1)
+
+
+class TestCrest:
+    def test_crest_is_the_open_path(self):
+        tree = WaveletTree(16)
+        crest = tree.crest(5)
+        # Covering details of position 5 at levels 4..1.
+        assert crest == [1, 2, 5, 10]
+
+    def test_crest_coefficients_depend_on_future(self):
+        """Every crest coefficient's support extends past the position."""
+        tree = WaveletTree(32)
+        for position in [0, 7, 19, 31]:
+            for index in tree.crest(position):
+                level, k = index_to_detail(5, index)
+                support_end = (k + 1) << level
+                assert support_end > position
+
+
+class TestSubtree:
+    def test_full_subtree(self):
+        tree = WaveletTree(16)
+        nodes = list(tree.subtree(2))  # w_{3,0}
+        assert len(nodes) == 7
+
+    def test_height_limited_subtree(self):
+        tree = WaveletTree(16)
+        assert list(tree.subtree(2, height=1)) == [2]
+        assert len(list(tree.subtree(2, height=2))) == 3
+
+    def test_invalid_height_rejected(self):
+        with pytest.raises(ValueError):
+            list(WaveletTree(8).subtree(1, height=0))

@@ -1,0 +1,110 @@
+"""Tests for batch updates (Example 2): SHIFT-SPLIT vs naive per-cell."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonstandard_ops import apply_chunk_nonstandard
+from repro.core.standard_ops import apply_chunk_standard
+from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
+from repro.update.batch import (
+    batch_update_nonstandard,
+    batch_update_standard,
+    naive_update_standard,
+)
+from repro.wavelet.nonstandard import nonstandard_dwt
+from repro.wavelet.standard import standard_dwt
+
+
+def _loaded(shape, seed=0):
+    data = np.random.default_rng(seed).normal(size=shape)
+    store = DenseStandardStore(shape)
+    apply_chunk_standard(store, data, (0,) * len(shape))
+    return data, store
+
+
+class TestBatchUpdateStandard:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_retransform(self, seed):
+        rng = np.random.default_rng(seed)
+        data, store = _loaded((16, 32), seed=seed % 97)
+        deltas = rng.normal(size=(4, 8))
+        corner = (
+            int(rng.integers(0, 4)) * 4,
+            int(rng.integers(0, 4)) * 8,
+        )
+        batch_update_standard(store, deltas, corner)
+        updated = data.copy()
+        updated[
+            corner[0] : corner[0] + 4, corner[1] : corner[1] + 8
+        ] += deltas
+        assert np.allclose(store.to_array(), standard_dwt(updated))
+
+    def test_naive_produces_the_same_transform(self):
+        rng = np.random.default_rng(1)
+        data, via_shift_split = _loaded((16, 16))
+        __, via_naive = _loaded((16, 16))
+        deltas = rng.normal(size=(4, 4))
+        batch_update_standard(via_shift_split, deltas, (8, 4))
+        naive_update_standard(via_naive, deltas, (8, 4))
+        assert np.allclose(
+            via_shift_split.to_array(), via_naive.to_array()
+        )
+
+    def test_shift_split_is_cheaper_than_naive(self):
+        """Example 2's point: O(M̃ + log(N/M̃)) vs O(M̃ log N) per axis."""
+        rng = np.random.default_rng(2)
+        __, batched = _loaded((64, 64))
+        __, naive = _loaded((64, 64))
+        deltas = rng.normal(size=(16, 16))
+        batched.stats.reset()
+        naive.stats.reset()
+        batch_update_standard(batched, deltas, (16, 32))
+        naive_update_standard(naive, deltas, (16, 32))
+        assert (
+            batched.stats.coefficient_ios < naive.stats.coefficient_ios / 5
+        )
+
+    def test_misaligned_corner_rejected(self):
+        __, store = _loaded((16, 16))
+        with pytest.raises(ValueError):
+            batch_update_standard(store, np.ones((4, 4)), (2, 0))
+
+    def test_zero_cells_skipped_by_naive(self):
+        __, store = _loaded((16, 16))
+        store.stats.reset()
+        naive_update_standard(store, np.zeros((4, 4)), (0, 0))
+        assert store.stats.coefficient_ios == 0
+
+
+class TestBatchUpdateNonStandard:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_retransform(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(16, 16))
+        store = DenseNonStandardStore(16, 2)
+        apply_chunk_nonstandard(store, data, (0, 0))
+        deltas = rng.normal(size=(4, 4))
+        corner = (
+            int(rng.integers(0, 4)) * 4,
+            int(rng.integers(0, 4)) * 4,
+        )
+        batch_update_nonstandard(store, deltas, corner)
+        updated = data.copy()
+        updated[
+            corner[0] : corner[0] + 4, corner[1] : corner[1] + 4
+        ] += deltas
+        assert np.allclose(store.to_array(), nonstandard_dwt(updated))
+
+    def test_non_cubic_rejected(self):
+        store = DenseNonStandardStore(16, 2)
+        with pytest.raises(ValueError):
+            batch_update_nonstandard(store, np.ones((4, 8)), (0, 0))
+
+    def test_misaligned_rejected(self):
+        store = DenseNonStandardStore(16, 2)
+        with pytest.raises(ValueError):
+            batch_update_nonstandard(store, np.ones((4, 4)), (0, 2))
