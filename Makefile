@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench ci experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+ci:
+	PYTHONPATH=src python -m pytest -x -q
 
 experiments:
 	python scripts/regenerate_experiments.py results

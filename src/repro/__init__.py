@@ -48,6 +48,13 @@ from repro.storage import (
     TiledNonStandardStore,
     TiledStandardStore,
 )
+from repro.service import (
+    PointQuery,
+    QueryEngine,
+    RangeSumQuery,
+    RegionQuery,
+    ShardedBufferPool,
+)
 from repro.streams import (
     NonStandardStreamSynopsis,
     StandardStreamSynopsis,
@@ -87,6 +94,11 @@ __all__ = [
     "IOStats",
     "NaiveBlockedStandardStore",
     "NonStandardStreamSynopsis",
+    "PointQuery",
+    "QueryEngine",
+    "RangeSumQuery",
+    "RegionQuery",
+    "ShardedBufferPool",
     "StandardAppender",
     "StandardStreamSynopsis",
     "StreamSynopsis1D",

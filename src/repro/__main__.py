@@ -5,11 +5,14 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro run fig11            # run one experiment
     python -m repro run all [--fast]     # run everything
+    python -m repro serve-replay         # replay a query workload
+                                         # through the service layer
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import experiments
@@ -54,7 +57,71 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="scaled-down sizes for 'all'",
     )
+    serve = subparsers.add_parser(
+        "serve-replay",
+        help=(
+            "replay a mixed query workload through the concurrent "
+            "service layer and print a JSON metrics report"
+        ),
+    )
+    serve.add_argument(
+        "--size", type=int, default=64, help="per-axis domain size"
+    )
+    serve.add_argument(
+        "--ndim", type=int, default=2, help="domain dimensionality"
+    )
+    serve.add_argument(
+        "--block-edge", type=int, default=8, help="tile edge B"
+    )
+    serve.add_argument(
+        "--pool-capacity", type=int, default=64, help="buffer-pool blocks"
+    )
+    serve.add_argument(
+        "--points", type=int, default=32, help="point queries"
+    )
+    serve.add_argument(
+        "--range-sums", type=int, default=16, help="range-sum queries"
+    )
+    serve.add_argument(
+        "--regions", type=int, default=16, help="region queries"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="engine worker threads"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="buffer-pool shards"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, help="admission queue bound"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--dataset",
+        choices=["zipf", "random"],
+        default="zipf",
+        help="synthetic dataset family",
+    )
     return parser
+
+
+def _serve_replay(args: argparse.Namespace) -> int:
+    from repro.service import replay
+
+    report = replay(
+        shape=(args.size,) * args.ndim,
+        block_edge=args.block_edge,
+        pool_capacity=args.pool_capacity,
+        points=args.points,
+        range_sums=args.range_sums,
+        regions=args.regions,
+        num_workers=args.workers,
+        num_shards=args.shards,
+        queue_depth=args.queue_depth,
+        dataset=args.dataset,
+        seed=args.seed,
+    )
+    print(json.dumps(report, indent=2))
+    return 0 if report["results_match"] else 1
 
 
 def main(argv=None) -> int:
@@ -63,6 +130,8 @@ def main(argv=None) -> int:
         for name in sorted(_EXPERIMENTS):
             print(name)
         return 0
+    if args.command == "serve-replay":
+        return _serve_replay(args)
     if args.experiment == "all":
         experiments.run_all(fast=args.fast)
         return 0

@@ -1,0 +1,66 @@
+"""Concurrent wavelet query service (the serving layer).
+
+Everything below :mod:`repro.service` treats the rest of the library
+as an engine room: the tilings say which blocks a query needs, the
+stores move blocks, and this package turns that into a servable
+endpoint — a batched planner that dedups block fetches across queries,
+a thread-safe sharded buffer pool, a worker-pooled engine with
+admission control and deadlines, serving metrics, and a workload
+replay driver (``python -m repro serve-replay``).
+
+Typical use::
+
+    from repro.service import QueryEngine, PointQuery, RangeSumQuery
+
+    engine = QueryEngine(store, num_workers=8, num_shards=4)
+    batch = engine.execute_batch([PointQuery((3, 5)),
+                                  RangeSumQuery((0, 0), (15, 15))])
+    print(batch.plan.dedup_ratio, batch.results[0].value)
+    engine.close()
+"""
+
+from repro.service.engine import (
+    AdmissionError,
+    BatchResult,
+    QueryEngine,
+    QueryResult,
+    Submission,
+)
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.planner import BatchPlan, QueryPlan, plan_batch, tiles_for_query
+from repro.service.pool import ShardedBufferPool
+from repro.service.queries import (
+    CustomQuery,
+    PointQuery,
+    Query,
+    RangeSumQuery,
+    RegionQuery,
+    execute_query,
+)
+from repro.service.replay import build_store, build_workload, replay, run_naive
+
+__all__ = [
+    "AdmissionError",
+    "BatchPlan",
+    "BatchResult",
+    "Counter",
+    "CustomQuery",
+    "Histogram",
+    "MetricsRegistry",
+    "PointQuery",
+    "Query",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryResult",
+    "RangeSumQuery",
+    "RegionQuery",
+    "ShardedBufferPool",
+    "Submission",
+    "build_store",
+    "build_workload",
+    "execute_query",
+    "plan_batch",
+    "replay",
+    "run_naive",
+    "tiles_for_query",
+]

@@ -1,0 +1,390 @@
+"""Concurrent query engine: workers, admission control, deadlines.
+
+:class:`QueryEngine` turns a :class:`~repro.storage.tiled.TiledStandardStore`
+into a servable endpoint:
+
+* a fixed **worker thread pool** executes queries against the store
+  through a :class:`~repro.service.pool.ShardedBufferPool` (installed
+  into the store on construction, replacing its single-threaded pool);
+* a **bounded admission queue** applies backpressure — beyond
+  ``queue_depth`` waiting queries, :meth:`submit` raises
+  :class:`AdmissionError` instead of growing without bound;
+* every query carries an optional **deadline**; a query whose deadline
+  has passed by the time a worker picks it up is answered with a
+  timeout result, never silently executed late;
+* :meth:`execute_batch` routes a batch through the
+  :mod:`~repro.service.planner`: unique tiles are prefetched once (in
+  block-id order, pinned for the duration of the batch), then all
+  queries run against the warm shared pool;
+* :meth:`close` drains in-flight work, stops the workers and flushes
+  every dirty block back to the device.
+
+Latency, admission and I/O observations land in a
+:class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.planner import BatchPlan, plan_batch
+from repro.service.pool import ShardedBufferPool
+from repro.service.queries import Query, execute_query
+
+__all__ = [
+    "AdmissionError",
+    "QueryResult",
+    "Submission",
+    "BatchResult",
+    "QueryEngine",
+]
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+
+class AdmissionError(RuntimeError):
+    """Raised when the admission queue is full (backpressure)."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query execution."""
+
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class Submission:
+    """Handle for an admitted query (a minimal future)."""
+
+    __slots__ = ("query", "deadline", "_event", "_result")
+
+    def __init__(self, query: Query, deadline: Optional[float]) -> None:
+        self.query = query
+        self.deadline = deadline
+        self._event = threading.Event()
+        self._result: Optional[QueryResult] = None
+
+    def _complete(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until the query completes; raises :class:`TimeoutError`
+        if it has not completed within ``timeout`` seconds."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query has not completed yet")
+        assert self._result is not None
+        return self._result
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results of a planned batch plus its plan and I/O accounting."""
+
+    results: Tuple[QueryResult, ...]
+    plan: BatchPlan
+    block_reads: int
+    wall_s: float
+
+    @property
+    def blocks_per_query(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.block_reads / len(self.results)
+
+
+class QueryEngine:
+    """Thread-pooled query service over one standard-form tiled store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`TiledStandardStore` (anything exposing ``tiling``,
+        ``tile_store``, ``stats`` and the region/point read methods).
+    num_workers:
+        Worker threads executing queries.
+    queue_depth:
+        Admission-queue bound; :meth:`submit` rejects beyond it.
+    num_shards / pool_capacity:
+        Sharded-pool geometry; capacity defaults to the store's
+        previous pool capacity.
+    default_timeout:
+        Deadline (seconds) applied to queries submitted without one;
+        ``None`` means no deadline.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        num_workers: int = 4,
+        queue_depth: int = 64,
+        num_shards: int = 4,
+        pool_capacity: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self._store = store
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._default_timeout = default_timeout
+        capacity = (
+            pool_capacity
+            if pool_capacity is not None
+            else store.tile_store.pool.capacity
+        )
+        self._pool = ShardedBufferPool(
+            store.tile_store.device, capacity, num_shards=num_shards
+        )
+        store.tile_store.set_pool(self._pool)
+        self._queue: "Queue[Optional[Submission]]" = Queue(maxsize=queue_depth)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def pool(self) -> ShardedBufferPool:
+        return self._pool
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def _deadline_for(self, timeout: Optional[float]) -> Optional[float]:
+        if timeout is None:
+            timeout = self._default_timeout
+        if timeout is None:
+            return None
+        return time.monotonic() + timeout
+
+    def submit(
+        self, query: Query, timeout: Optional[float] = None
+    ) -> Submission:
+        """Admit one query; raises :class:`AdmissionError` when the
+        queue is full and :class:`RuntimeError` after :meth:`close`."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        submission = Submission(query, self._deadline_for(timeout))
+        try:
+            self._queue.put_nowait(submission)
+        except Full:
+            self._metrics.counter("queries_rejected").inc()
+            raise AdmissionError(
+                f"admission queue is full ({self._queue.maxsize} waiting)"
+            ) from None
+        self._metrics.counter("queries_submitted").inc()
+        return submission
+
+    def run(self, query: Query, timeout: Optional[float] = None) -> QueryResult:
+        """Submit one query and wait for its result."""
+        return self.submit(query, timeout=timeout).result()
+
+    def _enqueue_blocking(self, submission: Submission) -> None:
+        """Batch-path admission: wait for space instead of rejecting."""
+        self._queue.put(submission)
+        self._metrics.counter("queries_submitted").inc()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            submission = self._queue.get()
+            if submission is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            self._execute(submission)
+            self._queue.task_done()
+
+    def _execute(self, submission: Submission) -> None:
+        if (
+            submission.deadline is not None
+            and time.monotonic() >= submission.deadline
+        ):
+            self._metrics.counter("queries_timed_out").inc()
+            submission._complete(
+                QueryResult(
+                    status=STATUS_TIMEOUT,
+                    error="deadline expired before execution",
+                )
+            )
+            return
+        started = time.perf_counter()
+        try:
+            value = execute_query(self._store, submission.query)
+        except Exception as exc:  # queries must never kill a worker
+            latency = time.perf_counter() - started
+            self._metrics.counter("query_errors").inc()
+            self._metrics.histogram("query_latency_s").record(latency)
+            submission._complete(
+                QueryResult(
+                    status=STATUS_ERROR, error=str(exc), latency_s=latency
+                )
+            )
+            return
+        latency = time.perf_counter() - started
+        self._metrics.counter("queries_served").inc()
+        self._metrics.histogram("query_latency_s").record(latency)
+        submission._complete(
+            QueryResult(status=STATUS_OK, value=value, latency_s=latency)
+        )
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+
+    def execute_batch(
+        self,
+        queries: Sequence[Query],
+        timeout: Optional[float] = None,
+    ) -> BatchResult:
+        """Plan, prefetch and execute a batch of queries.
+
+        The planner dedups block fetches across the batch; every unique
+        materialised tile is faulted in exactly once (in block-id
+        order) and pinned so concurrent eviction cannot force a
+        re-read mid-batch.  Admission is cooperative — the batch waits
+        for queue space rather than rejecting its own queries.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        queries = list(queries)
+        started = time.perf_counter()
+        before = self._store.stats.snapshot()
+        plan = plan_batch(self._store, queries)
+        self._metrics.counter("batches_planned").inc()
+        self._metrics.counter("planned_tile_refs").inc(plan.total_tile_refs)
+        self._metrics.counter("planned_unique_tiles").inc(
+            plan.num_unique_tiles
+        )
+        with self._batch_lock:  # one prefetch wave at a time
+            pinned = self._prefetch(plan)
+            try:
+                submissions = []
+                for query in queries:
+                    submission = Submission(
+                        query, self._deadline_for(timeout)
+                    )
+                    self._enqueue_blocking(submission)
+                    submissions.append(submission)
+                results = tuple(sub.result() for sub in submissions)
+            finally:
+                for block_id in pinned:
+                    self._pool.unpin(block_id)
+        wall = time.perf_counter() - started
+        delta = self._store.stats.delta_since(before)
+        self._metrics.histogram("batch_wall_s").record(wall)
+        if queries:
+            self._metrics.histogram("blocks_per_query").record(
+                delta.block_reads / len(queries)
+            )
+        return BatchResult(
+            results=results,
+            plan=plan,
+            block_reads=delta.block_reads,
+            wall_s=wall,
+        )
+
+    def _prefetch(self, plan: BatchPlan) -> List[int]:
+        """Fault in and pin every materialised tile of the plan once.
+
+        Never-written tiles have no block (they read as zeros for
+        free) and are skipped.  Returns the pinned block ids.
+        """
+        tile_store = self._store.tile_store
+        block_ids = sorted(
+            block_id
+            for block_id in (
+                tile_store.block_of(key) for key in plan.unique_tiles
+            )
+            if block_id is not None
+        )
+        pinned: List[int] = []
+        for block_id in block_ids:
+            self._pool.fetch_and_pin(block_id)
+            pinned.append(block_id)
+        self._metrics.counter("blocks_prefetched").inc(len(pinned))
+        return pinned
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued work, stop the workers, flush dirty blocks.
+
+        Idempotent.  Queries already admitted are executed (or timed
+        out against their deadlines); new submissions are refused.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for __ in self._workers:
+            self._queue.put(None)  # sentinels drain after pending work
+        for worker in self._workers:
+            worker.join()
+        self._pool.flush()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Engine metrics + sharded-pool stats in one dict."""
+        report = self._metrics.snapshot()
+        report["pool"] = self._pool.snapshot()
+        counters = report["counters"]
+        refs = counters.get("planned_tile_refs", 0)
+        unique = counters.get("planned_unique_tiles", 0)
+        report["planner_dedup_ratio"] = refs / unique if unique else 1.0
+        return report

@@ -1,0 +1,141 @@
+"""Lightweight, thread-safe serving metrics.
+
+The query engine needs observability that the raw
+:class:`~repro.storage.iostats.IOStats` counters cannot express —
+latency distributions, admission outcomes, planner dedup ratios.  A
+:class:`MetricsRegistry` holds named :class:`Counter`\\ s and
+:class:`Histogram`\\ s behind one lock and renders everything to a
+plain dict with :meth:`MetricsRegistry.snapshot`, which is what the
+benchmarks and the ``serve-replay`` CLI print.
+
+No external metrics stack: observations are kept in a bounded
+reservoir, percentiles are computed on demand from a sorted copy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Latency-style distribution with percentile snapshots.
+
+    Keeps at most ``max_samples`` raw observations (uniformly thinning
+    by keeping every other sample once full — adequate for benchmark
+    reporting, not for billing); count/sum/min/max are exact.
+    """
+
+    __slots__ = ("name", "_samples", "_max_samples", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str, max_samples: int = 8192) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self._samples.append(value)
+            if len(self._samples) > self._max_samples:
+                self._samples = self._samples[::2]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) of the kept samples
+        (nearest-rank; 0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first access."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            return histogram
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as one JSON-friendly dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(counters.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(histograms.items())
+            },
+        }

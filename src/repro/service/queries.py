@@ -1,0 +1,105 @@
+"""Query descriptions the service plans and executes.
+
+Three OLAP query shapes over a standard-form tiled store, mirroring
+the reconstruction entry points in :mod:`repro.reconstruct`:
+
+* :class:`PointQuery` — one cell (Lemma 1 root-path read);
+* :class:`RangeSumQuery` — aggregate over an inclusive box (Lemma 2
+  boundary read);
+* :class:`RegionQuery` — reconstruct the data of a half-open box
+  (Result 6 dyadic-cover extraction).
+
+Queries are frozen dataclasses so batches can be hashed, deduplicated
+and shipped between threads safely.  :func:`execute_query` is the one
+dispatch point the engine's workers call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple, Union
+
+from repro.reconstruct.point import point_query_standard
+from repro.reconstruct.rangesum import range_sum_standard
+from repro.reconstruct.region import reconstruct_box_standard
+
+__all__ = [
+    "PointQuery",
+    "RangeSumQuery",
+    "RegionQuery",
+    "CustomQuery",
+    "Query",
+    "execute_query",
+]
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """Reconstruct the single cell at ``position``."""
+
+    position: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position", tuple(int(x) for x in self.position)
+        )
+
+
+@dataclass(frozen=True)
+class RangeSumQuery:
+    """Sum of the inclusive box ``[lows, highs]`` (per axis)."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lows", tuple(int(x) for x in self.lows))
+        object.__setattr__(self, "highs", tuple(int(x) for x in self.highs))
+        if len(self.lows) != len(self.highs):
+            raise ValueError("lows/highs rank mismatch")
+        if any(lo > hi for lo, hi in zip(self.lows, self.highs)):
+            raise ValueError(f"empty box [{self.lows}, {self.highs}]")
+
+
+@dataclass(frozen=True)
+class RegionQuery:
+    """Reconstruct the data of the half-open box ``[starts, stops)``."""
+
+    starts: Tuple[int, ...]
+    stops: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "starts", tuple(int(x) for x in self.starts))
+        object.__setattr__(self, "stops", tuple(int(x) for x in self.stops))
+        if len(self.starts) != len(self.stops):
+            raise ValueError("starts/stops rank mismatch")
+        if any(a >= b for a, b in zip(self.starts, self.stops)):
+            raise ValueError(f"empty region [{self.starts}, {self.stops})")
+
+
+@dataclass(frozen=True)
+class CustomQuery:
+    """Escape hatch: run an arbitrary callable against the store.
+
+    The planner contributes no tile set for it (no prefetching); the
+    engine executes ``fn(store)`` on a worker thread.  Used by tests to
+    model slow queries and by callers with bespoke read patterns.
+    """
+
+    fn: Callable[[Any], Any] = field(compare=False)
+
+
+Query = Union[PointQuery, RangeSumQuery, RegionQuery, CustomQuery]
+
+
+def execute_query(store, query: Query) -> Any:
+    """Run ``query`` against a standard-form store and return its value."""
+    if isinstance(query, PointQuery):
+        return point_query_standard(store, query.position)
+    if isinstance(query, RangeSumQuery):
+        return range_sum_standard(store, query.lows, query.highs)
+    if isinstance(query, RegionQuery):
+        return reconstruct_box_standard(store, query.starts, query.stops)
+    if isinstance(query, CustomQuery):
+        return query.fn(store)
+    raise TypeError(f"unsupported query type: {type(query).__name__}")

@@ -1,0 +1,233 @@
+"""Workload replay: drive the query service and report what it saved.
+
+Builds a tiled store from synthetic data, generates a mixed
+point/range-sum/region workload from :mod:`repro.datasets.workloads`,
+then executes it twice:
+
+* **naive** — one query at a time, cold cache before each (the cost
+  model of N independent clients hitting an unbatched, uncached
+  engine);
+* **batched** — through :class:`~repro.service.engine.QueryEngine`:
+  planner dedup, one pinned prefetch per unique block, concurrent
+  workers over the sharded pool.
+
+The report quantifies the serving-layer claim that rides on the
+paper's tiling: overlapping root paths mean a batch reads far fewer
+blocks than the sum of its queries' individual footprints.  Results
+are cross-checked between the two paths before anything is reported.
+
+``python -m repro serve-replay`` prints the report as JSON;
+``benchmarks/bench_service_throughput.py`` asserts on it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import random_cube, zipf_cube
+from repro.datasets.workloads import point_workload, range_workload
+from repro.service.engine import QueryEngine
+from repro.service.queries import (
+    PointQuery,
+    Query,
+    RangeSumQuery,
+    RegionQuery,
+    execute_query,
+)
+from repro.storage.tiled import TiledStandardStore
+from repro.transform.chunked import transform_standard_chunked
+
+__all__ = [
+    "build_store",
+    "build_workload",
+    "run_naive",
+    "replay",
+]
+
+
+def build_store(
+    shape: Sequence[int] = (64, 64),
+    block_edge: int = 8,
+    pool_capacity: int = 32,
+    dataset: str = "zipf",
+    seed: int = 0,
+) -> Tuple[TiledStandardStore, np.ndarray]:
+    """A loaded standard-form tiled store plus its ground-truth data."""
+    shape = tuple(int(extent) for extent in shape)
+    if dataset == "zipf":
+        data = zipf_cube(shape, seed=seed)
+    elif dataset == "random":
+        data = random_cube(shape, seed=seed)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    store = TiledStandardStore(
+        shape, block_edge=block_edge, pool_capacity=pool_capacity
+    )
+    chunk_shape = tuple(min(block_edge, extent) for extent in shape)
+    transform_standard_chunked(store, data, chunk_shape)
+    store.flush()
+    store.stats.reset()
+    return store, data
+
+
+def build_workload(
+    shape: Sequence[int],
+    points: int = 32,
+    range_sums: int = 16,
+    regions: int = 16,
+    skew: float = 1.0,
+    selectivity: float = 0.15,
+    seed: int = 0,
+) -> List[Query]:
+    """A reproducible mixed workload, interleaved round-robin so every
+    prefix of the batch is mixed (as an online arrival order would be)."""
+    shape = tuple(int(extent) for extent in shape)
+    point_queries: List[Query] = [
+        PointQuery(position)
+        for position in point_workload(shape, points, skew=skew, seed=seed)
+    ]
+    sum_queries: List[Query] = [
+        RangeSumQuery(lows, highs)
+        for lows, highs in range_workload(
+            shape, range_sums, selectivity=selectivity, seed=seed + 1
+        )
+    ]
+    region_queries: List[Query] = [
+        RegionQuery(lows, tuple(high + 1 for high in highs))
+        for lows, highs in range_workload(
+            shape, regions, selectivity=selectivity, seed=seed + 2
+        )
+    ]
+    queues = [point_queries, sum_queries, region_queries]
+    mixed: List[Query] = []
+    while any(queues):
+        for queue in queues:
+            if queue:
+                mixed.append(queue.pop(0))
+    return mixed
+
+
+def _results_match(left, right) -> bool:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return np.allclose(left, right, atol=1e-9)
+    return bool(np.isclose(left, right, atol=1e-9))
+
+
+def run_naive(store, queries: Sequence[Query]) -> dict:
+    """One-query-at-a-time baseline: cold cache before every query,
+    sequential execution, no sharing.  Returns values and I/O costs."""
+    values = []
+    before = store.stats.snapshot()
+    started = time.perf_counter()
+    for query in queries:
+        store.drop_cache()  # every query pays its own full footprint
+        values.append(execute_query(store, query))
+    wall = time.perf_counter() - started
+    delta = store.stats.delta_since(before)
+    return {
+        "values": values,
+        "block_reads": delta.block_reads,
+        "blocks_per_query": (
+            delta.block_reads / len(queries) if queries else 0.0
+        ),
+        "wall_s": wall,
+        "throughput_qps": len(queries) / wall if wall > 0 else 0.0,
+    }
+
+
+def replay(
+    shape: Sequence[int] = (64, 64),
+    block_edge: int = 8,
+    pool_capacity: int = 64,
+    points: int = 32,
+    range_sums: int = 16,
+    regions: int = 16,
+    num_workers: int = 4,
+    num_shards: int = 4,
+    queue_depth: int = 64,
+    skew: float = 1.0,
+    selectivity: float = 0.15,
+    dataset: str = "zipf",
+    seed: int = 0,
+) -> dict:
+    """Run the full naive-vs-batched comparison; return the report."""
+    store, __ = build_store(
+        shape,
+        block_edge=block_edge,
+        pool_capacity=pool_capacity,
+        dataset=dataset,
+        seed=seed,
+    )
+    queries = build_workload(
+        store.shape,
+        points=points,
+        range_sums=range_sums,
+        regions=regions,
+        skew=skew,
+        selectivity=selectivity,
+        seed=seed,
+    )
+
+    naive = run_naive(store, queries)
+    store.drop_cache()
+    store.stats.reset()
+
+    engine = QueryEngine(
+        store,
+        num_workers=num_workers,
+        queue_depth=queue_depth,
+        num_shards=num_shards,
+        pool_capacity=pool_capacity,
+    )
+    try:
+        batch = engine.execute_batch(queries)
+    finally:
+        engine.close()
+
+    mismatches = sum(
+        1
+        for naive_value, result in zip(naive["values"], batch.results)
+        if not (result.ok and _results_match(naive_value, result.value))
+    )
+
+    batched = {
+        "block_reads": batch.block_reads,
+        "blocks_per_query": batch.blocks_per_query,
+        "wall_s": batch.wall_s,
+        "throughput_qps": (
+            len(queries) / batch.wall_s if batch.wall_s > 0 else 0.0
+        ),
+        "dedup_ratio": batch.plan.dedup_ratio,
+        "unique_tiles": batch.plan.num_unique_tiles,
+        "tile_refs": batch.plan.total_tile_refs,
+    }
+    naive_report = {k: v for k, v in naive.items() if k != "values"}
+    return {
+        "config": {
+            "shape": list(store.shape),
+            "block_edge": block_edge,
+            "pool_capacity": pool_capacity,
+            "num_workers": num_workers,
+            "num_shards": num_shards,
+            "queue_depth": queue_depth,
+            "dataset": dataset,
+            "queries": len(queries),
+            "points": points,
+            "range_sums": range_sums,
+            "regions": regions,
+            "seed": seed,
+        },
+        "naive": naive_report,
+        "batched": batched,
+        "block_read_savings": (
+            naive["block_reads"] / batch.block_reads
+            if batch.block_reads
+            else float("inf")
+        ),
+        "results_match": mismatches == 0,
+        "mismatches": mismatches,
+        "metrics": engine.snapshot(),
+    }

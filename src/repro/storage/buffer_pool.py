@@ -4,6 +4,13 @@ Database-style write-back caching: a block is read from the device at
 most once while resident, dirty blocks are written back on eviction or
 flush.  The pool is what turns "coefficients touched" into "blocks
 transferred" — the quantity the paper's tiling strategy optimises.
+
+Frames can be *pinned* (:meth:`BufferPool.pin`): a pinned frame is
+never chosen as an eviction victim, so a caller can hold a reference to
+a block's array across other pool traffic — the batched query planner
+pins every prefetched block for the duration of a batch.  If every
+frame is pinned the pool temporarily overflows its capacity rather
+than failing; it shrinks back as pins are released.
 """
 
 from __future__ import annotations
@@ -19,13 +26,14 @@ __all__ = ["BufferPool"]
 
 
 class _Frame:
-    """One resident block: its data and a dirty flag."""
+    """One resident block: its data, dirty flag and pin count."""
 
-    __slots__ = ("data", "dirty")
+    __slots__ = ("data", "dirty", "pins")
 
     def __init__(self, data: np.ndarray) -> None:
         self.data = data
         self.dirty = False
+        self.pins = 0
 
 
 class BufferPool:
@@ -39,6 +47,11 @@ class BufferPool:
         Maximum resident blocks; must be >= 1.  The paper's experiments
         model a memory-constrained transformation, so callers size this
         to the scenario's memory budget.
+
+    Besides the shared :class:`~repro.storage.iostats.IOStats` counters
+    the pool keeps local ``hits`` / ``misses`` / ``evictions`` tallies,
+    so a sharded arrangement of pools can report per-shard rates while
+    all shards charge the same device.
     """
 
     def __init__(self, device: BlockDevice, capacity: int) -> None:
@@ -47,6 +60,9 @@ class BufferPool:
         self._device = device
         self._capacity = capacity
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def device(self) -> BlockDevice:
@@ -61,23 +77,61 @@ class BufferPool:
         """Number of blocks currently cached."""
         return len(self._frames)
 
-    def get(self, block_id: int, for_write: bool = False) -> np.ndarray:
+    @property
+    def pinned(self) -> int:
+        """Number of resident blocks with a nonzero pin count."""
+        return sum(1 for frame in self._frames.values() if frame.pins)
+
+    @property
+    def hit_rate(self) -> float:
+        """Local hit fraction (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    # stat hooks — overridden by sharded arrangements that must
+    # serialise updates to the shared IOStats object
+    # ------------------------------------------------------------------
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        self._device.stats.cache_hits += 1
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        self._device.stats.cache_misses += 1
+
+    # ------------------------------------------------------------------
+
+    def get(
+        self, block_id: int, for_write: bool = False, pin: bool = False
+    ) -> np.ndarray:
         """Return the cached array for ``block_id`` (faulting it in).
 
         The returned array is the pool's resident copy: mutations are
         visible to later ``get`` calls.  Callers that mutate must pass
         ``for_write=True`` (or call :meth:`mark_dirty`) so the block is
-        written back on eviction.
+        written back on eviction.  A hit — with or without
+        ``for_write`` — refreshes the block's LRU position.
+
+        ``pin=True`` pins the frame *before* any eviction pass runs, so
+        a faulted-in block cannot be chosen as its own insertion's
+        victim even when every other frame is pinned.
         """
         frame = self._frames.get(block_id)
         if frame is not None:
             self._frames.move_to_end(block_id)
-            self._device.stats.cache_hits += 1
+            self._count_hit()
+            if pin:
+                frame.pins += 1
         else:
+            self._count_miss()
             data = self._device.read_block(block_id)
             frame = _Frame(data)
+            if pin:
+                frame.pins += 1
             self._frames[block_id] = frame
-            self._evict_if_needed()
+            self._evict_if_needed(protect=block_id)
         if for_write:
             frame.dirty = True
         return frame.data
@@ -94,7 +148,7 @@ class BufferPool:
         frame = _Frame(np.zeros(self._device.block_slots, dtype=np.float64))
         frame.dirty = True
         self._frames[block_id] = frame
-        self._evict_if_needed()
+        self._evict_if_needed(protect=block_id)
         return frame.data
 
     def mark_dirty(self, block_id: int) -> None:
@@ -104,16 +158,53 @@ class BufferPool:
             raise KeyError(f"block {block_id} is not resident")
         frame.dirty = True
 
-    def _evict_if_needed(self) -> None:
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, block_id: int) -> None:
+        """Exempt a resident block from eviction (counted; re-entrant)."""
+        frame = self._frames.get(block_id)
+        if frame is None:
+            raise KeyError(f"block {block_id} is not resident")
+        frame.pins += 1
+
+    def unpin(self, block_id: int) -> None:
+        """Release one pin; the block becomes evictable at zero pins."""
+        frame = self._frames.get(block_id)
+        if frame is None:
+            raise KeyError(f"block {block_id} is not resident")
+        if frame.pins <= 0:
+            raise ValueError(f"block {block_id} is not pinned")
+        frame.pins -= 1
+        if frame.pins == 0:
+            self._evict_if_needed()
+
+    def _evict_if_needed(self, protect: Optional[int] = None) -> None:
+        """Evict LRU-first until within capacity, skipping pinned frames
+        and the just-inserted ``protect`` frame (its caller has not even
+        seen the data yet; evicting it pre-``for_write`` would silently
+        drop the dirty flag).  When nothing is evictable the pool
+        overflows temporarily and shrinks as pins release."""
         while len(self._frames) > self._capacity:
-            evicted_id, frame = self._frames.popitem(last=False)
+            victim_id = None
+            for block_id, frame in self._frames.items():
+                if frame.pins == 0 and block_id != protect:
+                    victim_id = block_id
+                    break
+            if victim_id is None:
+                return
+            frame = self._frames.pop(victim_id)
+            self.evictions += 1
             if frame.dirty:
-                self._device.write_block(evicted_id, frame.data)
+                self._device.write_block(victim_id, frame.data)
 
     def flush(self, block_id: Optional[int] = None) -> None:
         """Write back dirty blocks (one, or all when ``block_id is None``).
 
         Blocks stay resident; only the dirty flags are cleared.
+        Flushing a non-resident block is a no-op (nothing cached means
+        nothing unwritten).
         """
         if block_id is not None:
             frame = self._frames.get(block_id)
@@ -127,6 +218,10 @@ class BufferPool:
                 frame.dirty = False
 
     def drop_all(self) -> None:
-        """Flush everything and empty the pool (e.g. between experiments)."""
+        """Flush everything and empty the pool (e.g. between experiments).
+
+        Outstanding pins are discarded with the frames — callers must
+        not drop the pool mid-batch.
+        """
         self.flush()
         self._frames.clear()

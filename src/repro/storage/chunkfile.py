@@ -213,4 +213,5 @@ class ChunkedDataFile:
         self.stats.block_reads = saved.block_reads
         self.stats.block_writes = saved.block_writes
         self.stats.cache_hits = saved.cache_hits
+        self.stats.cache_misses = saved.cache_misses
         return out

@@ -18,7 +18,9 @@ class IOStats:
 
     ``block_*`` counters are bumped by the simulated block device,
     ``coefficient_*`` counters by the coefficient-level (dense) stores.
-    ``cache_hits`` counts block requests absorbed by the buffer pool.
+    ``cache_hits`` counts block requests absorbed by the buffer pool;
+    ``cache_misses`` counts the requests that faulted a block in from
+    the device (every miss is accompanied by one ``block_read``).
     """
 
     block_reads: int = 0
@@ -26,6 +28,7 @@ class IOStats:
     coefficient_reads: int = 0
     coefficient_writes: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def block_ios(self) -> int:
@@ -37,6 +40,15 @@ class IOStats:
         """Total coefficient touches (reads + writes)."""
         return self.coefficient_reads + self.coefficient_writes
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of buffer-pool lookups absorbed by the cache
+        (0.0 when no lookups have been recorded)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
     def reset(self) -> None:
         """Zero all counters in place."""
         self.block_reads = 0
@@ -44,6 +56,7 @@ class IOStats:
         self.coefficient_reads = 0
         self.coefficient_writes = 0
         self.cache_hits = 0
+        self.cache_misses = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
@@ -53,6 +66,7 @@ class IOStats:
             coefficient_reads=self.coefficient_reads,
             coefficient_writes=self.coefficient_writes,
             cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
         )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -65,6 +79,7 @@ class IOStats:
                 self.coefficient_writes - earlier.coefficient_writes
             ),
             cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
         )
 
     def estimated_seconds(
@@ -96,5 +111,6 @@ class IOStats:
         return (
             f"IOStats(blocks: {self.block_reads}r/{self.block_writes}w, "
             f"coefficients: {self.coefficient_reads}r/"
-            f"{self.coefficient_writes}w, hits: {self.cache_hits})"
+            f"{self.coefficient_writes}w, "
+            f"hits: {self.cache_hits}, misses: {self.cache_misses})"
         )

@@ -184,4 +184,5 @@ class NaiveBlockedStandardStore:
         self.stats.block_reads = saved.block_reads
         self.stats.block_writes = saved.block_writes
         self.stats.cache_hits = saved.cache_hits
+        self.stats.cache_misses = saved.cache_misses
         return dense

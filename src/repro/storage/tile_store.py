@@ -58,6 +58,17 @@ class TileStore:
     def pool(self) -> BufferPool:
         return self._pool
 
+    def set_pool(self, pool) -> None:
+        """Install a replacement buffer pool over the same device.
+
+        The current pool is flushed and dropped first, so no dirty data
+        is lost; the replacement (e.g. a
+        :class:`~repro.service.pool.ShardedBufferPool`) must present the
+        :class:`BufferPool` interface and wrap this store's device.
+        """
+        self._pool.drop_all()
+        self._pool = pool
+
     @property
     def block_slots(self) -> int:
         return self._device.block_slots
@@ -89,6 +100,12 @@ class TileStore:
             data = self._pool.create(block_id)
             return data
         return self._pool.get(block_id, for_write=for_write)
+
+    def block_of(self, key: Hashable) -> Optional[int]:
+        """Device block id of tile ``key`` (``None`` if never
+        materialised).  Uncounted — used by the query planner to pin
+        prefetched blocks."""
+        return self._directory.get(key)
 
     def peek(self, key: Hashable) -> Optional[np.ndarray]:
         """Like :meth:`tile` but returns ``None`` instead of allocating

@@ -245,6 +245,7 @@ class TiledStandardStore:
         self.stats.block_reads = saved.block_reads
         self.stats.block_writes = saved.block_writes
         self.stats.cache_hits = saved.cache_hits
+        self.stats.cache_misses = saved.cache_misses
         return dense
 
 
@@ -431,4 +432,5 @@ class TiledNonStandardStore:
         self.stats.block_reads = saved.block_reads
         self.stats.block_writes = saved.block_writes
         self.stats.cache_hits = saved.cache_hits
+        self.stats.cache_misses = saved.cache_misses
         return dense

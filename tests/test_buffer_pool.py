@@ -132,6 +132,158 @@ class TestCreate:
             pool.create(block)
 
 
+class TestMissAccounting:
+    def test_fault_counts_a_cache_miss(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.write_block(block, np.zeros(2))
+        device.stats.reset()
+        pool.get(block)
+        pool.get(block)
+        assert device.stats.cache_misses == 1
+        assert device.stats.cache_hits == 1
+        assert pool.misses == 1 and pool.hits == 1
+
+    def test_hit_rate_property(self):
+        device, pool = _make()
+        assert device.stats.hit_rate == 0.0  # no lookups yet
+        block = device.allocate()
+        device.write_block(block, np.zeros(2))
+        device.stats.reset()
+        pool.get(block)  # miss
+        pool.get(block)  # hit
+        pool.get(block)  # hit
+        assert device.stats.hit_rate == pytest.approx(2 / 3)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_misses_survive_snapshot_and_delta(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.write_block(block, np.zeros(2))
+        device.stats.reset()
+        before = device.stats.snapshot()
+        pool.get(block)
+        delta = device.stats.delta_since(before)
+        assert delta.cache_misses == 1
+        assert before.cache_misses == 0
+
+    def test_create_is_not_a_miss(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.stats.reset()
+        pool.create(block)
+        assert device.stats.cache_misses == 0
+
+    def test_eviction_counter(self):
+        device, pool = _make(capacity=1)
+        blocks = [device.allocate() for __ in range(3)]
+        for block in blocks:
+            device.write_block(block, np.zeros(2))
+        for block in blocks:
+            pool.get(block)
+        assert pool.evictions == 2
+
+
+class TestForWriteHitRegression:
+    """A hit via ``for_write=True`` must refresh LRU order *and* mark
+    the frame dirty (ISSUE satellite audit)."""
+
+    def test_for_write_hit_refreshes_lru_order(self):
+        device, pool = _make(capacity=2)
+        a, b, c = (device.allocate() for __ in range(3))
+        for block in (a, b, c):
+            device.write_block(block, np.zeros(2))
+        device.stats.reset()
+        pool.get(a)
+        pool.get(b)
+        pool.get(a, for_write=True)  # hit: must move `a` to MRU
+        pool.get(c)  # evicts `b`, not the refreshed `a`
+        reads_before = device.stats.block_reads
+        pool.get(a)  # still resident
+        assert device.stats.block_reads == reads_before
+        pool.get(b)  # was evicted, must re-read
+        assert device.stats.block_reads == reads_before + 1
+
+    def test_for_write_hit_marks_dirty(self):
+        device, pool = _make(capacity=2)
+        block = device.allocate()
+        device.write_block(block, np.zeros(2))
+        pool.get(block)  # resident and clean
+        data = pool.get(block, for_write=True)  # hit: must set dirty
+        data[0] = 11.0
+        pool.flush()
+        assert device.read_block(block)[0] == 11.0
+
+
+class TestEdgeCases:
+    def test_dirty_created_block_written_back_exactly_once(self):
+        device, pool = _make(capacity=1)
+        first = device.allocate()
+        second = device.allocate()
+        data = pool.create(first)
+        data[:] = [6.0, 7.0]
+        device.stats.reset()
+        pool.get(second)  # evicts the dirty created block
+        assert device.stats.block_writes == 1
+        assert np.array_equal(device.read_block(first), [6.0, 7.0])
+        # A later flush has nothing left to write for it.
+        pool.flush()
+        assert device.stats.block_writes == 1
+
+    def test_flush_of_non_resident_block_is_noop(self):
+        device, pool = _make()
+        block = device.allocate()
+        device.stats.reset()
+        pool.flush(block)  # never resident: no error, no I/O
+        assert device.stats.block_writes == 0
+
+    def test_capacity_one_thrashing_reads_back_correctly(self):
+        device, pool = _make(capacity=1)
+        blocks = [device.allocate() for __ in range(3)]
+        for round_value in range(3):
+            for block in blocks:
+                data = pool.get(block, for_write=True)
+                data[0] = block * 10.0 + round_value
+        pool.flush()
+        for block in blocks:
+            assert device.read_block(block)[0] == block * 10.0 + 2
+
+
+class TestPinning:
+    def test_pinned_block_is_not_evicted(self):
+        device, pool = _make(capacity=1)
+        first = device.allocate()
+        second = device.allocate()
+        device.write_block(first, np.full(2, 1.0))
+        device.write_block(second, np.full(2, 2.0))
+        pool.get(first, pin=True)
+        pool.get(second)  # cannot evict pinned `first`: overflows
+        assert pool.resident == 2
+        pool.unpin(first)  # overflow shrinks once the pin drops
+        assert pool.resident == 1
+
+    def test_pin_requires_residency(self):
+        device, pool = _make()
+        block = device.allocate()
+        with pytest.raises(KeyError):
+            pool.pin(block)
+
+    def test_unpin_unpinned_raises(self):
+        device, pool = _make()
+        block = device.allocate()
+        pool.get(block)
+        with pytest.raises(ValueError):
+            pool.unpin(block)
+
+    def test_pinned_count(self):
+        device, pool = _make()
+        a = device.allocate()
+        b = device.allocate()
+        pool.get(a, pin=True)
+        pool.get(b)
+        assert pool.pinned == 1
+
+
 class TestValidation:
     def test_capacity_must_be_positive(self):
         device = BlockDevice(2)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import _EXPERIMENTS, main
@@ -29,3 +31,30 @@ class TestRun:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeReplay:
+    def test_replays_a_small_workload_and_prints_json(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-replay",
+                    "--size", "32",
+                    "--block-edge", "4",
+                    "--points", "8",
+                    "--range-sums", "4",
+                    "--regions", "4",
+                    "--workers", "2",
+                    "--shards", "2",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["results_match"]
+        assert report["config"]["queries"] == 16
+        assert report["batched"]["dedup_ratio"] > 1.0
+        assert (
+            report["batched"]["block_reads"] <= report["naive"]["block_reads"]
+        )
+        assert "queries_served" in report["metrics"]["counters"]

@@ -1,0 +1,100 @@
+"""Unit tests for the serving metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("served")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("served").inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("served")
+
+        def hammer():
+            for __ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == 2.5
+
+    def test_percentiles_on_known_distribution(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+        assert abs(histogram.percentile(0.5) - 50.0) <= 1.0
+        assert abs(histogram.percentile(0.95) - 95.0) <= 1.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("latency").percentile(0.5) == 0.0
+
+    def test_percentile_validates_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("latency").percentile(1.5)
+
+    def test_reservoir_thins_but_count_stays_exact(self):
+        histogram = Histogram("latency", max_samples=16)
+        for value in range(100):
+            histogram.record(float(value))
+        assert histogram.count == 100
+        assert histogram.max == 99.0
+        assert len(histogram._samples) <= 16
+
+    def test_snapshot_keys(self):
+        histogram = Histogram("latency")
+        histogram.record(2.0)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert snap["count"] == 1
+        assert snap["p99"] == 2.0
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("served") is registry.counter("served")
+        assert registry.histogram("lat") is registry.histogram("lat")
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(3)
+        registry.histogram("lat").record(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"served": 3}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("served").inc()
+        registry.histogram("lat").record(0.25)
+        json.dumps(registry.snapshot())  # must not raise

@@ -1,0 +1,147 @@
+"""Tests for the batched query planner.
+
+The load-bearing property: the planner's per-query tile sets are the
+*exact* blocks execution reads, so the dedup ratio is an I/O truth,
+not an estimate.  Each query shape is checked cold against the block
+counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.planner import plan_batch, tiles_for_query
+from repro.service.queries import (
+    CustomQuery,
+    PointQuery,
+    RangeSumQuery,
+    RegionQuery,
+    execute_query,
+)
+from repro.service.replay import build_store
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    store, data = build_store(
+        shape=(32, 32), block_edge=4, pool_capacity=256, seed=1
+    )
+    return store, data
+
+
+def _cold_block_reads(store, query) -> int:
+    """Block reads of one query starting from an empty pool."""
+    store.drop_cache()
+    before = store.stats.snapshot()
+    execute_query(store, query)
+    return store.stats.delta_since(before).block_reads
+
+
+def _materialised(store, tiles) -> int:
+    """Planned tiles that actually exist on the device (never-written
+    tiles read as zeros without I/O)."""
+    return sum(
+        1 for key in tiles if store.tile_store.block_of(key) is not None
+    )
+
+
+class TestFootprints:
+    def test_point_query_footprint_matches_actual_reads(self, loaded):
+        store, __ = loaded
+        query = PointQuery((13, 27))
+        tiles = tiles_for_query(store, query)
+        assert _cold_block_reads(store, query) == _materialised(store, tiles)
+
+    def test_range_sum_footprint_matches_actual_reads(self, loaded):
+        store, __ = loaded
+        query = RangeSumQuery((3, 8), (19, 30))
+        tiles = tiles_for_query(store, query)
+        assert _cold_block_reads(store, query) == _materialised(store, tiles)
+
+    def test_region_footprint_matches_actual_reads(self, loaded):
+        store, __ = loaded
+        query = RegionQuery((5, 10), (13, 26))
+        tiles = tiles_for_query(store, query)
+        assert _cold_block_reads(store, query) == _materialised(store, tiles)
+
+    def test_point_footprint_is_one_tile_per_band_pair(self, loaded):
+        store, __ = loaded
+        # 32 domain, block edge 4 (b=2): ceil(5/2) = 3 bands per axis,
+        # so a point touches exactly 3 x 3 tiles (Lemma 1, tiled).
+        tiles = tiles_for_query(store, PointQuery((0, 0)))
+        assert len(tiles) == 9
+
+    def test_custom_query_plans_empty(self, loaded):
+        store, __ = loaded
+        assert tiles_for_query(store, CustomQuery(lambda s: 0.0)) == frozenset()
+
+    def test_point_query_rank_checked(self, loaded):
+        store, __ = loaded
+        with pytest.raises(ValueError):
+            tiles_for_query(store, PointQuery((1, 2, 3)))
+
+
+class TestBatchPlan:
+    def test_identical_queries_dedup_perfectly(self, loaded):
+        store, __ = loaded
+        query = PointQuery((7, 7))
+        plan = plan_batch(store, [query] * 5)
+        assert plan.num_queries == 5
+        assert plan.num_unique_tiles == len(tiles_for_query(store, query))
+        assert plan.total_tile_refs == 5 * plan.num_unique_tiles
+        assert plan.dedup_ratio == 5.0
+
+    def test_disjoint_and_overlapping_queries(self, loaded):
+        store, __ = loaded
+        # Two far-apart points share at least the top-band tile.
+        plan = plan_batch(store, [PointQuery((0, 0)), PointQuery((31, 31))])
+        per_query = [len(p.tiles) for p in plan.plans]
+        assert plan.total_tile_refs == sum(per_query)
+        assert plan.num_unique_tiles < plan.total_tile_refs
+        assert plan.dedup_ratio > 1.0
+
+    def test_empty_batch(self, loaded):
+        store, __ = loaded
+        plan = plan_batch(store, [])
+        assert plan.num_queries == 0
+        assert plan.dedup_ratio == 1.0
+        assert plan.report()["unique_tiles"] == 0
+
+    def test_report_is_json_friendly(self, loaded):
+        import json
+
+        store, __ = loaded
+        plan = plan_batch(store, [PointQuery((1, 2))])
+        json.dumps(plan.report())
+
+    def test_planning_charges_no_io(self, loaded):
+        store, __ = loaded
+        store.drop_cache()
+        before = store.stats.snapshot()
+        plan_batch(
+            store,
+            [
+                PointQuery((3, 4)),
+                RangeSumQuery((0, 0), (15, 15)),
+                RegionQuery((0, 0), (8, 8)),
+            ],
+        )
+        delta = store.stats.delta_since(before)
+        assert delta.block_reads == 0
+        assert delta.block_writes == 0
+
+
+class TestValuesUnchanged:
+    """Planner-driven execution must not perturb query semantics."""
+
+    def test_query_values_match_ground_truth(self, loaded):
+        store, data = loaded
+        point = PointQuery((9, 21))
+        box_sum = RangeSumQuery((2, 3), (17, 24))
+        region = RegionQuery((4, 8), (12, 16))
+        assert np.isclose(execute_query(store, point), data[9, 21])
+        assert np.isclose(
+            execute_query(store, box_sum), data[2:18, 3:25].sum()
+        )
+        assert np.allclose(
+            execute_query(store, region), data[4:12, 8:16]
+        )

@@ -1,0 +1,197 @@
+"""Tests for the thread-safe sharded buffer pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.pool import ShardedBufferPool
+from repro.storage.block_device import BlockDevice
+
+
+def _make(num_blocks=16, capacity=8, shards=4, slots=4):
+    device = BlockDevice(slots)
+    for block in range(num_blocks):
+        device.allocate()
+        device.write_block(block, np.full(slots, float(block)))
+    device.stats.reset()
+    pool = ShardedBufferPool(device, capacity, num_shards=shards)
+    return device, pool
+
+
+class TestGeometry:
+    def test_blocks_route_by_modulo(self):
+        __, pool = _make(shards=4)
+        assert pool.shard_of(0) == 0
+        assert pool.shard_of(7) == 3
+        assert pool.shard_of(9) == 1
+
+    def test_every_shard_gets_at_least_one_frame(self):
+        device = BlockDevice(2)
+        pool = ShardedBufferPool(device, 2, num_shards=8)
+        assert pool.capacity == 8  # max(capacity, num_shards)
+
+    def test_validates_parameters(self):
+        device = BlockDevice(2)
+        with pytest.raises(ValueError):
+            ShardedBufferPool(device, 0, num_shards=2)
+        with pytest.raises(ValueError):
+            ShardedBufferPool(device, 4, num_shards=0)
+
+
+class TestCaching:
+    def test_get_returns_device_contents(self):
+        __, pool = _make()
+        assert np.array_equal(pool.get(5), np.full(4, 5.0))
+
+    def test_repeat_get_hits_local_and_shared_counters(self):
+        device, pool = _make()
+        pool.get(3)
+        pool.get(3)
+        assert device.stats.block_reads == 1
+        assert device.stats.cache_hits == 1
+        assert device.stats.cache_misses == 1
+        snap = pool.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+    def test_shard_stats_attribute_traffic_to_owner(self):
+        __, pool = _make(shards=4)
+        pool.get(1)  # shard 1
+        pool.get(1)
+        pool.get(2)  # shard 2
+        stats = pool.shard_stats()
+        assert stats[1]["misses"] == 1 and stats[1]["hits"] == 1
+        assert stats[2]["misses"] == 1 and stats[2]["hits"] == 0
+        assert stats[0]["misses"] == 0
+        assert stats[1]["hit_rate"] == 0.5
+
+    def test_eviction_is_per_shard(self):
+        device, pool = _make(num_blocks=12, capacity=4, shards=4)
+        # Blocks 0, 4, 8 all live on shard 0 with one frame: thrash it.
+        pool.get(0)
+        pool.get(4)
+        pool.get(8)
+        assert pool.shard_stats()[0]["evictions"] == 2
+        # Other shards untouched.
+        assert pool.shard_stats()[1]["evictions"] == 0
+
+
+class TestWriteBack:
+    def test_dirty_eviction_persists(self):
+        device, pool = _make(num_blocks=8, capacity=4, shards=4)
+        data = pool.get(0, for_write=True)
+        data[:] = 99.0
+        pool.get(4)  # shard 0 evicts block 0
+        assert np.array_equal(device.read_block(0), np.full(4, 99.0))
+
+    def test_flush_all_shards(self):
+        device, pool = _make()
+        pool.get(1, for_write=True)[0] = 7.0
+        pool.get(2, for_write=True)[0] = 8.0
+        writes_before = device.stats.block_writes
+        pool.flush()
+        assert device.stats.block_writes == writes_before + 2
+        assert device.read_block(1)[0] == 7.0
+        assert device.read_block(2)[0] == 8.0
+
+    def test_mark_dirty_and_single_flush(self):
+        device, pool = _make()
+        data = pool.get(6)
+        data[1] = 42.0
+        pool.mark_dirty(6)
+        pool.flush(6)
+        assert device.read_block(6)[1] == 42.0
+
+    def test_drop_all_empties_every_shard(self):
+        __, pool = _make()
+        for block in range(8):
+            pool.get(block)
+        pool.drop_all()
+        assert pool.resident == 0
+
+
+class TestPinning:
+    def test_pinned_block_survives_shard_thrashing(self):
+        device, pool = _make(num_blocks=16, capacity=4, shards=4)
+        pool.fetch_and_pin(0)
+        pool.get(4)
+        pool.get(8)
+        pool.get(12)  # shard 0 has 1 frame; pinned 0 must survive
+        reads_before = device.stats.block_reads
+        pool.get(0)  # must be a hit
+        assert device.stats.block_reads == reads_before
+
+    def test_fetch_and_pin_overflows_rather_than_evicting_itself(self):
+        __, pool = _make(num_blocks=16, capacity=4, shards=4)
+        # Shard 0 frames: pin more blocks than its capacity (1).
+        for block in (0, 4, 8):
+            pool.fetch_and_pin(block)
+        stats = pool.shard_stats()[0]
+        assert stats["resident"] == 3  # temporary overflow, nothing lost
+        for block in (0, 4, 8):
+            pool.unpin(block)
+        # Unpinning shrinks the shard back to capacity.
+        assert pool.shard_stats()[0]["resident"] == 1
+
+    def test_unpin_unknown_block_raises(self):
+        __, pool = _make()
+        with pytest.raises(KeyError):
+            pool.unpin(3)
+
+
+class TestConcurrency:
+    def test_parallel_reads_see_correct_data_and_exact_counters(self):
+        device, pool = _make(num_blocks=16, capacity=8, shards=4)
+        rounds = 200
+        num_threads = 8
+        errors = []
+        barrier = threading.Barrier(num_threads)
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for __ in range(rounds):
+                block = int(rng.integers(0, 16))
+                data = pool.get(block)
+                if data[0] != float(block):
+                    errors.append((block, float(data[0])))
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every lookup is either a hit or a miss — none lost to races.
+        snap = pool.snapshot()
+        assert snap["hits"] + snap["misses"] == rounds * num_threads
+        assert device.stats.cache_hits + device.stats.cache_misses == (
+            rounds * num_threads
+        )
+        # Every miss faulted exactly one device read.
+        assert device.stats.block_reads == snap["misses"]
+
+    def test_parallel_writers_do_not_lose_dirty_data(self):
+        device, pool = _make(num_blocks=8, capacity=8, shards=4)
+
+        def writer(block):
+            data = pool.get(block, for_write=True)
+            data[:] = float(block) * 10.0
+
+        threads = [
+            threading.Thread(target=writer, args=(block,))
+            for block in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool.flush()
+        for block in range(8):
+            assert np.array_equal(
+                device.read_block(block), np.full(4, block * 10.0)
+            )
