@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench ci experiments examples clean
+.PHONY: install test bench bench-smoke ci experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Small-geometry kernel-speed run (non-gating in CI); writes
+# BENCH_kernels.json with cached/uncached and serial/parallel numbers.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_kernel_speed.py --smoke
 
 ci:
 	PYTHONPATH=src python -m pytest -x -q

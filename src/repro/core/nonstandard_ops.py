@@ -12,10 +12,12 @@ quadtree node on the path to the root plus the overall average:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.plans import get_nonstandard_plan, plans_enabled
 from repro.util.bits import ilog2
 from repro.util.validation import require_power_of_two
 from repro.wavelet.keys import NonStandardKey
@@ -24,7 +26,9 @@ from repro.wavelet.nonstandard import nonstandard_dwt, nonstandard_idwt
 __all__ = [
     "shift_regions_nonstandard",
     "split_contributions_nonstandard",
+    "split_weights_nonstandard",
     "apply_chunk_nonstandard",
+    "apply_chunk_nonstandard_uncached",
     "extract_region_nonstandard",
     "shift_split_counts_nonstandard",
 ]
@@ -75,6 +79,57 @@ def shift_regions_nonstandard(
             yield level, type_mask, global_start, chunk_slices
 
 
+@lru_cache(maxsize=65536)
+def _split_weights_cached(
+    size: int, chunk_edge: int, grid_position: Tuple[int, ...]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    n, m = _check_geometry(size, chunk_edge, grid_position)
+    ndim = len(grid_position)
+    num_types = (1 << ndim) - 1
+    shifts = np.arange(1, n - m + 1, dtype=np.int64)
+    grid = np.asarray(grid_position, dtype=np.int64)
+    # One row per path level: node positions, per-axis sign bits.
+    path_nodes = grid[None, :] >> shifts[:, None]
+    sign_bits = (grid[None, :] >> (shifts[:, None] - 1)) & 1
+    masks = np.arange(1, 1 << ndim, dtype=np.int64)
+    mask_bits = (masks[:, None] >> np.arange(ndim)[None, :]) & 1
+    # Sign of (level, mask) = (-1)^(number of negative axes selected).
+    parity = (sign_bits @ mask_bits.T) & 1
+    signs = 1.0 - 2.0 * parity
+    magnitudes = np.ldexp(1.0, -(shifts * ndim))
+    weights = signs * magnitudes[:, None]
+    levels = np.repeat(shifts + m, num_types)
+    nodes = np.repeat(path_nodes, num_types, axis=0)
+    type_masks = np.tile(masks, shifts.size)
+    weights = np.ascontiguousarray(weights.reshape(-1))
+    for array in (levels, nodes, type_masks, weights):
+        array.setflags(write=False)
+    scaling_weight = float(np.ldexp(1.0, -((n - m) * ndim)))
+    return levels, nodes, type_masks, weights, scaling_weight
+
+
+def split_weights_nonstandard(
+    size: int,
+    chunk_edge: int,
+    grid_position: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    """Vectorised SPLIT structure of a non-standard chunk.
+
+    Returns ``(levels, nodes, type_masks, weights, scaling_weight)``:
+    parallel arrays with one entry per path-node detail contribution
+    (level-ascending, type-mask-ascending — the order
+    :func:`split_contributions_nonstandard` has always used), where the
+    delta of entry ``i`` is ``average * weights[i]``; ``nodes`` has
+    shape ``(K, d)``.  ``scaling_weight`` scales the overall-average
+    increment.  All weights are signed powers of two, so multiplying by
+    the average is exact.  Results are memoised — the arrays are
+    read-only.
+    """
+    return _split_weights_cached(
+        int(size), int(chunk_edge), tuple(int(g) for g in grid_position)
+    )
+
+
 def split_contributions_nonstandard(
     size: int,
     chunk_edge: int,
@@ -87,28 +142,25 @@ def split_contributions_nonstandard(
     ``detail_contributions`` pairs each path-node detail key with its
     signed delta and ``scaling_delta`` is the overall-average
     increment ``u / 2^{(n-m) d}``.
+
+    Thin tuple-API wrapper over :func:`split_weights_nonstandard`.
     """
-    n, m = _check_geometry(size, chunk_edge, grid_position)
-    ndim = len(grid_position)
-    contributions: List[Tuple[NonStandardKey, float]] = []
-    for level in range(m + 1, n + 1):
-        shift = level - m
-        node = tuple(int(g) >> shift for g in grid_position)
-        magnitude = average / float(1 << (shift * ndim))
-        axis_signs = [
-            -1.0 if (int(g) >> (shift - 1)) & 1 else 1.0
-            for g in grid_position
-        ]
-        for type_mask in range(1, 1 << ndim):
-            sign = 1.0
-            for axis in range(ndim):
-                if (type_mask >> axis) & 1:
-                    sign *= axis_signs[axis]
-            contributions.append(
-                (NonStandardKey(level, node, type_mask), sign * magnitude)
-            )
-    scaling_delta = average / float(1 << ((n - m) * ndim))
-    return contributions, scaling_delta
+    levels, nodes, type_masks, weights, scaling_weight = (
+        split_weights_nonstandard(size, chunk_edge, grid_position)
+    )
+    deltas = average * weights
+    contributions = [
+        (
+            NonStandardKey(
+                int(level), tuple(int(k) for k in node), int(mask)
+            ),
+            delta,
+        )
+        for level, node, mask, delta in zip(
+            levels, nodes, type_masks, deltas.tolist()
+        )
+    ]
+    return contributions, average * scaling_weight
 
 
 def apply_chunk_nonstandard(
@@ -122,8 +174,31 @@ def apply_chunk_nonstandard(
 
     Mirrors :func:`repro.core.standard_ops.apply_chunk_standard` for
     the non-standard form.  ``store`` implements the non-standard
-    store interface (dense or tiled).
+    store interface (dense or tiled).  Unless plans are disabled, the
+    chunk geometry (SHIFT regions, SPLIT keys and weights) comes from a
+    cached :class:`~repro.core.plans.NonStandardChunkPlan`.
     """
+    chunk_hat = chunk if chunk_is_transformed else nonstandard_dwt(chunk)
+    if plans_enabled():
+        _check_geometry(store.size, chunk_hat.shape[0], grid_position)
+        plan = get_nonstandard_plan(
+            store.size, chunk_hat.shape[0], grid_position
+        )
+        plan.apply(store, chunk_hat, fresh=fresh)
+        return
+    apply_chunk_nonstandard_uncached(
+        store, chunk_hat, grid_position, fresh=fresh, chunk_is_transformed=True
+    )
+
+
+def apply_chunk_nonstandard_uncached(
+    store,
+    chunk: np.ndarray,
+    grid_position: Sequence[int],
+    fresh: bool = True,
+    chunk_is_transformed: bool = False,
+) -> None:
+    """The interpreted (plan-free) :func:`apply_chunk_nonstandard`."""
     chunk_hat = chunk if chunk_is_transformed else nonstandard_dwt(chunk)
     chunk_edge = chunk_hat.shape[0]
     size = store.size

@@ -136,17 +136,22 @@ class BufferPool:
             frame.dirty = True
         return frame.data
 
-    def create(self, block_id: int) -> np.ndarray:
+    def create(self, block_id: int, pin: bool = False) -> np.ndarray:
         """Install a fresh zero-filled frame for a newly allocated block.
 
         No device read is charged — the block has never been written,
         so its (zero) contents are known without touching the disk.
         The frame starts dirty and will be written back on eviction.
+        ``pin=True`` pins the frame before it can be seen by any
+        eviction pass, so create-and-pin is atomic (concurrent bulk
+        loaders rely on this to mutate a fresh tile safely).
         """
         if block_id in self._frames:
             raise KeyError(f"block {block_id} is already resident")
         frame = _Frame(np.zeros(self._device.block_slots, dtype=np.float64))
         frame.dirty = True
+        if pin:
+            frame.pins += 1
         self._frames[block_id] = frame
         self._evict_if_needed(protect=block_id)
         return frame.data

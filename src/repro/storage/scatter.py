@@ -1,0 +1,172 @@
+"""Compiled per-tile gather/scatter regions for cross-product tiles.
+
+:class:`~repro.storage.tiled.TiledStandardStore` serves a cross-product
+region by locating every per-axis index, grouping the located indices by
+tile with ``np.unique``, and recursing over the cross product of the
+per-axis groups, building an ``np.ix_`` selector per visited tile.  All
+of that work depends only on the *index geometry* — not on the values
+being moved — so a region that is applied repeatedly (every chunk of a
+bulk load, every batch update at a fixed granularity) can be compiled
+once into flat per-tile index arrays and replayed as pure fancy-index
+scatters/gathers.
+
+A :class:`CompiledRegion` stores, per touched tile, two parallel
+``intp`` arrays:
+
+``slots``
+    flat coefficient slots inside the tile's ``B^d`` block, and
+``source``
+    flat positions inside the caller's (row-major) value tensor.
+
+Applying the region is then one line per tile::
+
+    tile_store.tile(key, for_write=True)[slots] += values_flat[source]
+
+The compiler visits tiles in exactly the order the interpreted path
+does (ascending per-axis ``(band, root)`` keys, last axis fastest), so
+a compiled apply produces the **same block-I/O trace** — identical
+:class:`~repro.storage.iostats.IOStats` — as the store's own
+``set_region`` / ``add_region`` / ``read_region``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tiling.onedim import OneDimTiling
+
+__all__ = ["AxisTileGroups", "CompiledRegion", "group_axis_indices"]
+
+#: Per-axis grouping of located indices: ``(tile_part, selector, slots)``
+#: triples sorted by ``tile_part``; ``selector`` indexes the axis' target
+#: array and ``slots`` holds the within-tile per-axis slots at those
+#: positions.
+AxisTileGroups = Tuple[Tuple[Tuple[int, int], np.ndarray, np.ndarray], ...]
+
+
+def group_axis_indices(
+    tiling: OneDimTiling, indices: np.ndarray
+) -> AxisTileGroups:
+    """Locate and tile-group one axis' flat transform indices.
+
+    Raises ``ValueError`` on duplicate indices — a compiled scatter
+    assumes each (tile, slot) pair is hit at most once, so fancy-index
+    assignment and in-place ``+=`` are both exact.
+    """
+    flat = np.asarray(indices, dtype=np.int64)
+    if np.unique(flat).size != flat.size:
+        raise ValueError("axis index array contains duplicates")
+    bands, roots, slots = tiling.locate_indices(flat)
+    span = int(roots.max()) + 1 if roots.size else 1
+    combined = bands * span + roots
+    unique, inverse = np.unique(combined, return_inverse=True)
+    groups: List[Tuple[Tuple[int, int], np.ndarray, np.ndarray]] = []
+    for group_index, key in enumerate(unique):
+        selector = np.nonzero(inverse == group_index)[0]
+        part = (int(key) // span, int(key) % span)
+        groups.append((part, selector, slots[selector].astype(np.intp)))
+    return tuple(groups)
+
+
+def _flat_cross(arrays: Sequence[np.ndarray], strides: Sequence[int]) -> np.ndarray:
+    """Row-major flat indices of the cross product of per-axis indices."""
+    acc = np.asarray(arrays[0], dtype=np.intp) * strides[0]
+    for array, stride in zip(arrays[1:], strides[1:]):
+        acc = acc[..., None] + np.asarray(array, dtype=np.intp) * stride
+    return np.ascontiguousarray(acc.reshape(-1))
+
+
+def _row_major_strides(shape: Sequence[int]) -> List[int]:
+    strides = [1] * len(shape)
+    for axis in range(len(shape) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * int(shape[axis + 1])
+    return strides
+
+
+class CompiledRegion:
+    """One cross-product region compiled against one tile geometry.
+
+    Attributes
+    ----------
+    tiles:
+        ``(tile_key, slots, source)`` per touched tile, in the exact
+        order the interpreted region path visits them.
+    entries:
+        Total number of coefficients the region moves.
+    """
+
+    __slots__ = ("tiles", "entries")
+
+    def __init__(
+        self,
+        tiles: Sequence[Tuple[tuple, np.ndarray, np.ndarray]],
+        entries: int,
+    ) -> None:
+        self.tiles = tuple(tiles)
+        self.entries = entries
+
+    @classmethod
+    def from_axis_groups(
+        cls,
+        axis_groups: Sequence[AxisTileGroups],
+        axis_offsets: Sequence[int],
+        tensor_shape: Sequence[int],
+        block_edge: int,
+    ) -> "CompiledRegion":
+        """Compile the cross product of per-axis tile groups.
+
+        ``axis_offsets[a]`` shifts axis ``a``'s selector positions into
+        the caller's tensor coordinates (a region covering tensor axis
+        range ``[off, off + L)`` passes ``off``); ``tensor_shape`` is
+        the *full* tensor the flat ``source`` indices address.
+        """
+        ndim = len(axis_groups)
+        tensor_strides = _row_major_strides(tensor_shape)
+        slot_strides = _row_major_strides((block_edge,) * ndim)
+        tiles = []
+        entries = 0
+        for combo in product(*axis_groups):
+            key = tuple(part for part, __, __ in combo)
+            slots = _flat_cross([s for __, __, s in combo], slot_strides)
+            source = _flat_cross(
+                [sel + off for (__, sel, __), off in zip(combo, axis_offsets)],
+                tensor_strides,
+            )
+            tiles.append((key, slots, source))
+            entries += slots.size
+        return cls(tiles, entries)
+
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self, tile_store, values_flat: np.ndarray, accumulate: bool
+    ) -> None:
+        """Push ``values_flat[source]`` into every touched tile.
+
+        Charges exactly the block I/O the interpreted ``set_region`` /
+        ``add_region`` path charges (one counted tile fetch per touched
+        tile, in the same order).
+        """
+        fetch = tile_store.tile
+        if accumulate:
+            for key, slots, source in self.tiles:
+                fetch(key, for_write=True)[slots] += values_flat[source]
+        else:
+            for key, slots, source in self.tiles:
+                fetch(key, for_write=True)[slots] = values_flat[source]
+
+    def gather(self, tile_store, out_flat: np.ndarray) -> None:
+        """Fill ``out_flat[source]`` from every touched tile.
+
+        Never-materialised tiles are skipped (they read as zero without
+        I/O), mirroring the interpreted ``read_region``.
+        """
+        peek = tile_store.peek
+        for key, slots, source in self.tiles:
+            tile = peek(key)
+            if tile is None:
+                continue
+            out_flat[source] = tile[slots]

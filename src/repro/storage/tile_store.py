@@ -10,7 +10,7 @@ of a transform under construction.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, Optional
+from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -100,6 +100,27 @@ class TileStore:
             data = self._pool.create(block_id)
             return data
         return self._pool.get(block_id, for_write=for_write)
+
+    def tile_pinned(self, key: Hashable) -> "Tuple[int, np.ndarray]":
+        """Fetch-or-create tile ``key`` with its pool frame pinned.
+
+        Returns ``(block_id, data)``; the caller must
+        ``pool.unpin(block_id)`` when done mutating.  The pin is taken
+        before any eviction pass can see the frame, so the returned
+        array stays resident for the pin's duration even under
+        concurrent pool traffic.  Directory access itself is *not*
+        locked here — concurrent callers (the parallel bulk loader)
+        serialise :meth:`tile_pinned` calls behind their own lock.
+        """
+        block_id = self._directory.get(key)
+        if block_id is None:
+            block_id = self._device.allocate()
+            self._directory[key] = block_id
+            return block_id, self._pool.create(block_id, pin=True)
+        fetch_and_pin = getattr(self._pool, "fetch_and_pin", None)
+        if fetch_and_pin is not None:
+            return block_id, fetch_and_pin(block_id)
+        return block_id, self._pool.get(block_id, pin=True)
 
     def block_of(self, key: Hashable) -> Optional[int]:
         """Device block id of tile ``key`` (``None`` if never

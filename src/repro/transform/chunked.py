@@ -14,11 +14,26 @@ Non-standard form (Result 2)
     ``(2^d - 1) log(N/M)`` coefficients the SPLIT contributions never
     hit the disk before they are final, reaching the optimal
     ``O(N^d)`` (``O((N/B)^d)`` blocks).
+
+Both drivers run through the plan-compiled SHIFT-SPLIT path of
+:mod:`repro.core.plans` by default.  The standard driver additionally
+supports ``workers=K``: chunk fetch, DWT and plan compilation move to a
+thread pool while the main thread applies the precomputed contribution
+tensors *in chunk order* — bit-identical output and identical
+:class:`~repro.storage.iostats.IOStats` to the serial path.  With
+``parallel_apply=True`` the workers also scatter their chunk's
+disjoint SHIFT block concurrently, under per-tile pinning on a
+:class:`~repro.service.pool.ShardedBufferPool`; coefficients are still
+bit-identical, but the cache hit/miss trace becomes
+interleaving-dependent.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple, Union
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,12 +41,18 @@ from repro.core.nonstandard_ops import (
     shift_regions_nonstandard,
     split_contributions_nonstandard,
 )
-from repro.core.standard_ops import apply_chunk_standard
+from repro.core.plans import (
+    get_nonstandard_plan,
+    get_standard_plan,
+    plans_enabled,
+)
+from repro.core.standard_ops import apply_chunk_standard_uncached
 from repro.transform.report import TransformReport
 from repro.util.morton import rowmajor_chunks, zorder_chunks
 from repro.util.validation import require_power_of_two_shape
 from repro.wavelet.keys import NonStandardKey
 from repro.wavelet.nonstandard import nonstandard_dwt
+from repro.wavelet.standard import standard_dwt
 
 __all__ = [
     "ChunkSource",
@@ -41,7 +62,9 @@ __all__ = [
 
 #: A chunk supplier: either the full dense array, or a callable mapping
 #: a chunk grid position to the chunk's data (so benchmarks can stream
-#: synthetic data without materialising the whole cube).
+#: synthetic data without materialising the whole cube).  With
+#: ``workers > 1`` a callable source is invoked from pool threads and
+#: must be thread-safe.
 ChunkSource = Union[np.ndarray, Callable[[Tuple[int, ...]], np.ndarray]]
 
 
@@ -71,12 +94,61 @@ def _chunk_order(order: str, grid_shape: Sequence[int]):
     raise ValueError(f"unknown chunk order {order!r}")
 
 
+def _scatter_pinned(
+    tile_store,
+    compiled,
+    values_flat: np.ndarray,
+    accumulate: bool,
+    dir_lock: threading.Lock,
+) -> None:
+    """Replay a compiled region against a concurrently shared store.
+
+    The tile directory (and block allocation) is serialised by
+    ``dir_lock``; the frame is pinned across the mutation so pool
+    traffic from other threads cannot evict it mid-write.  Slot sets of
+    concurrent scatters are disjoint by construction (distinct chunks'
+    SHIFT blocks never overlap), so the unlocked fancy-index writes
+    commute.
+    """
+    pool = tile_store.pool
+    for key, slots, source in compiled.tiles:
+        with dir_lock:
+            block_id, data = tile_store.tile_pinned(key)
+        try:
+            if accumulate:
+                data[slots] += values_flat[source]
+            else:
+                data[slots] = values_flat[source]
+            pool.mark_dirty(block_id)
+        finally:
+            pool.unpin(block_id)
+
+
+def _ensure_sharded_pool(tile_store, workers: int) -> None:
+    """Swap the store's pool for a thread-safe sharded one if needed."""
+    from repro.service.pool import ShardedBufferPool
+
+    if isinstance(tile_store.pool, ShardedBufferPool):
+        return
+    capacity = tile_store.pool.capacity
+    tile_store.set_pool(
+        ShardedBufferPool(
+            tile_store.device,
+            capacity=capacity,
+            num_shards=max(4, workers),
+        )
+    )
+
+
 def transform_standard_chunked(
     store,
     source: ChunkSource,
     chunk_shape: Sequence[int],
     order: str = "rowmajor",
     skip_zero_chunks: bool = False,
+    workers: int = 1,
+    parallel_apply: bool = False,
+    use_plans: Optional[bool] = None,
 ) -> TransformReport:
     """Bulk-load a standard-form transform chunk by chunk (Result 1).
 
@@ -89,30 +161,167 @@ def transform_standard_chunked(
     skipped entirely, as a chunk directory over sparse data would never
     fetch them.  Skipped chunks are counted in
     ``extras["skipped_chunks"]`` and charge no I/O.
+
+    Parameters
+    ----------
+    workers:
+        With ``workers > 1`` chunk fetch, DWT and plan compilation run
+        in a thread pool while the main thread applies each chunk's
+        precomputed contribution tensor in chunk order — bit-identical
+        coefficients and identical ``IOStats`` to ``workers=1``.
+        Requires the plan path (``use_plans`` must not be False).
+    parallel_apply:
+        Additionally scatter each chunk's pure-SHIFT block from the
+        worker threads, concurrently, under per-tile pinning on a
+        :class:`~repro.service.pool.ShardedBufferPool` (installed with
+        ``tile_store.set_pool`` if the store does not already run one).
+        SHIFT blocks of distinct chunks are coefficient-disjoint and
+        the SPLIT accumulations still apply in chunk order, so the
+        result stays bit-identical — but cache hit/miss counts become
+        interleaving-dependent.  Requires a tiled standard store and
+        ``workers > 1``.
+    use_plans:
+        Tri-state: ``None`` follows the global switch of
+        :mod:`repro.core.plans`; ``False`` forces the interpreted
+        per-call path (the uncached benchmark baseline).
     """
     domain = require_power_of_two_shape(store.shape, "store shape")
     chunk_shape = require_power_of_two_shape(chunk_shape, "chunk_shape")
+    if use_plans is None:
+        use_plans = plans_enabled()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and not use_plans:
+        raise ValueError("workers > 1 requires the plan-compiled path")
+    if parallel_apply and workers <= 1:
+        raise ValueError("parallel_apply requires workers > 1")
+    if parallel_apply and not hasattr(store, "tile_store"):
+        raise ValueError("parallel_apply requires a tiled standard store")
     grid_shape = tuple(
         extent // chunk_extent
         for extent, chunk_extent in zip(domain, chunk_shape)
     )
     getter = _chunk_getter(source, chunk_shape)
     report = TransformReport(
-        extras={"order": order, "form": "standard", "skipped_chunks": 0}
+        extras={
+            "order": order,
+            "form": "standard",
+            "skipped_chunks": 0,
+            "workers": workers,
+            "plans": bool(use_plans),
+            "parallel_apply": bool(parallel_apply),
+        }
     )
     cells_per_chunk = int(np.prod(chunk_shape))
-    for grid_position in _chunk_order(order, grid_shape):
-        chunk = getter(grid_position)
-        if skip_zero_chunks and not np.any(chunk):
-            report.extras["skipped_chunks"] += 1
-            continue
-        report.source_reads += cells_per_chunk
-        apply_chunk_standard(store, chunk, grid_position, fresh=True)
-        report.chunks += 1
+
+    if workers == 1:
+        for grid_position in _chunk_order(order, grid_shape):
+            chunk = getter(grid_position)
+            if skip_zero_chunks and not np.any(chunk):
+                report.extras["skipped_chunks"] += 1
+                continue
+            report.source_reads += cells_per_chunk
+            chunk_hat = standard_dwt(chunk)
+            if use_plans:
+                plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
+                plan.apply(store, chunk_hat, fresh=True)
+            else:
+                apply_chunk_standard_uncached(
+                    store,
+                    chunk_hat,
+                    grid_position,
+                    fresh=True,
+                    chunk_is_transformed=True,
+                )
+            report.chunks += 1
+    else:
+        _standard_chunked_parallel(
+            store,
+            getter,
+            domain,
+            grid_shape,
+            order,
+            skip_zero_chunks,
+            workers,
+            parallel_apply,
+            report,
+            cells_per_chunk,
+        )
+
     if hasattr(store, "flush"):
         store.flush()
     report.store_stats = store.stats.snapshot()
     return report
+
+
+def _standard_chunked_parallel(
+    store,
+    getter,
+    domain: Tuple[int, ...],
+    grid_shape: Tuple[int, ...],
+    order: str,
+    skip_zero_chunks: bool,
+    workers: int,
+    parallel_apply: bool,
+    report: TransformReport,
+    cells_per_chunk: int,
+) -> None:
+    """The ``workers > 1`` pipeline behind ``transform_standard_chunked``.
+
+    Workers prepare ``(plan, flat contribution tensor)`` per chunk; the
+    main thread consumes completed futures *in submission order* and
+    applies them, so every store mutation (and hence the block-I/O
+    trace) happens in exactly the serial sequence.  In
+    ``parallel_apply`` mode the workers additionally scatter their
+    chunk's SHIFT block as soon as it is ready.
+    """
+    dir_lock = threading.Lock()
+    tile_store = getattr(store, "tile_store", None)
+    if parallel_apply:
+        _ensure_sharded_pool(tile_store, workers)
+        tiling = store.tiling
+
+    def prepare(grid_position):
+        chunk = getter(grid_position)
+        if skip_zero_chunks and not np.any(chunk):
+            return None, None
+        chunk_hat = standard_dwt(chunk)
+        plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
+        flat = plan.contributions(chunk_hat)
+        if parallel_apply:
+            for is_shift, compiled in plan.iter_compiled(tiling):
+                if is_shift:
+                    _scatter_pinned(
+                        tile_store, compiled, flat, False, dir_lock
+                    )
+        return plan, flat
+
+    def consume(future):
+        plan, flat = future.result()
+        if plan is None:
+            report.extras["skipped_chunks"] += 1
+            return
+        report.source_reads += cells_per_chunk
+        if parallel_apply:
+            # The SHIFT block is already in place; accumulate the
+            # d SPLIT fans in chunk order (addition order fixed =>
+            # bit-identical sums).
+            for is_shift, compiled in plan.iter_compiled(tiling):
+                if not is_shift:
+                    _scatter_pinned(tile_store, compiled, flat, True, dir_lock)
+        else:
+            plan.apply_contributions(store, flat, fresh=True)
+        report.chunks += 1
+
+    window = 2 * workers
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        pending = deque()
+        for grid_position in _chunk_order(order, grid_shape):
+            pending.append(executor.submit(prepare, grid_position))
+            if len(pending) >= window:
+                consume(pending.popleft())
+        while pending:
+            consume(pending.popleft())
 
 
 class _CrestBuffer:
@@ -123,12 +332,15 @@ class _CrestBuffer:
     outstanding chunk contributions.  A node is flushed to the store
     the moment its last contribution arrives, so with z-order chunk
     traversal at most one node per level is ever live — the paper's
-    ``(2^d - 1) log(N/M)`` extra memory.
+    ``(2^d - 1) log(N/M)`` extra memory.  Completed nodes are tracked
+    in an explicit list as their countdowns hit zero, so draining them
+    never rescans the live entries.
     """
 
     def __init__(self, ndim: int) -> None:
         self._ndim = ndim
         self._entries: Dict[Tuple[int, Tuple[int, ...]], list] = {}
+        self._completed: list = []
         self.max_live_nodes = 0
 
     def is_empty(self) -> bool:
@@ -153,15 +365,13 @@ class _CrestBuffer:
             self.max_live_nodes = max(self.max_live_nodes, len(self._entries))
         entry[0][key.type_mask - 1] += delta
         entry[1] -= 1
+        if entry[1] == 0:
+            self._completed.append(node_id)
 
     def pop_complete(self):
         """Yield and remove nodes that received every contribution."""
-        complete = [
-            node_id
-            for node_id, entry in self._entries.items()
-            if entry[1] == 0
-        ]
-        for node_id in complete:
+        while self._completed:
+            node_id = self._completed.pop(0)
             values = self._entries.pop(node_id)[0]
             yield node_id, values
 
@@ -173,6 +383,7 @@ def transform_nonstandard_chunked(
     order: str = "zorder",
     buffer_crest: bool = True,
     skip_zero_chunks: bool = False,
+    use_plans: Optional[bool] = None,
 ) -> TransformReport:
     """Bulk-load a non-standard transform chunk by chunk (Result 2).
 
@@ -187,27 +398,41 @@ def transform_nonstandard_chunked(
     SHIFT writes and charge no source reads.  (Under ``buffer_crest``
     their zero SPLIT contributions are still booked — in memory, for
     free — so crest finalisation stays exact.)
+
+    Unless disabled (``use_plans`` / the global switch), the per-chunk
+    SHIFT regions and SPLIT path weights come from cached
+    :class:`~repro.core.plans.NonStandardChunkPlan` objects instead of
+    being re-derived every chunk.
     """
     size = store.size
     ndim = store.ndim
     grid_side = size // chunk_edge
     grid_shape = (grid_side,) * ndim
     getter = _chunk_getter(source, (chunk_edge,) * ndim)
+    if use_plans is None:
+        use_plans = plans_enabled()
     report = TransformReport(
         extras={
             "order": order,
             "form": "nonstandard",
             "buffered": buffer_crest,
             "skipped_chunks": 0,
+            "plans": bool(use_plans),
         }
     )
     cells_per_chunk = chunk_edge**ndim
     crest = _CrestBuffer(ndim) if buffer_crest else None
     scaling_accumulator = 0.0
+    chunk_level = chunk_edge.bit_length() - 1
 
     for grid_position in _chunk_order(order, grid_shape):
         chunk = getter(grid_position)
         skipped = skip_zero_chunks and not np.any(chunk)
+        plan = (
+            get_nonstandard_plan(size, chunk_edge, grid_position)
+            if use_plans
+            else None
+        )
         if skipped:
             report.extras["skipped_chunks"] += 1
             if crest is None:
@@ -216,26 +441,34 @@ def transform_nonstandard_chunked(
         else:
             report.source_reads += cells_per_chunk
             chunk_hat = nonstandard_dwt(chunk)
-            for level, mask, start, chunk_slices in shift_regions_nonstandard(
-                size, chunk_edge, grid_position
-            ):
+            shift_regions = (
+                plan.shift_regions
+                if plan is not None
+                else shift_regions_nonstandard(size, chunk_edge, grid_position)
+            )
+            for level, mask, start, chunk_slices in shift_regions:
                 store.set_details(
                     level, mask, start, chunk_hat[chunk_slices]
                 )
         average = (
             0.0 if chunk_hat is None else float(chunk_hat[(0,) * ndim])
         )
-        details, scaling_delta = split_contributions_nonstandard(
-            size, chunk_edge, grid_position, average
-        )
+        if plan is not None:
+            details = plan.split_pairs(average)
+            gaps = plan.split_level_gaps
+            scaling_delta = average * plan.scaling_weight
+        else:
+            details, scaling_delta = split_contributions_nonstandard(
+                size, chunk_edge, grid_position, average
+            )
+            gaps = [key.level - chunk_level for key, __ in details]
         if crest is None:
             for key, delta in details:
                 store.add_detail(key, delta)
             store.add_scaling(scaling_delta)
         else:
-            chunk_level = chunk_edge.bit_length() - 1
-            for key, delta in details:
-                crest.add(key, delta, key.level - chunk_level)
+            for (key, delta), gap in zip(details, gaps):
+                crest.add(key, delta, gap)
             scaling_accumulator += scaling_delta
             for (level, node), values in crest.pop_complete():
                 if skip_zero_chunks and not np.any(values):

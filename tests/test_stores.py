@@ -184,7 +184,33 @@ class TestDuplicateIndexGuard:
                 [np.asarray([1, 1]), np.arange(2)], np.ones((2, 2))
             )
 
-    def test_tiled_rejects_duplicates(self):
+    def test_tiled_rejects_duplicates_when_enabled(self):
+        store = TiledStandardStore((8, 8), block_edge=2, validate_regions=True)
+        with pytest.raises(ValueError):
+            store.set_region(
+                [np.asarray([3, 3]), np.arange(2)], np.ones((2, 2))
+            )
+
+    def test_tiled_per_call_validate_overrides_default(self):
+        store = TiledStandardStore((8, 8), block_edge=2)
+        with pytest.raises(ValueError):
+            store.set_region(
+                [np.asarray([3, 3]), np.arange(2)],
+                np.ones((2, 2)),
+                validate=True,
+            )
+
+    def test_tiled_validation_defaults_off(self):
+        # Plan-driven traffic is duplicate-free by construction, so the
+        # per-call np.unique check is opt-in; duplicated rows collapse
+        # silently (last write wins) when it is off.
+        store = TiledStandardStore((8, 8), block_edge=2)
+        store.set_region(
+            [np.asarray([3, 3]), np.arange(2)], np.ones((2, 2))
+        )
+
+    def test_tiled_validation_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE_REGIONS", "1")
         store = TiledStandardStore((8, 8), block_edge=2)
         with pytest.raises(ValueError):
             store.set_region(
