@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke ci experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke ci experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,12 @@ bench:
 # BENCH_kernels.json with cached/uncached and serial/parallel numbers.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_kernel_speed.py --smoke
+
+# Tiny traced serve-replay (non-gating in CI); writes TRACE_smoke.json
+# (Perfetto-loadable) + METRICS_smoke.prom and validates both formats
+# plus lossless I/O attribution.
+trace-smoke:
+	PYTHONPATH=src python scripts/trace_smoke.py
 
 ci:
 	PYTHONPATH=src python -m pytest -x -q

@@ -11,9 +11,16 @@ heavily on the coarse bands).
 Run standalone for the JSON report::
 
     PYTHONPATH=src python benchmarks/bench_service_throughput.py
+
+With ``--trace [PATH]`` the replay runs under the tracer: the report
+gains per-query I/O receipts and a lossless-attribution check (the
+receipt total must equal the global IOStats delta exactly), and the
+Chrome trace-event JSON is written to PATH (default
+``TRACE_service.json``; load it in https://ui.perfetto.dev).
 """
 
 import json
+import sys
 
 from conftest import run_experiment
 
@@ -32,9 +39,27 @@ WORKLOAD = dict(
 )
 
 
-def service_throughput() -> dict:
-    report = replay(**WORKLOAD)
+def service_throughput(trace_path=None) -> dict:
+    report = replay(
+        **WORKLOAD,
+        trace=trace_path is not None,
+        trace_path=trace_path,
+    )
     print(json.dumps(report, indent=2))
+    if trace_path is not None:
+        trace = report["trace"]
+        assert trace["lossless"], (
+            "I/O attribution lost counts: "
+            f"receipt={trace['receipt']['total']} "
+            f"expected={trace['expected_io']}"
+        )
+        print(
+            f"trace: {trace['spans']} spans "
+            f"({trace['dropped_spans']} dropped), "
+            f"{len(trace['queries'])} query receipts, "
+            f"lossless={trace['lossless']}, written to {trace_path}",
+            file=sys.stderr,
+        )
     return report
 
 
@@ -53,4 +78,13 @@ def test_service_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    service_throughput()
+    path = None
+    if "--trace" in sys.argv:
+        index = sys.argv.index("--trace")
+        if index + 1 < len(sys.argv) and not sys.argv[index + 1].startswith(
+            "-"
+        ):
+            path = sys.argv[index + 1]
+        else:
+            path = "TRACE_service.json"
+    service_throughput(trace_path=path)

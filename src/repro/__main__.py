@@ -101,6 +101,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default="zipf",
         help="synthetic dataset family",
     )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace the replay and write Chrome trace-event JSON to "
+            "PATH (load it in ui.perfetto.dev); the report gains "
+            "per-query I/O receipts and a lossless-attribution check"
+        ),
+    )
+    serve.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the engine metrics in Prometheus text "
+            "exposition format to PATH (implies tracing)"
+        ),
+    )
     return parser
 
 
@@ -119,9 +138,17 @@ def _serve_replay(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         dataset=args.dataset,
         seed=args.seed,
+        trace=bool(args.trace or args.prom),
+        trace_path=args.trace,
     )
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(report["prometheus"])
     print(json.dumps(report, indent=2))
-    return 0 if report["results_match"] else 1
+    ok = report["results_match"]
+    if "trace" in report:
+        ok = ok and report["trace"]["lossless"]
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:

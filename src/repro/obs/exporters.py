@@ -1,0 +1,295 @@
+"""Exporters for traces and metrics.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` — Chrome trace-event JSON (the ``"X"``
+  complete-event flavour), loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev, one track per thread, span attributes and
+  per-span I/O counters in ``args``;
+* :func:`to_prometheus` — Prometheus text exposition rendered from a
+  :class:`~repro.service.metrics.MetricsRegistry` (counters, gauges,
+  and histograms as summaries);
+* :func:`io_receipt` / :func:`query_receipts` — compact per-trace and
+  per-query "I/O receipt" dicts used by tests and the benchmark: the
+  receipt's ``total`` (spans plus the tracer's ``orphan_io``) equals
+  the global :class:`~repro.storage.iostats.IOStats` delta of the
+  traced region *exactly*, which is what makes attribution lossless.
+
+Everything here is pure post-processing over finished spans and
+metric snapshots — exporting never charges I/O and never mutates the
+trace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.tracer import IO_FIELDS, Span, zero_io
+
+__all__ = [
+    "io_receipt",
+    "query_receipts",
+    "to_chrome_trace",
+    "to_prometheus",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    spans: Sequence[Span],
+    orphan_io: Optional[Dict[str, int]] = None,
+    dropped: int = 0,
+    process_name: str = "repro",
+) -> dict:
+    """Render finished spans as a Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest span start,
+    one ``tid`` track per OS thread.  Load the serialised dict in
+    ``chrome://tracing`` or Perfetto.  ``otherData`` carries the
+    ring-buffer drop count and unattributed I/O so a truncated or
+    partially attributed trace is visible as such.
+    """
+    epoch = min((span.start_s for span in spans), default=0.0)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        args = {key: _jsonable(val) for key, val in span.attrs.items()}
+        for field in IO_FIELDS:
+            count = span.io[field]
+            if count:
+                args[f"io.{field}"] = count
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_s - epoch) * 1e6,
+                "dur": span.wall_s * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_spans": dropped,
+            "orphan_io": dict(orphan_io) if orphan_io else zero_io(),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# I/O receipts
+# ----------------------------------------------------------------------
+
+
+def io_receipt(
+    spans: Sequence[Span],
+    orphan_io: Optional[Dict[str, int]] = None,
+) -> dict:
+    """Aggregate a trace into a compact, JSON-friendly I/O receipt.
+
+    ``total`` sums every span's self-attributed I/O plus the
+    ``unattributed`` bucket (the tracer's ``orphan_io``); over a fully
+    traced region it equals the global ``IOStats`` delta field for
+    field.  ``by_name`` breaks the same totals down per span name
+    (phase), with span counts and summed wall time.
+    """
+    total = zero_io()
+    by_name: Dict[str, dict] = {}
+    for span in spans:
+        entry = by_name.get(span.name)
+        if entry is None:
+            entry = by_name[span.name] = {
+                "spans": 0,
+                "wall_s": 0.0,
+                "io": zero_io(),
+            }
+        entry["spans"] += 1
+        entry["wall_s"] += span.wall_s
+        span_io = span.io
+        entry_io = entry["io"]
+        for field in IO_FIELDS:
+            count = span_io[field]
+            entry_io[field] += count
+            total[field] += count
+    unattributed = zero_io()
+    if orphan_io:
+        for field in IO_FIELDS:
+            count = int(orphan_io.get(field, 0))
+            unattributed[field] += count
+            total[field] += count
+    return {
+        "spans": len(spans),
+        "total": total,
+        "unattributed": unattributed,
+        "by_name": by_name,
+    }
+
+
+def _cumulative_io(spans: Sequence[Span]) -> Dict[int, Dict[str, int]]:
+    """Per-span I/O including every (recorded) descendant's."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    cumulative: Dict[int, Dict[str, int]] = {}
+
+    def visit(span: Span) -> Dict[str, int]:
+        cached = cumulative.get(span.span_id)
+        if cached is not None:
+            return cached
+        io = dict(span.io)
+        for child in children.get(span.span_id, ()):
+            child_io = visit(child)
+            for field in IO_FIELDS:
+                io[field] += child_io[field]
+        cumulative[span.span_id] = io
+        return io
+
+    for span in spans:
+        visit(span)
+    return cumulative
+
+
+def query_receipts(
+    spans: Sequence[Span],
+    names: Iterable[str] = ("query", "naive.query"),
+) -> List[dict]:
+    """Per-query receipts: one entry per query span, in start order.
+
+    Each receipt carries the query span's *cumulative* I/O (its own
+    charges plus every recorded descendant's — pool faults, evictions
+    and flushes that happened while serving it), its wall time, and
+    the span attributes (query kind, admission wait, status).
+    """
+    wanted = set(names)
+    cumulative = _cumulative_io(spans)
+    receipts = []
+    for span in sorted(spans, key=lambda s: s.start_s):
+        if span.name not in wanted:
+            continue
+        receipts.append(
+            {
+                "name": span.name,
+                "wall_s": span.wall_s,
+                "io": cumulative[span.span_id],
+                "attrs": {
+                    key: _jsonable(val) for key, val in span.attrs.items()
+                },
+            }
+        )
+    return receipts
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _split_labels(name: str) -> tuple:
+    """Split ``name{k="v"}`` into (base, label-suffix-or-empty)."""
+    brace = name.find("{")
+    if brace < 0:
+        return name, ""
+    return name[:brace], name[brace:]
+
+
+def _metric_name(base: str, namespace: str) -> str:
+    base = _NAME_SANITIZE.sub("_", base)
+    if namespace:
+        return f"{namespace}_{base}"
+    return base
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(metrics, namespace: str = "repro") -> str:
+    """Render a metrics registry (or its ``snapshot()`` dict) as
+    Prometheus text exposition (version 0.0.4).
+
+    Counters and gauges map directly (label suffixes produced by
+    labelled metrics pass through); histograms are rendered as
+    summaries with ``quantile`` labels plus ``_sum``/``_count``.
+    """
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    lines: List[str] = []
+    typed: set = set()
+
+    def emit(base: str, labels: str, kind: str, value) -> None:
+        name = _metric_name(base, namespace)
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        lines.append(f"{name}{labels} {_format_value(value)}")
+
+    for raw_name, value in snapshot.get("counters", {}).items():
+        base, labels = _split_labels(raw_name)
+        emit(base, labels, "counter", value)
+    for raw_name, value in snapshot.get("gauges", {}).items():
+        base, labels = _split_labels(raw_name)
+        emit(base, labels, "gauge", value)
+    for raw_name, hist in snapshot.get("histograms", {}).items():
+        base, labels = _split_labels(raw_name)
+        name = _metric_name(base, namespace)
+        if name not in typed:
+            lines.append(f"# TYPE {name} summary")
+            typed.add(name)
+        if labels:
+            inner = labels[1:-1] + ","
+        else:
+            inner = ""
+        for quantile, key in _QUANTILES:
+            lines.append(
+                f'{name}{{{inner}quantile="{quantile}"}} '
+                f"{_format_value(hist[key])}"
+            )
+        total = hist.get("sum", hist["mean"] * hist["count"])
+        lines.append(f"{name}_sum{labels} {_format_value(total)}")
+        lines.append(f"{name}_count{labels} {_format_value(hist['count'])}")
+    return "\n".join(lines) + "\n"

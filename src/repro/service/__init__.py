@@ -26,7 +26,7 @@ from repro.service.engine import (
     QueryResult,
     Submission,
 )
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.planner import BatchPlan, QueryPlan, plan_batch, tiles_for_query
 from repro.service.pool import ShardedBufferPool
 from repro.service.queries import (
@@ -45,6 +45,7 @@ __all__ = [
     "BatchResult",
     "Counter",
     "CustomQuery",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PointQuery",

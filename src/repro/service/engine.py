@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from queue import Empty, Full, Queue
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import BatchPlan, plan_batch
 from repro.service.pool import ShardedBufferPool
@@ -68,13 +69,29 @@ class QueryResult:
 
 
 class Submission:
-    """Handle for an admitted query (a minimal future)."""
+    """Handle for an admitted query (a minimal future).
 
-    __slots__ = ("query", "deadline", "_event", "_result")
+    Carries its admission timestamp (for queue-wait accounting) and,
+    when tracing is enabled, the span that was open at submission time
+    — the worker executing the query parents its ``query`` span there,
+    so a batch's queries nest under the batch even though they run on
+    other threads.
+    """
+
+    __slots__ = (
+        "query",
+        "deadline",
+        "submitted_s",
+        "trace_parent",
+        "_event",
+        "_result",
+    )
 
     def __init__(self, query: Query, deadline: Optional[float]) -> None:
         self.query = query
         self.deadline = deadline
+        self.submitted_s = time.perf_counter()
+        self.trace_parent = get_tracer().current_span()
         self._event = threading.Event()
         self._result: Optional[QueryResult] = None
 
@@ -240,37 +257,48 @@ class QueryEngine:
             self._queue.task_done()
 
     def _execute(self, submission: Submission) -> None:
-        if (
-            submission.deadline is not None
-            and time.monotonic() >= submission.deadline
-        ):
-            self._metrics.counter("queries_timed_out").inc()
-            submission._complete(
-                QueryResult(
-                    status=STATUS_TIMEOUT,
-                    error="deadline expired before execution",
+        wait_s = time.perf_counter() - submission.submitted_s
+        self._metrics.histogram("admission_wait_s").record(wait_s)
+        with get_tracer().span(
+            "query",
+            parent=submission.trace_parent,
+            kind=type(submission.query).__name__,
+            admission_wait_s=wait_s,
+        ) as span:
+            if (
+                submission.deadline is not None
+                and time.monotonic() >= submission.deadline
+            ):
+                self._metrics.counter("queries_timed_out").inc()
+                span.set(status=STATUS_TIMEOUT)
+                submission._complete(
+                    QueryResult(
+                        status=STATUS_TIMEOUT,
+                        error="deadline expired before execution",
+                    )
                 )
-            )
-            return
-        started = time.perf_counter()
-        try:
-            value = execute_query(self._store, submission.query)
-        except Exception as exc:  # queries must never kill a worker
+                return
+            started = time.perf_counter()
+            try:
+                value = execute_query(self._store, submission.query)
+            except Exception as exc:  # queries must never kill a worker
+                latency = time.perf_counter() - started
+                self._metrics.counter("query_errors").inc()
+                self._metrics.histogram("query_latency_s").record(latency)
+                span.set(status=STATUS_ERROR, error=str(exc))
+                submission._complete(
+                    QueryResult(
+                        status=STATUS_ERROR, error=str(exc), latency_s=latency
+                    )
+                )
+                return
             latency = time.perf_counter() - started
-            self._metrics.counter("query_errors").inc()
+            self._metrics.counter("queries_served").inc()
             self._metrics.histogram("query_latency_s").record(latency)
+            span.set(status=STATUS_OK)
             submission._complete(
-                QueryResult(
-                    status=STATUS_ERROR, error=str(exc), latency_s=latency
-                )
+                QueryResult(status=STATUS_OK, value=value, latency_s=latency)
             )
-            return
-        latency = time.perf_counter() - started
-        self._metrics.counter("queries_served").inc()
-        self._metrics.histogram("query_latency_s").record(latency)
-        submission._complete(
-            QueryResult(status=STATUS_OK, value=value, latency_s=latency)
-        )
 
     # ------------------------------------------------------------------
     # batched execution
@@ -292,28 +320,40 @@ class QueryEngine:
         if self._closed:
             raise RuntimeError("engine is closed")
         queries = list(queries)
+        tracer = get_tracer()
         started = time.perf_counter()
         before = self._store.stats.snapshot()
-        plan = plan_batch(self._store, queries)
-        self._metrics.counter("batches_planned").inc()
-        self._metrics.counter("planned_tile_refs").inc(plan.total_tile_refs)
-        self._metrics.counter("planned_unique_tiles").inc(
-            plan.num_unique_tiles
-        )
-        with self._batch_lock:  # one prefetch wave at a time
-            pinned = self._prefetch(plan)
-            try:
-                submissions = []
-                for query in queries:
-                    submission = Submission(
-                        query, self._deadline_for(timeout)
-                    )
-                    self._enqueue_blocking(submission)
-                    submissions.append(submission)
-                results = tuple(sub.result() for sub in submissions)
-            finally:
-                for block_id in pinned:
-                    self._pool.unpin(block_id)
+        with tracer.span("batch", queries=len(queries)) as batch_span:
+            with tracer.span("batch.plan"):
+                plan = plan_batch(self._store, queries)
+            batch_span.set(
+                unique_tiles=plan.num_unique_tiles,
+                tile_refs=plan.total_tile_refs,
+                dedup_ratio=plan.dedup_ratio,
+            )
+            self._metrics.counter("batches_planned").inc()
+            self._metrics.counter("planned_tile_refs").inc(
+                plan.total_tile_refs
+            )
+            self._metrics.counter("planned_unique_tiles").inc(
+                plan.num_unique_tiles
+            )
+            with self._batch_lock:  # one prefetch wave at a time
+                with tracer.span("batch.prefetch") as prefetch_span:
+                    pinned = self._prefetch(plan)
+                    prefetch_span.set(blocks=len(pinned))
+                try:
+                    submissions = []
+                    for query in queries:
+                        submission = Submission(
+                            query, self._deadline_for(timeout)
+                        )
+                        self._enqueue_blocking(submission)
+                        submissions.append(submission)
+                    results = tuple(sub.result() for sub in submissions)
+                finally:
+                    for block_id in pinned:
+                        self._pool.unpin(block_id)
         wall = time.perf_counter() - started
         delta = self._store.stats.delta_since(before)
         self._metrics.histogram("batch_wall_s").record(wall)
@@ -367,7 +407,8 @@ class QueryEngine:
             self._queue.put(None)  # sentinels drain after pending work
         for worker in self._workers:
             worker.join()
-        self._pool.flush()
+        with get_tracer().span("engine.flush"):
+            self._pool.flush()
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -379,8 +420,18 @@ class QueryEngine:
     # observability
     # ------------------------------------------------------------------
 
+    def refresh_gauges(self) -> None:
+        """Publish current pool/queue occupancy into the registry's
+        gauges (pull-style: refreshed on snapshot rather than on every
+        pool operation, which would serialise the hot path)."""
+        self._metrics.gauge("pool_resident_blocks").set(self._pool.resident)
+        self._metrics.gauge("pool_dirty_blocks").set(self._pool.dirty)
+        self._metrics.gauge("pool_pinned_blocks").set(self._pool.pinned)
+        self._metrics.gauge("admission_queue_depth").set(self._queue.qsize())
+
     def snapshot(self) -> dict:
         """Engine metrics + sharded-pool stats in one dict."""
+        self.refresh_gauges()
         report = self._metrics.snapshot()
         report["pool"] = self._pool.snapshot()
         counters = report["counters"]

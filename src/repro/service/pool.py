@@ -128,6 +128,24 @@ class ShardedBufferPool:
     def resident(self) -> int:
         return sum(shard.resident for shard in self._shards)
 
+    @property
+    def dirty(self) -> int:
+        """Resident blocks with unwritten modifications, across shards."""
+        total = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                total += shard.dirty
+        return total
+
+    @property
+    def pinned(self) -> int:
+        """Resident blocks with a nonzero pin count, across shards."""
+        total = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                total += shard.pinned
+        return total
+
     def shard_of(self, block_id: int) -> int:
         """Shard index owning ``block_id``."""
         return block_id % self._num_shards

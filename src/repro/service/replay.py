@@ -22,13 +22,23 @@ are cross-checked between the two paths before anything is reported.
 
 from __future__ import annotations
 
+import json
 import time
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.synthetic import random_cube, zipf_cube
 from repro.datasets.workloads import point_workload, range_workload
+from repro.obs import (
+    IO_FIELDS,
+    get_tracer,
+    io_receipt,
+    query_receipts,
+    to_chrome_trace,
+    to_prometheus,
+    tracing,
+)
 from repro.service.engine import QueryEngine
 from repro.service.queries import (
     PointQuery,
@@ -120,11 +130,13 @@ def run_naive(store, queries: Sequence[Query]) -> dict:
     """One-query-at-a-time baseline: cold cache before every query,
     sequential execution, no sharing.  Returns values and I/O costs."""
     values = []
+    tracer = get_tracer()
     before = store.stats.snapshot()
     started = time.perf_counter()
     for query in queries:
         store.drop_cache()  # every query pays its own full footprint
-        values.append(execute_query(store, query))
+        with tracer.span("naive.query", kind=type(query).__name__):
+            values.append(execute_query(store, query))
     wall = time.perf_counter() - started
     delta = store.stats.delta_since(before)
     return {
@@ -152,8 +164,20 @@ def replay(
     selectivity: float = 0.15,
     dataset: str = "zipf",
     seed: int = 0,
+    trace: bool = False,
+    trace_path: Optional[str] = None,
 ) -> dict:
-    """Run the full naive-vs-batched comparison; return the report."""
+    """Run the full naive-vs-batched comparison; return the report.
+
+    With ``trace=True`` (implied by ``trace_path``) the serving phase
+    runs under a fresh tracer: the report gains a ``"trace"`` section
+    with the aggregate I/O receipt, per-query receipts, and a
+    ``lossless`` flag asserting that the receipt total equals the exact
+    global :class:`IOStats` delta of the traced region, plus a
+    ``"prometheus"`` text rendering of the engine metrics.  When
+    ``trace_path`` is given, the Chrome trace-event JSON is also
+    written there (loadable in Perfetto).
+    """
     store, __ = build_store(
         shape,
         block_edge=block_edge,
@@ -170,9 +194,92 @@ def replay(
         selectivity=selectivity,
         seed=seed,
     )
+    config = {
+        "shape": list(store.shape),
+        "block_edge": block_edge,
+        "pool_capacity": pool_capacity,
+        "num_workers": num_workers,
+        "num_shards": num_shards,
+        "queue_depth": queue_depth,
+        "dataset": dataset,
+        "queries": len(queries),
+        "points": points,
+        "range_sums": range_sums,
+        "regions": regions,
+        "seed": seed,
+    }
+    if not (trace or trace_path):
+        report, __ = _serve(
+            store,
+            queries,
+            num_workers=num_workers,
+            num_shards=num_shards,
+            queue_depth=queue_depth,
+            pool_capacity=pool_capacity,
+        )
+        report["config"] = config
+        return report
 
+    with tracing() as tracer:
+        report, expected = _serve(
+            store,
+            queries,
+            num_workers=num_workers,
+            num_shards=num_shards,
+            queue_depth=queue_depth,
+            pool_capacity=pool_capacity,
+        )
+    report["config"] = config
+    spans = tracer.spans()
+    receipt = io_receipt(spans, tracer.orphan_io)
+    lossless = all(
+        receipt["total"][field] == expected[field] for field in IO_FIELDS
+    )
+    report["trace"] = {
+        "spans": len(spans),
+        "dropped_spans": tracer.store.dropped,
+        "receipt": receipt,
+        "queries": query_receipts(spans),
+        "expected_io": expected,
+        "lossless": lossless,
+    }
+    report["prometheus"] = to_prometheus(report["metrics"])
+    if trace_path:
+        chrome = to_chrome_trace(
+            spans,
+            orphan_io=tracer.orphan_io,
+            dropped=tracer.store.dropped,
+            process_name="repro.serve-replay",
+        )
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump(chrome, handle)
+        report["trace"]["path"] = trace_path
+    return report
+
+
+def _serve(
+    store,
+    queries: Sequence[Query],
+    num_workers: int,
+    num_shards: int,
+    queue_depth: int,
+    pool_capacity: int,
+) -> Tuple[dict, dict]:
+    """Serve the workload naively then batched over ``store``.
+
+    Returns the report (without its ``config`` section) plus the exact
+    per-field I/O totals of everything executed here — accumulated
+    *across* the mid-run ``stats.reset()``, so a tracer covering this
+    call can be checked for lossless attribution against it.
+    """
+    expected = {field: 0 for field in IO_FIELDS}
+
+    base = store.stats.snapshot()
     naive = run_naive(store, queries)
     store.drop_cache()
+    phase = store.stats.delta_since(base)
+    for field in IO_FIELDS:
+        expected[field] += getattr(phase, field)
     store.stats.reset()
 
     engine = QueryEngine(
@@ -205,21 +312,10 @@ def replay(
         "tile_refs": batch.plan.total_tile_refs,
     }
     naive_report = {k: v for k, v in naive.items() if k != "values"}
-    return {
-        "config": {
-            "shape": list(store.shape),
-            "block_edge": block_edge,
-            "pool_capacity": pool_capacity,
-            "num_workers": num_workers,
-            "num_shards": num_shards,
-            "queue_depth": queue_depth,
-            "dataset": dataset,
-            "queries": len(queries),
-            "points": points,
-            "range_sums": range_sums,
-            "regions": regions,
-            "seed": seed,
-        },
+    final = store.stats.snapshot()
+    for field in IO_FIELDS:
+        expected[field] += getattr(final, field)
+    report = {
         "naive": naive_report,
         "batched": batched,
         "block_read_savings": (
@@ -231,3 +327,4 @@ def replay(
         "mismatches": mismatches,
         "metrics": engine.snapshot(),
     }
+    return report, expected

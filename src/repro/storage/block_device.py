@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.tracer import charge as _trace_charge
 from repro.storage.iostats import IOStats
 
 __all__ = ["BlockDevice"]
@@ -68,6 +69,7 @@ class BlockDevice:
         """Read a block (one block-read I/O).  Returns a private copy."""
         self._check_id(block_id)
         self.stats.block_reads += 1
+        _trace_charge("block_reads")
         stored = self._blocks.get(block_id)
         if stored is None:
             return np.zeros(self._block_slots, dtype=np.float64)
@@ -82,6 +84,7 @@ class BlockDevice:
                 f"got {data.shape}"
             )
         self.stats.block_writes += 1
+        _trace_charge("block_writes")
         self._blocks[block_id] = np.array(data, dtype=np.float64)
 
     def bytes_used(self, coefficient_bytes: int = 8) -> int:

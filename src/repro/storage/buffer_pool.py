@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.tracer import charge as _trace_charge, get_tracer
 from repro.storage.block_device import BlockDevice
 
 __all__ = ["BufferPool"]
@@ -83,6 +84,12 @@ class BufferPool:
         return sum(1 for frame in self._frames.values() if frame.pins)
 
     @property
+    def dirty(self) -> int:
+        """Number of resident blocks modified since their last
+        write-back (what a crash right now would lose)."""
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    @property
     def hit_rate(self) -> float:
         """Local hit fraction (0.0 before any lookup)."""
         lookups = self.hits + self.misses
@@ -96,10 +103,12 @@ class BufferPool:
     def _count_hit(self) -> None:
         self.hits += 1
         self._device.stats.cache_hits += 1
+        _trace_charge("cache_hits")
 
     def _count_miss(self) -> None:
         self.misses += 1
         self._device.stats.cache_misses += 1
+        _trace_charge("cache_misses")
 
     # ------------------------------------------------------------------
 
@@ -126,7 +135,8 @@ class BufferPool:
                 frame.pins += 1
         else:
             self._count_miss()
-            data = self._device.read_block(block_id)
+            with get_tracer().span("pool.fetch", block=block_id):
+                data = self._device.read_block(block_id)
             frame = _Frame(data)
             if pin:
                 frame.pins += 1
@@ -202,7 +212,8 @@ class BufferPool:
             frame = self._frames.pop(victim_id)
             self.evictions += 1
             if frame.dirty:
-                self._device.write_block(victim_id, frame.data)
+                with get_tracer().span("pool.evict", block=victim_id):
+                    self._device.write_block(victim_id, frame.data)
 
     def flush(self, block_id: Optional[int] = None) -> None:
         """Write back dirty blocks (one, or all when ``block_id is None``).
@@ -217,10 +228,14 @@ class BufferPool:
                 self._device.write_block(block_id, frame.data)
                 frame.dirty = False
             return
-        for resident_id, frame in self._frames.items():
-            if frame.dirty:
-                self._device.write_block(resident_id, frame.data)
-                frame.dirty = False
+        with get_tracer().span("pool.flush") as span:
+            written = 0
+            for resident_id, frame in self._frames.items():
+                if frame.dirty:
+                    self._device.write_block(resident_id, frame.data)
+                    frame.dirty = False
+                    written += 1
+            span.set(blocks=written)
 
     def drop_all(self) -> None:
         """Flush everything and empty the pool (e.g. between experiments).

@@ -22,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import charge as _trace_charge
 from repro.storage.iostats import IOStats
 from repro.util.validation import require_power_of_two_shape
 from repro.wavelet.keys import NonStandardKey
@@ -68,7 +69,9 @@ class DenseStandardStore:
     ) -> None:
         """Overwrite the cross-product region (write-only I/O)."""
         self._coeffs[self._ix(per_axis)] = values
-        self.stats.coefficient_writes += int(np.asarray(values).size)
+        size = int(np.asarray(values).size)
+        self.stats.coefficient_writes += size
+        _trace_charge("coefficient_writes", size)
 
     def add_region(
         self, per_axis: Sequence[np.ndarray], values: np.ndarray
@@ -78,24 +81,31 @@ class DenseStandardStore:
         size = int(np.asarray(values).size)
         self.stats.coefficient_reads += size
         self.stats.coefficient_writes += size
+        _trace_charge("coefficient_reads", size)
+        _trace_charge("coefficient_writes", size)
 
     def read_region(self, per_axis: Sequence[np.ndarray]) -> np.ndarray:
         """Read the cross-product region."""
         values = self._coeffs[self._ix(per_axis)]
         self.stats.coefficient_reads += int(values.size)
+        _trace_charge("coefficient_reads", int(values.size))
         return values
 
     def read_point(self, position: Sequence[int]) -> float:
         self.stats.coefficient_reads += 1
+        _trace_charge("coefficient_reads")
         return float(self._coeffs[tuple(int(i) for i in position)])
 
     def write_point(self, position: Sequence[int], value: float) -> None:
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_writes")
         self._coeffs[tuple(int(i) for i in position)] = value
 
     def add_point(self, position: Sequence[int], delta: float) -> None:
         self.stats.coefficient_reads += 1
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_reads")
+        _trace_charge("coefficient_writes")
         self._coeffs[tuple(int(i) for i in position)] += delta
 
     def to_array(self) -> np.ndarray:
@@ -157,6 +167,7 @@ class DenseNonStandardStore:
         region = self._detail_slices(level, type_mask, node_start, values.shape)
         self._coeffs[region] = values
         self.stats.coefficient_writes += int(values.size)
+        _trace_charge("coefficient_writes", int(values.size))
 
     def read_details(
         self,
@@ -169,6 +180,7 @@ class DenseNonStandardStore:
         region = self._detail_slices(level, type_mask, node_start, node_counts)
         values = self._coeffs[region]
         self.stats.coefficient_reads += int(values.size)
+        _trace_charge("coefficient_reads", int(values.size))
         return values.copy()
 
     def add_detail(self, key: NonStandardKey, delta: float) -> None:
@@ -176,28 +188,36 @@ class DenseNonStandardStore:
         position = key.position(self._size)
         self.stats.coefficient_reads += 1
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_reads")
+        _trace_charge("coefficient_writes")
         self._coeffs[position] += delta
 
     def read_detail(self, key: NonStandardKey) -> float:
         self.stats.coefficient_reads += 1
+        _trace_charge("coefficient_reads")
         return float(self._coeffs[key.position(self._size)])
 
     def set_detail(self, key: NonStandardKey, value: float) -> None:
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_writes")
         self._coeffs[key.position(self._size)] = value
 
     def read_scaling(self) -> float:
         """Read the overall average."""
         self.stats.coefficient_reads += 1
+        _trace_charge("coefficient_reads")
         return float(self._coeffs[(0,) * self._ndim])
 
     def add_scaling(self, delta: float) -> None:
         self.stats.coefficient_reads += 1
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_reads")
+        _trace_charge("coefficient_writes")
         self._coeffs[(0,) * self._ndim] += delta
 
     def set_scaling(self, value: float) -> None:
         self.stats.coefficient_writes += 1
+        _trace_charge("coefficient_writes")
         self._coeffs[(0,) * self._ndim] = value
 
     def to_array(self) -> np.ndarray:

@@ -14,6 +14,7 @@ from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer
 from repro.storage.block_device import BlockDevice
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.iostats import IOStats
@@ -164,8 +165,10 @@ class TileStore:
 
     def flush(self) -> None:
         """Write back all dirty resident tiles."""
-        self._pool.flush()
+        with get_tracer().span("tile_store.flush"):
+            self._pool.flush()
 
     def drop_cache(self) -> None:
         """Flush and empty the pool (cold-cache boundary for benchmarks)."""
-        self._pool.drop_all()
+        with get_tracer().span("tile_store.drop_cache"):
+            self._pool.drop_all()

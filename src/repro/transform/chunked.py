@@ -46,6 +46,7 @@ from repro.core.plans import (
     get_standard_plan,
     plans_enabled,
 )
+from repro.obs.tracer import get_tracer
 from repro.core.standard_ops import apply_chunk_standard_uncached
 from repro.transform.report import TransformReport
 from repro.util.morton import rowmajor_chunks, zorder_chunks
@@ -213,43 +214,56 @@ def transform_standard_chunked(
         }
     )
     cells_per_chunk = int(np.prod(chunk_shape))
+    tracer = get_tracer()
 
-    if workers == 1:
-        for grid_position in _chunk_order(order, grid_shape):
-            chunk = getter(grid_position)
-            if skip_zero_chunks and not np.any(chunk):
-                report.extras["skipped_chunks"] += 1
-                continue
-            report.source_reads += cells_per_chunk
-            chunk_hat = standard_dwt(chunk)
-            if use_plans:
-                plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
-                plan.apply(store, chunk_hat, fresh=True)
-            else:
-                apply_chunk_standard_uncached(
-                    store,
-                    chunk_hat,
-                    grid_position,
-                    fresh=True,
-                    chunk_is_transformed=True,
-                )
-            report.chunks += 1
-    else:
-        _standard_chunked_parallel(
-            store,
-            getter,
-            domain,
-            grid_shape,
-            order,
-            skip_zero_chunks,
-            workers,
-            parallel_apply,
-            report,
-            cells_per_chunk,
-        )
+    with tracer.span(
+        "transform.standard",
+        shape=domain,
+        chunk=tuple(chunk_shape),
+        order=order,
+        workers=workers,
+        parallel_apply=bool(parallel_apply),
+    ):
+        if workers == 1:
+            for grid_position in _chunk_order(order, grid_shape):
+                with tracer.span("chunk", grid=grid_position) as span:
+                    chunk = getter(grid_position)
+                    if skip_zero_chunks and not np.any(chunk):
+                        report.extras["skipped_chunks"] += 1
+                        span.set(skipped=True)
+                        continue
+                    report.source_reads += cells_per_chunk
+                    chunk_hat = standard_dwt(chunk)
+                    if use_plans:
+                        plan = get_standard_plan(
+                            domain, chunk_hat.shape, grid_position
+                        )
+                        plan.apply(store, chunk_hat, fresh=True)
+                    else:
+                        apply_chunk_standard_uncached(
+                            store,
+                            chunk_hat,
+                            grid_position,
+                            fresh=True,
+                            chunk_is_transformed=True,
+                        )
+                    report.chunks += 1
+        else:
+            _standard_chunked_parallel(
+                store,
+                getter,
+                domain,
+                grid_shape,
+                order,
+                skip_zero_chunks,
+                workers,
+                parallel_apply,
+                report,
+                cells_per_chunk,
+            )
 
-    if hasattr(store, "flush"):
-        store.flush()
+        if hasattr(store, "flush"):
+            store.flush()
     report.store_stats = store.stats.snapshot()
     return report
 
@@ -280,21 +294,29 @@ def _standard_chunked_parallel(
     if parallel_apply:
         _ensure_sharded_pool(tile_store, workers)
         tiling = store.tiling
+    tracer = get_tracer()
+    # Pool threads start with an empty span context, so each worker
+    # span attaches to the transform root explicitly.
+    root_span = tracer.current_span()
 
     def prepare(grid_position):
-        chunk = getter(grid_position)
-        if skip_zero_chunks and not np.any(chunk):
-            return None, None
-        chunk_hat = standard_dwt(chunk)
-        plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
-        flat = plan.contributions(chunk_hat)
-        if parallel_apply:
-            for is_shift, compiled in plan.iter_compiled(tiling):
-                if is_shift:
-                    _scatter_pinned(
-                        tile_store, compiled, flat, False, dir_lock
-                    )
-        return plan, flat
+        with tracer.span(
+            "chunk.prepare", parent=root_span, grid=grid_position
+        ) as span:
+            chunk = getter(grid_position)
+            if skip_zero_chunks and not np.any(chunk):
+                span.set(skipped=True)
+                return None, None
+            chunk_hat = standard_dwt(chunk)
+            plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
+            flat = plan.contributions(chunk_hat)
+            if parallel_apply:
+                for is_shift, compiled in plan.iter_compiled(tiling):
+                    if is_shift:
+                        _scatter_pinned(
+                            tile_store, compiled, flat, False, dir_lock
+                        )
+            return plan, flat
 
     def consume(future):
         plan, flat = future.result()
@@ -302,15 +324,18 @@ def _standard_chunked_parallel(
             report.extras["skipped_chunks"] += 1
             return
         report.source_reads += cells_per_chunk
-        if parallel_apply:
-            # The SHIFT block is already in place; accumulate the
-            # d SPLIT fans in chunk order (addition order fixed =>
-            # bit-identical sums).
-            for is_shift, compiled in plan.iter_compiled(tiling):
-                if not is_shift:
-                    _scatter_pinned(tile_store, compiled, flat, True, dir_lock)
-        else:
-            plan.apply_contributions(store, flat, fresh=True)
+        with tracer.span("chunk.apply", grid=plan.grid_position):
+            if parallel_apply:
+                # The SHIFT block is already in place; accumulate the
+                # d SPLIT fans in chunk order (addition order fixed =>
+                # bit-identical sums).
+                for is_shift, compiled in plan.iter_compiled(tiling):
+                    if not is_shift:
+                        _scatter_pinned(
+                            tile_store, compiled, flat, True, dir_lock
+                        )
+            else:
+                plan.apply_contributions(store, flat, fresh=True)
         report.chunks += 1
 
     window = 2 * workers
@@ -425,74 +450,81 @@ def transform_nonstandard_chunked(
     scaling_accumulator = 0.0
     chunk_level = chunk_edge.bit_length() - 1
 
-    for grid_position in _chunk_order(order, grid_shape):
-        chunk = getter(grid_position)
-        skipped = skip_zero_chunks and not np.any(chunk)
-        plan = (
-            get_nonstandard_plan(size, chunk_edge, grid_position)
-            if use_plans
-            else None
-        )
-        if skipped:
-            report.extras["skipped_chunks"] += 1
-            if crest is None:
-                continue
-            chunk_hat = None
-        else:
-            report.source_reads += cells_per_chunk
-            chunk_hat = nonstandard_dwt(chunk)
-            shift_regions = (
-                plan.shift_regions
-                if plan is not None
-                else shift_regions_nonstandard(size, chunk_edge, grid_position)
+    with get_tracer().span(
+        "transform.nonstandard",
+        size=size,
+        chunk_edge=chunk_edge,
+        order=order,
+        buffered=bool(buffer_crest),
+    ):
+        for grid_position in _chunk_order(order, grid_shape):
+            chunk = getter(grid_position)
+            skipped = skip_zero_chunks and not np.any(chunk)
+            plan = (
+                get_nonstandard_plan(size, chunk_edge, grid_position)
+                if use_plans
+                else None
             )
-            for level, mask, start, chunk_slices in shift_regions:
-                store.set_details(
-                    level, mask, start, chunk_hat[chunk_slices]
+            if skipped:
+                report.extras["skipped_chunks"] += 1
+                if crest is None:
+                    continue
+                chunk_hat = None
+            else:
+                report.source_reads += cells_per_chunk
+                chunk_hat = nonstandard_dwt(chunk)
+                shift_regions = (
+                    plan.shift_regions
+                    if plan is not None
+                    else shift_regions_nonstandard(size, chunk_edge, grid_position)
                 )
-        average = (
-            0.0 if chunk_hat is None else float(chunk_hat[(0,) * ndim])
-        )
-        if plan is not None:
-            details = plan.split_pairs(average)
-            gaps = plan.split_level_gaps
-            scaling_delta = average * plan.scaling_weight
-        else:
-            details, scaling_delta = split_contributions_nonstandard(
-                size, chunk_edge, grid_position, average
-            )
-            gaps = [key.level - chunk_level for key, __ in details]
-        if crest is None:
-            for key, delta in details:
-                store.add_detail(key, delta)
-            store.add_scaling(scaling_delta)
-        else:
-            for (key, delta), gap in zip(details, gaps):
-                crest.add(key, delta, gap)
-            scaling_accumulator += scaling_delta
-            for (level, node), values in crest.pop_complete():
-                if skip_zero_chunks and not np.any(values):
-                    continue  # a fully-zero subtree: nothing to store
-                for type_mask in range(1, 1 << ndim):
-                    store.set_detail(
-                        NonStandardKey(level, node, type_mask),
-                        float(values[type_mask - 1]),
+                for level, mask, start, chunk_slices in shift_regions:
+                    store.set_details(
+                        level, mask, start, chunk_hat[chunk_slices]
                     )
-        if not skipped:
-            report.chunks += 1
-
-    if crest is not None:
-        # Any residue means the source did not cover the whole cube.
-        if not crest.is_empty():
-            raise RuntimeError(
-                "crest buffer not empty after the last chunk — "
-                "incomplete chunk coverage"
+            average = (
+                0.0 if chunk_hat is None else float(chunk_hat[(0,) * ndim])
             )
-        store.set_scaling(scaling_accumulator)
-        report.max_buffer_coefficients = crest.max_live_nodes * (
-            (1 << ndim) - 1
-        )
-    if hasattr(store, "flush"):
-        store.flush()
-    report.store_stats = store.stats.snapshot()
+            if plan is not None:
+                details = plan.split_pairs(average)
+                gaps = plan.split_level_gaps
+                scaling_delta = average * plan.scaling_weight
+            else:
+                details, scaling_delta = split_contributions_nonstandard(
+                    size, chunk_edge, grid_position, average
+                )
+                gaps = [key.level - chunk_level for key, __ in details]
+            if crest is None:
+                for key, delta in details:
+                    store.add_detail(key, delta)
+                store.add_scaling(scaling_delta)
+            else:
+                for (key, delta), gap in zip(details, gaps):
+                    crest.add(key, delta, gap)
+                scaling_accumulator += scaling_delta
+                for (level, node), values in crest.pop_complete():
+                    if skip_zero_chunks and not np.any(values):
+                        continue  # a fully-zero subtree: nothing to store
+                    for type_mask in range(1, 1 << ndim):
+                        store.set_detail(
+                            NonStandardKey(level, node, type_mask),
+                            float(values[type_mask - 1]),
+                        )
+            if not skipped:
+                report.chunks += 1
+
+        if crest is not None:
+            # Any residue means the source did not cover the whole cube.
+            if not crest.is_empty():
+                raise RuntimeError(
+                    "crest buffer not empty after the last chunk — "
+                    "incomplete chunk coverage"
+                )
+            store.set_scaling(scaling_accumulator)
+            report.max_buffer_coefficients = crest.max_live_nodes * (
+                (1 << ndim) - 1
+            )
+        if hasattr(store, "flush"):
+            store.flush()
+        report.store_stats = store.stats.snapshot()
     return report

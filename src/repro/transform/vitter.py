@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.tracer import charge as _trace_charge
 from repro.storage.iostats import IOStats
 from repro.transform.report import TransformReport
 from repro.util.bits import ilog2
@@ -56,13 +57,14 @@ def vitter_transform_standard(
         for __ in range(levels):
             # Full scan to locate this level's active averages.
             stats.coefficient_reads += total_cells
+            _trace_charge("coefficient_reads", total_cells)
             averages, details = haar_step(moved[..., :length])
             half = length // 2
             moved[..., :half] = averages
             moved[..., half:length] = details
-            stats.coefficient_writes += (
-                int(np.prod(shape)) // extent
-            ) * length
+            written = (int(np.prod(shape)) // extent) * length
+            stats.coefficient_writes += written
+            _trace_charge("coefficient_writes", written)
             length = half
         array = np.moveaxis(moved, -1, axis)
 

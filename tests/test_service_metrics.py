@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -72,24 +72,133 @@ class TestHistogram:
         histogram = Histogram("latency")
         histogram.record(2.0)
         snap = histogram.snapshot()
-        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert set(snap) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+        }
         assert snap["count"] == 1
+        assert snap["sum"] == 2.0
         assert snap["p99"] == 2.0
+
+    def test_thinning_keeps_early_samples(self):
+        # Regression: the old reservoir halved with [::2] but kept
+        # appending every later observation, so after one halving the
+        # kept set was dominated by recent samples.  With stride
+        # doubling the kept samples stay uniformly spread over the
+        # whole sequence.
+        histogram = Histogram("latency", max_samples=16)
+        for value in range(1000):
+            histogram.record(float(value))
+        kept = histogram._samples
+        assert 0 < len(kept) <= 16
+        early = sum(1 for v in kept if v < 500.0)
+        fraction = early / len(kept)
+        assert 0.3 <= fraction <= 0.7, kept
+        # The median estimate should land near the true median too.
+        assert abs(histogram.percentile(0.5) - 500.0) <= 150.0
+
+    def test_concurrent_records_exact_aggregates(self):
+        histogram = Histogram("latency")
+
+        def hammer():
+            for value in range(1000):
+                histogram.record(float(value))
+
+        threads = [threading.Thread(target=hammer) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+        assert histogram.total == 8 * sum(range(1000))
+        assert histogram.min == 0.0
+        assert histogram.max == 999.0
+        snap = histogram.snapshot()
+        assert snap["count"] == 8000
+        assert snap["sum"] == 8 * sum(range(1000))
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("depth")
+        assert gauge.value == 0.0
+        gauge.set(5)
+        assert gauge.value == 5.0
+        gauge.add(2)
+        gauge.add(-3)
+        assert gauge.value == 4.0
+
+    def test_concurrent_adds_are_not_lost(self):
+        gauge = Gauge("depth")
+
+        def hammer():
+            for __ in range(1000):
+                gauge.add(1)
+            for __ in range(500):
+                gauge.add(-1)
+
+        threads = [threading.Thread(target=hammer) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 8 * 500
 
 
 class TestRegistry:
     def test_same_name_same_object(self):
         registry = MetricsRegistry()
         assert registry.counter("served") is registry.counter("served")
+        assert registry.gauge("depth") is registry.gauge("depth")
         assert registry.histogram("lat") is registry.histogram("lat")
 
     def test_snapshot_structure(self):
         registry = MetricsRegistry()
         registry.counter("served").inc(3)
+        registry.gauge("depth").set(7)
         registry.histogram("lat").record(1.5)
         snap = registry.snapshot()
         assert snap["counters"] == {"served": 3}
+        assert snap["gauges"] == {"depth": 7.0}
         assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_labeled_counters_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"shard": 0}).inc(2)
+        registry.counter("hits", labels={"shard": 1}).inc(5)
+        registry.counter("hits").inc()
+        # Label order must not matter for series identity.
+        a = registry.counter("io", labels={"kind": "read", "tier": "hot"})
+        b = registry.counter("io", labels={"tier": "hot", "kind": "read"})
+        assert a is b
+        snap = registry.snapshot()
+        assert snap["counters"]['hits{shard="0"}'] == 2
+        assert snap["counters"]['hits{shard="1"}'] == 5
+        assert snap["counters"]["hits"] == 1
+
+    def test_concurrent_registry_access(self):
+        registry = MetricsRegistry()
+
+        def hammer(shard):
+            for __ in range(500):
+                registry.counter("ops").inc()
+                registry.counter("ops", labels={"shard": shard % 2}).inc()
+                registry.gauge("depth").add(1)
+                registry.histogram("lat").record(1.0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["ops"] == 4000
+        assert snap["counters"]['ops{shard="0"}'] == 2000
+        assert snap["counters"]['ops{shard="1"}'] == 2000
+        assert snap["gauges"]["depth"] == 4000.0
+        assert snap["histograms"]["lat"]["count"] == 4000
+        assert snap["histograms"]["lat"]["sum"] == 4000.0
 
     def test_snapshot_is_json_friendly(self):
         import json
