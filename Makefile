@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke trace-smoke ci experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke fault-smoke ci experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,13 @@ bench-smoke:
 # plus lossless I/O attribution.
 trace-smoke:
 	PYTHONPATH=src python scripts/trace_smoke.py
+
+# Robustness drill (non-gating in CI): crashes a journaled flush at
+# every protocol site and proves atomic recovery, then replays the
+# service workload under injected read faults through the self-healing
+# engine; writes FAULT_smoke.json and fails on any wrong answer.
+fault-smoke:
+	PYTHONPATH=src python scripts/fault_smoke.py
 
 ci:
 	PYTHONPATH=src python -m pytest -x -q

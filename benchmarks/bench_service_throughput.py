@@ -17,6 +17,13 @@ gains per-query I/O receipts and a lossless-attribution check (the
 receipt total must equal the global IOStats delta exactly), and the
 Chrome trace-event JSON is written to PATH (default
 ``TRACE_service.json``; load it in https://ui.perfetto.dev).
+
+With ``--fault-rate R`` the batched phase runs with transient read
+faults injected at probability R under the self-healing engine (retry
++ circuit breaker + degraded reads).  The report gains a ``fault``
+section classifying every answer (retried-to-exact / degraded within
+bound / definite error / wrong), is written to ``BENCH_faults.json``,
+and the run fails if any answer was silently wrong.
 """
 
 import json
@@ -39,13 +46,31 @@ WORKLOAD = dict(
 )
 
 
-def service_throughput(trace_path=None) -> dict:
+def service_throughput(trace_path=None, fault_rate=0.0) -> dict:
     report = replay(
         **WORKLOAD,
         trace=trace_path is not None,
         trace_path=trace_path,
+        fault_rate=fault_rate,
+        fault_seed=1,
     )
     print(json.dumps(report, indent=2))
+    if fault_rate > 0.0:
+        fault = report["fault"]
+        with open("BENCH_faults.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        assert fault["wrong"] == 0, (
+            f"{fault['wrong']} silently-wrong answers under "
+            f"fault_rate={fault_rate}"
+        )
+        print(
+            f"faults: {fault['injected']} injected, "
+            f"{fault['recovered_ok']} retried to exact, "
+            f"{fault['degraded_within_bound']} degraded within bound, "
+            f"{fault['definite_errors']} definite errors, "
+            f"{fault['wrong']} wrong; written to BENCH_faults.json",
+            file=sys.stderr,
+        )
     if trace_path is not None:
         trace = report["trace"]
         assert trace["lossless"], (
@@ -87,4 +112,8 @@ if __name__ == "__main__":
             path = sys.argv[index + 1]
         else:
             path = "TRACE_service.json"
-    service_throughput(trace_path=path)
+    rate = 0.0
+    if "--fault-rate" in sys.argv:
+        index = sys.argv.index("--fault-rate")
+        rate = float(sys.argv[index + 1]) if index + 1 < len(sys.argv) else 0.01
+    service_throughput(trace_path=path, fault_rate=rate)

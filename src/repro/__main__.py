@@ -120,6 +120,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "exposition format to PATH (implies tracing)"
         ),
     )
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "inject transient read faults at this probability during "
+            "the batched phase and serve through the self-healing "
+            "engine (retry + breaker + degraded reads); the report "
+            "gains a 'fault' section classifying every answer"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the injected fault stream",
+    )
     return parser
 
 
@@ -140,6 +157,8 @@ def _serve_replay(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=bool(args.trace or args.prom),
         trace_path=args.trace,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
     )
     if args.prom:
         with open(args.prom, "w", encoding="utf-8") as handle:

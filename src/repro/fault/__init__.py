@@ -1,0 +1,48 @@
+"""Failure model: injectable faults, crash points, retry, breaking.
+
+The paper's maintenance scenarios assume a wavelet store that lives on
+disk across sessions; a long-lived store needs a failure model.  This
+package supplies the *offensive* half — deterministic, seedable fault
+injection (:class:`FaultyBlockDevice`) and crash-point scheduling
+(:class:`CrashPlan`) — plus the generic resilience primitives the
+service layer composes: bounded backoff retry (:class:`RetryPolicy`)
+and a per-device :class:`CircuitBreaker`.  The *defensive* durability
+half (checksums, write-ahead journal, recovery) lives in
+:mod:`repro.storage.journal`, and graceful degradation in
+:mod:`repro.storage.degrade`.
+
+Everything here is off unless explicitly wired in: no store, engine or
+experiment constructs a fault layer by default, so fault-free pipelines
+are bit-identical and IOStats-identical with or without this package
+imported.
+"""
+
+from repro.fault.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.fault.crash import CrashPlan, InjectedCrash
+from repro.fault.device import (
+    FAULT_KINDS,
+    FaultRule,
+    FaultyBlockDevice,
+    InjectedIOError,
+)
+from repro.fault.retry import Retrier, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CrashPlan",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultyBlockDevice",
+    "InjectedCrash",
+    "InjectedIOError",
+    "Retrier",
+    "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

@@ -1,0 +1,151 @@
+"""Per-device circuit breaker: shed load fast when the device is down.
+
+Retries heal transient faults, but when a device is *persistently*
+failing every query burns its full retry budget before erroring — the
+admission queue backs up, latency explodes, and the engine collapses
+exactly when it should be degrading.  The classic fix is a circuit
+breaker:
+
+* **closed** — normal operation; failures are counted, a success
+  resets the count;
+* **open** — after ``failure_threshold`` consecutive failures, calls
+  are refused instantly (no device touch, no retry budget) until
+  ``reset_timeout_s`` has passed;
+* **half-open** — after the timeout, a limited number of probe calls
+  are let through; one success closes the circuit, one failure
+  re-opens it and restarts the timeout.
+
+The breaker is thread-safe (worker threads report outcomes
+concurrently) and clock-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Numeric encoding for gauges (0 healthy .. 2 shedding).
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self._failure_threshold = failure_threshold
+        self._reset_timeout_s = reset_timeout_s
+        self._half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opens = 0  # lifetime count of closed/half-open -> open trips
+        self.shed = 0  # calls refused while open
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def _maybe_half_open(self) -> None:
+        # caller holds the lock
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self._reset_timeout_s
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Open: refused (and counted as shed).  Half-open: at most
+        ``half_open_probes`` concurrent probes proceed.  Closed:
+        always.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_in_flight < self._half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                self.shed += 1
+                return False
+            self.shed += 1
+            return False
+
+    def on_success(self) -> None:
+        """Report a successful device interaction."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != STATE_CLOSED:
+                self._state = STATE_CLOSED
+                self._probes_in_flight = 0
+
+    def on_failure(self) -> None:
+        """Report a failed device interaction (after retries, if any)."""
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self._failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        # caller holds the lock
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.opens += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "state_code": STATE_CODES[self._state],
+                "opens": self.opens,
+                "shed": self.shed,
+                "consecutive_failures": self._consecutive_failures,
+            }

@@ -1,0 +1,77 @@
+"""Deterministic crash-point injection for the crash-matrix harness.
+
+A crash-consistency proof needs to kill the system *at every
+intermediate state* of a protected operation and show that recovery
+restores an uncorrupted store.  Sprinkling ``if armed: raise``
+branches through the journal code would be fragile; instead the
+journalled write path calls :meth:`CrashPlan.point` at every site
+where a real process could die — after a torn journal append, between
+commit and apply, mid block apply, before the checkpoint — and a
+:class:`CrashPlan` decides whether that particular site fires.
+
+The matrix protocol is two-phase and fully deterministic:
+
+1. **Survey** — run the workload once with an unarmed plan
+   (``CrashPlan()``): nothing raises, but every visited site is
+   counted and named.
+2. **Matrix** — for each ``i < survey.count``, rerun the identical
+   workload with ``CrashPlan(armed=i)``; site ``i`` raises
+   :class:`InjectedCrash` (after executing its optional ``before``
+   callback, which models the torn half-write the dying process left
+   behind), the harness "restarts" and recovers, and the recovered
+   store is checked bit-for-bit.
+
+``CrashPlan`` is deliberately not thread-safe: crash matrices drive
+single-threaded flushes, where site ordering is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+__all__ = ["CrashPlan", "InjectedCrash"]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by an armed :class:`CrashPlan` to simulate process death.
+
+    Everything the "process" held in memory (buffer-pool frames, tile
+    directories, half-finished batches) must be treated as lost by the
+    harness; only the block device and the journal bytes survive.
+    """
+
+
+class CrashPlan:
+    """Counts crash sites and raises at the single armed one.
+
+    Parameters
+    ----------
+    armed:
+        Zero-based index of the site that fires, or ``None`` to only
+        survey (count and name sites without ever raising).
+    """
+
+    def __init__(self, armed: Optional[int] = None) -> None:
+        self.armed = armed
+        self.count = 0
+        self.site_names: List[str] = []
+        self.fired_at: Optional[str] = None
+
+    def point(
+        self, name: str, before: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Visit one crash site.
+
+        When this site is armed, ``before`` (the torn-state callback —
+        e.g. "append only half the journal record") runs first and
+        :class:`InjectedCrash` is raised; otherwise the site is merely
+        counted.
+        """
+        index = self.count
+        self.count += 1
+        self.site_names.append(name)
+        if self.armed is not None and index == self.armed:
+            if before is not None:
+                before()
+            self.fired_at = name
+            raise InjectedCrash(f"injected crash at site {index} ({name})")

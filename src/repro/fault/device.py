@@ -1,0 +1,272 @@
+"""Fault-injecting wrapper over any block device.
+
+The robustness layers (checksums, journal, retries, circuit breaker,
+degraded reads) are only trustworthy if they can be exercised against
+real failures, and a simulated device is the one place failures can be
+injected *deterministically*.  :class:`FaultyBlockDevice` wraps any
+object with the :class:`~repro.storage.block_device.BlockDevice`
+surface and injects, by seeded probability or by explicit schedule:
+
+* **read errors** — the read charges its I/O (the disk was hit) and
+  raises :class:`InjectedIOError`;
+* **write errors** — the write fails before touching the device;
+* **torn writes** — the first half of the block is written, the rest
+  keeps its old content, and the write raises: exactly the state a
+  power cut mid-write leaves behind (checksums must catch it);
+* **silent bit-flips** — one bit of the *returned copy* is flipped,
+  modelling a transient bus/DRAM corruption (a retry re-reads clean
+  data; only a checksum can detect the flip at all);
+* **stalls** — an injected latency before the operation completes.
+
+Fault decisions draw from one ``random.Random(seed)`` stream, so a
+given configuration replays identically.  Every injection bumps a
+per-kind counter and opens a ``fault.inject`` span on the active
+tracer, so traces and Prometheus exports show exactly which faults a
+run absorbed.  With all rates zero and no schedule the wrapper is
+behaviour- and IOStats-transparent.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.tracer import get_tracer
+
+__all__ = ["FaultRule", "FaultyBlockDevice", "InjectedIOError", "FAULT_KINDS"]
+
+#: Fault kinds a :class:`FaultyBlockDevice` can inject.
+FAULT_KINDS: Tuple[str, ...] = (
+    "read_error",
+    "write_error",
+    "torn_write",
+    "bitflip",
+    "stall",
+)
+
+_READ_KINDS = {"read_error", "bitflip", "stall"}
+_WRITE_KINDS = {"write_error", "torn_write", "stall"}
+
+
+class InjectedIOError(IOError):
+    """An I/O failure injected by :class:`FaultyBlockDevice`."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Inject ``kind`` at the ``index``-th operation of type ``op``.
+
+    ``op`` is ``"read"`` or ``"write"``; ``index`` counts that
+    operation kind from zero over the device's lifetime.  Scheduled
+    rules fire regardless of the probabilistic rates, which makes
+    single-fault unit tests exact ("fail the third write").
+    """
+
+    op: str
+    index: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', got {self.op!r}")
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        allowed = _READ_KINDS if self.op == "read" else _WRITE_KINDS
+        if self.kind not in allowed:
+            raise ValueError(
+                f"kind {self.kind!r} not valid for op {self.op!r} "
+                f"(allowed: {sorted(allowed)})"
+            )
+
+
+class FaultyBlockDevice:
+    """Deterministic fault injection over a block device.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped device (typically a plain
+        :class:`~repro.storage.block_device.BlockDevice`; durability
+        layers go *above* this wrapper so checksums see the faults).
+    seed:
+        Seed of the fault-decision stream.
+    read_error_rate / write_error_rate / torn_write_rate / bitflip_rate
+    / stall_rate:
+        Per-operation injection probabilities in ``[0, 1]``.
+    stall_s:
+        Injected latency per stall (seconds).
+    broken_blocks:
+        Block ids whose reads *always* fail — a persistent media error,
+        the case retries cannot heal and degradation must absorb.
+    schedule:
+        Explicit :class:`FaultRule`\\ s, matched on operation index.
+    sleep:
+        Stall clock (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        seed: int = 0,
+        read_error_rate: float = 0.0,
+        write_error_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        bitflip_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_s: float = 0.0,
+        broken_blocks: Iterable[int] = (),
+        schedule: Iterable[FaultRule] = (),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        for name, rate in (
+            ("read_error_rate", read_error_rate),
+            ("write_error_rate", write_error_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("bitflip_rate", bitflip_rate),
+            ("stall_rate", stall_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self._inner = inner
+        self._rng = random.Random(seed)
+        self._read_error_rate = read_error_rate
+        self._write_error_rate = write_error_rate
+        self._torn_write_rate = torn_write_rate
+        self._bitflip_rate = bitflip_rate
+        self._stall_rate = stall_rate
+        self._stall_s = stall_s
+        self._sleep = sleep
+        self.broken_blocks = set(int(b) for b in broken_blocks)
+        self._schedule: Dict[Tuple[str, int], str] = {}
+        for rule in schedule:
+            self._schedule[(rule.op, rule.index)] = rule.kind
+        self.reads_seen = 0
+        self.writes_seen = 0
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # ------------------------------------------------------------------
+    # pass-through surface
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def block_slots(self) -> int:
+        return self._inner.block_slots
+
+    @property
+    def num_blocks(self) -> int:
+        return self._inner.num_blocks
+
+    def allocate(self) -> int:
+        return self._inner.allocate()
+
+    def peek_block(self, block_id: int) -> np.ndarray:
+        return self._inner.peek_block(block_id)
+
+    def dump_blocks(self) -> np.ndarray:
+        return self._inner.dump_blocks()
+
+    def restore_blocks(self, blocks: np.ndarray) -> None:
+        self._inner.restore_blocks(blocks)
+
+    def bytes_used(self, coefficient_bytes: int = 8) -> int:
+        return self._inner.bytes_used(coefficient_bytes)
+
+    # ------------------------------------------------------------------
+    # fault machinery
+    # ------------------------------------------------------------------
+
+    def _inject(self, kind: str, op: str, block_id: int) -> None:
+        """Count one injection and surface it on the active tracer."""
+        self.injected[kind] += 1
+        with get_tracer().span(
+            "fault.inject", kind=kind, op=op, block=block_id
+        ):
+            pass
+
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Per-kind injection tallies (a copy)."""
+        return dict(self.injected)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # faulted I/O
+    # ------------------------------------------------------------------
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        index = self.reads_seen
+        self.reads_seen += 1
+        scheduled = self._schedule.get(("read", index))
+        if scheduled == "stall" or (
+            scheduled is None and self._roll(self._stall_rate)
+        ):
+            self._inject("stall", "read", block_id)
+            self._sleep(self._stall_s)
+        data = self._inner.read_block(block_id)  # the attempt is real I/O
+        if (
+            scheduled == "read_error"
+            or block_id in self.broken_blocks
+            or (scheduled is None and self._roll(self._read_error_rate))
+        ):
+            self._inject("read_error", "read", block_id)
+            raise InjectedIOError(
+                f"injected read error on block {block_id} (read #{index})"
+            )
+        if scheduled == "bitflip" or (
+            scheduled is None and self._roll(self._bitflip_rate)
+        ):
+            self._inject("bitflip", "read", block_id)
+            slot = self._rng.randrange(data.size)
+            bit = self._rng.randrange(64)
+            as_bits = data.view(np.uint64)
+            as_bits[slot] ^= np.uint64(1) << np.uint64(bit)
+        return data
+
+    def write_block(self, block_id: int, data: np.ndarray) -> None:
+        index = self.writes_seen
+        self.writes_seen += 1
+        scheduled = self._schedule.get(("write", index))
+        if scheduled == "stall" or (
+            scheduled is None and self._roll(self._stall_rate)
+        ):
+            self._inject("stall", "write", block_id)
+            self._sleep(self._stall_s)
+        if scheduled == "write_error" or (
+            scheduled is None and self._roll(self._write_error_rate)
+        ):
+            self._inject("write_error", "write", block_id)
+            raise InjectedIOError(
+                f"injected write error on block {block_id} (write #{index})"
+            )
+        if scheduled == "torn_write" or (
+            scheduled is None and self._roll(self._torn_write_rate)
+        ):
+            self._inject("torn_write", "write", block_id)
+            new = np.asarray(data, dtype=np.float64)
+            old = self._inner.peek_block(block_id)
+            keep = new.size // 2
+            torn = np.concatenate([new[:keep], old[keep:]])
+            self._inner.write_block(block_id, torn)  # the torn state lands
+            raise InjectedIOError(
+                f"injected torn write on block {block_id} (write #{index}, "
+                f"{keep}/{new.size} slots written)"
+            )
+        self._inner.write_block(block_id, data)

@@ -1,0 +1,105 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Transient I/O faults (a flaky read, a momentary stall) should never
+surface to a query when one more attempt would succeed — but unbounded
+retries turn a dead device into an unbounded latency tail.
+:class:`RetryPolicy` bounds both: at most ``max_attempts`` tries, with
+exponentially growing, jittered sleeps in between.  Jitter draws from
+a seeded :class:`random.Random`, so a policy's delay sequence replays
+exactly in tests; the sleep function is injectable so unit tests run
+at full speed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "Retrier"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Configuration of a bounded backoff-retry loop.
+
+    ``retry_on`` is the tuple of exception types worth retrying —
+    transient I/O failures.  Anything else propagates immediately
+    (retrying a ``ValueError`` only hides a bug).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: Tuple[Type[BaseException], ...] = (IOError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based): the capped
+        exponential delay, scaled by a jitter factor drawn uniformly
+        from ``[1 - jitter, 1 + jitter]``."""
+        raw = min(
+            self.max_delay_s,
+            self.base_delay_s * (self.multiplier ** (attempt - 1)),
+        )
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass
+class Retrier:
+    """A policy bound to a jitter stream, a sleep clock and counters.
+
+    One engine holds one :class:`Retrier`; its counters aggregate every
+    retried operation the engine performed.
+    """
+
+    policy: RetryPolicy
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default=None)  # type: ignore[assignment]
+    retries: int = 0
+    gave_up: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = random.Random(self.policy.seed)
+
+    def call(self, fn: Callable[[], object], on_retry=None) -> object:
+        """Run ``fn`` under the policy.
+
+        Retryable exceptions trigger backoff-sleep and another attempt
+        (``on_retry(attempt, exc)`` is notified first); the last
+        attempt's exception propagates.  Non-retryable exceptions
+        propagate immediately.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except self.policy.retry_on as exc:
+                if attempt >= self.policy.max_attempts:
+                    self.gave_up += 1
+                    raise
+                self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.policy.delay_for(attempt, self.rng)
+                if delay > 0:
+                    self.sleep(delay)

@@ -65,6 +65,7 @@ IO_FIELDS: Tuple[str, ...] = (
     "coefficient_writes",
     "cache_hits",
     "cache_misses",
+    "journal_writes",
 )
 
 

@@ -22,6 +22,7 @@ Typical use::
 from repro.service.engine import (
     AdmissionError,
     BatchResult,
+    EngineClosedError,
     QueryEngine,
     QueryResult,
     Submission,
@@ -31,11 +32,14 @@ from repro.service.planner import BatchPlan, QueryPlan, plan_batch, tiles_for_qu
 from repro.service.pool import ShardedBufferPool
 from repro.service.queries import (
     CustomQuery,
+    DegradedValue,
     PointQuery,
     Query,
     RangeSumQuery,
     RegionQuery,
     execute_query,
+    execute_query_degraded,
+    query_weight_bound,
 )
 from repro.service.replay import build_store, build_workload, replay, run_naive
 
@@ -45,6 +49,8 @@ __all__ = [
     "BatchResult",
     "Counter",
     "CustomQuery",
+    "DegradedValue",
+    "EngineClosedError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -60,7 +66,9 @@ __all__ = [
     "build_store",
     "build_workload",
     "execute_query",
+    "execute_query_degraded",
     "plan_batch",
+    "query_weight_bound",
     "replay",
     "run_naive",
     "tiles_for_query",

@@ -31,14 +31,22 @@ from dataclasses import dataclass
 from queue import Empty, Full, Queue
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.fault.breaker import CircuitBreaker
+from repro.fault.retry import Retrier, RetryPolicy
 from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import BatchPlan, plan_batch
 from repro.service.pool import ShardedBufferPool
-from repro.service.queries import Query, execute_query
+from repro.service.queries import (
+    DegradedValue,
+    Query,
+    execute_query,
+    execute_query_degraded,
+)
 
 __all__ = [
     "AdmissionError",
+    "EngineClosedError",
     "QueryResult",
     "Submission",
     "BatchResult",
@@ -48,24 +56,41 @@ __all__ = [
 STATUS_OK = "ok"
 STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
+STATUS_DEGRADED = "degraded"
 
 
 class AdmissionError(RuntimeError):
     """Raised when the admission queue is full (backpressure)."""
 
 
+class EngineClosedError(AdmissionError):
+    """Raised on submission to an engine that has been closed."""
+
+
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome of one query execution."""
+    """Outcome of one query execution.
+
+    ``error_bound`` is set only for :data:`STATUS_DEGRADED` results:
+    the value was computed with one or more unreadable blocks
+    zero-filled and is within ``error_bound`` (absolute) of the true
+    answer.  ``attempts`` counts executions including retries.
+    """
 
     status: str
     value: Any = None
     error: Optional[str] = None
     latency_s: float = 0.0
+    error_bound: Optional[float] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
 
 
 class Submission:
@@ -145,6 +170,21 @@ class QueryEngine:
     default_timeout:
         Deadline (seconds) applied to queries submitted without one;
         ``None`` means no deadline.
+    retry_policy:
+        A :class:`~repro.fault.retry.RetryPolicy`; when set, transient
+        ``IOError``\\ s during query execution and batch prefetch are
+        retried with capped exponential backoff and jitter.  ``None``
+        (the default) keeps the seed behaviour: first failure wins.
+    breaker:
+        A :class:`~repro.fault.breaker.CircuitBreaker`; when set,
+        consecutive device failures trip it open and subsequent queries
+        are answered immediately (degraded or shed) instead of queueing
+        against a dead device.
+    degraded_reads:
+        When ``True``, a query whose retries are exhausted is re-run
+        with unreadable blocks zero-filled, answering
+        :data:`STATUS_DEGRADED` with an absolute ``error_bound``
+        instead of :data:`STATUS_ERROR`.
     """
 
     def __init__(
@@ -157,6 +197,9 @@ class QueryEngine:
         pool_capacity: Optional[int] = None,
         default_timeout: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        degraded_reads: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -165,6 +208,9 @@ class QueryEngine:
         self._store = store
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._default_timeout = default_timeout
+        self._retry_policy = retry_policy
+        self._breaker = breaker
+        self._degraded_reads = degraded_reads
         capacity = (
             pool_capacity
             if pool_capacity is not None
@@ -177,6 +223,7 @@ class QueryEngine:
         self._queue: "Queue[Optional[Submission]]" = Queue(maxsize=queue_depth)
         self._closed = False
         self._close_lock = threading.Lock()
+        self._drained = threading.Event()
         self._batch_lock = threading.Lock()
         self._workers = [
             threading.Thread(
@@ -220,9 +267,10 @@ class QueryEngine:
         self, query: Query, timeout: Optional[float] = None
     ) -> Submission:
         """Admit one query; raises :class:`AdmissionError` when the
-        queue is full and :class:`RuntimeError` after :meth:`close`."""
+        queue is full and :class:`EngineClosedError` after
+        :meth:`close`."""
         if self._closed:
-            raise RuntimeError("engine is closed")
+            raise EngineClosedError("engine is closed")
         submission = Submission(query, self._deadline_for(timeout))
         try:
             self._queue.put_nowait(submission)
@@ -253,8 +301,22 @@ class QueryEngine:
             if submission is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
-            self._execute(submission)
-            self._queue.task_done()
+            error = "query dropped without completion"
+            try:
+                self._execute(submission)
+            except Exception as exc:  # pragma: no cover - defensive
+                # _execute already converts query failures to results;
+                # anything escaping it is an engine bug.  The worker
+                # must survive it and the waiter must still get an
+                # answer.
+                self._metrics.counter("worker_faults").inc()
+                error = f"internal worker error: {exc!r}"
+            finally:
+                if not submission.done():
+                    submission._complete(
+                        QueryResult(status=STATUS_ERROR, error=error)
+                    )
+                self._queue.task_done()
 
     def _execute(self, submission: Submission) -> None:
         wait_s = time.perf_counter() - submission.submitted_s
@@ -280,25 +342,107 @@ class QueryEngine:
                 return
             started = time.perf_counter()
             try:
-                value = execute_query(self._store, submission.query)
+                result = self._serve(submission.query)
             except Exception as exc:  # queries must never kill a worker
-                latency = time.perf_counter() - started
-                self._metrics.counter("query_errors").inc()
-                self._metrics.histogram("query_latency_s").record(latency)
-                span.set(status=STATUS_ERROR, error=str(exc))
-                submission._complete(
-                    QueryResult(
-                        status=STATUS_ERROR, error=str(exc), latency_s=latency
-                    )
-                )
-                return
+                result = QueryResult(status=STATUS_ERROR, error=str(exc))
             latency = time.perf_counter() - started
-            self._metrics.counter("queries_served").inc()
-            self._metrics.histogram("query_latency_s").record(latency)
-            span.set(status=STATUS_OK)
-            submission._complete(
-                QueryResult(status=STATUS_OK, value=value, latency_s=latency)
+            result = QueryResult(
+                status=result.status,
+                value=result.value,
+                error=result.error,
+                latency_s=latency,
+                error_bound=result.error_bound,
+                attempts=result.attempts,
             )
+            self._metrics.histogram("query_latency_s").record(latency)
+            if result.status == STATUS_OK:
+                self._metrics.counter("queries_served").inc()
+            elif result.status == STATUS_DEGRADED:
+                self._metrics.counter("queries_served").inc()
+                self._metrics.counter("queries_degraded").inc()
+            else:
+                self._metrics.counter("query_errors").inc()
+            span.set(status=result.status)
+            if result.error:
+                span.set(error=result.error)
+            if result.attempts > 1:
+                span.set(attempts=result.attempts)
+            submission._complete(result)
+
+    def _serve(self, query: Query) -> QueryResult:
+        """Execute one query through the resilience ladder.
+
+        Ladder: circuit-breaker admission -> (retried) execution ->
+        degraded re-execution.  Returns a :class:`QueryResult` without
+        latency (the caller stamps it).
+        """
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow():
+            # Device is presumed down: answer without touching it
+            # rather than piling retries onto a dead disk.
+            self._metrics.counter("queries_shed").inc()
+            if self._degraded_reads:
+                outcome = execute_query_degraded(self._store, query)
+                if isinstance(outcome, DegradedValue):
+                    return QueryResult(
+                        status=STATUS_DEGRADED,
+                        value=outcome.value,
+                        error="circuit breaker open; unreadable blocks "
+                        "zero-filled",
+                        error_bound=outcome.error_bound,
+                    )
+                return QueryResult(status=STATUS_OK, value=outcome)
+            return QueryResult(
+                status=STATUS_ERROR,
+                error="circuit breaker open: device unavailable",
+                attempts=0,
+            )
+        attempts = 1
+        retrier = (
+            Retrier(self._retry_policy)
+            if self._retry_policy is not None
+            else None
+        )
+        try:
+            if retrier is not None:
+                value = retrier.call(
+                    lambda: execute_query(self._store, query)
+                )
+            else:
+                value = execute_query(self._store, query)
+        except IOError as exc:
+            if retrier is not None and retrier.retries:
+                attempts += retrier.retries
+                self._metrics.counter("io_retries").inc(retrier.retries)
+            if breaker is not None:
+                breaker.on_failure()
+            if self._degraded_reads:
+                outcome = execute_query_degraded(self._store, query)
+                attempts += 1
+                if isinstance(outcome, DegradedValue):
+                    return QueryResult(
+                        status=STATUS_DEGRADED,
+                        value=outcome.value,
+                        error=str(exc),
+                        error_bound=outcome.error_bound,
+                        attempts=attempts,
+                    )
+                # The fault was transient and the degraded pass read
+                # everything after all: a full-fidelity answer.
+                if breaker is not None:
+                    breaker.on_success()
+                return QueryResult(
+                    status=STATUS_OK, value=outcome, attempts=attempts
+                )
+            return QueryResult(
+                status=STATUS_ERROR, error=str(exc), attempts=attempts
+            )
+        if retrier is not None and retrier.retries:
+            attempts += retrier.retries
+            self._metrics.counter("io_retries").inc(retrier.retries)
+        if breaker is not None:
+            breaker.on_success()
+        return QueryResult(status=STATUS_OK, value=value, attempts=attempts)
 
     # ------------------------------------------------------------------
     # batched execution
@@ -318,7 +462,7 @@ class QueryEngine:
         for queue space rather than rejecting its own queries.
         """
         if self._closed:
-            raise RuntimeError("engine is closed")
+            raise EngineClosedError("engine is closed")
         queries = list(queries)
         tracer = get_tracer()
         started = time.perf_counter()
@@ -384,7 +528,24 @@ class QueryEngine:
         )
         pinned: List[int] = []
         for block_id in block_ids:
-            self._pool.fetch_and_pin(block_id)
+            try:
+                if self._retry_policy is not None:
+                    retrier = Retrier(self._retry_policy)
+                    retrier.call(
+                        lambda b=block_id: self._pool.fetch_and_pin(b)
+                    )
+                    if retrier.retries:
+                        self._metrics.counter("io_retries").inc(
+                            retrier.retries
+                        )
+                else:
+                    self._pool.fetch_and_pin(block_id)
+            except IOError:
+                # Prefetch is an optimisation: an unreadable block is
+                # skipped here and handled by the per-query resilience
+                # ladder (retry / degrade) when a query touches it.
+                self._metrics.counter("prefetch_skipped").inc()
+                continue
             pinned.append(block_id)
         self._metrics.counter("blocks_prefetched").inc(len(pinned))
         return pinned
@@ -396,19 +557,40 @@ class QueryEngine:
     def close(self) -> None:
         """Drain queued work, stop the workers, flush dirty blocks.
 
-        Idempotent.  Queries already admitted are executed (or timed
-        out against their deadlines); new submissions are refused.
+        Idempotent and concurrent-safe: exactly one caller performs the
+        shutdown; every other (and every later) caller blocks until the
+        drain and flush have finished, so "close returned" always means
+        "workers stopped, dirty blocks flushed".  Queries already
+        admitted are executed (or timed out against their deadlines);
+        new submissions are refused with :class:`EngineClosedError`; a
+        submission racing the shutdown is completed with a definite
+        error result rather than left hanging.
         """
         with self._close_lock:
             if self._closed:
+                self._drained.wait()
                 return
             self._closed = True
         for __ in self._workers:
             self._queue.put(None)  # sentinels drain after pending work
         for worker in self._workers:
             worker.join()
+        # A submit() that passed the closed check concurrently with the
+        # flag flip may have enqueued behind the sentinels; its waiter
+        # must still get a definite answer.
+        while True:
+            try:
+                straggler = self._queue.get_nowait()
+            except Empty:
+                break
+            if straggler is not None and not straggler.done():
+                straggler._complete(
+                    QueryResult(status=STATUS_ERROR, error="engine is closed")
+                )
+            self._queue.task_done()
         with get_tracer().span("engine.flush"):
             self._pool.flush()
+        self._drained.set()
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -428,12 +610,25 @@ class QueryEngine:
         self._metrics.gauge("pool_dirty_blocks").set(self._pool.dirty)
         self._metrics.gauge("pool_pinned_blocks").set(self._pool.pinned)
         self._metrics.gauge("admission_queue_depth").set(self._queue.qsize())
+        if self._breaker is not None:
+            self._metrics.gauge("breaker_state").set(
+                self._breaker.state_code
+            )
 
     def snapshot(self) -> dict:
         """Engine metrics + sharded-pool stats in one dict."""
         self.refresh_gauges()
         report = self._metrics.snapshot()
         report["pool"] = self._pool.snapshot()
+        if self._breaker is not None:
+            report["breaker"] = self._breaker.snapshot()
+        device = self._store.tile_store.device
+        while device is not None:  # walk wrapper layers to the injector
+            fault_counts = getattr(device, "fault_counts", None)
+            if fault_counts is not None:
+                report["faults"] = fault_counts()
+                break
+            device = getattr(device, "inner", None)
         counters = report["counters"]
         refs = counters.get("planned_tile_refs", 0)
         unique = counters.get("planned_unique_tiles", 0)

@@ -56,6 +56,22 @@ class _SynchronizedDevice:
         with self._lock:
             self._device.write_block(block_id, data)
 
+    def __getattr__(self, name: str):
+        # Conditionally surface durability extensions (``write_batch``,
+        # ``block_summary``) so a journaled device keeps its group
+        # commit under the sharded pool.  ``getattr`` probing by the
+        # plain pool must still see a plain device as plain, so only
+        # attributes the wrapped device actually has resolve here.
+        if name in ("write_batch", "block_summary"):
+            inner = getattr(self._device, name)  # AttributeError if plain
+
+            def locked(*args, **kwargs):
+                with self._lock:
+                    return inner(*args, **kwargs)
+
+            return locked
+        raise AttributeError(name)
+
 
 class _ShardPool(BufferPool):
     """One shard: a plain pool whose shared-stat bumps take the I/O lock."""

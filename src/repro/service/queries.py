@@ -16,20 +16,25 @@ dispatch point the engine's workers call.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple, Union
 
 from repro.reconstruct.point import point_query_standard
-from repro.reconstruct.rangesum import range_sum_standard
+from repro.reconstruct.rangesum import range_sum_standard, range_sum_weights
 from repro.reconstruct.region import reconstruct_box_standard
+from repro.storage.degrade import collecting_degraded
 
 __all__ = [
     "PointQuery",
     "RangeSumQuery",
     "RegionQuery",
     "CustomQuery",
+    "DegradedValue",
     "Query",
     "execute_query",
+    "execute_query_degraded",
+    "query_weight_bound",
 ]
 
 
@@ -103,3 +108,61 @@ def execute_query(store, query: Query) -> Any:
     if isinstance(query, CustomQuery):
         return query.fn(store)
     raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+
+def query_weight_bound(store, query: Query) -> float:
+    """Bound on the magnitude of the weight any single coefficient
+    carries in ``query``'s answer.
+
+    A query's value is a weighted sum of stored coefficients, so a
+    block the store could not read contributes at most
+    ``query_weight_bound * ||block||_1`` of absolute error — the bound
+    degraded execution reports.
+
+    * Point and region reconstructions combine coefficients with signs
+      (products of ±1 per axis under the unnormalised Haar basis):
+      bound 1.
+    * A range sum's per-coefficient weight is the product of per-axis
+      overlap counts (Lemma 2); the bound is the product of each axis'
+      maximum absolute weight.
+    * A custom query's read pattern is opaque: ``inf`` (a degraded
+      custom result carries no usable bound).
+    """
+    if isinstance(query, (PointQuery, RegionQuery)):
+        return 1.0
+    if isinstance(query, RangeSumQuery):
+        bound = 1.0
+        for extent, low, high in zip(store.shape, query.lows, query.highs):
+            __, weights = range_sum_weights(extent, low, high)
+            bound *= float(max(abs(weights)))
+        return bound
+    return math.inf
+
+
+@dataclass(frozen=True)
+class DegradedValue:
+    """A degraded query answer: the value computed with unreadable
+    blocks zero-filled, plus the worst-case absolute error that
+    substitution can have introduced and the blocks involved."""
+
+    value: Any
+    error_bound: float
+    missing_blocks: Tuple[int, ...]
+
+
+def execute_query_degraded(store, query: Query):
+    """Run ``query`` tolerating unreadable blocks.
+
+    Returns the plain value when every read succeeded, or a
+    :class:`DegradedValue` when blocks had to be zero-filled.  Raises
+    only for failures outside the store's read path.
+    """
+    with collecting_degraded() as collector:
+        value = execute_query(store, query)
+    if not collector.degraded:
+        return value
+    return DegradedValue(
+        value=value,
+        error_bound=collector.error_bound(query_weight_bound(store, query)),
+        missing_blocks=tuple(b.block_id for b in collector.missing),
+    )

@@ -39,6 +39,9 @@ from repro.obs import (
     to_prometheus,
     tracing,
 )
+from repro.fault.breaker import CircuitBreaker
+from repro.fault.device import FaultyBlockDevice
+from repro.fault.retry import RetryPolicy
 from repro.service.engine import QueryEngine
 from repro.service.queries import (
     PointQuery,
@@ -126,6 +129,15 @@ def _results_match(left, right) -> bool:
     return bool(np.isclose(left, right, atol=1e-9))
 
 
+def _within_bound(truth, value, bound: Optional[float]) -> bool:
+    """Is a degraded answer within its self-reported absolute bound?"""
+    if bound is None or not np.isfinite(bound):
+        return False
+    if isinstance(truth, np.ndarray) or isinstance(value, np.ndarray):
+        return bool(np.max(np.abs(np.asarray(truth) - np.asarray(value))) <= bound + 1e-9)
+    return bool(abs(truth - value) <= bound + 1e-9)
+
+
 def run_naive(store, queries: Sequence[Query]) -> dict:
     """One-query-at-a-time baseline: cold cache before every query,
     sequential execution, no sharing.  Returns values and I/O costs."""
@@ -166,8 +178,21 @@ def replay(
     seed: int = 0,
     trace: bool = False,
     trace_path: Optional[str] = None,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
 ) -> dict:
     """Run the full naive-vs-batched comparison; return the report.
+
+    With ``fault_rate > 0`` the batched phase runs against a device
+    injecting transient read faults at that probability, served by a
+    self-healing engine (retry with backoff, circuit breaker, degraded
+    reads).  Ground truth comes from the fault-free naive phase; every
+    batched result is then classified as exactly one of
+    retried-to-success (value matches truth), degraded-within-bound
+    (``|value - truth| <= error_bound``), or a definite error — the
+    report's ``fault`` section counts each class, and ``fault.wrong``
+    (answers that are none of the three) must be zero for the run to be
+    considered correct.
 
     With ``trace=True`` (implied by ``trace_path``) the serving phase
     runs under a fresh tracer: the report gains a ``"trace"`` section
@@ -208,6 +233,9 @@ def replay(
         "regions": regions,
         "seed": seed,
     }
+    if fault_rate > 0:
+        config["fault_rate"] = fault_rate
+        config["fault_seed"] = fault_seed
     if not (trace or trace_path):
         report, __ = _serve(
             store,
@@ -216,6 +244,8 @@ def replay(
             num_shards=num_shards,
             queue_depth=queue_depth,
             pool_capacity=pool_capacity,
+            fault_rate=fault_rate,
+            fault_seed=fault_seed,
         )
         report["config"] = config
         return report
@@ -228,6 +258,8 @@ def replay(
             num_shards=num_shards,
             queue_depth=queue_depth,
             pool_capacity=pool_capacity,
+            fault_rate=fault_rate,
+            fault_seed=fault_seed,
         )
     report["config"] = config
     spans = tracer.spans()
@@ -264,6 +296,8 @@ def _serve(
     num_shards: int,
     queue_depth: int,
     pool_capacity: int,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
 ) -> Tuple[dict, dict]:
     """Serve the workload naively then batched over ``store``.
 
@@ -282,23 +316,73 @@ def _serve(
         expected[field] += getattr(phase, field)
     store.stats.reset()
 
+    faulty = None
+    engine_kwargs = {}
+    if fault_rate > 0:
+        # Truth is in hand (fault-free naive phase); now pull the rug:
+        # every device read rolls a transient failure, and the engine
+        # must still answer every query definitively.
+        def _inject(device):
+            nonlocal faulty
+            faulty = FaultyBlockDevice(
+                device, seed=fault_seed, read_error_rate=fault_rate
+            )
+            return faulty
+
+        store.tile_store.wrap_device(_inject)
+        engine_kwargs = {
+            "retry_policy": RetryPolicy(
+                max_attempts=4, base_delay_s=0.0002, seed=fault_seed
+            ),
+            "breaker": CircuitBreaker(failure_threshold=16),
+            "degraded_reads": True,
+        }
+
     engine = QueryEngine(
         store,
         num_workers=num_workers,
         queue_depth=queue_depth,
         num_shards=num_shards,
         pool_capacity=pool_capacity,
+        **engine_kwargs,
     )
     try:
         batch = engine.execute_batch(queries)
     finally:
         engine.close()
 
-    mismatches = sum(
-        1
-        for naive_value, result in zip(naive["values"], batch.results)
-        if not (result.ok and _results_match(naive_value, result.value))
-    )
+    mismatches = 0
+    fault_report = None
+    if fault_rate > 0:
+        recovered = degraded = definite_errors = wrong = 0
+        for truth, result in zip(naive["values"], batch.results):
+            if result.ok:
+                if _results_match(truth, result.value):
+                    recovered += 1
+                else:
+                    wrong += 1
+            elif result.degraded:
+                if _within_bound(truth, result.value, result.error_bound):
+                    degraded += 1
+                else:
+                    wrong += 1
+            else:
+                definite_errors += 1
+        mismatches = wrong
+        fault_report = {
+            "fault_rate": fault_rate,
+            "injected": faulty.fault_counts() if faulty is not None else {},
+            "recovered_ok": recovered,
+            "degraded_within_bound": degraded,
+            "definite_errors": definite_errors,
+            "wrong": wrong,
+        }
+    else:
+        mismatches = sum(
+            1
+            for naive_value, result in zip(naive["values"], batch.results)
+            if not (result.ok and _results_match(naive_value, result.value))
+        )
 
     batched = {
         "block_reads": batch.block_reads,
@@ -327,4 +411,6 @@ def _serve(
         "mismatches": mismatches,
         "metrics": engine.snapshot(),
     }
+    if fault_report is not None:
+        report["fault"] = fault_report
     return report, expected

@@ -5,10 +5,22 @@ against."""
 from repro.storage.block_device import BlockDevice
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.chunkfile import ChunkedDataFile
+from repro.storage.degrade import (
+    DegradedCollector,
+    MissingBlock,
+    collecting_degraded,
+)
 from repro.storage.dense import DenseNonStandardStore, DenseStandardStore
 from repro.storage.iostats import IOStats
+from repro.storage.journal import (
+    CorruptBlockError,
+    JournaledDevice,
+    RecoveryReport,
+    WriteAheadJournal,
+)
 from repro.storage.naive import NaiveBlockedStandardStore
 from repro.storage.persist import (
+    PersistFormatError,
     load_nonstandard_store,
     load_standard_store,
     save_nonstandard_store,
@@ -21,11 +33,19 @@ __all__ = [
     "BlockDevice",
     "BufferPool",
     "ChunkedDataFile",
+    "CorruptBlockError",
+    "DegradedCollector",
     "DenseNonStandardStore",
     "DenseStandardStore",
     "IOStats",
+    "JournaledDevice",
+    "MissingBlock",
     "NaiveBlockedStandardStore",
+    "PersistFormatError",
+    "RecoveryReport",
     "TileStore",
+    "WriteAheadJournal",
+    "collecting_degraded",
     "load_nonstandard_store",
     "load_standard_store",
     "save_nonstandard_store",

@@ -75,6 +75,17 @@ class BlockDevice:
             return np.zeros(self._block_slots, dtype=np.float64)
         return stored.copy()
 
+    def peek_block(self, block_id: int) -> np.ndarray:
+        """Uncounted copy of a block's current content (zeros if never
+        written).  Used by durability layers (checksum scans, torn-write
+        simulation), never by algorithms — algorithmic reads go through
+        :meth:`read_block` and are charged."""
+        self._check_id(block_id)
+        stored = self._blocks.get(block_id)
+        if stored is None:
+            return np.zeros(self._block_slots, dtype=np.float64)
+        return stored.copy()
+
     def write_block(self, block_id: int, data: np.ndarray) -> None:
         """Write a full block (one block-write I/O)."""
         self._check_id(block_id)

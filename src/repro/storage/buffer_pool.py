@@ -213,7 +213,17 @@ class BufferPool:
             self.evictions += 1
             if frame.dirty:
                 with get_tracer().span("pool.evict", block=victim_id):
-                    self._device.write_block(victim_id, frame.data)
+                    try:
+                        self._device.write_block(victim_id, frame.data)
+                    except IOError:
+                        # Write-back failed: the frame is the only copy
+                        # of the dirty data.  Reinstate it (still dirty,
+                        # at the LRU end so it is not immediately
+                        # re-chosen) and surface the failure.
+                        self._frames[victim_id] = frame
+                        self._frames.move_to_end(victim_id)
+                        self.evictions -= 1
+                        raise
 
     def flush(self, block_id: Optional[int] = None) -> None:
         """Write back dirty blocks (one, or all when ``block_id is None``).
@@ -229,13 +239,25 @@ class BufferPool:
                 frame.dirty = False
             return
         with get_tracer().span("pool.flush") as span:
-            written = 0
-            for resident_id, frame in self._frames.items():
-                if frame.dirty:
+            dirty = [
+                (resident_id, frame)
+                for resident_id, frame in self._frames.items()
+                if frame.dirty
+            ]
+            write_batch = getattr(self._device, "write_batch", None)
+            if write_batch is not None and dirty:
+                # Journaled devices flush as one atomic group commit:
+                # either every dirty block of this flush becomes durable
+                # or none does.  Dirty flags clear only after the group
+                # succeeds.
+                write_batch([(rid, frame.data) for rid, frame in dirty])
+                for __, frame in dirty:
+                    frame.dirty = False
+            else:
+                for resident_id, frame in dirty:
                     self._device.write_block(resident_id, frame.data)
                     frame.dirty = False
-                    written += 1
-            span.set(blocks=written)
+            span.set(blocks=len(dirty))
 
     def drop_all(self) -> None:
         """Flush everything and empty the pool (e.g. between experiments).

@@ -21,6 +21,13 @@ class IOStats:
     ``cache_hits`` counts block requests absorbed by the buffer pool;
     ``cache_misses`` counts the requests that faulted a block in from
     the device (every miss is accompanied by one ``block_read``).
+    ``journal_writes`` counts write-ahead-journal record appends (data
+    records plus commit records) when a
+    :class:`~repro.storage.journal.JournaledDevice` is in play; it is
+    kept separate from ``block_writes`` so every seed experiment's
+    block counts are untouched by enabling durability — the journal's
+    cost is visible, but never conflated with the algorithms' block
+    traffic.
     """
 
     block_reads: int = 0
@@ -29,6 +36,7 @@ class IOStats:
     coefficient_writes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    journal_writes: int = 0
 
     @property
     def block_ios(self) -> int:
@@ -57,6 +65,7 @@ class IOStats:
         self.coefficient_writes = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.journal_writes = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
@@ -67,6 +76,7 @@ class IOStats:
             coefficient_writes=self.coefficient_writes,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            journal_writes=self.journal_writes,
         )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -80,6 +90,7 @@ class IOStats:
             ),
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            journal_writes=self.journal_writes - earlier.journal_writes,
         )
 
     def estimated_seconds(
@@ -112,5 +123,6 @@ class IOStats:
             f"IOStats(blocks: {self.block_reads}r/{self.block_writes}w, "
             f"coefficients: {self.coefficient_reads}r/"
             f"{self.coefficient_writes}w, "
-            f"hits: {self.cache_hits}, misses: {self.cache_misses})"
+            f"hits: {self.cache_hits}, misses: {self.cache_misses}, "
+            f"journal: {self.journal_writes}w)"
         )

@@ -1,0 +1,529 @@
+"""Crash-consistent durability: block checksums + write-ahead journal.
+
+The simulated device makes an interrupted flush *silently* corrupting:
+a torn write leaves half-new half-old coefficients that read back as
+plausible floats.  This module adds the two classic defences, layered
+over any block device as :class:`JournaledDevice`:
+
+**Checksums.**  Every successful block write records a CRC32 of the
+block's content in the device's metadata; every read verifies it.  A
+mismatch raises :class:`CorruptBlockError` — corruption becomes a
+detected, typed failure, never a wrong answer.  Alongside the CRC the
+metadata keeps the block's coefficient L1 norm, which is what lets
+degraded queries (:mod:`repro.storage.degrade`) bound the error a
+missing block can contribute.
+
+**Write-ahead journal with group commit.**  A flush of ``D`` dirty
+blocks appends ``D`` data records then one commit record to the
+journal (``D + 1`` ``journal_writes``), and only then applies the
+block writes to the device; after a fully applied group the journal is
+checkpointed (truncated — a metadata operation, uncounted).  The
+journal is a single append-only byte log with per-record CRCs, so a
+crash at *any* point leaves one of exactly three states, all
+recoverable by :meth:`JournaledDevice.recover`:
+
+* torn/uncommitted tail — discarded; the device was never touched by
+  the group (applies happen strictly after commit), so the store is
+  bit-identical to its pre-flush durable state;
+* committed but partially applied (possibly with torn block writes) —
+  the group is replayed from the journal payloads, which are
+  idempotent full-block writes; the store reaches the post-flush state
+  bit-exactly;
+* applied but not yet checkpointed — replay is a no-op rewrite of the
+  same bytes.
+
+The crash matrix in ``tests/test_crash_matrix.py`` proves this at
+every site the protocol visits (via :class:`repro.fault.crash.CrashPlan`).
+
+Everything is opt-in: wrap a store's device with
+``store.tile_store.wrap_device(JournaledDevice)`` to enable it.
+Without the wrapper no code path changes and no counter moves.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fault.crash import CrashPlan
+from repro.obs.tracer import charge as _trace_charge, get_tracer
+
+__all__ = [
+    "BlockSummary",
+    "CorruptBlockError",
+    "JournaledDevice",
+    "RecoveryReport",
+    "WriteAheadJournal",
+    "block_checksum",
+]
+
+
+class CorruptBlockError(IOError):
+    """A block's content failed checksum verification on read."""
+
+    def __init__(self, block_id: int, expected: int, actual: int) -> None:
+        super().__init__(
+            f"block {block_id} failed checksum verification "
+            f"(expected 0x{expected:08x}, read 0x{actual:08x})"
+        )
+        self.block_id = block_id
+        self.expected = expected
+        self.actual = actual
+
+
+def block_checksum(data: np.ndarray) -> int:
+    """CRC32 of a block's float64 content."""
+    return zlib.crc32(np.ascontiguousarray(data, dtype=np.float64).tobytes())
+
+
+@dataclass(frozen=True)
+class BlockSummary:
+    """Durable per-block metadata: integrity + degradation bound.
+
+    ``abs_sum`` (the L1 norm of the block's coefficients) bounds the
+    contribution the block can make to any reconstruction whose
+    per-coefficient weights have magnitude <= W:  ``|error| <= W *
+    abs_sum``.  It is what degraded queries report when the block
+    itself is unreadable.
+    """
+
+    crc: int
+    abs_sum: float
+
+
+def _summarise(data: np.ndarray) -> BlockSummary:
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    return BlockSummary(
+        crc=zlib.crc32(arr.tobytes()), abs_sum=float(np.abs(arr).sum())
+    )
+
+
+# ----------------------------------------------------------------------
+# journal byte format
+# ----------------------------------------------------------------------
+
+_JOURNAL_MAGIC = b"RWJ1"
+_HEADER = struct.Struct("<4sQ")  # magic, truncated_upto_seq
+#: record header: marker, type, group seq, block id, payload length, crc
+_RECORD = struct.Struct("<BBQqQI")
+_REC_MARK = 0xA5
+_REC_DATA = 1
+_REC_COMMIT = 2
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`JournaledDevice.recover` found and did."""
+
+    replayed_groups: int = 0
+    replayed_records: int = 0
+    discarded_records: int = 0
+    discarded_bytes: int = 0
+    last_committed_seq: int = 0
+    corrupt_blocks: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No checksum failures remain after recovery."""
+        return not self.corrupt_blocks
+
+
+class WriteAheadJournal:
+    """Append-only byte log with per-record CRCs and group commits.
+
+    Lives in memory (the simulation's "separate journal device"); the
+    byte image — :meth:`to_bytes` / :meth:`from_bytes` — is the durable
+    artifact a crash harness carries across a simulated restart.  The
+    header records ``truncated_upto``: the highest group sequence whose
+    records have been checkpointed away, which is how recovery can tell
+    "group applied and checkpointed" apart from "group never started"
+    even though both leave an empty log.
+    """
+
+    def __init__(self) -> None:
+        self.truncated_upto = 0
+        self._next_seq = 1
+        self._buf = bytearray()
+        self.appends = 0
+
+    # -- sequence management -------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next group will carry."""
+        return self._next_seq
+
+    def begin_group(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- append path ----------------------------------------------------
+
+    def _record_bytes(
+        self, rec_type: int, seq: int, block_id: int, payload: bytes
+    ) -> bytes:
+        crc = zlib.crc32(
+            struct.pack("<BQq", rec_type, seq, block_id) + payload
+        )
+        header = _RECORD.pack(
+            _REC_MARK, rec_type, seq, block_id, len(payload), crc
+        )
+        return header + payload
+
+    def _append(
+        self, record: bytes, site: str, crash: Optional[CrashPlan]
+    ) -> None:
+        if crash is not None:
+            # A dying process can leave half a record behind.
+            torn = record[: max(1, len(record) // 2)]
+            crash.point(
+                f"{site}.torn", before=lambda: self._buf.extend(torn)
+            )
+        self._buf.extend(record)
+        self.appends += 1
+        if crash is not None:
+            crash.point(f"{site}.appended")
+
+    def append_data(
+        self,
+        seq: int,
+        block_id: int,
+        payload: bytes,
+        crash: Optional[CrashPlan] = None,
+    ) -> None:
+        self._append(
+            self._record_bytes(_REC_DATA, seq, block_id, payload),
+            "journal.data",
+            crash,
+        )
+
+    def append_commit(
+        self, seq: int, count: int, crash: Optional[CrashPlan] = None
+    ) -> None:
+        self._append(
+            self._record_bytes(_REC_COMMIT, seq, count, b""),
+            "journal.commit",
+            crash,
+        )
+
+    def checkpoint(self, seq: int) -> None:
+        """Drop all records (the applied groups) and remember ``seq`` as
+        durably applied.  Treated as atomic — a real implementation
+        would rename a fresh segment into place."""
+        self.truncated_upto = max(self.truncated_upto, seq)
+        self._buf = bytearray()
+
+    # -- parse / recovery ----------------------------------------------
+
+    def parse(
+        self,
+    ) -> Tuple[Dict[int, List[Tuple[int, bytes]]], List[int], int, int]:
+        """Decode the log.
+
+        Returns ``(groups, committed_seqs, discarded_records,
+        discarded_bytes)``: data payloads per group sequence, the
+        sequences with a valid commit record, and how much of the tail
+        was discarded as torn/corrupt.  Parsing stops at the first
+        malformed record — everything after it is unreachable tail by
+        construction (the log is append-only).
+        """
+        groups: Dict[int, List[Tuple[int, bytes]]] = {}
+        committed: List[int] = []
+        offset = 0
+        data = bytes(self._buf)
+        valid_upto = 0
+        records = 0
+        while offset + _RECORD.size <= len(data):
+            mark, rec_type, seq, block_id, length, crc = _RECORD.unpack_from(
+                data, offset
+            )
+            if mark != _REC_MARK or rec_type not in (_REC_DATA, _REC_COMMIT):
+                break
+            payload_start = offset + _RECORD.size
+            payload_end = payload_start + length
+            if payload_end > len(data):
+                break  # torn payload
+            payload = data[payload_start:payload_end]
+            expected = zlib.crc32(
+                struct.pack("<BQq", rec_type, seq, block_id) + payload
+            )
+            if expected != crc:
+                break  # torn/corrupt record
+            if rec_type == _REC_DATA:
+                groups.setdefault(seq, []).append((block_id, payload))
+            else:
+                committed.append(seq)
+            offset = payload_end
+            valid_upto = offset
+            records += 1
+        tail_records = 0
+        # Count whole-looking records in the discarded tail for reporting
+        # (best effort; the tail may be arbitrary garbage).
+        discarded_bytes = len(data) - valid_upto
+        for seq, recs in groups.items():
+            if seq not in committed:
+                tail_records += len(recs)
+        return groups, committed, tail_records, discarded_bytes
+
+    # -- persistence of the journal itself ------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The durable byte image (header + log)."""
+        return _HEADER.pack(_JOURNAL_MAGIC, self.truncated_upto) + bytes(
+            self._buf
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "WriteAheadJournal":
+        """Reopen a journal from its byte image (inverse of
+        :meth:`to_bytes`).  A blob too short to hold the header is
+        treated as an empty journal (nothing was ever durable)."""
+        journal = cls()
+        if len(blob) < _HEADER.size:
+            return journal
+        magic, truncated_upto = _HEADER.unpack_from(blob, 0)
+        if magic != _JOURNAL_MAGIC:
+            return journal
+        journal.truncated_upto = truncated_upto
+        journal._buf = bytearray(blob[_HEADER.size :])
+        groups, committed, __, __ = journal.parse()
+        highest = max(
+            [truncated_upto]
+            + list(groups.keys())
+            + committed
+        )
+        journal._next_seq = highest + 1
+        return journal
+
+    @property
+    def log_bytes(self) -> int:
+        return len(self._buf)
+
+
+# ----------------------------------------------------------------------
+# the device wrapper
+# ----------------------------------------------------------------------
+
+
+class JournaledDevice:
+    """Checksummed, write-ahead-journaled view of a block device.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped device.  Fault injection
+        (:class:`~repro.fault.device.FaultyBlockDevice`) goes *below*
+        this layer so that torn writes and bit-flips are subject to
+        checksum verification.
+    journal:
+        An existing :class:`WriteAheadJournal` (e.g. recovered bytes
+        after a simulated restart); a fresh one when omitted.
+    crash:
+        Optional :class:`~repro.fault.crash.CrashPlan` visited at every
+        protocol step — the crash-matrix hook.  ``None`` (the default)
+        costs one attribute check per flush.
+
+    On construction the per-block summaries are rebuilt from the
+    device's current content (uncounted peeks): after a crash the map
+    is exactly as trustworthy as the blocks themselves, and
+    :meth:`recover` then repairs both from the journal.
+    """
+
+    def __init__(
+        self,
+        inner,
+        journal: Optional[WriteAheadJournal] = None,
+        crash: Optional[CrashPlan] = None,
+    ) -> None:
+        self._inner = inner
+        self.journal = journal if journal is not None else WriteAheadJournal()
+        self.crash = crash
+        self._summaries: Dict[int, BlockSummary] = {}
+        self._zero_summary = _summarise(
+            np.zeros(inner.block_slots, dtype=np.float64)
+        )
+        self._rebuild_summaries()
+
+    def _rebuild_summaries(self) -> None:
+        self._summaries.clear()
+        for block_id in range(self._inner.num_blocks):
+            data = self._inner.peek_block(block_id)
+            if np.any(data):
+                self._summaries[block_id] = _summarise(data)
+
+    # ------------------------------------------------------------------
+    # pass-through surface
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def block_slots(self) -> int:
+        return self._inner.block_slots
+
+    @property
+    def num_blocks(self) -> int:
+        return self._inner.num_blocks
+
+    def allocate(self) -> int:
+        return self._inner.allocate()
+
+    def peek_block(self, block_id: int) -> np.ndarray:
+        return self._inner.peek_block(block_id)
+
+    def dump_blocks(self) -> np.ndarray:
+        return self._inner.dump_blocks()
+
+    def restore_blocks(self, blocks: np.ndarray) -> None:
+        self._inner.restore_blocks(blocks)
+        self._rebuild_summaries()
+
+    def bytes_used(self, coefficient_bytes: int = 8) -> int:
+        return self._inner.bytes_used(coefficient_bytes)
+
+    # ------------------------------------------------------------------
+    # verified reads
+    # ------------------------------------------------------------------
+
+    def expected_summary(self, block_id: int) -> BlockSummary:
+        """The durable summary of ``block_id`` (zero-block summary for
+        blocks never successfully written)."""
+        return self._summaries.get(block_id, self._zero_summary)
+
+    def block_summary(self, block_id: int) -> BlockSummary:
+        """Alias used by the degraded-read path."""
+        return self.expected_summary(block_id)
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        data = self._inner.read_block(block_id)
+        expected = self.expected_summary(block_id).crc
+        actual = block_checksum(data)
+        if actual != expected:
+            raise CorruptBlockError(block_id, expected, actual)
+        return data
+
+    # ------------------------------------------------------------------
+    # journaled writes
+    # ------------------------------------------------------------------
+
+    def write_block(self, block_id: int, data: np.ndarray) -> None:
+        self.write_batch([(block_id, data)])
+
+    def write_batch(
+        self, pairs: Sequence[Tuple[int, np.ndarray]]
+    ) -> None:
+        """Group-commit ``pairs`` of ``(block_id, data)``.
+
+        Protocol: journal every data record, journal the commit record
+        (the group is durable from this instant), apply the block
+        writes to the device, checkpoint the journal.  Charges
+        ``len(pairs) + 1`` ``journal_writes``; the applies charge their
+        usual ``block_writes``.
+        """
+        if not pairs:
+            return
+        crash = self.crash
+        stats = self._inner.stats
+        arrays = [
+            np.ascontiguousarray(data, dtype=np.float64)
+            for __, data in pairs
+        ]
+        with get_tracer().span(
+            "journal.commit_group", blocks=len(pairs)
+        ) as span:
+            seq = self.journal.begin_group()
+            span.set(seq=seq)
+            for (block_id, __), arr in zip(pairs, arrays):
+                self.journal.append_data(
+                    seq, block_id, arr.tobytes(), crash=crash
+                )
+                stats.journal_writes += 1
+                _trace_charge("journal_writes")
+            self.journal.append_commit(seq, len(pairs), crash=crash)
+            stats.journal_writes += 1
+            _trace_charge("journal_writes")
+            if crash is not None:
+                crash.point("group.committed")
+            for (block_id, __), arr in zip(pairs, arrays):
+                self._apply(block_id, arr, crash)
+            self.journal.checkpoint(seq)
+            if crash is not None:
+                crash.point("checkpoint.done")
+
+    def _apply(
+        self, block_id: int, arr: np.ndarray, crash: Optional[CrashPlan]
+    ) -> None:
+        if crash is not None:
+            # A dying process can leave a half-written block behind.
+            def tear() -> None:
+                old = self._inner.peek_block(block_id)
+                keep = arr.size // 2
+                torn = np.concatenate([arr[:keep], old[keep:]])
+                self._inner.write_block(block_id, torn)
+
+            crash.point("apply.torn", before=tear)
+        self._inner.write_block(block_id, arr)
+        self._summaries[block_id] = _summarise(arr)
+        if crash is not None:
+            crash.point("apply.applied")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Replay committed journal groups; discard torn tails.
+
+        Idempotent: replaying an already-applied group rewrites the
+        same bytes.  Replayed writes charge ``block_writes`` (they are
+        real device I/O).  Ends with a full checksum scan; a clean
+        report (``report.clean``) certifies the store.
+        """
+        report = RecoveryReport()
+        groups, committed, tail_records, tail_bytes = self.journal.parse()
+        report.discarded_records = tail_records
+        report.discarded_bytes = tail_bytes
+        last = self.journal.truncated_upto
+        with get_tracer().span("journal.recover") as span:
+            for seq in sorted(committed):
+                records = groups.get(seq, [])
+                for block_id, payload in records:
+                    arr = np.frombuffer(payload, dtype=np.float64)
+                    while self._inner.num_blocks <= block_id:
+                        self._inner.allocate()
+                    self._inner.write_block(block_id, arr)
+                    self._summaries[block_id] = _summarise(arr)
+                    report.replayed_records += 1
+                report.replayed_groups += 1
+                last = max(last, seq)
+                self.journal.checkpoint(seq)
+            report.last_committed_seq = last
+            report.corrupt_blocks = self.scan()
+            span.set(
+                replayed_groups=report.replayed_groups,
+                replayed_records=report.replayed_records,
+                discarded_records=report.discarded_records,
+                corrupt_blocks=len(report.corrupt_blocks),
+            )
+        return report
+
+    def scan(self) -> List[int]:
+        """Checksum-verify every allocated block (uncounted peeks).
+        Returns the ids that fail — empty means checksum-clean."""
+        corrupt = []
+        for block_id in range(self._inner.num_blocks):
+            data = self._inner.peek_block(block_id)
+            if block_checksum(data) != self.expected_summary(block_id).crc:
+                corrupt.append(block_id)
+        return corrupt

@@ -9,11 +9,22 @@ paper's maintenance scenarios assume.
 Persistence moves blocks wholesale and is deliberately *uncounted*:
 the I/O model measures the algorithms' block traffic, not file-system
 serialisation.
+
+Files are defended on the way back in: a format version gates the
+layout, a CRC32 over the payload (blocks, metadata, directory) catches
+truncated or bit-rotted files, and the pickled sections are decoded by
+a restricted unpickler that only constructs plain data types and the
+library's own key classes — a store file is data, not code.  Every
+validation failure raises :class:`PersistFormatError` (a
+``ValueError``), never a partially-restored store.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
+import zipfile
+import zlib
 from typing import Optional
 
 import numpy as np
@@ -22,45 +33,139 @@ from repro.storage.iostats import IOStats
 from repro.storage.tiled import TiledNonStandardStore, TiledStandardStore
 
 __all__ = [
+    "PersistFormatError",
     "save_standard_store",
     "load_standard_store",
     "save_nonstandard_store",
     "load_nonstandard_store",
 ]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the payload checksum; version-1 files (no checksum)
+#: are still readable.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class PersistFormatError(ValueError):
+    """A store file failed validation (version, checksum, structure)."""
+
+
+#: Global names the store-file unpickler may construct.  The pickled
+#: sections hold only the meta dict and the tile directory: builtin
+#: containers/scalars plus the library's tile-key dataclasses.
+_ALLOWED_GLOBALS = {
+    ("builtins", "dict"),
+    ("builtins", "list"),
+    ("builtins", "tuple"),
+    ("builtins", "set"),
+    ("builtins", "frozenset"),
+    ("builtins", "int"),
+    ("builtins", "float"),
+    ("builtins", "complex"),
+    ("builtins", "str"),
+    ("builtins", "bytes"),
+    ("builtins", "bool"),
+    ("repro.wavelet.keys", "NonStandardKey"),
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that refuses everything outside the allowlist."""
+
+    def find_class(self, module: str, name: str):
+        if (module, name) in _ALLOWED_GLOBALS:
+            return super().find_class(module, name)
+        raise PersistFormatError(
+            f"store file references disallowed global {module}.{name}"
+        )
+
+
+def _restricted_loads(blob: bytes, section: str):
+    try:
+        return _RestrictedUnpickler(io.BytesIO(blob)).load()
+    except PersistFormatError:
+        raise
+    except Exception as exc:
+        raise PersistFormatError(
+            f"store file section {section!r} is corrupt: {exc}"
+        ) from exc
+
+
+def _content_checksum(
+    blocks: np.ndarray, meta_blob: bytes, directory_blob: bytes
+) -> int:
+    crc = zlib.crc32(np.ascontiguousarray(blocks).tobytes())
+    crc = zlib.crc32(meta_blob, crc)
+    return zlib.crc32(directory_blob, crc)
 
 
 def _save(path, kind: str, meta: dict, store) -> None:
     tile_store = store.tile_store
     tile_store.flush()
     directory = tile_store.directory()
+    meta_blob = pickle.dumps(meta)
+    directory_blob = pickle.dumps(directory)
+    blocks = tile_store.device.dump_blocks()
     np.savez_compressed(
         path,
         format_version=np.asarray([_FORMAT_VERSION]),
         kind=np.asarray([kind]),
-        meta=np.frombuffer(pickle.dumps(meta), dtype=np.uint8),
-        directory=np.frombuffer(pickle.dumps(directory), dtype=np.uint8),
-        blocks=tile_store.device.dump_blocks(),
+        meta=np.frombuffer(meta_blob, dtype=np.uint8),
+        directory=np.frombuffer(directory_blob, dtype=np.uint8),
+        blocks=blocks,
+        checksum=np.asarray(
+            [_content_checksum(blocks, meta_blob, directory_blob)],
+            dtype=np.uint64,
+        ),
     )
 
 
 def _load(path, expected_kind: str):
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"][0])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise PersistFormatError(
+            f"not a readable store file: {exc}"
+        ) from exc
+    with archive:
+        try:
+            version = int(archive["format_version"][0])
+            kind = str(archive["kind"][0])
+            meta_blob = archive["meta"].tobytes()
+            directory_blob = archive["directory"].tobytes()
+            blocks = archive["blocks"]
+        except KeyError as exc:
+            raise PersistFormatError(
+                f"store file is missing section {exc}"
+            ) from exc
+        if version not in _SUPPORTED_VERSIONS:
+            raise PersistFormatError(
                 f"unsupported store file version {version} "
-                f"(expected {_FORMAT_VERSION})"
+                f"(supported: {_SUPPORTED_VERSIONS})"
             )
-        kind = str(archive["kind"][0])
         if kind != expected_kind:
             raise ValueError(
                 f"file holds a {kind!r} store, expected {expected_kind!r}"
             )
-        meta = pickle.loads(archive["meta"].tobytes())
-        directory = pickle.loads(archive["directory"].tobytes())
-        blocks = archive["blocks"]
+        if version >= 2:
+            try:
+                stored = int(archive["checksum"][0])
+            except KeyError as exc:
+                raise PersistFormatError(
+                    "store file is missing its checksum section"
+                ) from exc
+            actual = _content_checksum(blocks, meta_blob, directory_blob)
+            if stored != actual:
+                raise PersistFormatError(
+                    f"store file failed checksum verification "
+                    f"(expected 0x{stored:08x}, computed 0x{actual:08x})"
+                )
+        meta = _restricted_loads(meta_blob, "meta")
+        directory = _restricted_loads(directory_blob, "directory")
+        if not isinstance(meta, dict) or not isinstance(directory, dict):
+            raise PersistFormatError(
+                "store file meta/directory sections are not mappings"
+            )
         return meta, directory, blocks
 
 

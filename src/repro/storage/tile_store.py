@@ -17,6 +17,7 @@ import numpy as np
 from repro.obs.tracer import get_tracer
 from repro.storage.block_device import BlockDevice
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.degrade import active_collector
 from repro.storage.iostats import IOStats
 
 __all__ = ["TileStore"]
@@ -58,6 +59,23 @@ class TileStore:
     @property
     def pool(self) -> BufferPool:
         return self._pool
+
+    def wrap_device(self, factory) -> None:
+        """Interpose a device wrapper (fault injection, journaling).
+
+        ``factory`` receives the current device and returns the wrapper
+        to use in its place — e.g. ``store.tile_store.wrap_device(
+        JournaledDevice)`` or ``lambda d: FaultyBlockDevice(d, seed=7)``.
+        The current pool is flushed and rebuilt over the wrapper (same
+        capacity), so no dirty data is lost and every subsequent I/O
+        goes through the wrapper.  Call *before* handing the store to a
+        :class:`~repro.service.engine.QueryEngine` — the engine captures
+        the device at construction.
+        """
+        self._pool.drop_all()
+        capacity = getattr(self._pool, "capacity", 8)
+        self._device = factory(self._device)
+        self._pool = BufferPool(self._device, capacity)
 
     def set_pool(self, pool) -> None:
         """Install a replacement buffer pool over the same device.
@@ -131,11 +149,31 @@ class TileStore:
 
     def peek(self, key: Hashable) -> Optional[np.ndarray]:
         """Like :meth:`tile` but returns ``None`` instead of allocating
-        when the tile was never materialised."""
+        when the tile was never materialised.
+
+        Inside a :func:`repro.storage.degrade.collecting_degraded`
+        scope a read failure (injected fault, checksum mismatch) is
+        recorded with the block's durable L1 summary and a *fresh* zero
+        array is returned; no pool frame is installed, so the
+        substituted zeros are never cached as truth.  Outside such a
+        scope failures propagate unchanged.
+        """
         block_id = self._directory.get(key)
         if block_id is None:
             return None
-        return self._pool.get(block_id)
+        collector = active_collector()
+        if collector is None:
+            return self._pool.get(block_id)
+        try:
+            return self._pool.get(block_id)
+        except IOError as exc:
+            summary = getattr(self._device, "block_summary", None)
+            if summary is not None:
+                abs_sum = summary(block_id).abs_sum
+            else:
+                abs_sum = float("inf")
+            collector.record(key, block_id, abs_sum, str(exc))
+            return np.zeros(self._device.block_slots, dtype=np.float64)
 
     def read_slot(self, key: Hashable, slot: int) -> float:
         """Read one coefficient (zero if the tile does not exist)."""

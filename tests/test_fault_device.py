@@ -1,0 +1,182 @@
+"""Tests for the fault-injecting block device wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.fault.device import FaultRule, FaultyBlockDevice, InjectedIOError
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.iostats import IOStats
+
+
+def _loaded_device(blocks=4, slots=8, seed=0):
+    device = BlockDevice(slots)
+    rng = np.random.default_rng(seed)
+    for __ in range(blocks):
+        block_id = device.allocate()
+        device.write_block(block_id, rng.normal(size=slots))
+    return device
+
+
+class TestTransparency:
+    def test_disabled_wrapper_is_bit_identical(self):
+        """All rates zero + no schedule => same bytes, same IOStats."""
+        plain = _loaded_device()
+        wrapped_inner = _loaded_device()
+        wrapped = FaultyBlockDevice(wrapped_inner, seed=123)
+        for block_id in range(plain.num_blocks):
+            np.testing.assert_array_equal(
+                plain.read_block(block_id), wrapped.read_block(block_id)
+            )
+        wrapped.write_block(1, np.arange(8, dtype=np.float64))
+        plain.write_block(1, np.arange(8, dtype=np.float64))
+        np.testing.assert_array_equal(
+            plain.dump_blocks(), wrapped.dump_blocks()
+        )
+        assert plain.stats.snapshot() == wrapped.stats.snapshot()
+        assert wrapped.total_injected == 0
+
+    def test_passthrough_surface(self):
+        inner = _loaded_device()
+        wrapped = FaultyBlockDevice(inner)
+        assert wrapped.block_slots == inner.block_slots
+        assert wrapped.num_blocks == inner.num_blocks
+        assert wrapped.inner is inner
+        assert wrapped.bytes_used() == inner.bytes_used()
+        np.testing.assert_array_equal(
+            wrapped.peek_block(0), inner.peek_block(0)
+        )
+
+
+class TestScheduledFaults:
+    def test_scheduled_read_error_fires_exactly_once(self):
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            schedule=[FaultRule("read", 1, "read_error")],
+        )
+        device.read_block(0)  # read #0: clean
+        with pytest.raises(InjectedIOError):
+            device.read_block(0)  # read #1: scheduled failure
+        device.read_block(0)  # read #2: clean again (transient)
+        assert device.fault_counts()["read_error"] == 1
+
+    def test_failed_read_still_charges_io(self):
+        """The disk was hit; the attempt costs a block read."""
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            schedule=[FaultRule("read", 0, "read_error")],
+        )
+        before = device.stats.block_reads
+        with pytest.raises(InjectedIOError):
+            device.read_block(0)
+        assert device.stats.block_reads == before + 1
+
+    def test_write_error_leaves_block_untouched(self):
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            schedule=[FaultRule("write", 0, "write_error")],
+        )
+        old = device.peek_block(2)
+        with pytest.raises(InjectedIOError):
+            device.write_block(2, np.ones(8))
+        np.testing.assert_array_equal(device.peek_block(2), old)
+
+    def test_torn_write_lands_half_new_half_old(self):
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            schedule=[FaultRule("write", 0, "torn_write")],
+        )
+        old = device.peek_block(0)
+        new = np.full(8, 7.0)
+        with pytest.raises(InjectedIOError):
+            device.write_block(0, new)
+        torn = device.peek_block(0)
+        np.testing.assert_array_equal(torn[:4], new[:4])
+        np.testing.assert_array_equal(torn[4:], old[4:])
+
+    def test_bitflip_corrupts_returned_copy_silently(self):
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            seed=5,
+            schedule=[FaultRule("read", 0, "bitflip")],
+        )
+        stored = device.peek_block(0)
+        flipped = device.read_block(0)
+        assert not np.array_equal(stored, flipped)
+        # Exactly one slot differs, by exactly one bit.
+        diff = stored.view(np.uint64) ^ flipped.view(np.uint64)
+        assert np.count_nonzero(diff) == 1
+        assert bin(int(diff[diff != 0][0])).count("1") == 1
+        # ... and the device content is untouched (transient corruption).
+        np.testing.assert_array_equal(device.peek_block(0), stored)
+
+    def test_stall_uses_injected_sleep(self):
+        slept = []
+        device = FaultyBlockDevice(
+            _loaded_device(),
+            stall_s=0.5,
+            schedule=[FaultRule("read", 0, "stall")],
+            sleep=slept.append,
+        )
+        device.read_block(0)
+        assert slept == [0.5]
+
+    def test_broken_block_always_fails(self):
+        device = FaultyBlockDevice(_loaded_device(), broken_blocks=[3])
+        for __ in range(3):
+            with pytest.raises(InjectedIOError):
+                device.read_block(3)
+        device.read_block(0)  # other blocks unaffected
+        assert device.fault_counts()["read_error"] == 3
+
+
+class TestProbabilisticFaults:
+    def test_seeded_runs_replay_identically(self):
+        def run(seed):
+            device = FaultyBlockDevice(
+                _loaded_device(), seed=seed, read_error_rate=0.3
+            )
+            outcomes = []
+            for __ in range(50):
+                try:
+                    device.read_block(0)
+                    outcomes.append("ok")
+                except InjectedIOError:
+                    outcomes.append("err")
+            return outcomes
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultyBlockDevice(_loaded_device(), read_error_rate=1.5)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("read", 0, "torn_write")  # write-only kind
+        with pytest.raises(ValueError):
+            FaultRule("scan", 0, "read_error")
+        with pytest.raises(ValueError):
+            FaultRule("read", -1, "read_error")
+
+
+class TestUnderBufferPool:
+    def test_eviction_write_failure_keeps_dirty_frame(self):
+        """A failed write-back must not lose the only copy of the data."""
+        stats = IOStats()
+        inner = BlockDevice(4, stats=stats)
+        a = inner.allocate()
+        b = inner.allocate()
+        device = FaultyBlockDevice(
+            inner, schedule=[FaultRule("write", 0, "write_error")]
+        )
+        pool = BufferPool(device, capacity=1)
+        data = pool.get(a, for_write=True)
+        data[:] = 5.0
+        # Faulting in b must evict dirty a; the scheduled write fails.
+        with pytest.raises(InjectedIOError):
+            pool.get(b)
+        # Frame a survived, still dirty; the next flush persists it.
+        pool.flush(a)
+        np.testing.assert_array_equal(inner.peek_block(a), np.full(4, 5.0))

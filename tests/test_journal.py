@@ -1,0 +1,269 @@
+"""Tests for block checksums and the write-ahead journal."""
+
+import numpy as np
+import pytest
+
+from repro.fault.device import FaultRule, FaultyBlockDevice, InjectedIOError
+from repro.storage.block_device import BlockDevice
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.journal import (
+    CorruptBlockError,
+    JournaledDevice,
+    WriteAheadJournal,
+    block_checksum,
+)
+
+
+def _journaled(slots=8, stats=None):
+    inner = BlockDevice(slots, stats=stats)
+    return inner, JournaledDevice(inner)
+
+
+class TestChecksummedReads:
+    def test_round_trip_verifies(self):
+        __, device = _journaled()
+        block_id = device.allocate()
+        payload = np.arange(8, dtype=np.float64)
+        device.write_block(block_id, payload)
+        np.testing.assert_array_equal(device.read_block(block_id), payload)
+
+    def test_never_written_block_reads_as_zeros(self):
+        __, device = _journaled()
+        block_id = device.allocate()
+        np.testing.assert_array_equal(
+            device.read_block(block_id), np.zeros(8)
+        )
+
+    def test_out_of_band_corruption_detected(self):
+        inner, device = _journaled()
+        block_id = device.allocate()
+        device.write_block(block_id, np.ones(8))
+        # Corrupt below the journal layer (simulated bit rot).
+        inner._blocks[block_id][3] = 99.0
+        with pytest.raises(CorruptBlockError) as info:
+            device.read_block(block_id)
+        assert info.value.block_id == block_id
+
+    def test_torn_write_detected_on_read(self):
+        """A torn apply leaves stale checksum vs half-new data."""
+        stats = IOStats()
+        inner = BlockDevice(8, stats=stats)
+        faulty = FaultyBlockDevice(
+            inner, schedule=[FaultRule("write", 1, "torn_write")]
+        )
+        device = JournaledDevice(faulty)
+        block_id = device.allocate()
+        device.write_block(block_id, np.arange(8, dtype=np.float64))
+        with pytest.raises(InjectedIOError):
+            device.write_block(block_id, np.full(8, 9.0))
+        with pytest.raises(CorruptBlockError):
+            device.read_block(block_id)
+        assert device.scan() == [block_id]
+
+    def test_bitflip_detected_on_read(self):
+        inner = BlockDevice(8)
+        faulty = FaultyBlockDevice(
+            inner, seed=1, schedule=[FaultRule("read", 0, "bitflip")]
+        )
+        device = JournaledDevice(faulty)
+        block_id = device.allocate()
+        device.write_block(block_id, np.arange(8, dtype=np.float64))
+        with pytest.raises(CorruptBlockError):
+            device.read_block(block_id)
+
+    def test_summaries_rebuilt_from_device(self):
+        inner = BlockDevice(4)
+        block_id = inner.allocate()
+        inner.write_block(block_id, np.array([1.0, -2.0, 3.0, -4.0]))
+        device = JournaledDevice(inner)  # fresh wrapper, existing data
+        assert device.block_summary(block_id).abs_sum == 10.0
+        np.testing.assert_array_equal(
+            device.read_block(block_id), np.array([1.0, -2.0, 3.0, -4.0])
+        )
+
+
+class TestWriteAheadJournal:
+    def test_group_parse_round_trip(self):
+        journal = WriteAheadJournal()
+        seq = journal.begin_group()
+        journal.append_data(seq, 0, b"abc")
+        journal.append_data(seq, 1, b"defg")
+        journal.append_commit(seq, 2)
+        groups, committed, discarded, discarded_bytes = journal.parse()
+        assert committed == [seq]
+        assert groups[seq] == [(0, b"abc"), (1, b"defg")]
+        assert discarded == 0 and discarded_bytes == 0
+
+    def test_uncommitted_group_is_discardable_tail(self):
+        journal = WriteAheadJournal()
+        seq = journal.begin_group()
+        journal.append_data(seq, 0, b"abc")
+        groups, committed, discarded, __ = journal.parse()
+        assert committed == []
+        assert discarded == 1
+
+    def test_torn_record_stops_parse(self):
+        journal = WriteAheadJournal()
+        seq = journal.begin_group()
+        journal.append_data(seq, 0, b"abcdef")
+        journal.append_commit(seq, 1)
+        whole = journal.to_bytes()
+        torn = WriteAheadJournal.from_bytes(whole[:-3])  # rip the tail
+        groups, committed, __, discarded_bytes = torn.parse()
+        assert committed == []  # commit record was torn
+        assert discarded_bytes > 0
+
+    def test_byte_round_trip_preserves_state(self):
+        journal = WriteAheadJournal()
+        seq = journal.begin_group()
+        journal.append_data(seq, 5, b"xy")
+        journal.append_commit(seq, 1)
+        reopened = WriteAheadJournal.from_bytes(journal.to_bytes())
+        groups, committed, __, __ = reopened.parse()
+        assert committed == [seq]
+        assert groups[seq] == [(5, b"xy")]
+        assert reopened.next_seq == journal.next_seq
+
+    def test_checkpoint_remembers_applied_seq(self):
+        journal = WriteAheadJournal()
+        seq = journal.begin_group()
+        journal.append_data(seq, 0, b"z")
+        journal.append_commit(seq, 1)
+        journal.checkpoint(seq)
+        assert journal.log_bytes == 0
+        reopened = WriteAheadJournal.from_bytes(journal.to_bytes())
+        assert reopened.truncated_upto == seq
+        assert reopened.next_seq == seq + 1
+
+    def test_garbage_blob_reads_as_empty(self):
+        journal = WriteAheadJournal.from_bytes(b"not a journal at all")
+        groups, committed, __, __ = journal.parse()
+        assert not groups and not committed
+
+
+class TestGroupCommitAccounting:
+    def test_journal_writes_charged_d_plus_one(self):
+        stats = IOStats()
+        inner, device = BlockDevice(4, stats=stats), None
+        device = JournaledDevice(inner)
+        ids = [device.allocate() for __ in range(3)]
+        device.write_batch(
+            [(block_id, np.full(4, float(block_id))) for block_id in ids]
+        )
+        assert stats.journal_writes == 3 + 1
+        assert stats.block_writes == 3  # applies charge as usual
+
+    def test_block_counts_identical_to_plain_device(self):
+        """Enabling the journal must not move any block counter."""
+
+        def run(make_device):
+            stats = IOStats()
+            device = make_device(BlockDevice(4, stats=stats))
+            pool = BufferPool(device, capacity=2)
+            ids = [device.allocate() for __ in range(4)]
+            for block_id in ids:
+                data = pool.get(block_id, for_write=True)
+                data[:] = block_id
+            pool.flush()
+            for block_id in ids:
+                pool.get(block_id)
+            snap = stats.snapshot()
+            return (
+                snap.block_reads,
+                snap.block_writes,
+                snap.cache_hits,
+                snap.cache_misses,
+                device,
+            )
+
+        plain = run(lambda d: d)
+        journaled = run(JournaledDevice)
+        assert plain[:4] == journaled[:4]
+        np.testing.assert_array_equal(
+            plain[4].dump_blocks(), journaled[4].dump_blocks()
+        )
+
+    def test_single_write_goes_through_group_protocol(self):
+        stats = IOStats()
+        device = JournaledDevice(BlockDevice(4, stats=stats))
+        block_id = device.allocate()
+        device.write_block(block_id, np.ones(4))
+        assert stats.journal_writes == 2  # 1 data + 1 commit
+        assert stats.block_writes == 1
+
+
+class TestRecovery:
+    def test_recover_replays_committed_unapplied_group(self):
+        stats = IOStats()
+        inner = BlockDevice(4, stats=stats)
+        device = JournaledDevice(inner)
+        block_id = device.allocate()
+        payload = np.array([1.0, 2.0, 3.0, 4.0])
+        # Commit to the journal by hand without applying (a crash
+        # between commit and apply).
+        seq = device.journal.begin_group()
+        device.journal.append_data(seq, block_id, payload.tobytes())
+        device.journal.append_commit(seq, 1)
+        report = device.recover()
+        assert report.replayed_groups == 1
+        assert report.replayed_records == 1
+        assert report.last_committed_seq == seq
+        assert report.clean
+        np.testing.assert_array_equal(device.read_block(block_id), payload)
+
+    def test_recover_is_idempotent(self):
+        device = JournaledDevice(BlockDevice(4))
+        block_id = device.allocate()
+        device.write_batch([(block_id, np.ones(4))])
+        first = device.recover()
+        second = device.recover()
+        assert first.replayed_groups == 0  # checkpointed already
+        assert second.replayed_groups == 0
+        assert first.clean and second.clean
+        assert (
+            first.last_committed_seq
+            == second.last_committed_seq
+            == device.journal.truncated_upto
+        )
+
+    def test_recover_repairs_torn_apply(self):
+        """Committed group + torn apply: replay restores the new data."""
+        stats = IOStats()
+        inner = BlockDevice(8, stats=stats)
+        faulty = FaultyBlockDevice(
+            inner, schedule=[FaultRule("write", 1, "torn_write")]
+        )
+        device = JournaledDevice(faulty)
+        block_id = device.allocate()
+        device.write_block(block_id, np.arange(8, dtype=np.float64))
+        new = np.full(8, 6.0)
+        with pytest.raises(InjectedIOError):
+            device.write_block(block_id, new)
+        assert device.scan() == [block_id]  # torn on disk
+        report = device.recover()
+        assert report.replayed_groups == 1
+        assert report.clean
+        np.testing.assert_array_equal(device.read_block(block_id), new)
+
+    def test_recover_discards_torn_tail(self):
+        device = JournaledDevice(BlockDevice(4))
+        block_id = device.allocate()
+        device.write_block(block_id, np.ones(4))  # survives, checkpointed
+        # A torn, uncommitted group at the tail.
+        seq = device.journal.begin_group()
+        device.journal.append_data(seq, block_id, np.zeros(4).tobytes())
+        report = device.recover()
+        assert report.discarded_records == 1
+        assert report.replayed_groups == 0
+        assert report.clean
+        np.testing.assert_array_equal(device.read_block(block_id), np.ones(4))
+
+
+class TestChecksumHelper:
+    def test_checksum_is_content_function(self):
+        a = np.arange(8, dtype=np.float64)
+        assert block_checksum(a) == block_checksum(a.copy())
+        b = a.copy()
+        b[0] += 1e-12
+        assert block_checksum(a) != block_checksum(b)

@@ -6,6 +6,7 @@ import pytest
 from repro.core.nonstandard_ops import apply_chunk_nonstandard
 from repro.reconstruct.point import point_query_standard
 from repro.storage.persist import (
+    PersistFormatError,
     load_nonstandard_store,
     load_standard_store,
     save_nonstandard_store,
@@ -79,3 +80,126 @@ class TestValidation:
         save_standard_store(store, path)
         with pytest.raises(ValueError):
             load_nonstandard_store(path)
+
+
+class TestHardening:
+    """Version 2 files: checksum, version gate, restricted unpickler."""
+
+    def _saved(self, tmp_path):
+        data = np.random.default_rng(4).normal(size=(16, 16))
+        store = TiledStandardStore((16, 16), block_edge=4, pool_capacity=64)
+        transform_standard_chunked(store, data, (8, 8))
+        path = tmp_path / "cube.npz"
+        save_standard_store(store, path)
+        return path
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(PersistFormatError):
+            load_standard_store(path)
+
+    def test_not_an_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(PersistFormatError):
+            load_standard_store(path)
+
+    def test_bit_rot_fails_checksum(self, tmp_path):
+        import io
+        import zipfile
+
+        path = self._saved(tmp_path)
+        # Rewrite the blocks member with one perturbed value; the
+        # archive stays structurally valid so only the content
+        # checksum can catch it.
+        with np.load(path) as archive:
+            members = {name: archive[name] for name in archive.files}
+        members["blocks"] = members["blocks"].copy()
+        members["blocks"].flat[7] += 1e-6
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(PersistFormatError, match="checksum"):
+            load_standard_store(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import io
+
+        path = self._saved(tmp_path)
+        with np.load(path) as archive:
+            members = {name: archive[name] for name in archive.files}
+        members["format_version"] = np.asarray([99])
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(PersistFormatError, match="version"):
+            load_standard_store(path)
+
+    def test_missing_section_rejected(self, tmp_path):
+        import io
+
+        path = self._saved(tmp_path)
+        with np.load(path) as archive:
+            members = {
+                name: archive[name]
+                for name in archive.files
+                if name != "directory"
+            }
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(PersistFormatError, match="missing"):
+            load_standard_store(path)
+
+    def test_disallowed_pickle_global_rejected(self, tmp_path):
+        """A store file carrying executable pickle payloads is data
+        smuggling code; the restricted unpickler must refuse it."""
+        import io
+        import pickle
+        import zlib
+
+        from repro.storage.persist import _content_checksum
+
+        path = self._saved(tmp_path)
+        with np.load(path) as archive:
+            members = {name: archive[name] for name in archive.files}
+        evil = pickle.dumps(getattr(zlib, "crc32"))  # any non-allowlisted global
+        members["meta"] = np.frombuffer(evil, dtype=np.uint8)
+        # Recompute the checksum so only the unpickler stands in the way.
+        members["checksum"] = np.asarray(
+            [
+                _content_checksum(
+                    members["blocks"],
+                    evil,
+                    members["directory"].tobytes(),
+                )
+            ],
+            dtype=np.uint64,
+        )
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(PersistFormatError, match="disallowed"):
+            load_standard_store(path)
+
+    def test_version_1_file_still_loads(self, tmp_path):
+        """Old files without a checksum stay readable (no silent
+        re-interpretation, just no integrity check to run)."""
+        import io
+
+        path = self._saved(tmp_path)
+        truth = load_standard_store(path).to_array()
+        with np.load(path) as archive:
+            members = {
+                name: archive[name]
+                for name in archive.files
+                if name != "checksum"
+            }
+        members["format_version"] = np.asarray([1])
+        buffer = io.BytesIO()
+        np.savez(buffer, **members)
+        path.write_bytes(buffer.getvalue())
+        reopened = load_standard_store(path)
+        assert np.allclose(reopened.to_array(), truth)
