@@ -1,0 +1,67 @@
+"""repro-lint: project-specific static analysis over the repro source.
+
+Four PRs in, the repo's correctness rests on cross-cutting invariants
+that example-based tests cannot enforce exhaustively: lock-guarded
+shared state, the rule that every block touched charges
+:class:`~repro.storage.iostats.IOStats`, the off-by-default contract
+for robustness flags, and the explicit ``parent=`` convention for
+spans opened on worker threads.  This package machine-checks them.
+
+It is a self-contained AST analysis framework (stdlib :mod:`ast`, no
+new dependencies): :mod:`repro.analysis.model` builds a light semantic
+model of the source tree (classes, methods, attribute types, lock
+attributes, annotation markers), the rule modules walk it, and
+:mod:`repro.analysis.cli` wires everything into a gating command::
+
+    PYTHONPATH=src python -m repro.analysis [--json REPORT] [--baseline FILE]
+
+Rules shipped (see ``docs/static_analysis.md`` for the catalogue):
+
+========== ================= ==========================================
+id         name              invariant
+========== ================= ==========================================
+REPRO-L001 lock-discipline   ``# guarded-by:`` attributes only touched
+                             under their lock
+REPRO-L002 lock-order        the static lock-acquisition graph is
+                             acyclic (no deadlock potential)
+REPRO-L003 lock-discipline   ``# lint: holds=`` methods only called
+                             with the lock held
+REPRO-I001 io-accounting     device read/write paths charge IOStats or
+                             are marked ``# lint: uncounted``
+REPRO-F001 flag-hygiene      robustness flags default to disabled
+REPRO-T001 thread-entry      thread-entry code opens spans with an
+                             explicit ``parent=``
+========== ================= ==========================================
+
+The runtime complement lives in :mod:`repro.analysis.witness`: an
+opt-in instrumented-lock wrapper that records actual acquisition
+orders during concurrent tests so the static graph can be
+cross-checked against reality.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.engine import AnalysisReport, default_rules, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.witness import (
+    InstrumentedLock,
+    LockWitness,
+    check_consistency,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "InstrumentedLock",
+    "LockWitness",
+    "ProjectModel",
+    "build_model",
+    "check_consistency",
+    "default_rules",
+    "load_baseline",
+    "run_analysis",
+    "save_baseline",
+]

@@ -1,0 +1,86 @@
+"""Finding baselines: ratchet new findings to zero without big-bang fixes.
+
+A baseline is the checked-in set of *accepted* findings.  The CI gate
+fails on any finding not in the baseline — so the baseline can only
+shrink, never silently grow.  Fingerprints are ``(rule, file,
+message)`` — deliberately line-number free so reformatting and
+unrelated edits don't churn the file.
+
+This repo's shipped baseline (``lint_baseline.json``) is **empty**:
+every true positive found when the analyzer landed was fixed, and
+every reviewed exception is an in-code ``# lint: allow=`` with a
+reason, not a baseline entry.  The file exists so the ratchet
+machinery is exercised and future refactors have an escape hatch that
+leaves an auditable trail.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Counter as CounterT, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Accepted finding fingerprints (a multiset: duplicates count)."""
+
+    entries: CounterT[Fingerprint] = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+    def new_findings(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline, oldest-accepted first."""
+        budget = Counter(self.entries)
+        fresh: List[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> List[Fingerprint]:
+        """Baseline entries no current finding matches (fixed: remove)."""
+        current = Counter(f.fingerprint for f in findings)
+        stale: List[Fingerprint] = []
+        for fingerprint, count in sorted(self.entries.items()):
+            excess = count - current[fingerprint]
+            stale.extend([fingerprint] * max(0, excess))
+        return stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text())
+    entries: CounterT[Fingerprint] = Counter()
+    for entry in payload.get("findings", []):
+        entries[(entry["rule"], entry["file"], entry["message"])] += 1
+    return Baseline(entries=entries)
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": rule, "file": file, "message": message}
+            for rule, file, message in sorted(
+                finding.fingerprint for finding in findings
+            )
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,145 @@
+"""Command line for repro-lint: ``python -m repro.analysis``.
+
+Exit codes::
+
+    0  clean — no findings beyond the baseline
+    1  new findings (or stale baseline entries with --strict-baseline)
+    2  usage / environment error
+
+Typical invocations::
+
+    python -m repro.analysis                     # gate vs lint_baseline.json
+    python -m repro.analysis --json report.json  # also write the JSON report
+    python -m repro.analysis --no-baseline        # raw findings, no ratchet
+    python -m repro.analysis --write-baseline     # accept current findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.engine import run_analysis
+
+
+def _default_baseline_path() -> Path:
+    """``lint_baseline.json`` at the repo root (three up from src/repro)."""
+    return Path(__file__).resolve().parents[3] / "lint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: project-invariant static analysis",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="source tree to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--prefix",
+        default="",
+        help="path prefix for reported file names when --root is given",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <repo>/lint_baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when baseline entries no longer match (fixed "
+        "findings must be removed from the baseline)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the full JSON report (findings + lock-order graph)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        report = run_analysis(root=args.root, prefix=args.prefix)
+    except (OSError, SyntaxError) as exc:
+        print(f"repro-lint: cannot analyze: {exc}", file=sys.stderr)
+        return 2
+    if report.files_analyzed == 0:
+        # an empty tree must never green-light the gate vacuously
+        print("repro-lint: no Python files found to analyze", file=sys.stderr)
+        return 2
+
+    if args.baseline is not None:
+        baseline_path = args.baseline
+    else:
+        baseline_path = _default_baseline_path()
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+    if args.write_baseline:
+        save_baseline(baseline_path, report.findings)
+        print(
+            f"repro-lint: wrote {len(report.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline = load_baseline(baseline_path)
+
+    fresh = baseline.new_findings(report.findings)
+    stale = baseline.stale_entries(report.findings)
+
+    for finding in fresh:
+        print(finding.render())
+    if args.strict_baseline and stale:
+        for rule, file, message in stale:
+            print(
+                f"{file}: stale baseline entry {rule} ({message}) — "
+                f"finding fixed, remove it from {baseline_path.name}"
+            )
+
+    graph = report.data.get("lock_graph")
+    edges = len(graph["edges"]) if graph else 0
+    suppressed = len(report.findings) - len(fresh)
+    summary: List[str] = [
+        f"{report.files_analyzed} files",
+        f"{len(fresh)} new finding(s)",
+    ]
+    if suppressed:
+        summary.append(f"{suppressed} baselined")
+    summary.append(f"lock graph: {edges} edge(s)")
+    print("repro-lint: " + ", ".join(summary))
+
+    if fresh or (args.strict_baseline and stale):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

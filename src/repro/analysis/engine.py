@@ -1,0 +1,131 @@
+"""Rule registry and the analysis entry point.
+
+A rule is an object with a stable ``rule_id``, a human ``name`` (the
+token used in ``# lint: allow=`` comments) and a
+``check(model, report)`` method appending :class:`Finding`\\ s.  Rules
+may also deposit structured side data into the
+:class:`AnalysisReport` (the lock-order rule stores its acquisition
+graph there, so CI can archive it alongside the findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.source import SourceFile, load_source_tree
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: rule-specific structured side data (e.g. ``lock_graph``)
+    data: Dict[str, Any] = field(default_factory=dict)
+    files_analyzed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files_analyzed": self.files_analyzed,
+            "findings": [finding.to_dict() for finding in self.findings],
+            **self.data,
+        }
+
+
+class Rule:
+    """Base class so rules share the finding constructor."""
+
+    rule_id = "REPRO-X000"
+    name = "unnamed"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        sf: SourceFile,
+        line: int,
+        message: str,
+        rule_id: Optional[str] = None,
+        **extra: Any,
+    ) -> Finding:
+        return Finding(
+            file=sf.relpath,
+            line=line,
+            rule=rule_id if rule_id is not None else self.rule_id,
+            name=self.name,
+            message=message,
+            extra=tuple(sorted(extra.items())),
+        )
+
+
+def default_rules() -> List[Rule]:
+    """The shipped rule set (imported lazily to avoid cycles)."""
+    from repro.analysis.flag_hygiene import FlagHygieneRule
+    from repro.analysis.io_accounting import IOAccountingRule
+    from repro.analysis.lock_discipline import LockDisciplineRule
+    from repro.analysis.lock_order import LockOrderRule
+    from repro.analysis.thread_entry import ThreadEntryRule
+
+    return [
+        LockDisciplineRule(),
+        LockOrderRule(),
+        IOAccountingRule(),
+        FlagHygieneRule(),
+        ThreadEntryRule(),
+    ]
+
+
+def _check_marker_hygiene(
+    files: Sequence[SourceFile], report: AnalysisReport
+) -> None:
+    """An ``allow``/``uncounted`` marker without a reason is a finding.
+
+    Suppressions are the analyzer's audit trail; one with no recorded
+    why defeats the point, so the engine enforces the reason itself
+    (rule REPRO-A000) regardless of which rule set runs.
+    """
+    for sf in files:
+        for line, markers in sorted(sf.markers.items()):
+            if markers.unreasoned_allow:
+                report.findings.append(
+                    Finding(
+                        file=sf.relpath,
+                        line=line,
+                        rule="REPRO-A000",
+                        name="marker-hygiene",
+                        message=(
+                            "lint suppression without a parenthesised "
+                            "reason — write '# lint: allow=<rule> (why)'"
+                        ),
+                    )
+                )
+
+
+def run_analysis(
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    files: Optional[Sequence[SourceFile]] = None,
+    prefix: str = "",
+) -> AnalysisReport:
+    """Run ``rules`` over the tree at ``root`` (or pre-parsed files).
+
+    ``root`` defaults to the installed ``repro`` package source, with
+    findings reported as ``src/repro/...`` paths.
+    """
+    if files is None:
+        if root is None:
+            package_root = Path(__file__).resolve().parents[1]
+            root, prefix = package_root, "src/repro"
+        files = load_source_tree(Path(root), prefix=prefix)
+    model = build_model(files)
+    report = AnalysisReport(files_analyzed=len(files))
+    for rule in rules if rules is not None else default_rules():
+        rule.check(model, report)
+    _check_marker_hygiene(files, report)
+    report.findings.sort()
+    return report

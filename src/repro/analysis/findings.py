@@ -1,0 +1,55 @@
+"""Findings: what a rule reports, and how findings are compared.
+
+A :class:`Finding` pins one invariant violation to a file and line.
+Findings are compared against the checked-in baseline by *fingerprint*
+— ``(rule, file, message)``, deliberately excluding the line number so
+unrelated edits above a grandfathered finding do not churn the
+baseline.  The line is still reported for humans and CI annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``rule`` is the stable rule id (``REPRO-L001``...), ``name`` the
+    human rule name used in suppression comments
+    (``lock-discipline``...).  ``extra`` carries rule-specific context
+    (e.g. the lock-order cycle path) into the JSON report; it does not
+    participate in ordering or fingerprints.
+    """
+
+    file: str
+    line: int
+    rule: str
+    name: str = field(compare=False)
+    message: str = field(compare=False)
+    extra: Tuple[Tuple[str, Any], ...] = field(
+        compare=False, default=(), repr=False
+    )
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across pure line movement."""
+        return (self.rule, self.file, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    def render(self) -> str:
+        """``file:line: RULE-ID message`` — the CLI output line."""
+        return f"{self.file}:{self.line}: {self.rule} {self.message}"

@@ -1,0 +1,145 @@
+"""REPRO-I001: every block touched charges IOStats (or says why not).
+
+The paper's claims are I/O-count claims; the repo's entire value is
+that :class:`~repro.storage.iostats.IOStats` tells the truth.  Two
+checks keep it honest:
+
+* **Device entry points.**  Any ``read_block`` / ``write_block`` /
+  ``write_batch`` definition must either charge the shared counters
+  itself (an augmented assignment to ``...block_reads`` /
+  ``...block_writes`` / ``...journal_writes``) or delegate to another
+  device's same-surface method (wrappers: journaling, fault
+  injection, lock synchronisation) — so every override in a device
+  stack bottoms out at a charge.  A deliberately uncounted override
+  carries ``# lint: uncounted (reason)`` on its ``def`` line.
+
+* **Uncounted accessors.**  ``peek_block`` / ``dump_blocks`` /
+  ``restore_blocks`` read or write raw block content without
+  charging; they exist for durability layers and persistence, never
+  for algorithms.  Every call site outside their defining module must
+  either be a same-name pass-through (a wrapper re-exporting the
+  uncounted surface) or carry ``# lint: uncounted (reason)`` — the
+  reason is the documentation that the bypass is intentional (a
+  checksum scan, a crash-simulation peek, a persistence snapshot).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.model import ProjectModel
+from repro.analysis.source import SourceFile
+
+_DEVICE_ENTRY_POINTS = {"read_block", "write_block", "write_batch"}
+_CHARGE_FIELDS = {"block_reads", "block_writes", "journal_writes"}
+_UNCOUNTED_ACCESSORS = {"peek_block", "dump_blocks", "restore_blocks"}
+#: module that owns the uncounted accessor surface
+_ACCESSOR_HOME = "block_device"
+
+
+def _charges(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Attribute
+        ):
+            if node.target.attr in _CHARGE_FIELDS:
+                return True
+    return False
+
+
+def _delegates(func: ast.FunctionDef) -> bool:
+    """Calls a device entry point that carries the charge obligation.
+
+    Either another object's entry point (wrapper stacks: journaling,
+    fault injection, lock synchronisation) or a *different* entry
+    point on ``self`` (``write_block`` funnelling into
+    ``write_batch``) — the callee is itself checked, so the obligation
+    transfers rather than disappearing.  A same-name self call would
+    be plain recursion and does not count.
+    """
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DEVICE_ENTRY_POINTS
+        ):
+            value = node.func.value
+            if not (isinstance(value, ast.Name) and value.id == "self"):
+                return True
+            if node.func.attr != func.name:
+                return True
+    return False
+
+
+class IOAccountingRule(Rule):
+    rule_id = "REPRO-I001"
+    name = "io-accounting"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        for cls in model.classes.values():
+            for name, func in cls.methods.items():
+                if name in _DEVICE_ENTRY_POINTS:
+                    self._check_entry_point(cls.sf, cls.name, func, report)
+        for sf in model.files:
+            if sf.module.rsplit(".", 1)[-1] == _ACCESSOR_HOME:
+                continue
+            self._check_accessor_calls(sf, report)
+
+    def _check_entry_point(
+        self,
+        sf: SourceFile,
+        class_name: str,
+        func: ast.FunctionDef,
+        report: AnalysisReport,
+    ) -> None:
+        if _charges(func) or _delegates(func):
+            return
+        if sf.allows(self.name, func):
+            return
+        report.findings.append(
+            self.finding(
+                sf,
+                func.lineno,
+                f"{class_name}.{func.name}() neither charges IOStats "
+                f"({'/'.join(sorted(_CHARGE_FIELDS))}) nor delegates to a "
+                f"wrapped device; mark '# lint: uncounted (reason)' if "
+                f"deliberate",
+            )
+        )
+
+    def _check_accessor_calls(
+        self, sf: SourceFile, report: AnalysisReport
+    ) -> None:
+        def enclosing(
+            stack: List[ast.FunctionDef],
+        ) -> Optional[ast.FunctionDef]:
+            return stack[-1] if stack else None
+
+        def visit(node: ast.AST, stack: List[ast.FunctionDef]) -> None:
+            if isinstance(node, ast.FunctionDef):
+                stack = stack + [node]
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                accessor = node.func.attr
+                if accessor in _UNCOUNTED_ACCESSORS:
+                    func = enclosing(stack)
+                    if not (
+                        (func is not None and func.name == accessor)
+                        or sf.allows(self.name, node, def_node=func)
+                    ):
+                        report.findings.append(
+                            self.finding(
+                                sf,
+                                node.lineno,
+                                f"uncounted accessor {accessor}() called "
+                                f"outside a same-name pass-through; mark "
+                                f"'# lint: uncounted (reason)'",
+                            )
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, stack)
+
+        visit(sf.tree, [])

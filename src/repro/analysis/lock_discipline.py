@@ -1,0 +1,167 @@
+"""REPRO-L001/L003: guarded attributes are only touched under their lock.
+
+The convention (documented in ``docs/static_analysis.md``): an
+attribute assigned in ``__init__`` with a trailing ``# guarded-by:
+_lock`` comment may only be read or written inside a ``with
+self._lock:`` block in the rest of the class.  A method whose ``def``
+line carries ``# lint: holds=_lock`` is treated as running with the
+lock already held — and every *call* to such a method must itself
+happen with the lock held (REPRO-L003), which is how the classic
+"caller holds the lock" docstring becomes machine-checked.
+
+The check is lexical and per-class: accesses through other objects
+(``pool.dirty`` from a caller) are the *owner's* API surface and are
+protected by the owner's own locked methods.  Intentional unlocked
+accesses — a benign racy fast-path read, a CPython-atomic int load in
+a property — carry ``# lint: allow=lock-discipline (reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.model import ClassModel, ProjectModel, self_attr
+
+
+def _with_lock_attrs(stmt: ast.With) -> List[str]:
+    """Lock attribute names acquired by ``with self.<attr>[...]:``."""
+    out: List[str] = []
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        attr = self_attr(expr)
+        if attr is not None:
+            out.append(attr)
+    return out
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "REPRO-L001"
+    name = "lock-discipline"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        for cls in model.classes.values():
+            guarded = self._effective_guards(model, cls)
+            if guarded:
+                self._check_class(model, cls, guarded, report)
+
+    def _effective_guards(
+        self, model: ProjectModel, cls: ClassModel
+    ) -> Dict[str, str]:
+        """Guarded attrs of the class including inherited declarations."""
+        out: Dict[str, str] = {}
+        for ancestor in reversed(model.mro(cls.name)):
+            for attr, (lock, __) in ancestor.guarded.items():
+                out[attr] = lock
+        return out
+
+    def _holds_of(self, cls: ClassModel, func: ast.FunctionDef) -> Set[str]:
+        markers = cls.sf.markers_at(func.lineno)
+        if markers is not None and markers.holds:
+            return {markers.holds}
+        return set()
+
+    def _check_class(
+        self,
+        model: ProjectModel,
+        cls: ClassModel,
+        guarded: Dict[str, str],
+        report: AnalysisReport,
+    ) -> None:
+        # methods annotated "# lint: holds=<lock>" per lock attr, for
+        # the REPRO-L003 call-site check
+        holds_methods: Dict[str, Set[str]] = {}
+        for name, func in cls.methods.items():
+            for lock in self._holds_of(cls, func):
+                holds_methods.setdefault(name, set()).add(lock)
+        for name, func in cls.methods.items():
+            if name == "__init__":
+                continue
+            self._walk(
+                model,
+                cls,
+                func,
+                guarded,
+                holds_methods,
+                held=set(self._holds_of(cls, func)),
+                report=report,
+            )
+
+    def _walk(
+        self,
+        model: ProjectModel,
+        cls: ClassModel,
+        func: ast.FunctionDef,
+        guarded: Dict[str, str],
+        holds_methods: Dict[str, Set[str]],
+        held: Set[str],
+        report: AnalysisReport,
+    ) -> None:
+        sf = cls.sf
+
+        def visit(node: ast.AST, held: Set[str]) -> None:
+            if isinstance(node, ast.With):
+                inner = held | set(_with_lock_attrs(node))
+                for item in node.items:
+                    visit(item.context_expr, held)
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.FunctionDef) and node is not func:
+                # A closure runs at an unknown time: assume no lock is
+                # held unless the nested def carries its own holds=.
+                nested_held: Set[str] = set()
+                markers = sf.markers_at(node.lineno)
+                if markers is not None and markers.holds:
+                    nested_held = {markers.holds}
+                for stmt in node.body:
+                    visit(stmt, nested_held)
+                return
+            if isinstance(node, ast.Attribute):
+                attr = self_attr(node)
+                if attr is not None:
+                    if attr in guarded and guarded[attr] not in held:
+                        if not sf.allows(self.name, node, def_node=func):
+                            report.findings.append(
+                                self.finding(
+                                    sf,
+                                    node.lineno,
+                                    f"{cls.name}.{attr} is guarded by "
+                                    f"self.{guarded[attr]} but accessed in "
+                                    f"{func.name}() without holding it",
+                                )
+                            )
+                    # fall through: still visit the value expression
+            if isinstance(node, ast.Call):
+                callee_attr = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    and self_attr(node.func) is not None
+                    else None
+                )
+                if callee_attr is not None and callee_attr in holds_methods:
+                    missing = holds_methods[callee_attr] - held
+                    if missing and not sf.allows(
+                        self.name, node, def_node=func
+                    ):
+                        locks = ", ".join(
+                            f"self.{lock}" for lock in sorted(missing)
+                        )
+                        report.findings.append(
+                            self.finding(
+                                sf,
+                                node.lineno,
+                                f"{cls.name}.{callee_attr}() requires "
+                                f"{locks} held (lint: holds) but is called "
+                                f"from {func.name}() without it",
+                                rule_id="REPRO-L003",
+                            )
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in func.body:
+            visit(stmt, held)

@@ -1,0 +1,375 @@
+"""REPRO-L002: the static lock-acquisition graph must be acyclic.
+
+Deadlock needs a cycle: thread 1 holds A wanting B while thread 2
+holds B wanting A.  This rule builds the *static* lock-order graph —
+an edge A -> B wherever code can acquire B while holding A — and fails
+on any cycle, emitting the full graph (nodes, edges, acquisition
+sites) into the JSON report so CI archives the proof.
+
+Edges come from three sources:
+
+* lexical nesting of ``with self._lock:`` blocks within a function;
+* calls made while a lock is held, resolved through the project model
+  (self-calls, ``super()``, constructor-typed attributes, annotated
+  parameters) to the transitive set of locks the callee may acquire;
+* the tracer's entry points, treated as known acquirers: a ``span``
+  context may append to the :class:`~repro.obs.tracer.TraceStore`
+  ring buffer on exit (its lock), and a mirrored ``charge`` may take
+  the orphan-bucket lock — chasing those through the tracer's
+  indirection would gain nothing, so the rule encodes them;
+* ``# may-acquire: Class.attr`` markers, for call sites whose dispatch
+  is dynamic (``getattr`` probing, injected callables).  The runtime
+  witness (:mod:`repro.analysis.witness`) is the completeness check on
+  those markers: an order observed live but absent from the static
+  graph fails the witness consistency test.
+
+Lock identity is the *attribute that holds the lock* —
+``ShardedBufferPool._locks`` is one node covering all shard locks.
+One runtime lock object reachable under two static names (the sharded
+pool's I/O lock is also the synchronized device's ``_lock``) becomes
+two nodes; the witness maps observed objects back to static names
+through its alias sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.model import (
+    CHARGE_LOCKS,
+    LOCK_TYPE,
+    Callee,
+    CallResolver,
+    ProjectModel,
+    SPAN_LOCKS,
+    self_attr,
+)
+from repro.analysis.source import SourceFile
+
+#: edge -> list of "file:line description" acquisition sites
+EdgeMap = Dict[Tuple[str, str], List[str]]
+
+
+class _FunctionUnit:
+    """One analyzable body: a method, module function, or closure."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef,
+        sf: SourceFile,
+        receiver: Optional[str],
+        owner: Optional[str],
+        label: str,
+    ) -> None:
+        self.func = func
+        self.sf = sf
+        self.receiver = receiver
+        self.owner = owner
+        self.label = label
+        self.resolver: CallResolver = None  # type: ignore[assignment]
+
+
+class LockOrderRule(Rule):
+    rule_id = "REPRO-L002"
+    name = "lock-order"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        self._model = model
+        self._acquires_memo: Dict[Tuple[Optional[str], int], Set[str]] = {}
+        self._in_progress: Set[Tuple[Optional[str], int]] = set()
+        edges: EdgeMap = {}
+        nodes: Set[str] = set()
+        for unit in self._units(model):
+            self._walk_unit(unit, edges, nodes)
+        graph = {
+            "nodes": sorted(nodes),
+            "edges": [
+                {"from": a, "to": b, "sites": sorted(set(sites))}
+                for (a, b), sites in sorted(edges.items())
+            ],
+        }
+        report.data["lock_graph"] = graph
+        for cycle in _find_cycles(nodes, set(edges)):
+            sites: List[str] = []
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                sites.extend(edges.get((a, b), []))
+            sf, line = self._cycle_site(sites)
+            path = " -> ".join(cycle + cycle[:1])
+            report.findings.append(
+                self.finding(
+                    sf if sf is not None else self._model.files[0],
+                    line,
+                    f"lock-order cycle (deadlock potential): {path}",
+                    cycle=tuple(cycle),
+                    sites=tuple(sites),
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def _units(self, model: ProjectModel) -> List[_FunctionUnit]:
+        units: List[_FunctionUnit] = []
+
+        def add(
+            func: ast.FunctionDef,
+            sf: SourceFile,
+            receiver: Optional[str],
+            owner: Optional[str],
+            label: str,
+        ) -> None:
+            unit = _FunctionUnit(func, sf, receiver, owner, label)
+            unit.resolver = CallResolver(model, sf, func, receiver, owner)
+            units.append(unit)
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.FunctionDef) and stmt is not func:
+                    closure = _FunctionUnit(
+                        stmt, sf, receiver, owner, f"{label}.{stmt.name}"
+                    )
+                    closure.resolver = CallResolver(
+                        model, sf, stmt, receiver, owner
+                    )
+                    units.append(closure)
+
+        for cls in model.classes.values():
+            for name, func in cls.methods.items():
+                add(func, cls.sf, cls.name, cls.name, f"{cls.name}.{name}")
+        for (module, name), (func, sf) in model.module_functions.items():
+            add(func, sf, None, None, f"{module.rsplit('.', 1)[-1]}.{name}")
+        return units
+
+    def _lock_node(
+        self, expr: ast.AST, unit: _FunctionUnit
+    ) -> Optional[str]:
+        """The lock node acquired by a ``with`` item, if it is a lock."""
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        attr = self_attr(expr)
+        if attr is not None and unit.receiver is not None:
+            if self._model.class_lock_attr(unit.receiver, attr) is not None:
+                return f"{unit.receiver}.{attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            typed = unit.resolver.locals.get(expr.id)
+            if typed is not None and typed[0] == LOCK_TYPE:
+                provenance = self._zip_lock_attr(expr.id, unit)
+                if provenance is not None:
+                    return provenance
+                return f"{unit.label}.{expr.id}"
+        return None
+
+    def _zip_lock_attr(
+        self, var: str, unit: _FunctionUnit
+    ) -> Optional[str]:
+        """Map a loop variable bound from ``zip(..., self._locks)`` back
+        to its attribute node name."""
+        if unit.receiver is None:
+            return None
+        for stmt in ast.walk(unit.func):
+            if not isinstance(stmt, ast.For):
+                continue
+            iterable = stmt.iter
+            pairs: Iterable[Tuple[ast.expr, ast.expr]]
+            if (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "zip"
+                and isinstance(stmt.target, ast.Tuple)
+                and len(stmt.target.elts) == len(iterable.args)
+            ):
+                pairs = zip(stmt.target.elts, iterable.args)
+            else:
+                pairs = [(stmt.target, iterable)]
+            for tgt, src in pairs:
+                if not (isinstance(tgt, ast.Name) and tgt.id == var):
+                    continue
+                attr = self_attr(src)
+                if attr is not None and self._model.class_lock_attr(
+                    unit.receiver, attr
+                ):
+                    return f"{unit.receiver}.{attr}"
+        return None
+
+    # ------------------------------------------------------------------
+    # transitive may-acquire sets
+    # ------------------------------------------------------------------
+
+    def _acquires_of_callee(self, callee: Callee) -> Set[str]:
+        if callee.kind == "span":
+            return set(SPAN_LOCKS)
+        if callee.kind == "charge":
+            return set(CHARGE_LOCKS)
+        if callee.node is None or callee.sf is None:
+            return set()
+        receiver = callee.receiver
+        owner = None
+        if callee.kind == "method" and "." in callee.name:
+            owner = callee.name.split(".", 1)[0]
+        return self._acquires(callee.node, callee.sf, receiver, owner)
+
+    def _acquires(
+        self,
+        func: ast.FunctionDef,
+        sf: SourceFile,
+        receiver: Optional[str],
+        owner: Optional[str],
+    ) -> Set[str]:
+        """Transitive set of lock nodes ``func`` may acquire."""
+        key = (receiver, id(func))
+        memo = self._acquires_memo.get(key)
+        if memo is not None:
+            return memo
+        if key in self._in_progress:
+            return set()
+        self._in_progress.add(key)
+        unit = _FunctionUnit(func, sf, receiver, owner, func.name)
+        unit.resolver = CallResolver(self._model, sf, func, receiver, owner)
+        acquired: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    lock = self._lock_node(item.context_expr, unit)
+                    if lock is not None:
+                        acquired.add(lock)
+            if isinstance(node, ast.Call):
+                for callee in unit.resolver.resolve(node):
+                    acquired |= self._acquires_of_callee(callee)
+            acquired.update(sf.may_acquire_at(node) if isinstance(
+                node, (ast.Expr, ast.With, ast.Call)
+            ) else ())
+        self._in_progress.discard(key)
+        self._acquires_memo[key] = acquired
+        return acquired
+
+    # ------------------------------------------------------------------
+    # edge generation
+    # ------------------------------------------------------------------
+
+    def _walk_unit(
+        self, unit: _FunctionUnit, edges: EdgeMap, nodes: Set[str]
+    ) -> None:
+        sf = unit.sf
+        markers = sf.markers_at(unit.func.lineno)
+        held: List[str] = []
+        if markers is not None and markers.holds and unit.receiver:
+            held.append(f"{unit.receiver}.{markers.holds}")
+        nodes.update(held)
+
+        def site(node: ast.AST, what: str) -> str:
+            return f"{sf.relpath}:{node.lineno} {unit.label}: {what}"
+
+        def record(target: str, node: ast.AST, what: str) -> None:
+            nodes.add(target)
+            for holder in held:
+                if holder != target:
+                    edges.setdefault((holder, target), []).append(
+                        site(node, what)
+                    )
+                else:
+                    # same-node re-acquisition: a self-deadlock on a
+                    # non-reentrant lock — report as a 1-cycle
+                    edges.setdefault((holder, target), []).append(
+                        site(node, what)
+                    )
+
+        def handle_call(node: ast.Call) -> None:
+            if not held:
+                return
+            for callee in unit.resolver.resolve(node):
+                for target in sorted(self._acquires_of_callee(callee)):
+                    record(target, node, f"call {callee.name}()")
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, ast.FunctionDef) and node is not unit.func:
+                return  # closures are separate units
+            if isinstance(node, ast.With):
+                acquired: List[str] = []
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        if isinstance(sub, ast.Call):
+                            handle_call(sub)
+                    lock = self._lock_node(item.context_expr, unit)
+                    if lock is not None:
+                        acquired.append(lock)
+                for name in sf.may_acquire_at(node):
+                    record(name, node, "may-acquire annotation")
+                for lock in acquired:
+                    record(lock, node, f"with {lock}")
+                    nodes.add(lock)
+                    held.append(lock)
+                for stmt in node.body:
+                    visit(stmt)
+                for lock in acquired:
+                    held.remove(lock)
+                return
+            if isinstance(node, ast.Call):
+                handle_call(node)
+                if held:
+                    for name in sf.may_acquire_at(node):
+                        record(name, node, "may-acquire annotation")
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        for stmt in unit.func.body:
+            visit(stmt)
+
+    def _cycle_site(
+        self, sites: Sequence[str]
+    ) -> Tuple[Optional[SourceFile], int]:
+        """Best-effort location for a cycle finding: its first site."""
+        for entry in sites:
+            path, __, rest = entry.partition(":")
+            line_text = rest.split(" ", 1)[0]
+            for sf in self._model.files:
+                if sf.relpath == path:
+                    try:
+                        return sf, int(line_text)
+                    except ValueError:
+                        return sf, 1
+        return None, 1
+
+
+def _find_cycles(
+    nodes: Set[str], edges: Set[Tuple[str, str]]
+) -> List[List[str]]:
+    """Strongly connected components with >1 node, plus self-loops."""
+    graph: Dict[str, List[str]] = {node: [] for node in nodes}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in graph[v]:
+            if w not in index:
+                strongconnect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif w in on_stack:
+                lowlink[v] = min(lowlink[v], index[w])
+        if lowlink[v] == index[v]:
+            component: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1:
+                cycles.append(sorted(component))
+            elif (v, v) in edges:
+                cycles.append([v])
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return cycles

@@ -1,0 +1,497 @@
+"""A light semantic model of the analyzed source tree.
+
+Rules need more than raw ASTs: which attributes hold locks, what class
+an attribute was constructed with, which method a call resolves to.
+This module builds that model with deliberately *conservative* static
+inference — resolution follows only what the source states directly
+(constructor calls, parameter and attribute annotations, ``zip`` loops
+over typed attributes, ``super()``), and gives up otherwise.  Where
+dynamic dispatch defeats resolution, code declares the gap with a
+``# may-acquire:`` marker, and the runtime witness
+(:mod:`repro.analysis.witness`) cross-checks that the declared graph
+matches the orders that actually happen.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.source import SourceFile
+
+#: Class-like type of a value: class name plus whether the value is a
+#: sequence of that class (``List[C]`` — a subscript yields a ``C``).
+TypeRef = Tuple[str, bool]
+
+#: The pseudo-class name of ``threading.Lock``/``RLock`` values.
+LOCK_TYPE = "threading.Lock"
+
+_LOCK_FACTORY_NAMES = {"Lock", "RLock"}
+
+
+@dataclass
+class ClassModel:
+    """One analyzed class: methods, attribute types, lock metadata."""
+
+    name: str
+    module: str
+    sf: SourceFile
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: inferred ``self.<attr>`` types (subclass entries win in MRO merge)
+    attr_types: Dict[str, TypeRef] = field(default_factory=dict)
+    #: attributes holding a lock (or a list of locks)
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)
+    #: ``# guarded-by:`` declarations: attr -> guarding lock attr
+    guarded: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    decorators: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Callee:
+    """A resolved call target.
+
+    ``kind`` is ``method`` / ``function`` / ``span`` / ``charge``:
+    ``span`` and ``charge`` are the tracer's context-manager and
+    mirror-charge entry points, which the lock rules treat as known
+    acquirers (:data:`SPAN_LOCKS`, :data:`CHARGE_LOCKS`) rather than
+    chasing through :mod:`repro.obs.tracer`'s indirection.
+    """
+
+    kind: str
+    receiver: Optional[str] = None  # receiver class for methods
+    name: str = ""
+    node: Optional[ast.FunctionDef] = field(
+        default=None, compare=False, hash=False
+    )
+    sf: Optional[SourceFile] = field(default=None, compare=False, hash=False)
+
+
+#: Locks a tracer span may take (ring-buffer append on ``__exit__``).
+SPAN_LOCKS = ("TraceStore._lock",)
+#: Locks a mirrored I/O charge may take (orphan bucket off-span).
+CHARGE_LOCKS = ("Tracer._orphan_lock",)
+
+_CHARGE_FUNCTION_NAMES = {"charge", "_trace_charge"}
+
+
+def _annotation_type(node: Optional[ast.AST]) -> Optional[TypeRef]:
+    """Parse an annotation expression into a :data:`TypeRef`."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return (node.id, False)
+    if isinstance(node, ast.Attribute):
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "threading"
+            and node.attr in _LOCK_FACTORY_NAMES
+        ):
+            return (LOCK_TYPE, False)
+        return None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in ("List", "list", "Sequence", "Tuple", "tuple"):
+                inner = _annotation_type(node.slice)
+                if inner is not None and not inner[1]:
+                    return (inner[0], True)
+            if base.id == "Optional":
+                return _annotation_type(node.slice)
+    return None
+
+
+def _value_type(
+    node: Optional[ast.AST], param_types: Dict[str, TypeRef], classes: Set[str]
+) -> Optional[TypeRef]:
+    """Infer the type of an assigned value expression."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in classes:
+            return (func.id, False)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in _LOCK_FACTORY_NAMES
+        ):
+            return (LOCK_TYPE, False)
+        return None
+    if isinstance(node, ast.Name):
+        return param_types.get(node.id)
+    if isinstance(node, (ast.List, ast.ListComp)):
+        elements: Sequence[ast.AST]
+        if isinstance(node, ast.List):
+            elements = node.elts
+        else:
+            elements = [node.elt]
+        for element in elements:
+            inner = _value_type(element, param_types, classes)
+            if inner is not None and not inner[1]:
+                return (inner[0], True)
+    return None
+
+
+def _function_param_types(node: ast.FunctionDef) -> Dict[str, TypeRef]:
+    out: Dict[str, TypeRef] = {}
+    args = list(node.args.posonlyargs) + list(node.args.args) + list(
+        node.args.kwonlyargs
+    )
+    for arg in args:
+        inferred = _annotation_type(arg.annotation)
+        if inferred is not None:
+            out[arg.arg] = inferred
+    return out
+
+
+class ProjectModel:
+    """Classes, functions and resolution over a set of source files."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.files = list(files)
+        self.classes: Dict[str, ClassModel] = {}
+        self.ambiguous_classes: Set[str] = set()
+        self.module_functions: Dict[Tuple[str, str], Tuple[
+            ast.FunctionDef, SourceFile
+        ]] = {}
+        for sf in self.files:
+            self._index_file(sf)
+        class_names = set(self.classes)
+        for model in self.classes.values():
+            self._infer_class(model, class_names)
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+
+    def _index_file(self, sf: SourceFile) -> None:
+        for node in sf.tree.body:
+            if isinstance(node, ast.ClassDef):
+                if node.name in self.classes:
+                    self.ambiguous_classes.add(node.name)
+                model = ClassModel(
+                    name=node.name,
+                    module=sf.module,
+                    sf=sf,
+                    node=node,
+                    bases=[
+                        base.id
+                        for base in node.bases
+                        if isinstance(base, ast.Name)
+                    ],
+                    decorators=[
+                        ast.unparse(dec) for dec in node.decorator_list
+                    ],
+                )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and isinstance(item, ast.FunctionDef):
+                        model.methods[item.name] = item
+                self.classes[node.name] = model
+            elif isinstance(node, ast.FunctionDef):
+                self.module_functions[(sf.module, node.name)] = (node, sf)
+
+    def _infer_class(self, model: ClassModel, classes: Set[str]) -> None:
+        """Infer attribute types, lock attributes and guarded attrs."""
+        for method in model.methods.values():
+            param_types = _function_param_types(method)
+            for stmt in ast.walk(method):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                ann: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                    ann = stmt.annotation
+                if target is None:
+                    continue
+                attr = self_attr(target)
+                if attr is None:
+                    continue
+                inferred = _annotation_type(ann) or _value_type(
+                    value, param_types, classes
+                )
+                if inferred is not None:
+                    if inferred[0] == LOCK_TYPE:
+                        model.lock_attrs.setdefault(attr, inferred[1])
+                    else:
+                        model.attr_types.setdefault(attr, inferred)
+                markers = model.sf.markers_at(stmt.lineno)
+                if markers is not None and markers.guarded_by:
+                    model.guarded.setdefault(
+                        attr, (markers.guarded_by, stmt.lineno)
+                    )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def mro(self, class_name: str) -> List[ClassModel]:
+        """Approximate linearization: the class, then bases depth-first."""
+        seen: Set[str] = set()
+        order: List[ClassModel] = []
+
+        def visit(name: str) -> None:
+            if name in seen or name not in self.classes:
+                return
+            seen.add(name)
+            model = self.classes[name]
+            order.append(model)
+            for base in model.bases:
+                visit(base)
+
+        visit(class_name)
+        return order
+
+    def class_attr_type(
+        self, class_name: str, attr: str
+    ) -> Optional[TypeRef]:
+        for model in self.mro(class_name):
+            if attr in model.attr_types:
+                return model.attr_types[attr]
+        return None
+
+    def class_lock_attr(
+        self, class_name: str, attr: str
+    ) -> Optional[bool]:
+        """``is_sequence`` when ``attr`` is a lock attribute, else None."""
+        for model in self.mro(class_name):
+            if attr in model.lock_attrs:
+                return model.lock_attrs[attr]
+        return None
+
+    def class_guard(
+        self, class_name: str, attr: str
+    ) -> Optional[str]:
+        for model in self.mro(class_name):
+            if attr in model.guarded:
+                return model.guarded[attr][0]
+        return None
+
+    def resolve_method(
+        self,
+        receiver: str,
+        name: str,
+        after: Optional[str] = None,
+    ) -> Optional[Callee]:
+        """Find ``name`` in the receiver's MRO.
+
+        ``after`` implements ``super()``: resolution starts past the
+        named defining class in the receiver's linearization.
+        """
+        order = self.mro(receiver)
+        if after is not None:
+            names = [model.name for model in order]
+            if after in names:
+                order = order[names.index(after) + 1:]
+        for model in order:
+            method = model.methods.get(name)
+            if method is not None:
+                return Callee(
+                    kind="method",
+                    receiver=receiver,
+                    name=f"{model.name}.{name}",
+                    node=method,
+                    sf=model.sf,
+                )
+        return None
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def build_local_env(
+    func: ast.FunctionDef,
+    receiver: Optional[str],
+    model: ProjectModel,
+) -> Dict[str, TypeRef]:
+    """Local-variable types visible inside ``func``.
+
+    Follows parameter annotations, direct constructor assignments,
+    aliases of typed ``self`` attributes, and ``for ... in
+    zip(self.a, self.b)`` / ``for ... in self.a`` element bindings —
+    the patterns this codebase actually uses to hand locks and shards
+    around.
+    """
+    env = dict(_function_param_types(func))
+    class_names = set(model.classes)
+
+    def attr_element(expr: ast.AST) -> Optional[TypeRef]:
+        attr = self_attr(expr)
+        if attr is None or receiver is None:
+            return None
+        lock_seq = model.class_lock_attr(receiver, attr)
+        if lock_seq is not None:
+            return (LOCK_TYPE, False) if lock_seq else None
+        typed = model.class_attr_type(receiver, attr)
+        if typed is not None and typed[1]:
+            return (typed[0], False)
+        return None
+
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                inferred = _value_type(stmt.value, env, class_names)
+                if inferred is None:
+                    attr = self_attr(stmt.value)
+                    if attr is not None and receiver is not None:
+                        inferred = model.class_attr_type(receiver, attr)
+                        if inferred is None:
+                            lock_seq = model.class_lock_attr(receiver, attr)
+                            if lock_seq is not None:
+                                inferred = (LOCK_TYPE, lock_seq)
+                if inferred is not None:
+                    env.setdefault(target.id, inferred)
+        elif isinstance(stmt, ast.For):
+            iterable = stmt.iter
+            targets: List[ast.expr]
+            sources: List[ast.AST]
+            if (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "zip"
+                and isinstance(stmt.target, ast.Tuple)
+                and len(stmt.target.elts) == len(iterable.args)
+            ):
+                targets = list(stmt.target.elts)
+                sources = list(iterable.args)
+            else:
+                targets = [stmt.target]
+                sources = [iterable]
+            for tgt, src in zip(targets, sources):
+                if not isinstance(tgt, ast.Name):
+                    continue
+                element = attr_element(src)
+                if element is not None:
+                    env.setdefault(tgt.id, element)
+    return env
+
+
+def local_functions(func: ast.FunctionDef) -> Dict[str, ast.FunctionDef]:
+    """Functions defined directly inside ``func`` (closures)."""
+    return {
+        stmt.name: stmt
+        for stmt in ast.walk(func)
+        if isinstance(stmt, ast.FunctionDef) and stmt is not func
+    }
+
+
+class CallResolver:
+    """Resolve call expressions inside one function body."""
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        sf: SourceFile,
+        func: ast.FunctionDef,
+        receiver: Optional[str],
+        owner: Optional[str],
+    ) -> None:
+        self.model = model
+        self.sf = sf
+        self.func = func
+        self.receiver = receiver
+        self.owner = owner
+        self.locals = build_local_env(func, receiver, model)
+        self.local_funcs = local_functions(func)
+
+    def _type_of(self, expr: ast.AST) -> Optional[TypeRef]:
+        """Type of a receiver expression (Name, self.attr, subscripts)."""
+        if isinstance(expr, ast.Name):
+            return self.locals.get(expr.id)
+        attr = self_attr(expr)
+        if attr is not None and self.receiver is not None:
+            typed = self.model.class_attr_type(self.receiver, attr)
+            if typed is not None:
+                return typed
+            lock_seq = self.model.class_lock_attr(self.receiver, attr)
+            if lock_seq is not None:
+                return (LOCK_TYPE, lock_seq)
+            return None
+        if isinstance(expr, ast.Subscript):
+            inner = self._type_of(expr.value)
+            if inner is not None and inner[1]:
+                return (inner[0], False)
+            return None
+        return None
+
+    def resolve(self, call: ast.Call) -> List[Callee]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in _CHARGE_FUNCTION_NAMES:
+                return [Callee(kind="charge", name=func.id)]
+            local = self.local_funcs.get(func.id)
+            if local is not None:
+                return [
+                    Callee(
+                        kind="function",
+                        name=func.id,
+                        node=local,
+                        sf=self.sf,
+                        receiver=self.receiver,
+                    )
+                ]
+            entry = self.model.module_functions.get(
+                (self.sf.module, func.id)
+            )
+            if entry is not None:
+                node, sf = entry
+                return [
+                    Callee(kind="function", name=func.id, node=node, sf=sf)
+                ]
+            if func.id in self.model.classes:
+                resolved = self.model.resolve_method(func.id, "__init__")
+                return [resolved] if resolved is not None else []
+            return []
+        if isinstance(func, ast.Attribute):
+            if func.attr == "span":
+                return [Callee(kind="span", name="span")]
+            if func.attr in _CHARGE_FUNCTION_NAMES:
+                return [Callee(kind="charge", name=func.attr)]
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                if self.receiver is None:
+                    return []
+                resolved = self.model.resolve_method(self.receiver, func.attr)
+                return [resolved] if resolved is not None else []
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "super"
+            ):
+                if self.receiver is None or self.owner is None:
+                    return []
+                resolved = self.model.resolve_method(
+                    self.receiver, func.attr, after=self.owner
+                )
+                return [resolved] if resolved is not None else []
+            typed = self._type_of(value)
+            if typed is not None and not typed[1]:
+                resolved = self.model.resolve_method(typed[0], func.attr)
+                return [resolved] if resolved is not None else []
+        return []
+
+
+def build_model(files: Sequence[SourceFile]) -> ProjectModel:
+    """Build the semantic model over parsed source files."""
+    return ProjectModel(files)

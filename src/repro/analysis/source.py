@@ -1,0 +1,203 @@
+"""Source files and annotation markers.
+
+The analyzer's input conventions are trailing comments (the only
+channel Python's AST does not carry, so they are lexed separately with
+:mod:`tokenize` — a marker inside a string literal is never
+mis-parsed):
+
+``# guarded-by: _lock``
+    On an attribute assignment in ``__init__``: every later
+    ``self.<attr>`` access in the class must happen inside a
+    ``with self._lock:`` block (rule REPRO-L001).
+
+``# lint: holds=_lock``
+    On a ``def`` line: the method body runs with ``self._lock``
+    already held (the caller's obligation); call sites are checked
+    instead (rule REPRO-L003).
+
+``# lint: allow=<rule-name>[,<rule-name>...] (reason)``
+    Suppress the named rules on this line — or, on a ``def`` line, in
+    the whole function.  The parenthesised reason is required: an
+    exemption without a recorded why is itself a finding.
+
+``# lint: uncounted (reason)``
+    Shorthand for ``allow=io-accounting`` — marks a deliberate
+    bypass of I/O accounting (checksum scans, persistence snapshots).
+
+``# may-acquire: Class.attr[, Class.attr...]``
+    On a call that dispatches dynamically (``getattr`` probing,
+    injected callables): declares locks the callee may acquire, so the
+    static lock-order graph stays complete where resolution cannot
+    follow (rule REPRO-L002).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"#\s*lint:\s*holds=([A-Za-z_]\w*)")
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow=([\w,-]+)\s*(?:\((?P<reason>[^)]*)\))?"
+)
+_UNCOUNTED_RE = re.compile(
+    r"#\s*lint:\s*uncounted\s*(?:\((?P<reason>[^)]*)\))?"
+)
+_MAY_ACQUIRE_RE = re.compile(r"#\s*may-acquire:\s*([\w.,\s]+)")
+
+
+@dataclass
+class LineMarkers:
+    """Markers lexed from the comments of one physical line."""
+
+    guarded_by: Optional[str] = None
+    holds: Optional[str] = None
+    allow: Set[str] = field(default_factory=set)
+    allow_reason: Optional[str] = None
+    may_acquire: List[str] = field(default_factory=list)
+    #: allow markers missing their parenthesised reason (reported)
+    unreasoned_allow: bool = False
+
+
+def _parse_comment(text: str, markers: LineMarkers) -> None:
+    match = _GUARDED_RE.search(text)
+    if match:
+        markers.guarded_by = match.group(1)
+    match = _HOLDS_RE.search(text)
+    if match:
+        markers.holds = match.group(1)
+    match = _ALLOW_RE.search(text)
+    if match:
+        markers.allow.update(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        reason = match.group("reason")
+        if reason and reason.strip():
+            markers.allow_reason = reason.strip()
+        else:
+            markers.unreasoned_allow = True
+    match = _UNCOUNTED_RE.search(text)
+    if match:
+        markers.allow.add("io-accounting")
+        reason = match.group("reason")
+        if reason and reason.strip():
+            markers.allow_reason = reason.strip()
+        else:
+            markers.unreasoned_allow = True
+    match = _MAY_ACQUIRE_RE.search(text)
+    if match:
+        markers.may_acquire.extend(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+
+
+class SourceFile:
+    """One parsed module: text, AST and per-line markers."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=relpath)
+        self.markers: Dict[int, LineMarkers] = {}
+        # A trailing comment marks its own line.  A standalone comment
+        # line marks the next line of actual code — the convention for
+        # statements too long to annotate inline.
+        skip_types = (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        )
+        pending: List[str] = []
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                standalone = token.line[: token.start[1]].strip() == ""
+                if standalone:
+                    pending.append(token.string)
+                else:
+                    self._attach(token.start[0], [token.string])
+            elif token.type not in skip_types:
+                if pending:
+                    self._attach(token.start[0], pending)
+                    pending = []
+
+    def _attach(self, line: int, comments: List[str]) -> None:
+        markers = self.markers.get(line)
+        if markers is None:
+            markers = self.markers[line] = LineMarkers()
+        for comment in comments:
+            _parse_comment(comment, markers)
+
+    @property
+    def module(self) -> str:
+        """Dotted module path derived from the relative file path."""
+        parts = list(Path(self.relpath).with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def markers_at(self, line: int) -> Optional[LineMarkers]:
+        return self.markers.get(line)
+
+    def node_lines(self, node: ast.AST) -> Tuple[int, int]:
+        """First and last physical line of a node (inclusive)."""
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        return first, last
+
+    def allows(
+        self,
+        rule_name: str,
+        node: ast.AST,
+        def_node: Optional[ast.AST] = None,
+    ) -> bool:
+        """Whether ``rule_name`` is suppressed at ``node``.
+
+        A marker on the node's first or last physical line counts, as
+        does one on the ``def`` line of the enclosing function (when
+        given) — the convention for whole-function exemptions.
+        """
+        lines = set(self.node_lines(node))
+        if def_node is not None:
+            lines.add(def_node.lineno)
+        for line in lines:
+            markers = self.markers.get(line)
+            if markers is not None and rule_name in markers.allow:
+                return True
+        return False
+
+    def may_acquire_at(self, node: ast.AST) -> List[str]:
+        """``may-acquire`` lock names declared on the node's lines."""
+        first, last = self.node_lines(node)
+        names: List[str] = []
+        for line in range(first, last + 1):
+            markers = self.markers.get(line)
+            if markers is not None:
+                names.extend(markers.may_acquire)
+        return names
+
+
+def load_source_tree(root: Path, prefix: str = "") -> List[SourceFile]:
+    """Parse every ``*.py`` under ``root`` into :class:`SourceFile`\\ s.
+
+    ``prefix`` is prepended to the reported relative paths so findings
+    render repo-relative (e.g. ``src/repro/...``) regardless of where
+    the walk was rooted.
+    """
+    if not root.is_dir():
+        raise FileNotFoundError(f"source root is not a directory: {root}")
+    files: List[SourceFile] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        relpath = str(Path(prefix) / path.relative_to(root))
+        files.append(SourceFile(path, relpath, path.read_text()))
+    return files

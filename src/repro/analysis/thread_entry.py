@@ -1,0 +1,241 @@
+"""REPRO-T001: thread-entry code opens spans with an explicit parent.
+
+The tracer propagates the current span through a
+:class:`~contextvars.ContextVar`; worker threads start with an *empty*
+context, so a span opened on one without ``parent=`` silently becomes
+a root — its I/O detaches from the query or transform that caused it,
+and the lossless-attribution invariant (span totals + orphans == the
+global IOStats delta) degrades into a pile of mystery roots.
+
+The rule finds thread submissions — ``executor.submit(f, ...)``,
+``threading.Thread(target=f)`` — resolves ``f`` when it is a local
+closure, module function or ``self`` method, and walks the entry
+function (plus same-file callees, bounded depth): the *first* span
+opened on any path must pass ``parent=`` explicitly.  Once a span
+with an explicit parent is open, the context variable is populated
+and everything nested inherits correctly, so the walk stops
+descending there.  Reading ``current_span()`` from thread-entry code
+is flagged for the same reason: on a fresh thread it can only return
+``None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.model import CallResolver, ProjectModel, self_attr
+from repro.analysis.source import SourceFile
+
+_MAX_DEPTH = 3
+
+
+def _span_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "span"
+
+
+def _has_parent_kwarg(node: ast.Call) -> bool:
+    return any(kw.arg == "parent" for kw in node.keywords)
+
+
+def _submitted_callables(
+    tree: ast.AST,
+) -> List[Tuple[ast.expr, ast.Call]]:
+    """(callable expression, submission call) pairs in the module."""
+    out: List[Tuple[ast.expr, ast.Call]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            if node.args:
+                out.append((node.args[0], node))
+        is_thread = (
+            isinstance(func, ast.Attribute) and func.attr == "Thread"
+        ) or (isinstance(func, ast.Name) and func.id == "Thread")
+        if is_thread:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    out.append((kw.value, node))
+    return out
+
+
+class ThreadEntryRule(Rule):
+    rule_id = "REPRO-T001"
+    name = "thread-entry"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        for sf in model.files:
+            for target, submission in _submitted_callables(sf.tree):
+                entry = self._resolve_entry(model, sf, target, submission)
+                if entry is None:
+                    continue
+                func, receiver = entry
+                self._check_entry(
+                    model, sf, func, receiver, report, visited=set(),
+                    depth=0,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_entry(
+        self,
+        model: ProjectModel,
+        sf: SourceFile,
+        target: ast.expr,
+        submission: ast.Call,
+    ) -> Optional[Tuple[ast.FunctionDef, Optional[str]]]:
+        enclosing = self._enclosing_scope(sf, submission)
+        func_node, receiver = enclosing
+        if isinstance(target, ast.Name):
+            if func_node is not None:
+                for stmt in ast.walk(func_node):
+                    if (
+                        isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == target.id
+                    ):
+                        return stmt, receiver
+            entry = model.module_functions.get((sf.module, target.id))
+            if entry is not None:
+                return entry[0], None
+            return None
+        attr = self_attr(target)
+        if attr is not None and receiver is not None:
+            resolved = model.resolve_method(receiver, attr)
+            if resolved is not None and resolved.node is not None:
+                return resolved.node, receiver
+        if isinstance(target, ast.Lambda):
+            # treat the lambda body as an inline entry: wrap it
+            wrapper = ast.FunctionDef(
+                name="<lambda>",
+                args=target.args,
+                body=[ast.Expr(value=target.body)],
+                decorator_list=[],
+                returns=None,
+                type_comment=None,
+            )
+            ast.copy_location(wrapper, target)
+            ast.fix_missing_locations(wrapper)
+            return wrapper, receiver
+        return None
+
+    def _enclosing_scope(
+        self, sf: SourceFile, node: ast.AST
+    ) -> Tuple[Optional[ast.FunctionDef], Optional[str]]:
+        """Innermost function and class containing ``node``."""
+        result: List[Tuple[Optional[ast.FunctionDef], Optional[str]]] = [
+            (None, None)
+        ]
+
+        def visit(
+            current: ast.AST,
+            func: Optional[ast.FunctionDef],
+            cls: Optional[str],
+        ) -> None:
+            if current is node:
+                result[0] = (func, cls)
+                return
+            if isinstance(current, ast.ClassDef):
+                cls = current.name
+            if isinstance(current, ast.FunctionDef):
+                func = current
+            for child in ast.iter_child_nodes(current):
+                visit(child, func, cls)
+
+        visit(sf.tree, None, None)
+        return result[0]
+
+    # ------------------------------------------------------------------
+
+    def _check_entry(
+        self,
+        model: ProjectModel,
+        sf: SourceFile,
+        func: ast.FunctionDef,
+        receiver: Optional[str],
+        report: AnalysisReport,
+        visited: Set[int],
+        depth: int,
+    ) -> None:
+        if id(func) in visited or depth > _MAX_DEPTH:
+            return
+        visited.add(id(func))
+        resolver = CallResolver(model, sf, func, receiver, receiver)
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, ast.With):
+                covered = False
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call) and _span_call(expr):
+                        if _has_parent_kwarg(expr):
+                            covered = True
+                        else:
+                            self._flag_span(sf, expr, func, report)
+                        # the call itself is handled; visit only its
+                        # argument expressions
+                        for child in ast.iter_child_nodes(expr):
+                            visit(child)
+                    else:
+                        visit(expr)
+                if covered:
+                    return  # context populated; nesting is safe below
+                for stmt in node.body:
+                    visit(stmt)
+                return
+            if isinstance(node, ast.Call):
+                if _span_call(node) and not _has_parent_kwarg(node):
+                    self._flag_span(sf, node, func, report)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "current_span"
+                ):
+                    if not sf.allows(self.name, node, def_node=func):
+                        report.findings.append(
+                            self.finding(
+                                sf,
+                                node.lineno,
+                                f"{func.name}() runs on a worker thread "
+                                f"but reads current_span() — a fresh "
+                                f"thread context always yields None",
+                            )
+                        )
+                else:
+                    for callee in resolver.resolve(node):
+                        if (
+                            callee.node is not None
+                            and callee.sf is sf
+                        ):
+                            self._check_entry(
+                                model,
+                                sf,
+                                callee.node,
+                                callee.receiver,
+                                report,
+                                visited,
+                                depth + 1,
+                            )
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        for stmt in func.body:
+            visit(stmt)
+
+    def _flag_span(
+        self,
+        sf: SourceFile,
+        call: ast.Call,
+        func: ast.FunctionDef,
+        report: AnalysisReport,
+    ) -> None:
+        if sf.allows(self.name, call, def_node=func):
+            return
+        report.findings.append(
+            self.finding(
+                sf,
+                call.lineno,
+                f"span opened in thread-entry path {func.name}() without "
+                f"explicit parent= — it would detach from its trace",
+            )
+        )

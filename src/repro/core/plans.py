@@ -111,19 +111,20 @@ class _PlanLRU:
     """
 
     def __init__(self, capacity: int, name: str = "plans") -> None:
-        self._capacity = capacity
+        self._capacity = capacity  # guarded-by: _lock
         self._name = name
-        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.builds = 0
-        self.build_seconds = 0.0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.builds = 0  # guarded-by: _lock
+        self.build_seconds = 0.0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        with self._lock:
+            return self._capacity
 
     def resize(self, capacity: int) -> None:
         if capacity < 1:
@@ -450,12 +451,12 @@ class StandardChunkPlan:
 
     # ------------------------------------------------------------------
 
-    def apply(self, store, chunk_hat: np.ndarray, fresh: bool = True) -> None:
+    def apply(self, store, chunk_hat: np.ndarray, fresh: bool = True) -> None:  # lint: allow=flag-hygiene (overwrite-vs-accumulate mode, not a feature toggle)
         """Push a transformed chunk into ``store`` (SHIFT + SPLIT)."""
         self.apply_contributions(store, self.contributions(chunk_hat), fresh)
 
     def apply_contributions(
-        self, store, tensor_flat: np.ndarray, fresh: bool = True
+        self, store, tensor_flat: np.ndarray, fresh: bool = True  # lint: allow=flag-hygiene (overwrite-vs-accumulate mode, not a feature toggle)
     ) -> None:
         """Apply a precomputed flat contribution tensor.
 
@@ -584,7 +585,7 @@ class NonStandardChunkPlan:
         deltas = average * self.split_weights
         return zip(self.split_keys, deltas.tolist())
 
-    def apply(self, store, chunk_hat: np.ndarray, fresh: bool = True) -> None:
+    def apply(self, store, chunk_hat: np.ndarray, fresh: bool = True) -> None:  # lint: allow=flag-hygiene (overwrite-vs-accumulate mode, not a feature toggle)
         """Push a transformed cubic chunk into ``store``."""
         for level, mask, start, chunk_slices in self.shift_regions:
             values = chunk_hat[chunk_slices]

@@ -62,12 +62,13 @@ class CircuitBreaker:
         self._half_open_probes = half_open_probes
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = STATE_CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
-        self._probes_in_flight = 0
-        self.opens = 0  # lifetime count of closed/half-open -> open trips
-        self.shed = 0  # calls refused while open
+        self._state = STATE_CLOSED  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
+        self._probes_in_flight = 0  # guarded-by: _lock
+        # lifetime count of closed/half-open -> open trips
+        self.opens = 0  # guarded-by: _lock
+        self.shed = 0  # guarded-by: _lock (calls refused while open)
 
     # ------------------------------------------------------------------
 
@@ -81,8 +82,7 @@ class CircuitBreaker:
     def state_code(self) -> int:
         return STATE_CODES[self.state]
 
-    def _maybe_half_open(self) -> None:
-        # caller holds the lock
+    def _maybe_half_open(self) -> None:  # lint: holds=_lock
         if (
             self._state == STATE_OPEN
             and self._clock() - self._opened_at >= self._reset_timeout_s
@@ -131,8 +131,7 @@ class CircuitBreaker:
             ):
                 self._trip()
 
-    def _trip(self) -> None:
-        # caller holds the lock
+    def _trip(self) -> None:  # lint: holds=_lock
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._consecutive_failures = 0

@@ -261,6 +261,7 @@ class FaultyBlockDevice:
         ):
             self._inject("torn_write", "write", block_id)
             new = np.asarray(data, dtype=np.float64)
+            # lint: uncounted (torn-write simulation reads surviving bytes)
             old = self._inner.peek_block(block_id)
             keep = new.size // 2
             torn = np.concatenate([new[:keep], old[keep:]])

@@ -204,9 +204,9 @@ class TraceStore:
         if max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self._max_spans = max_spans
-        self._spans: "deque[Span]" = deque(maxlen=max_spans)
+        self._spans: "deque[Span]" = deque(maxlen=max_spans)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.dropped = 0
+        self.dropped = 0  # guarded-by: _lock
 
     @property
     def max_spans(self) -> int:
@@ -303,7 +303,7 @@ class Tracer:
             "repro_obs_span", default=None
         )
         self._orphan_lock = threading.Lock()
-        self.orphan_io = zero_io()
+        self.orphan_io = zero_io()  # guarded-by: _orphan_lock
 
     def span(self, name: str, parent: Any = _UNSET, **attrs: Any):
         """Open a span (use as a context manager).

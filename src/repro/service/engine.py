@@ -221,7 +221,7 @@ class QueryEngine:
         )
         store.tile_store.set_pool(self._pool)
         self._queue: "Queue[Optional[Submission]]" = Queue(maxsize=queue_depth)
-        self._closed = False
+        self._closed = False  # guarded-by: _close_lock
         self._close_lock = threading.Lock()
         self._drained = threading.Event()
         self._batch_lock = threading.Lock()
@@ -250,6 +250,7 @@ class QueryEngine:
 
     @property
     def closed(self) -> bool:
+        # lint: allow=lock-discipline (racy bool read; close() drains stragglers that slip past it)
         return self._closed
 
     # ------------------------------------------------------------------
@@ -269,6 +270,7 @@ class QueryEngine:
         """Admit one query; raises :class:`AdmissionError` when the
         queue is full and :class:`EngineClosedError` after
         :meth:`close`."""
+        # lint: allow=lock-discipline (racy fast-path check; close() completes racing submissions)
         if self._closed:
             raise EngineClosedError("engine is closed")
         submission = Submission(query, self._deadline_for(timeout))
@@ -461,6 +463,7 @@ class QueryEngine:
         re-read mid-batch.  Admission is cooperative — the batch waits
         for queue space rather than rejecting its own queries.
         """
+        # lint: allow=lock-discipline (racy fast-path check; close() completes racing submissions)
         if self._closed:
             raise EngineClosedError("engine is closed")
         queries = list(queries)

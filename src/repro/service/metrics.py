@@ -45,7 +45,7 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
@@ -56,6 +56,7 @@ class Counter:
 
     @property
     def value(self) -> int:
+        # lint: allow=lock-discipline (racy read of a CPython-atomic int; scrapes tolerate staleness)
         return self._value
 
 
@@ -69,7 +70,7 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -82,6 +83,7 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        # lint: allow=lock-discipline (racy read of a CPython-atomic float; scrapes tolerate staleness)
         return self._value
 
 
@@ -103,13 +105,13 @@ class Histogram:
         if max_samples < 2:
             raise ValueError(f"max_samples must be >= 2, got {max_samples}")
         self.name = name
-        self._samples: List[float] = []
+        self._samples: List[float] = []  # guarded-by: _lock
         self._max_samples = max_samples
-        self._stride = 1
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
+        self._stride = 1  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.min = float("inf")  # guarded-by: _lock
+        self.max = float("-inf")  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def record(self, value: float) -> None:

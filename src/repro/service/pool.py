@@ -67,6 +67,9 @@ class _SynchronizedDevice:
 
             def locked(*args, **kwargs):
                 with self._lock:
+                    # ``inner`` is the journaled device's method: its
+                    # group commit opens a span and charges counters.
+                    # may-acquire: TraceStore._lock, Tracer._orphan_lock
                     return inner(*args, **kwargs)
 
             return locked

@@ -249,7 +249,9 @@ class BufferPool:
                 # Journaled devices flush as one atomic group commit:
                 # either every dirty block of this flush becomes durable
                 # or none does.  Dirty flags clear only after the group
-                # succeeds.
+                # succeeds.  Under the sharded pool this resolves to the
+                # synchronized device's locked wrapper.
+                # may-acquire: _SynchronizedDevice._lock, TraceStore._lock, Tracer._orphan_lock
                 write_batch([(rid, frame.data) for rid, frame in dirty])
                 for __, frame in dirty:
                     frame.dirty = False

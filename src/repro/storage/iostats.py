@@ -84,7 +84,9 @@ class IOStats:
         return IOStats(
             block_reads=self.block_reads - earlier.block_reads,
             block_writes=self.block_writes - earlier.block_writes,
-            coefficient_reads=self.coefficient_reads - earlier.coefficient_reads,
+            coefficient_reads=(
+                self.coefficient_reads - earlier.coefficient_reads
+            ),
             coefficient_writes=(
                 self.coefficient_writes - earlier.coefficient_writes
             ),

@@ -105,6 +105,7 @@ def _save(path, kind: str, meta: dict, store) -> None:
     directory = tile_store.directory()
     meta_blob = pickle.dumps(meta)
     directory_blob = pickle.dumps(directory)
+    # lint: uncounted (persistence snapshot of raw device state)
     blocks = tile_store.device.dump_blocks()
     np.savez_compressed(
         path,
@@ -191,6 +192,7 @@ def load_standard_store(
         pool_capacity=pool_capacity,
         stats=stats,
     )
+    # lint: uncounted (persistence restore of raw device state)
     store.tile_store.device.restore_blocks(blocks)
     store.tile_store.restore_directory(directory)
     return store
@@ -220,6 +222,7 @@ def load_nonstandard_store(
         pool_capacity=pool_capacity,
         stats=stats,
     )
+    # lint: uncounted (persistence restore of raw device state)
     store.tile_store.device.restore_blocks(blocks)
     store.tile_store.restore_directory(directory)
     return store

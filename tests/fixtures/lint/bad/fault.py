@@ -1,0 +1,18 @@
+"""Known-bad: REPRO-F001 at lines 8, 9, 13 and 17."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BadConfig:
+    read_error_rate: float = 0.25
+    enabled: bool = True
+
+
+class BadInjector:
+    def __init__(self, *, verify: bool = True):
+        self.verify = verify
+
+
+def make_bad(rate: float = 0.5) -> BadInjector:
+    return BadInjector()

@@ -1,0 +1,19 @@
+"""Known-bad: REPRO-L001 at line 13, REPRO-L003 at line 19."""
+
+import threading
+
+
+class BadCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def bump(self) -> None:
+        # unlocked access to a guarded attribute
+        self._hits += 1
+
+    def _sweep(self) -> None:  # lint: holds=_lock
+        self._hits = 0
+
+    def reset(self) -> None:
+        self._sweep()

@@ -1,0 +1,14 @@
+"""Known-bad: REPRO-I001 at lines 9 (def) and 14 (naked peek)."""
+
+
+class LeakyDevice:
+    def __init__(self, blocks):
+        self._blocks = blocks
+
+    # reads without charging IOStats and without an uncounted marker
+    def read_block(self, block_id):
+        return self._blocks[block_id]
+
+
+def snoop(device):
+    return device.peek_block(0)

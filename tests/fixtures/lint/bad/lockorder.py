@@ -1,0 +1,19 @@
+"""Known-bad: REPRO-L002 — a -> b and b -> a form a deadlock cycle."""
+
+import threading
+
+
+class Deadlocky:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self) -> int:
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self) -> int:
+        with self._b:
+            with self._a:
+                return 2

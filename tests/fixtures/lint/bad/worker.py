@@ -1,0 +1,20 @@
+"""Known-bad: REPRO-T001 at lines 8 and 18."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fan_out(tracer, items):
+    def work(item):
+        with tracer.span("work", item=item):
+            return item * 2
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(work, item) for item in items]
+    return [future.result() for future in futures]
+
+
+def probe(tracer, pool):
+    def entry():
+        return tracer.current_span()
+
+    pool.submit(entry)

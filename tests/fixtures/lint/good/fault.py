@@ -1,0 +1,19 @@
+"""Known-good: robustness flags default to disabled."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InjectionConfig:
+    read_error_rate: float = 0.0
+    enabled: bool = False
+
+
+class Injector:
+    def __init__(self, *, error_rate: float = 0.0, verify: bool = False):
+        self.error_rate = error_rate
+        self.verify = verify
+
+
+def make_injector(rate: float = 0.0, armed: bool = False) -> Injector:
+    return Injector(error_rate=rate, verify=armed)

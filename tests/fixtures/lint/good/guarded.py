@@ -1,0 +1,20 @@
+"""Known-good: guarded attributes accessed only under their lock."""
+
+import threading
+
+
+class GoodCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def _sweep(self) -> None:  # lint: holds=_lock
+        self._hits = 0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._sweep()

@@ -1,0 +1,38 @@
+"""Known-good: entry points charge or delegate; peeks are marked."""
+
+
+class CountingDevice:
+    def __init__(self, stats):
+        self.stats = stats
+        self._blocks = {}
+
+    def read_block(self, block_id):
+        self.stats.block_reads += 1
+        return self._blocks.get(block_id)
+
+    def write_block(self, block_id, data):
+        self.stats.block_writes += 1
+        self._blocks[block_id] = data
+
+
+class Wrapper:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def read_block(self, block_id):
+        return self._inner.read_block(block_id)
+
+    def write_block(self, block_id, data):
+        self.write_batch([(block_id, data)])
+
+    def write_batch(self, pairs):
+        for block_id, data in pairs:
+            self._inner.write_block(block_id, data)
+
+    def peek_block(self, block_id):
+        return self._inner.peek_block(block_id)
+
+
+def checksum_scan(device):
+    # lint: uncounted (fixture: verification scan)
+    return device.peek_block(0)

@@ -1,0 +1,14 @@
+"""Known-good: locks always nest in one global order (a before b)."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def both(self) -> int:
+        with self._a:
+            with self._b:
+                return 1

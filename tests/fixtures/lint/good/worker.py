@@ -1,0 +1,15 @@
+"""Known-good: thread-entry spans carry an explicit parent."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fan_out(tracer, items):
+    root = tracer.current_span()
+
+    def work(item):
+        with tracer.span("work", parent=root, item=item):
+            return item * 2
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(work, item) for item in items]
+    return [future.result() for future in futures]

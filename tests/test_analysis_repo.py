@@ -1,0 +1,169 @@
+"""The repo itself passes repro-lint, and the CLI gates correctly.
+
+The acceptance contract for the analysis PR: ``make analyze`` (the
+CLI against the shipped baseline) exits 0 on this repository, exits
+non-zero on every known-bad fixture, and the shipped
+``lint_baseline.json`` is *empty* — real findings were fixed or
+suppressed in code with reasons, never grandfathered.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, save_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import run_analysis
+from repro.analysis.findings import Finding
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+BAD_FIXTURES = sorted((FIXTURES / "bad").glob("*.py"))
+
+
+class TestRepoIsClean:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_analysis()
+
+    def test_no_findings(self, report):
+        assert [f.render() for f in report.findings] == []
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "lint_baseline.json")
+        assert baseline.total == 0
+
+    def test_lock_graph_is_acyclic(self, report):
+        assert not [f for f in report.findings if f.rule == "REPRO-L002"]
+        graph = report.data["lock_graph"]
+        assert graph["nodes"]  # non-trivial: locks were found
+
+    def test_lock_graph_covers_service_topology(self, report):
+        """The known engine ordering must be present in the graph."""
+        edges = {
+            (e["from"], e["to"])
+            for e in report.data["lock_graph"]["edges"]
+        }
+        expected = {
+            ("QueryEngine._batch_lock", "ShardedBufferPool._locks"),
+            ("ShardedBufferPool._locks", "_ShardPool._io_lock"),
+            ("ShardedBufferPool._locks", "_SynchronizedDevice._lock"),
+            ("_ShardPool._io_lock", "Tracer._orphan_lock"),
+            ("_SynchronizedDevice._lock", "TraceStore._lock"),
+        }
+        assert expected <= edges
+
+    def test_guard_annotations_are_in_force(self, report):
+        """The rules must be live, not vacuously green: the model sees
+        the in-tree ``# guarded-by:`` declarations."""
+        from repro.analysis.model import build_model
+        from repro.analysis.source import load_source_tree
+
+        files = load_source_tree(REPO / "src" / "repro", prefix="src/repro")
+        model = build_model(files)
+        guarded_classes = [
+            cls.name for cls in model.classes.values() if cls.guarded
+        ]
+        assert {
+            "CircuitBreaker",
+            "Counter",
+            "Gauge",
+            "Histogram",
+            "QueryEngine",
+            "TraceStore",
+            "Tracer",
+            "_PlanLRU",
+        } <= set(guarded_classes)
+
+
+class TestCLIGating:
+    def test_repo_gate_exits_zero(self, capsys):
+        assert main([]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "fixture", BAD_FIXTURES, ids=[p.stem for p in BAD_FIXTURES]
+    )
+    def test_each_bad_fixture_fails_the_gate(self, fixture, tmp_path, capsys):
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        shutil.copy(fixture, solo / fixture.name)
+        assert main(["--root", str(solo), "--no-baseline"]) == 1
+        assert "REPRO-" in capsys.readouterr().out
+
+    def test_missing_root_is_an_error_not_a_pass(self, tmp_path, capsys):
+        """A typo'd --root must never green-light the gate vacuously."""
+        assert main(["--root", str(tmp_path / "nope")]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["--root", str(empty)]) == 2
+
+    def test_json_report_contains_findings_and_graph(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "--root",
+                    str(FIXTURES / "bad"),
+                    "--no-baseline",
+                    "--json",
+                    str(out),
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(out.read_text())
+        assert payload["files_analyzed"] == 5
+        assert {f["rule"] for f in payload["findings"]} == {
+            "REPRO-L001",
+            "REPRO-L002",
+            "REPRO-L003",
+            "REPRO-I001",
+            "REPRO-F001",
+            "REPRO-T001",
+        }
+        assert payload["lock_graph"]["edges"]
+
+    def test_baseline_ratchets(self, tmp_path, capsys):
+        """A baselined finding is tolerated; a fresh one still fails."""
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        shutil.copy(FIXTURES / "bad" / "fault.py", solo / "fault.py")
+        baseline_path = tmp_path / "baseline.json"
+
+        report = run_analysis(root=solo)
+        save_baseline(baseline_path, report.findings)
+        assert (
+            main(["--root", str(solo), "--baseline", str(baseline_path)])
+            == 0
+        )
+
+        # a new defect beyond the baseline fails the gate
+        shutil.copy(FIXTURES / "bad" / "guarded.py", solo / "guarded.py")
+        assert (
+            main(["--root", str(solo), "--baseline", str(baseline_path)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "REPRO-L001" in out
+        assert "REPRO-F001" not in out  # baselined, not re-reported
+
+    def test_strict_baseline_flags_fixed_entries(self, tmp_path, capsys):
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        shutil.copy(FIXTURES / "good" / "fault.py", solo / "fault.py")
+        baseline_path = tmp_path / "baseline.json"
+        stale = Finding(
+            file="fault.py",
+            line=1,
+            rule="REPRO-F001",
+            name="flag-hygiene",
+            message="long gone",
+        )
+        save_baseline(baseline_path, [stale])
+        args = ["--root", str(solo), "--baseline", str(baseline_path)]
+        assert main(args) == 0  # lenient by default
+        assert main(args + ["--strict-baseline"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
