@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke trace-smoke fault-smoke ci lint analyze experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke serve ci lint analyze experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,17 @@ trace-smoke:
 # engine; writes FAULT_smoke.json and fails on any wrong answer.
 fault-smoke:
 	PYTHONPATH=src python scripts/fault_smoke.py
+
+# HTTP serving smoke (non-gating in CI): drives a live threading WSGI
+# server over the demo hub, measures p50/p95 latency + I/O per request
+# class, and runs the two-tenant quota-enforcement experiment; writes
+# BENCH_http.json and fails if quota isolation does not hold.
+serve-smoke:
+	PYTHONPATH=src python benchmarks/bench_http_serving.py --smoke
+
+# Interactive: serve the demo hub on localhost:8950 (see docs/serving.md)
+serve:
+	PYTHONPATH=src python -m repro.server
 
 ci:
 	PYTHONPATH=src python -m pytest -x -q

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Thin launcher for the HTTP serving layer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.server``; accepts the
+same flags (``--host``, ``--port``, ``--size``, ``--pool-blocks``,
+``--seed``) and prints the demo tenants' API keys at startup.  See
+docs/serving.md for the API.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.server.__main__ import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,15 @@ and everything nested inherits correctly, so the walk stops
 descending there.  Reading ``current_span()`` from thread-entry code
 is flagged for the same reason: on a fresh thread it can only return
 ``None``.
+
+HTTP serving threads are covered too: classes deriving (transitively)
+from the stdlib threading servers or request handlers
+(``ThreadingMixIn``, ``ThreadingHTTPServer``, ``ThreadingWSGIServer``,
+``BaseHTTPRequestHandler``, ``WSGIRequestHandler``, ...) run their
+handler methods (``handle``, ``do_*``, ``process_request_thread``, …)
+on a fresh per-request thread, and a WSGI application registered via
+``server.set_app(App(...))`` runs its ``__call__`` there as well —
+both are walked as thread entries.
 """
 
 from __future__ import annotations
@@ -29,6 +38,34 @@ from repro.analysis.model import CallResolver, ProjectModel, self_attr
 from repro.analysis.source import SourceFile
 
 _MAX_DEPTH = 3
+
+#: stdlib bases whose subclasses execute requests on fresh threads
+_THREADED_BASES = frozenset(
+    {
+        "ThreadingMixIn",
+        "ThreadingHTTPServer",
+        "ThreadingTCPServer",
+        "ThreadingUDPServer",
+        "ThreadingWSGIServer",
+        "BaseHTTPRequestHandler",
+        "SimpleHTTPRequestHandler",
+        "WSGIRequestHandler",
+        "BaseRequestHandler",
+        "StreamRequestHandler",
+        "DatagramRequestHandler",
+    }
+)
+
+#: handler methods the server invokes on the per-request thread
+_HANDLER_ENTRY_METHODS = frozenset(
+    {
+        "handle",
+        "handle_one_request",
+        "process_request_thread",
+        "run_application",
+        "finish_request",
+    }
+)
 
 
 def _span_call(node: ast.Call) -> bool:
@@ -76,6 +113,80 @@ class ThreadEntryRule(Rule):
                     model, sf, func, receiver, report, visited=set(),
                     depth=0,
                 )
+        self._check_server_entries(model, report)
+
+    # ------------------------------------------------------------------
+    # HTTP server worker threads
+    # ------------------------------------------------------------------
+
+    def _request_threaded(
+        self, model: ProjectModel, class_name: str, seen: Set[str]
+    ) -> bool:
+        """Does the class (transitively) derive from a threading
+        server or request-handler base?"""
+        if class_name in seen:
+            return False
+        seen.add(class_name)
+        class_model = model.classes.get(class_name)
+        if class_model is None:
+            return False
+        for base in class_model.bases:
+            if base in _THREADED_BASES:
+                return True
+            if self._request_threaded(model, base, seen):
+                return True
+        return False
+
+    def _check_server_entries(
+        self, model: ProjectModel, report: AnalysisReport
+    ) -> None:
+        for class_model in model.classes.values():
+            if not self._request_threaded(
+                model, class_model.name, set()
+            ):
+                continue
+            for name, method in class_model.methods.items():
+                if (
+                    name in _HANDLER_ENTRY_METHODS
+                    or name.startswith("do_")
+                ):
+                    self._check_entry(
+                        model,
+                        class_model.sf,
+                        method,
+                        class_model.name,
+                        report,
+                        visited=set(),
+                        depth=0,
+                    )
+        # A WSGI app registered on a (threading) server runs __call__
+        # on the handler thread: ``server.set_app(App(...))``.
+        for sf in model.files:
+            for node in ast.walk(sf.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_app"
+                    and node.args
+                ):
+                    continue
+                arg = node.args[0]
+                if not (
+                    isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Name)
+                ):
+                    continue
+                callee = model.resolve_method(arg.func.id, "__call__")
+                if callee is not None and callee.node is not None:
+                    self._check_entry(
+                        model,
+                        callee.sf,
+                        callee.node,
+                        arg.func.id,
+                        report,
+                        visited=set(),
+                        depth=0,
+                    )
 
     # ------------------------------------------------------------------
 

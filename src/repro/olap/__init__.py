@@ -7,11 +7,21 @@ from repro.olap.algebra import (
     slice_standard,
 )
 from repro.olap.cube import WaveletCube
-from repro.olap.schema import Dimension
+from repro.olap.schema import (
+    Dimension,
+    Hierarchy,
+    Level,
+    SchemaError,
+    binary_hierarchy,
+)
 
 __all__ = [
     "Dimension",
+    "Hierarchy",
+    "Level",
+    "SchemaError",
     "WaveletCube",
+    "binary_hierarchy",
     "dice_transform_standard",
     "rollup_sum_standard",
     "slice_standard",

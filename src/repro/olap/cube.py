@@ -59,6 +59,11 @@ class WaveletCube:
         decomposition forms of Section 3.1.  The non-standard form is
         cheaper to compute but compresses range aggregates less well;
         it requires a cubic, fixed-size cube.
+    device:
+        An existing block device to store coefficients on instead of a
+        private one (fixed-size standard form only) — the serving
+        layer's shared-arena multi-tenancy.  Requires
+        ``block_edge ** ndim`` slots per device block.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class WaveletCube:
         pool_blocks: int = 64,
         grow_dimension: Optional[str] = None,
         form: str = "standard",
+        device=None,
     ) -> None:
         if not dimensions:
             raise ValueError("need at least one dimension")
@@ -85,6 +91,10 @@ class WaveletCube:
         self._loaded = False
         self._form = form
 
+        if device is not None and (form != "standard" or grow_dimension):
+            raise ValueError(
+                "a shared device requires the fixed-size standard form"
+            )
         if form == "nonstandard":
             if grow_dimension is not None:
                 raise ValueError(
@@ -110,6 +120,7 @@ class WaveletCube:
                 tuple(d.size for d in self._dimensions),
                 block_edge=block_edge,
                 pool_capacity=pool_blocks,
+                device=device,
             )
         else:
             if grow_dimension not in self._by_name:

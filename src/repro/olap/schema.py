@@ -6,16 +6,197 @@ the wavelet machinery wants power-of-two integer grids.  A
 :class:`Dimension` owns that mapping: a name, a grid size, and an
 affine coordinate transform, so a query like "latitude 30..60" becomes
 a cell range.
+
+For the serving layer a dimension can additionally carry **named
+hierarchies** in the spirit of regularly decomposed spaces: every
+:class:`Level` splits its parent member into a power-of-two number of
+children, so any hierarchy path addresses a *dyadic* cell range — the
+shape SHIFT-SPLIT range sums answer at boundary cost (Lemma 2).  A
+Slicer-style cut like ``time@ymd:2.1`` resolves through
+:meth:`Dimension.path_to_range` and a drill-down enumerates the
+children of the cut path, each again a dyadic box.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.util.bits import is_power_of_two
+from repro.util.bits import ilog2, is_power_of_two
 
-__all__ = ["Dimension"]
+__all__ = [
+    "Dimension",
+    "Hierarchy",
+    "Level",
+    "SchemaError",
+    "binary_hierarchy",
+]
+
+
+class SchemaError(ValueError):
+    """A cut, path or hierarchy that does not fit the dimension.
+
+    Raised with a human-readable message (the serving layer maps it to
+    HTTP 400) instead of letting malformed paths surface as index
+    errors deep in the wavelet machinery.
+    """
+
+
+@dataclass(frozen=True)
+class Level:
+    """One level of a hierarchy: each parent splits into ``fanout``
+    children.
+
+    ``fanout`` must be a power of two so that every member of the
+    level spans a dyadic cell range.
+    """
+
+    name: str
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("level name must be non-empty")
+        if self.fanout < 2 or not is_power_of_two(self.fanout):
+            raise SchemaError(
+                f"level {self.name!r} fanout must be a power of two "
+                f">= 2, got {self.fanout}"
+            )
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """A named drill path: levels coarse-to-fine, dyadic at every step.
+
+    The product of the level fanouts must equal the dimension size, so
+    a full path addresses exactly one grid cell and every prefix
+    addresses a dyadic range of cells.
+    """
+
+    name: str
+    levels: Tuple[Level, ...]
+
+    def __init__(self, name: str, levels: Sequence[Level]) -> None:
+        if not name:
+            raise SchemaError("hierarchy name must be non-empty")
+        if not levels:
+            raise SchemaError(f"hierarchy {name!r} needs at least one level")
+        names = [level.name for level in levels]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"hierarchy {name!r} has duplicate level names {names}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "levels", tuple(levels))
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of cells a full path addresses below the root."""
+        count = 1
+        for level in self.levels:
+            count *= level.fanout
+        return count
+
+    def level_index(self, level_name: str) -> int:
+        for index, level in enumerate(self.levels):
+            if level.name == level_name:
+                return index
+        raise SchemaError(
+            f"hierarchy {self.name!r} has no level {level_name!r}; "
+            f"have {[level.name for level in self.levels]}"
+        )
+
+    def cells_below(self, depth: int) -> int:
+        """Grid cells spanned by one member at path depth ``depth``."""
+        cells = self.leaf_count
+        for level in self.levels[:depth]:
+            cells //= level.fanout
+        return cells
+
+    def path_to_cells(self, path: Sequence[int]) -> Tuple[int, int]:
+        """Inclusive cell range of the member addressed by ``path``.
+
+        ``path`` lists one member ordinal per level, coarse-to-fine;
+        a short path addresses the whole subtree.  Raises
+        :class:`SchemaError` for over-long paths or out-of-range
+        ordinals.
+        """
+        if len(path) > self.depth:
+            raise SchemaError(
+                f"hierarchy {self.name!r} path {list(path)} is deeper "
+                f"than its {self.depth} level(s)"
+            )
+        low = 0
+        width = self.leaf_count
+        for depth, raw in enumerate(path):
+            level = self.levels[depth]
+            try:
+                ordinal = int(raw)
+            except (TypeError, ValueError):
+                raise SchemaError(
+                    f"hierarchy {self.name!r} path component {raw!r} "
+                    f"at level {level.name!r} is not an integer"
+                ) from None
+            if not 0 <= ordinal < level.fanout:
+                raise SchemaError(
+                    f"hierarchy {self.name!r} level {level.name!r} has "
+                    f"{level.fanout} members; path ordinal {ordinal} "
+                    f"is out of range"
+                )
+            width //= level.fanout
+            low += ordinal * width
+        return low, low + width - 1
+
+    def cells_to_path(self, low: int, high: int) -> Tuple[int, ...]:
+        """Inverse of :meth:`path_to_cells` for an exact member range.
+
+        Raises :class:`SchemaError` when ``[low, high]`` is not the
+        cell range of any single member of this hierarchy.
+        """
+        path: List[int] = []
+        base = 0
+        width = self.leaf_count
+        if low == 0 and high == width - 1:
+            return ()
+        for level in self.levels:
+            width //= level.fanout
+            ordinal = (low - base) // width if width else 0
+            base += ordinal * width
+            path.append(ordinal)
+            if low == base and high == base + width - 1:
+                return tuple(path)
+        raise SchemaError(
+            f"cell range [{low}, {high}] is not a member of "
+            f"hierarchy {self.name!r}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly logical-model fragment."""
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "levels": [
+                {"name": level.name, "fanout": level.fanout}
+                for level in self.levels
+            ],
+        }
+
+
+def binary_hierarchy(size: int) -> Hierarchy:
+    """The implicit hierarchy of a bare axis: one binary split per
+    wavelet level, mirroring the decomposition structure itself."""
+    if size < 2:
+        raise SchemaError(
+            f"a hierarchy needs at least two cells, got size {size}"
+        )
+    levels = tuple(
+        Level(f"h{depth}", 2) for depth in range(ilog2(size))
+    )
+    return Hierarchy("binary", levels)
 
 
 @dataclass(frozen=True)
@@ -31,12 +212,22 @@ class Dimension:
     low, high:
         Domain values of the first cell's lower edge and the last
         cell's upper edge; defaults map cell ``i`` to value ``i``.
+    label:
+        Human-readable name for the logical model (defaults to
+        ``name``).
+    hierarchies:
+        Named drill paths over the axis; every hierarchy's leaf count
+        must equal ``size``.  An axis without declared hierarchies
+        still answers hierarchical cuts through the implicit
+        per-wavelet-level ``"binary"`` hierarchy.
     """
 
     name: str
     size: int
     low: float = 0.0
     high: float | None = None
+    label: str | None = None
+    hierarchies: Tuple[Hierarchy, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,6 +244,22 @@ class Dimension:
                 f"dimension {self.name!r} needs high > low, got "
                 f"[{self.low}, {self.high}]"
             )
+        if self.label is None:
+            object.__setattr__(self, "label", self.name)
+        object.__setattr__(self, "hierarchies", tuple(self.hierarchies))
+        names = [hierarchy.name for hierarchy in self.hierarchies]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"dimension {self.name!r} has duplicate hierarchy "
+                f"names {names}"
+            )
+        for hierarchy in self.hierarchies:
+            if hierarchy.leaf_count != self.size:
+                raise SchemaError(
+                    f"hierarchy {hierarchy.name!r} addresses "
+                    f"{hierarchy.leaf_count} cells but dimension "
+                    f"{self.name!r} has {self.size}"
+                )
 
     @property
     def cell_width(self) -> float:
@@ -81,3 +288,71 @@ class Dimension:
                 f"[0, {self.size})"
             )
         return self.low + (cell + 0.5) * self.cell_width
+
+    # ------------------------------------------------------------------
+    # hierarchies
+    # ------------------------------------------------------------------
+
+    def hierarchy(self, name: str | None = None) -> Hierarchy:
+        """The named hierarchy (first declared one, or the implicit
+        ``"binary"`` hierarchy, when ``name`` is omitted)."""
+        if name is None:
+            if self.hierarchies:
+                return self.hierarchies[0]
+            return binary_hierarchy(self.size)
+        for hierarchy in self.hierarchies:
+            if hierarchy.name == name:
+                return hierarchy
+        if name == "binary":
+            return binary_hierarchy(self.size)
+        raise SchemaError(
+            f"dimension {self.name!r} has no hierarchy {name!r}; have "
+            f"{[h.name for h in self.hierarchies] + ['binary']}"
+        )
+
+    def path_to_range(
+        self,
+        path: Sequence[int],
+        hierarchy: str | None = None,
+    ) -> Tuple[int, int]:
+        """Inclusive cell range of a hierarchy path, round-trip checked.
+
+        Resolves ``path`` through the named (or default) hierarchy and
+        validates the result both ways: the range must lie inside the
+        dimension's domain and :meth:`Hierarchy.cells_to_path` of the
+        range must reproduce the path exactly.  A failure of either
+        check raises :class:`SchemaError` with the offending cut —
+        malformed paths never surface as index errors downstream.
+        """
+        resolved = self.hierarchy(hierarchy)
+        low, high = resolved.path_to_cells(path)
+        if not (0 <= low <= high < self.size):
+            raise SchemaError(
+                f"dimension {self.name!r} cut {list(path)} resolves to "
+                f"cells [{low}, {high}] outside [0, {self.size})"
+            )
+        round_trip = resolved.cells_to_path(low, high)
+        if round_trip != tuple(int(part) for part in path):
+            raise SchemaError(
+                f"dimension {self.name!r} cut {list(path)} does not "
+                f"round-trip through hierarchy {resolved.name!r} "
+                f"(got back {list(round_trip)})"
+            )
+        return low, high
+
+    def to_dict(self) -> dict:
+        """JSON-friendly logical-model fragment (Slicer-style)."""
+        hierarchies = list(self.hierarchies)
+        if not hierarchies and self.size >= 2:
+            hierarchies = [binary_hierarchy(self.size)]
+        return {
+            "name": self.name,
+            "label": self.label,
+            "size": self.size,
+            "domain": [self.low, self.high],
+            "cell_width": self.cell_width,
+            "default_hierarchy": (
+                hierarchies[0].name if hierarchies else None
+            ),
+            "hierarchies": [h.to_dict() for h in hierarchies],
+        }

@@ -1,0 +1,41 @@
+"""HTTP OLAP serving layer: a Slicer-style JSON API over wavelet cubes.
+
+See ``docs/serving.md`` for the API reference, the cut/drilldown
+grammar, and the tenancy + degraded-response model.
+"""
+
+from repro.server.app import ServingApp
+from repro.server.hub import CubeState, ServingHub, Tenant
+from repro.server.http import (
+    ThreadingWSGIServer,
+    make_server,
+    serve,
+    spawn,
+)
+from repro.server.slicer import (
+    AggregateCell,
+    AggregatePlan,
+    Cut,
+    Drilldown,
+    compile_aggregate,
+    parse_cuts,
+    parse_drilldowns,
+)
+
+__all__ = [
+    "AggregateCell",
+    "AggregatePlan",
+    "CubeState",
+    "Cut",
+    "Drilldown",
+    "ServingApp",
+    "ServingHub",
+    "Tenant",
+    "ThreadingWSGIServer",
+    "compile_aggregate",
+    "make_server",
+    "parse_cuts",
+    "parse_drilldowns",
+    "serve",
+    "spawn",
+]

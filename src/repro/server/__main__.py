@@ -1,0 +1,56 @@
+"""``python -m repro.server`` — serve the demo hub over HTTP.
+
+Binds the stdlib threading WSGI server on ``--host``/``--port`` with
+the two-tenant demo hub (see :mod:`repro.server.demo`); the tenant API
+keys are printed at startup.  ``scripts/serve.py`` is a thin wrapper
+around this entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.server.demo import build_demo_hub
+from repro.server.http import serve
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the demo wavelet-cube hub over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8950)
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=64,
+        help="cube edge (power of two, default 64)",
+    )
+    parser.add_argument(
+        "--pool-blocks",
+        type=int,
+        default=64,
+        help="shared buffer-pool budget in blocks",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="demo data seed"
+    )
+    args = parser.parse_args(argv)
+
+    hub = build_demo_hub(
+        seed=args.seed, size=args.size, pool_blocks=args.pool_blocks
+    )
+    for tenant_name in hub.tenants():
+        tenant = hub.tenant(tenant_name)
+        print(
+            f"tenant {tenant_name}: api_key={tenant.api_key} "
+            f"cubes={sorted(tenant.cubes)}"
+        )
+    print(f"serving on http://{args.host}:{args.port}")
+    serve(hub, host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,343 @@
+"""WSGI JSON API over a :class:`~repro.server.hub.ServingHub`.
+
+Stdlib-only Slicer-style endpoints:
+
+========================  ======  =====================================
+``/cubes``                GET     the tenant's cube names
+``/cube/<name>/model``    GET     logical model (dimensions,
+                                  hierarchies, measures)
+``/cube/<name>/aggregate``  GET   ``cut`` / ``drilldown`` aggregation
+``/cube/<name>/update``   POST    SHIFT-SPLIT delta batch
+``/metrics``              GET     Prometheus text exposition
+``/healthz``              GET     breaker / journal / queue state
+========================  ======  =====================================
+
+Tenancy: every data route requires an API key (``X-API-Key`` header or
+``api_key`` query parameter) resolving to a tenant; ``/metrics`` and
+``/healthz`` are operator routes and skip auth.  A per-request
+deadline (``X-Deadline-Ms`` header or ``deadline_ms`` parameter)
+propagates into the engine; queries that blow it are answered from
+resident blocks with a sound ``error_bound`` and the response is
+**206 Partial Content** — a slow tenant degrades instead of stalling.
+
+Status mapping: schema/parse errors 400, unknown key 401, unknown
+cube 404, tenant quota 429, global backpressure 503, engine errors
+500.  Responses are always JSON; floats serialise via ``repr`` so a
+client reading the body sees bit-identical values to a direct
+:class:`~repro.service.engine.QueryEngine` caller.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.obs.tracer import get_tracer
+from repro.olap.schema import SchemaError
+from repro.server.hub import CubeState, ServingHub, Tenant
+from repro.server.slicer import (
+    compile_aggregate,
+    parse_cuts,
+    parse_drilldowns,
+)
+from repro.service.engine import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    AdmissionError,
+    QuotaError,
+)
+from repro.service.queries import RangeSumQuery
+
+__all__ = ["ServingApp"]
+
+_REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_BODY_BYTES = 8 << 20
+
+
+class _HttpError(Exception):
+    """Internal: unwound into a JSON error response."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class ServingApp:
+    """The WSGI callable; one instance serves one hub."""
+
+    def __init__(self, hub: ServingHub, max_cells: int = 4096) -> None:
+        self._hub = hub
+        self._max_cells = max_cells
+
+    # ------------------------------------------------------------------
+    # WSGI entry
+    # ------------------------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(
+                environ.get("QUERY_STRING", "")
+            ).items()
+        }
+        # Handler threads are spawned by the threading HTTP server, so
+        # there is no ambient span to inherit: the request span roots
+        # its own trace and the engine's workers parent query spans
+        # under it through the submission's trace_parent.
+        with get_tracer().span(
+            "http.request", parent=None, method=method, path=path
+        ) as span:
+            try:
+                code, payload, content_type = self._dispatch(
+                    method, path, params, environ
+                )
+            except _HttpError as exc:
+                code, payload, content_type = (
+                    exc.code,
+                    {"error": exc.message},
+                    None,
+                )
+            except SchemaError as exc:
+                code, payload, content_type = 400, {"error": str(exc)}, None
+            except QuotaError as exc:
+                code, payload, content_type = 429, {"error": str(exc)}, None
+            except AdmissionError as exc:
+                code, payload, content_type = 503, {"error": str(exc)}, None
+            except Exception as exc:  # never leak a traceback as HTML
+                code, payload, content_type = 500, {"error": repr(exc)}, None
+            span.set(status_code=code)
+        if content_type is None:
+            content_type = "application/json"
+            body = json.dumps(payload).encode("utf-8")
+        else:
+            body = payload.encode("utf-8")
+        self._hub.metrics.counter(
+            "http_requests", {"code": code, "method": method}
+        ).inc()
+        reason = _REASONS.get(code, "Unknown")
+        start_response(
+            f"{code} {reason}",
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, method: str, path: str, params: Dict[str, str], environ
+    ) -> Tuple[int, object, Optional[str]]:
+        if path == "/healthz":
+            self._require(method, "GET")
+            health = self._hub.healthz()
+            code = 503 if health["status"] == "shedding" else 200
+            return code, health, None
+        if path == "/metrics":
+            self._require(method, "GET")
+            return 200, self._hub.prometheus(), "text/plain; version=0.0.4"
+        tenant = self._authenticate(params, environ)
+        if path == "/cubes":
+            self._require(method, "GET")
+            return (
+                200,
+                {
+                    "tenant": tenant.name,
+                    "cubes": sorted(tenant.cubes),
+                },
+                None,
+            )
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "cube":
+            state = self._cube(tenant, parts[1])
+            if parts[2] == "model":
+                self._require(method, "GET")
+                return 200, state.model(), None
+            if parts[2] == "aggregate":
+                self._require(method, "GET")
+                return self._aggregate(state, params, environ) + (None,)
+            if parts[2] == "update":
+                self._require(method, "POST")
+                return self._update(state, environ) + (None,)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"method {method} not allowed")
+
+    def _authenticate(self, params: Dict[str, str], environ) -> Tenant:
+        api_key = environ.get("HTTP_X_API_KEY") or params.get("api_key")
+        tenant = self._hub.resolve_key(api_key)
+        if tenant is None:
+            raise _HttpError(
+                401,
+                "unknown or missing API key (X-API-Key header or "
+                "api_key parameter)",
+            )
+        return tenant
+
+    @staticmethod
+    def _cube(tenant: Tenant, name: str) -> CubeState:
+        state = tenant.cubes.get(name)
+        if state is None:
+            raise _HttpError(
+                404,
+                f"tenant {tenant.name!r} has no cube {name!r}; have "
+                f"{sorted(tenant.cubes)}",
+            )
+        return state
+
+    @staticmethod
+    def _deadline_s(params: Dict[str, str], environ) -> Optional[float]:
+        raw = environ.get("HTTP_X_DEADLINE_MS") or params.get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            deadline_ms = float(raw)
+        except ValueError:
+            raise _HttpError(
+                400, f"deadline_ms must be a number, got {raw!r}"
+            ) from None
+        if deadline_ms < 0:
+            raise _HttpError(400, "deadline_ms must be >= 0")
+        return deadline_ms / 1000.0
+
+    # ------------------------------------------------------------------
+    # aggregate
+    # ------------------------------------------------------------------
+
+    def _aggregate(
+        self, state: CubeState, params: Dict[str, str], environ
+    ) -> Tuple[int, dict]:
+        cuts = parse_cuts(params.get("cut", ""))
+        drilldowns = parse_drilldowns(params.get("drilldown", ""))
+        plan = compile_aggregate(
+            state.cube.dimensions, cuts, drilldowns, self._max_cells
+        )
+        deadline_s = self._deadline_s(params, environ)
+        queries = [
+            RangeSumQuery(cell.lows, cell.highs) for cell in plan.cells
+        ]
+        engine = state.engine
+        if deadline_s is None:
+            batch = engine.execute_batch(queries)
+            results = list(batch.results)
+        else:
+            # Deadline-bound requests bypass the batch prefetch wave:
+            # the prefetch optimises throughput but performs deadline-
+            # blind device I/O; the per-query path lets an expired
+            # query degrade to resident blocks instead.
+            submissions = []
+            try:
+                for query in queries:
+                    submissions.append(
+                        engine.submit(query, timeout=deadline_s)
+                    )
+            except AdmissionError:
+                for submission in submissions:
+                    submission.result()
+                raise
+            results = [submission.result() for submission in submissions]
+
+        rows: List[dict] = []
+        worst = STATUS_OK
+        dimension_names = [
+            dimension.name for dimension in state.cube.dimensions
+        ]
+        for cell, result in zip(plan.cells, results):
+            row: dict = {
+                "paths": dict(cell.paths),
+                "box": {
+                    name: [low, high]
+                    for name, low, high in zip(
+                        dimension_names, cell.lows, cell.highs
+                    )
+                },
+                "status": result.status,
+                "count": cell.cell_count,
+            }
+            if result.status in (STATUS_OK, STATUS_DEGRADED):
+                value = float(result.value)
+                row["sum"] = value
+                row["avg"] = value / cell.cell_count
+            if result.status == STATUS_DEGRADED:
+                row["error_bound"] = result.error_bound
+            if result.error:
+                row["error"] = result.error
+            rows.append(row)
+            if result.status == STATUS_ERROR:
+                worst = STATUS_ERROR
+            elif result.status != STATUS_OK and worst != STATUS_ERROR:
+                worst = result.status
+        if worst == STATUS_ERROR:
+            code = 500
+        elif worst == STATUS_OK:
+            code = 200
+        else:
+            code = 206
+        return code, {
+            "cube": state.name,
+            "cut": params.get("cut", ""),
+            "drilldown": list(plan.drilled),
+            "status": worst,
+            "cells": rows,
+        }
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+
+    def _update(self, state: CubeState, environ) -> Tuple[int, dict]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            raise _HttpError(400, "update needs a JSON body")
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"update body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        raw = environ["wsgi.input"].read(length)
+        try:
+            body = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            raise _HttpError(400, "update body is not valid JSON") from None
+        if (
+            not isinstance(body, dict)
+            or "deltas" not in body
+            or not isinstance(body.get("corner"), dict)
+        ):
+            raise _HttpError(
+                400,
+                'update body must be {"deltas": [...], '
+                '"corner": {dim: value}}',
+            )
+        try:
+            io_delta = self._hub.update(
+                state.tenant, state.name, body["deltas"], body["corner"]
+            )
+        except (ValueError, KeyError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        return 200, {"applied": True, "io": io_delta}

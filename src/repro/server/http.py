@@ -1,0 +1,84 @@
+"""Stdlib threading HTTP server for the serving app.
+
+``wsgiref``'s reference server is single-threaded; mixing in
+:class:`socketserver.ThreadingMixIn` gives the one-thread-per-request
+model of ``http.server.ThreadingHTTPServer`` while keeping the WSGI
+contract, so :class:`~repro.server.app.ServingApp` stays portable to
+any production WSGI container.  Request handler threads are daemonic:
+a hub shutdown never blocks on a stuck client.
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+from repro.server.app import ServingApp
+from repro.server.hub import ServingHub
+
+__all__ = [
+    "ThreadingWSGIServer",
+    "QuietHandler",
+    "make_server",
+    "serve",
+    "spawn",
+]
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One handler thread per request over the WSGI app."""
+
+    daemon_threads = True
+    # Benchmarks open many short-lived connections in bursts; the
+    # default listen backlog of 5 drops SYNs under that load.
+    request_queue_size = 128
+
+
+class QuietHandler(WSGIRequestHandler):
+    """Handler that keeps access logs out of stderr.
+
+    Request accounting lives in the hub's metrics registry (the
+    ``http_requests`` counter) and the per-request trace span — a
+    second, unstructured log stream adds noise, not signal.
+    """
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+
+def make_server(
+    hub: ServingHub, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingWSGIServer:
+    """Bind a threading server for ``hub`` (port 0 = ephemeral)."""
+    server = ThreadingWSGIServer((host, port), QuietHandler)
+    server.set_app(ServingApp(hub))
+    return server
+
+
+def serve(hub: ServingHub, host: str = "127.0.0.1", port: int = 8950):
+    """Serve ``hub`` forever (returns only on KeyboardInterrupt)."""
+    server = make_server(hub, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        hub.close()
+
+
+def spawn(hub: ServingHub, host: str = "127.0.0.1", port: int = 0):
+    """Start a server on a background thread; returns
+    ``(server, thread)``.  Used by tests and the smoke driver; the
+    caller owns shutdown (``server.shutdown()`` then ``hub.close()``).
+    """
+    server = make_server(hub, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-http-server",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread

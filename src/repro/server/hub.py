@@ -1,0 +1,407 @@
+"""Multi-tenant serving hub: shared storage arena, per-tenant engines.
+
+One :class:`ServingHub` owns the whole serving-side storage stack:
+
+* a single **shared block arena** — one raw
+  :class:`~repro.storage.block_device.BlockDevice` wrapped in a
+  :class:`~repro.storage.journal.JournaledDevice` (group-commit
+  durability, per-block L1 summaries for degraded error bounds) and a
+  :class:`~repro.service.deadline.DeadlineGuardDevice` (per-thread
+  cache-only scopes for deadline-degraded answers);
+* one **shared** :class:`~repro.service.pool.ShardedBufferPool` over
+  that arena — the memory budget every tenant competes for;
+* per-cube :class:`~repro.olap.WaveletCube`\\ s constructed *on* the
+  shared device (block ids stay globally unique because all allocation
+  funnels through the one arena) and per-cube
+  :class:`~repro.service.engine.QueryEngine`\\ s with tenant-labeled
+  metrics, the tenant's in-flight quota, and deadline degradation
+  enabled.
+
+Tenant isolation is therefore exactly what the engine primitives give:
+a tenant saturating its quota gets :class:`QuotaError` (HTTP 429)
+without occupying another tenant's queue slots, and a tenant whose
+deadlines expire gets cache-only degraded answers without issuing
+device reads that would queue ahead of others.
+
+Updates mutate shared structures (device allocation, tile
+directories), so the hub serialises all update batches behind one
+write lock; queries only ever ``peek`` and run lock-free against the
+pool.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fault.breaker import CircuitBreaker
+from repro.obs.exporters import to_prometheus
+from repro.olap.cube import WaveletCube
+from repro.olap.schema import Dimension, SchemaError
+from repro.service.deadline import DeadlineGuardDevice
+from repro.service.engine import QueryEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import ShardedBufferPool
+from repro.storage.block_device import BlockDevice
+from repro.storage.iostats import IOStats
+from repro.storage.journal import JournaledDevice
+
+__all__ = ["CubeState", "ServingHub", "Tenant"]
+
+
+class Tenant:
+    """One tenant: an API key, a quota, and its cubes."""
+
+    def __init__(
+        self,
+        name: str,
+        api_key: str,
+        max_inflight: int,
+        num_workers: int,
+        default_deadline_s: Optional[float],
+    ) -> None:
+        self.name = name
+        self.api_key = api_key
+        self.max_inflight = max_inflight
+        self.num_workers = num_workers
+        self.default_deadline_s = default_deadline_s
+        self.cubes: Dict[str, "CubeState"] = {}
+
+
+class CubeState:
+    """One served cube: the cube, its engine, and its labels."""
+
+    def __init__(
+        self, name: str, tenant: str, cube: WaveletCube, engine: QueryEngine
+    ) -> None:
+        self.name = name
+        self.tenant = tenant
+        self.cube = cube
+        self.engine = engine
+
+    def model(self) -> dict:
+        """The cube's logical model (the ``/model`` payload)."""
+        return {
+            "name": self.name,
+            "shape": list(self.cube.shape),
+            "dimensions": [
+                dimension.to_dict() for dimension in self.cube.dimensions
+            ],
+            "measures": ["sum", "count", "avg"],
+        }
+
+
+class ServingHub:
+    """Shared-arena multi-tenant serving state.
+
+    Parameters
+    ----------
+    block_slots:
+        Coefficient slots per device block, shared by every cube; a
+        cube of ``d`` dimensions is tiled with ``block_edge =
+        block_slots ** (1/d)``, which must be integral (64 slots serve
+        1-D edge 64, 2-D edge 8, 3-D edge 4, 6-D edge 2).
+    pool_blocks:
+        Total shared buffer-pool budget, in blocks.
+    num_shards:
+        Lock shards of the shared pool.
+    queue_depth / num_workers / max_inflight / default_deadline_s:
+        Per-tenant engine defaults; overridable per tenant.
+    breaker_threshold:
+        When set, every engine gets its own
+        :class:`~repro.fault.breaker.CircuitBreaker` with this failure
+        threshold (surfaced through ``/healthz``).
+    """
+
+    def __init__(
+        self,
+        block_slots: int = 64,
+        pool_blocks: int = 64,
+        num_shards: int = 4,
+        queue_depth: int = 64,
+        num_workers: int = 2,
+        max_inflight: int = 32,
+        default_deadline_s: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._block_slots = block_slots
+        self._stats = IOStats()
+        raw = BlockDevice(block_slots, stats=self._stats)
+        self._journaled = JournaledDevice(raw)
+        self._guard = DeadlineGuardDevice(self._journaled)
+        self._pool = ShardedBufferPool(
+            self._guard, pool_blocks, num_shards=num_shards
+        )
+        self._metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._queue_depth = queue_depth
+        self._num_workers = num_workers
+        self._max_inflight = max_inflight
+        self._default_deadline_s = default_deadline_s
+        self._breaker_threshold = breaker_threshold
+        self._tenants: Dict[str, Tenant] = {}
+        self._api_keys: Dict[str, str] = {}  # key -> tenant name
+        self._write_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # shared infrastructure
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def pool(self) -> ShardedBufferPool:
+        return self._pool
+
+    @property
+    def stats(self) -> IOStats:
+        """The shared arena's I/O counters."""
+        return self._stats
+
+    @property
+    def guard(self) -> DeadlineGuardDevice:
+        return self._guard
+
+    def edge_for(self, ndim: int) -> int:
+        """The tile edge a ``ndim``-dimensional cube must use so its
+        tiles fill exactly one shared block."""
+        edge = round(self._block_slots ** (1.0 / ndim))
+        for candidate in (edge - 1, edge, edge + 1):
+            if candidate >= 2 and candidate**ndim == self._block_slots:
+                return candidate
+        raise SchemaError(
+            f"no integral block edge: {self._block_slots} slots do not "
+            f"tile a {ndim}-dimensional cube"
+        )
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        api_key: Optional[str] = None,
+        max_inflight: Optional[int] = None,
+        num_workers: Optional[int] = None,
+        default_deadline_s: Optional[float] = None,
+    ) -> Tenant:
+        """Register a tenant; generates an API key when none is given."""
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already exists")
+        if api_key is None:
+            api_key = secrets.token_hex(16)
+        if api_key in self._api_keys:
+            raise ValueError("API key already in use")
+        tenant = Tenant(
+            name,
+            api_key,
+            max_inflight=(
+                max_inflight
+                if max_inflight is not None
+                else self._max_inflight
+            ),
+            num_workers=(
+                num_workers
+                if num_workers is not None
+                else self._num_workers
+            ),
+            default_deadline_s=(
+                default_deadline_s
+                if default_deadline_s is not None
+                else self._default_deadline_s
+            ),
+        )
+        self._tenants[name] = tenant
+        self._api_keys[api_key] = name
+        return tenant
+
+    def add_cube(
+        self,
+        tenant_name: str,
+        cube_name: str,
+        dimensions: Sequence[Dimension],
+        data=None,
+        chunk_shape=None,
+    ) -> CubeState:
+        """Create and (optionally) bulk-load one tenant cube.
+
+        The cube lives on the shared arena and its engine serves
+        through the shared pool with tenant-labeled metrics.
+        """
+        tenant = self.tenant(tenant_name)
+        if cube_name in tenant.cubes:
+            raise ValueError(
+                f"tenant {tenant_name!r} already has cube {cube_name!r}"
+            )
+        cube = WaveletCube(
+            list(dimensions),
+            block_edge=self.edge_for(len(dimensions)),
+            pool_blocks=max(8, self._pool.capacity // 2),
+            device=self._guard,
+        )
+        if data is not None:
+            with self._write_lock:
+                cube.load(np.asarray(data, dtype=np.float64), chunk_shape)
+                cube.store.flush()
+        breaker = (
+            CircuitBreaker(failure_threshold=self._breaker_threshold)
+            if self._breaker_threshold is not None
+            else None
+        )
+        engine = QueryEngine(
+            cube.store,
+            num_workers=tenant.num_workers,
+            queue_depth=self._queue_depth,
+            default_timeout=tenant.default_deadline_s,
+            metrics=self._metrics,
+            breaker=breaker,
+            degraded_reads=True,
+            pool=self._pool,
+            metric_labels={"tenant": tenant_name, "cube": cube_name},
+            max_inflight=tenant.max_inflight,
+            degrade_on_deadline=True,
+        )
+        state = CubeState(cube_name, tenant_name, cube, engine)
+        tenant.cubes[cube_name] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def tenant(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(
+                f"unknown tenant {name!r}; have {sorted(self._tenants)}"
+            )
+        return tenant
+
+    def resolve_key(self, api_key: Optional[str]) -> Optional[Tenant]:
+        """The tenant owning ``api_key`` (``None`` when unknown)."""
+        if not api_key:
+            return None
+        name = self._api_keys.get(api_key)
+        return self._tenants.get(name) if name is not None else None
+
+    def cube(self, tenant_name: str, cube_name: str) -> CubeState:
+        tenant = self.tenant(tenant_name)
+        state = tenant.cubes.get(cube_name)
+        if state is None:
+            raise KeyError(
+                f"tenant {tenant_name!r} has no cube {cube_name!r}; "
+                f"have {sorted(tenant.cubes)}"
+            )
+        return state
+
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def update(
+        self, tenant_name: str, cube_name: str, deltas, corner: dict
+    ) -> dict:
+        """Apply one SHIFT-SPLIT update batch to a tenant cube.
+
+        All updates across all tenants serialise behind one lock:
+        update batches allocate blocks on the shared arena and mutate
+        the cube's tile directory, neither of which is safe under
+        concurrent writers.  Queries keep flowing — they never
+        allocate.  Returns the I/O delta of the batch.
+        """
+        state = self.cube(tenant_name, cube_name)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        with self._write_lock:
+            before = self._stats.snapshot()
+            state.cube.update(deltas, **corner)
+            delta = self._stats.delta_since(before)
+        self._metrics.counter(
+            "updates_applied",
+            {"tenant": tenant_name, "cube": cube_name},
+        ).inc()
+        return {
+            "block_reads": delta.block_reads,
+            "block_writes": delta.block_writes,
+            "journal_writes": delta.journal_writes,
+        }
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness payload: breaker / journal / queue state.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (any breaker not
+        closed) or ``"shedding"`` (any admission queue at capacity —
+        the load-shedding signal the satellite HWM gauge feeds).
+        """
+        status = "ok"
+        tenants: Dict[str, dict] = {}
+        for name in self.tenants():
+            tenant = self._tenants[name]
+            cubes: Dict[str, dict] = {}
+            for cube_name, state in sorted(tenant.cubes.items()):
+                engine = state.engine
+                entry = {
+                    "queue_depth": engine.queue_depth,
+                    "queue_hwm": engine.queue_hwm,
+                    "queue_capacity": engine.queue_capacity,
+                    "max_inflight": engine.max_inflight,
+                }
+                if engine.breaker is not None:
+                    entry["breaker"] = engine.breaker.state
+                    if engine.breaker.state != "closed":
+                        status = "degraded"
+                if engine.queue_depth >= engine.queue_capacity:
+                    status = "shedding"
+                cubes[cube_name] = entry
+            tenants[name] = {"cubes": cubes}
+        return {
+            "status": status,
+            "tenants": tenants,
+            "journal": {"log_bytes": self._journaled.journal.log_bytes},
+            "pool": {
+                "capacity": self._pool.capacity,
+                "resident": self._pool.resident,
+                "dirty": self._pool.dirty,
+            },
+        }
+
+    def prometheus(self) -> str:
+        """The shared registry in Prometheus text format."""
+        for tenant in self._tenants.values():
+            for state in tenant.cubes.values():
+                state.engine.refresh_gauges()
+        return to_prometheus(self._metrics)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every engine (drain + flush).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for tenant in self._tenants.values():
+            for state in tenant.cubes.values():
+                state.engine.close()
+
+    def __enter__(self) -> "ServingHub":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

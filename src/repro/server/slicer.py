@@ -1,0 +1,318 @@
+"""Slicer-style aggregation grammar over wavelet cube schemas.
+
+The HTTP layer speaks the dialect of Cubes' Slicer server: a **cut**
+restricts the queried box and a **drilldown** splits it into member
+cells of a named hierarchy.  This module owns both the textual grammar
+and its compilation into :class:`~repro.service.queries.RangeSumQuery`
+boxes — the serving handler stays a thin parser-to-engine bridge.
+
+Grammar
+-------
+
+``cut`` — ``|``-separated list, one entry per dimension::
+
+    dim:lo-hi          range cut in domain units (inclusive)
+    dim@hier:p.p.p     hierarchy cut: member path, ordinals joined
+                       by "."; the named hierarchy must exist on the
+                       dimension ("binary" always does)
+
+``drilldown`` — ``,``-separated list::
+
+    dim                one level below the dimension's cut (or the
+                       root when uncut)
+    dim:level          to the named or numbered (1-based) level
+    dim@hier:level     same, through a named hierarchy
+
+Every member of every hierarchy level spans a *dyadic* cell range
+(enforced by :mod:`repro.olap.schema`), so each drill cell compiles to
+exactly one SHIFT-SPLIT range sum at Lemma 2 boundary cost.
+Malformed input raises :class:`~repro.olap.schema.SchemaError`, which
+the HTTP layer maps to a 400 with the message verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.olap.schema import Dimension, SchemaError
+
+__all__ = [
+    "Cut",
+    "Drilldown",
+    "AggregateCell",
+    "AggregatePlan",
+    "parse_cuts",
+    "parse_drilldowns",
+    "compile_aggregate",
+]
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One parsed cut: a domain range or a hierarchy member path."""
+
+    dimension: str
+    hierarchy: Optional[str] = None
+    path: Optional[Tuple[int, ...]] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    @property
+    def is_path(self) -> bool:
+        return self.path is not None
+
+
+@dataclass(frozen=True)
+class Drilldown:
+    """One parsed drilldown target."""
+
+    dimension: str
+    hierarchy: Optional[str] = None
+    level: Optional[str] = None  # level name or 1-based depth
+
+
+@dataclass(frozen=True)
+class AggregateCell:
+    """One output row: a box plus the member paths that selected it."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+    paths: Tuple[Tuple[str, str], ...]  # (dimension, "p.p.p")
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for low, high in zip(self.lows, self.highs):
+            count *= high - low + 1
+        return count
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """Everything an aggregate request compiles to."""
+
+    cells: Tuple[AggregateCell, ...]
+    drilled: Tuple[str, ...]  # dimension names, output order
+
+
+def _split_range(spec: str, dimension: str) -> Tuple[float, float]:
+    """Parse ``lo-hi`` (both may be negative / scientific notation).
+
+    The separator is ambiguous with a unary minus, so every interior
+    ``-`` is tried as the split point until both sides parse.
+    """
+    for index, char in enumerate(spec):
+        if char != "-" or index == 0:
+            continue
+        if spec[index - 1] in "eE-":
+            continue
+        left, right = spec[:index], spec[index + 1 :]
+        try:
+            return float(left), float(right)
+        except ValueError:
+            continue
+    try:
+        value = float(spec)
+    except ValueError:
+        raise SchemaError(
+            f"cut on {dimension!r}: cannot parse range {spec!r} "
+            f"(expected lo-hi in domain units)"
+        ) from None
+    return value, value
+
+
+def _split_target(entry: str, what: str) -> Tuple[str, Optional[str], str]:
+    """Split ``dim[@hier][:spec]`` -> (dim, hier, spec)."""
+    head, sep, spec = entry.partition(":")
+    dimension, at, hierarchy = head.partition("@")
+    if not dimension:
+        raise SchemaError(f"{what} entry {entry!r} names no dimension")
+    if at and not hierarchy:
+        raise SchemaError(
+            f"{what} entry {entry!r} has an empty hierarchy name"
+        )
+    if sep and not spec:
+        raise SchemaError(f"{what} entry {entry!r} has an empty spec")
+    return dimension, (hierarchy or None), spec
+
+
+def parse_cuts(text: str) -> List[Cut]:
+    """Parse a ``cut=`` parameter value (may be empty)."""
+    cuts: List[Cut] = []
+    for entry in text.split("|"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        dimension, hierarchy, spec = _split_target(entry, "cut")
+        if not spec:
+            raise SchemaError(
+                f"cut on {dimension!r} has no range or path"
+            )
+        if hierarchy is not None:
+            path: List[int] = []
+            for part in spec.split("."):
+                try:
+                    path.append(int(part))
+                except ValueError:
+                    raise SchemaError(
+                        f"cut on {dimension!r}: path component "
+                        f"{part!r} is not an integer"
+                    ) from None
+            cuts.append(
+                Cut(dimension, hierarchy=hierarchy, path=tuple(path))
+            )
+        else:
+            low, high = _split_range(spec, dimension)
+            cuts.append(Cut(dimension, low=low, high=high))
+    return cuts
+
+
+def parse_drilldowns(text: str) -> List[Drilldown]:
+    """Parse a ``drilldown=`` parameter value (may be empty)."""
+    drills: List[Drilldown] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        dimension, hierarchy, spec = _split_target(entry, "drilldown")
+        drills.append(
+            Drilldown(dimension, hierarchy=hierarchy, level=spec or None)
+        )
+    return drills
+
+
+def _resolve_depth(hierarchy, level: Optional[str], base: int) -> int:
+    """Target depth of a drilldown: named level, 1-based number, or
+    one below the cut."""
+    if level is None:
+        depth = base + 1
+    else:
+        try:
+            depth = int(level)
+        except ValueError:
+            depth = hierarchy.level_index(level) + 1
+    if not base < depth <= hierarchy.depth:
+        raise SchemaError(
+            f"drilldown depth {depth} on hierarchy {hierarchy.name!r} "
+            f"must be in ({base}, {hierarchy.depth}]"
+        )
+    return depth
+
+
+def compile_aggregate(
+    dimensions: Sequence[Dimension],
+    cuts: Sequence[Cut],
+    drilldowns: Sequence[Drilldown],
+    max_cells: int = 4096,
+) -> AggregatePlan:
+    """Compile parsed cuts + drilldowns into range-sum boxes.
+
+    Returns one :class:`AggregateCell` per member of the drilldown
+    cross product (a single cell when nothing is drilled), each box
+    the intersection of the member's dyadic range with the cut box.
+    """
+    by_name: Dict[str, int] = {
+        dimension.name: axis for axis, dimension in enumerate(dimensions)
+    }
+    boxes: List[Tuple[int, int]] = [
+        (0, dimension.size - 1) for dimension in dimensions
+    ]
+    cut_paths: Dict[str, Cut] = {}
+    seen_cut: set = set()
+    for cut in cuts:
+        axis = by_name.get(cut.dimension)
+        if axis is None:
+            raise SchemaError(
+                f"unknown dimension {cut.dimension!r}; have "
+                f"{sorted(by_name)}"
+            )
+        if cut.dimension in seen_cut:
+            raise SchemaError(
+                f"dimension {cut.dimension!r} is cut more than once"
+            )
+        seen_cut.add(cut.dimension)
+        dimension = dimensions[axis]
+        if cut.is_path:
+            boxes[axis] = dimension.path_to_range(
+                cut.path, hierarchy=cut.hierarchy
+            )
+            cut_paths[cut.dimension] = cut
+        else:
+            low, high = dimension.to_cell_range(cut.low, cut.high)
+            boxes[axis] = (low, high)
+
+    members_per_dim: List[List[Tuple[str, Tuple[int, int]]]] = []
+    drilled: List[str] = []
+    for drill in drilldowns:
+        axis = by_name.get(drill.dimension)
+        if axis is None:
+            raise SchemaError(
+                f"unknown dimension {drill.dimension!r}; have "
+                f"{sorted(by_name)}"
+            )
+        if drill.dimension in drilled:
+            raise SchemaError(
+                f"dimension {drill.dimension!r} is drilled more than once"
+            )
+        dimension = dimensions[axis]
+        base_cut = cut_paths.get(drill.dimension)
+        if drill.dimension in seen_cut and base_cut is None:
+            raise SchemaError(
+                f"dimension {drill.dimension!r} has a range cut; "
+                f"drilldown needs a hierarchy cut (dim@hier:path) "
+                f"or no cut at all"
+            )
+        if (
+            base_cut is not None
+            and drill.hierarchy is not None
+            and base_cut.hierarchy != drill.hierarchy
+        ):
+            raise SchemaError(
+                f"dimension {drill.dimension!r} is cut through "
+                f"hierarchy {base_cut.hierarchy!r} but drilled through "
+                f"{drill.hierarchy!r}"
+            )
+        hierarchy_name = (
+            drill.hierarchy
+            if drill.hierarchy is not None
+            else (base_cut.hierarchy if base_cut is not None else None)
+        )
+        hierarchy = dimension.hierarchy(hierarchy_name)
+        base_path = tuple(base_cut.path) if base_cut is not None else ()
+        depth = _resolve_depth(hierarchy, drill.level, len(base_path))
+        ordinal_axes = [
+            range(hierarchy.levels[level].fanout)
+            for level in range(len(base_path), depth)
+        ]
+        members: List[Tuple[str, Tuple[int, int]]] = []
+        for suffix in product(*ordinal_axes):
+            path = base_path + suffix
+            label = ".".join(str(part) for part in path)
+            members.append((label, hierarchy.path_to_cells(path)))
+        members_per_dim.append(members)
+        drilled.append(drill.dimension)
+
+    total = 1
+    for members in members_per_dim:
+        total *= len(members)
+    if total > max_cells:
+        raise SchemaError(
+            f"drilldown produces {total} cells; the limit is "
+            f"{max_cells} — cut deeper or drill fewer levels"
+        )
+
+    cells: List[AggregateCell] = []
+    for combo in product(*members_per_dim):
+        lows = [low for low, __ in boxes]
+        highs = [high for __, high in boxes]
+        paths: List[Tuple[str, str]] = []
+        for name, (label, (low, high)) in zip(drilled, combo):
+            axis = by_name[name]
+            lows[axis], highs[axis] = low, high
+            paths.append((name, label))
+        cells.append(
+            AggregateCell(tuple(lows), tuple(highs), tuple(paths))
+        )
+    return AggregatePlan(cells=tuple(cells), drilled=tuple(drilled))

@@ -29,7 +29,7 @@ import threading
 import time
 from dataclasses import dataclass
 from queue import Empty, Full, Queue
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from repro.fault.breaker import CircuitBreaker
 from repro.fault.retry import Retrier, RetryPolicy
@@ -47,6 +47,7 @@ from repro.service.queries import (
 __all__ = [
     "AdmissionError",
     "EngineClosedError",
+    "QuotaError",
     "QueryResult",
     "Submission",
     "BatchResult",
@@ -61,6 +62,14 @@ STATUS_DEGRADED = "degraded"
 
 class AdmissionError(RuntimeError):
     """Raised when the admission queue is full (backpressure)."""
+
+
+class QuotaError(AdmissionError):
+    """Raised when the engine's in-flight quota is exhausted.
+
+    Distinguished from a full queue so the serving layer can answer a
+    quota-throttled tenant with HTTP 429 while a globally overloaded
+    queue still reads as backpressure."""
 
 
 class EngineClosedError(AdmissionError):
@@ -185,6 +194,28 @@ class QueryEngine:
         with unreadable blocks zero-filled, answering
         :data:`STATUS_DEGRADED` with an absolute ``error_bound``
         instead of :data:`STATUS_ERROR`.
+    pool:
+        An existing :class:`ShardedBufferPool` to serve through
+        instead of building a private one — the multi-tenant serving
+        layer hands every tenant engine the same pool (one shared
+        memory budget over one shared device).  ``num_shards`` and
+        ``pool_capacity`` are ignored when given.
+    metric_labels:
+        Labels stamped onto every counter/gauge/histogram series this
+        engine records (e.g. ``{"tenant": "acme"}``), so engines
+        sharing one :class:`MetricsRegistry` stay distinguishable.
+    max_inflight:
+        Admission quota: maximum queries admitted but not yet
+        completed (queued + executing), across both :meth:`submit`
+        and :meth:`execute_batch`.  Beyond it submissions raise
+        :class:`QuotaError`.  ``None`` (default) means unbounded —
+        the queue depth alone applies.
+    degrade_on_deadline:
+        When ``True`` and the store's device chain contains a
+        :class:`~repro.service.deadline.DeadlineGuardDevice`, a query
+        whose deadline expired in the queue is answered from resident
+        blocks only (non-resident blocks zero-filled, sound
+        ``error_bound``) instead of a bare timeout.
     """
 
     def __init__(
@@ -200,27 +231,52 @@ class QueryEngine:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         degraded_reads: bool = False,
+        pool: Optional[ShardedBufferPool] = None,
+        metric_labels: Optional[Mapping[str, object]] = None,
+        max_inflight: Optional[int] = None,
+        degrade_on_deadline: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self._store = store
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._labels = dict(metric_labels) if metric_labels else None
         self._default_timeout = default_timeout
         self._retry_policy = retry_policy
         self._breaker = breaker
         self._degraded_reads = degraded_reads
-        capacity = (
-            pool_capacity
-            if pool_capacity is not None
-            else store.tile_store.pool.capacity
-        )
-        self._pool = ShardedBufferPool(
-            store.tile_store.device, capacity, num_shards=num_shards
-        )
+        self._degrade_on_deadline = degrade_on_deadline
+        self._deadline_guard = None
+        if degrade_on_deadline:
+            device = store.tile_store.device
+            while device is not None:
+                if hasattr(device, "cache_only"):
+                    self._deadline_guard = device
+                    break
+                device = getattr(device, "inner", None)
+        if pool is not None:
+            self._pool = pool
+        else:
+            capacity = (
+                pool_capacity
+                if pool_capacity is not None
+                else store.tile_store.pool.capacity
+            )
+            self._pool = ShardedBufferPool(
+                store.tile_store.device, capacity, num_shards=num_shards
+            )
         store.tile_store.set_pool(self._pool)
         self._queue: "Queue[Optional[Submission]]" = Queue(maxsize=queue_depth)
+        self._max_inflight = max_inflight
+        self._inflight = 0  # guarded-by: _inflight_lock
+        self._queue_hwm = 0  # guarded-by: _inflight_lock
+        self._inflight_lock = threading.Lock()
         self._closed = False  # guarded-by: _close_lock
         self._close_lock = threading.Lock()
         self._drained = threading.Event()
@@ -233,6 +289,19 @@ class QueryEngine:
         ]
         for worker in self._workers:
             worker.start()
+
+    # ------------------------------------------------------------------
+    # labeled metric accessors
+    # ------------------------------------------------------------------
+
+    def _counter(self, name: str):
+        return self._metrics.counter(name, self._labels)
+
+    def _gauge(self, name: str):
+        return self._metrics.gauge(name, self._labels)
+
+    def _histogram(self, name: str):
+        return self._metrics.histogram(name, self._labels)
 
     # ------------------------------------------------------------------
 
@@ -253,6 +322,29 @@ class QueryEngine:
         # lint: allow=lock-discipline (racy bool read; close() drains stragglers that slip past it)
         return self._closed
 
+    @property
+    def queue_capacity(self) -> int:
+        return self._queue.maxsize
+
+    @property
+    def queue_depth(self) -> int:
+        """Current admission-queue occupancy (approximate)."""
+        return self._queue.qsize()
+
+    @property
+    def queue_hwm(self) -> int:
+        """Admission-queue high-water mark since construction."""
+        with self._inflight_lock:
+            return self._queue_hwm
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        return self._breaker
+
+    @property
+    def max_inflight(self) -> Optional[int]:
+        return self._max_inflight
+
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
@@ -264,24 +356,54 @@ class QueryEngine:
             return None
         return time.monotonic() + timeout
 
+    def _reserve_inflight(self, count: int) -> None:
+        """Claim ``count`` in-flight slots or raise :class:`QuotaError`."""
+        with self._inflight_lock:
+            if (
+                self._max_inflight is not None
+                and self._inflight + count > self._max_inflight
+            ):
+                available = self._max_inflight - self._inflight
+                self._counter("queries_throttled").inc(count)
+                raise QuotaError(
+                    f"in-flight quota exhausted ({self._inflight} of "
+                    f"{self._max_inflight} in flight, {available} free, "
+                    f"{count} requested)"
+                )
+            self._inflight += count
+
+    def _release_inflight(self, count: int = 1) -> None:
+        with self._inflight_lock:
+            self._inflight = max(0, self._inflight - count)
+
+    def _note_queue_depth(self) -> None:
+        """Record the admission-queue high-water mark after an enqueue."""
+        depth = self._queue.qsize()
+        with self._inflight_lock:
+            if depth > self._queue_hwm:
+                self._queue_hwm = depth
+
     def submit(
         self, query: Query, timeout: Optional[float] = None
     ) -> Submission:
         """Admit one query; raises :class:`AdmissionError` when the
-        queue is full and :class:`EngineClosedError` after
-        :meth:`close`."""
+        queue is full, :class:`QuotaError` when the in-flight quota is
+        exhausted and :class:`EngineClosedError` after :meth:`close`."""
         # lint: allow=lock-discipline (racy fast-path check; close() completes racing submissions)
         if self._closed:
             raise EngineClosedError("engine is closed")
+        self._reserve_inflight(1)
         submission = Submission(query, self._deadline_for(timeout))
         try:
             self._queue.put_nowait(submission)
         except Full:
-            self._metrics.counter("queries_rejected").inc()
+            self._release_inflight(1)
+            self._counter("queries_rejected").inc()
             raise AdmissionError(
                 f"admission queue is full ({self._queue.maxsize} waiting)"
             ) from None
-        self._metrics.counter("queries_submitted").inc()
+        self._note_queue_depth()
+        self._counter("queries_submitted").inc()
         return submission
 
     def run(self, query: Query, timeout: Optional[float] = None) -> QueryResult:
@@ -289,9 +411,13 @@ class QueryEngine:
         return self.submit(query, timeout=timeout).result()
 
     def _enqueue_blocking(self, submission: Submission) -> None:
-        """Batch-path admission: wait for space instead of rejecting."""
+        """Batch-path admission: wait for space instead of rejecting.
+
+        The caller (:meth:`execute_batch`) has already reserved the
+        batch's in-flight slots up front."""
         self._queue.put(submission)
-        self._metrics.counter("queries_submitted").inc()
+        self._note_queue_depth()
+        self._counter("queries_submitted").inc()
 
     # ------------------------------------------------------------------
     # execution
@@ -311,18 +437,19 @@ class QueryEngine:
                 # anything escaping it is an engine bug.  The worker
                 # must survive it and the waiter must still get an
                 # answer.
-                self._metrics.counter("worker_faults").inc()
+                self._counter("worker_faults").inc()
                 error = f"internal worker error: {exc!r}"
             finally:
                 if not submission.done():
                     submission._complete(
                         QueryResult(status=STATUS_ERROR, error=error)
                     )
+                self._release_inflight(1)
                 self._queue.task_done()
 
     def _execute(self, submission: Submission) -> None:
         wait_s = time.perf_counter() - submission.submitted_s
-        self._metrics.histogram("admission_wait_s").record(wait_s)
+        self._histogram("admission_wait_s").record(wait_s)
         with get_tracer().span(
             "query",
             parent=submission.trace_parent,
@@ -333,7 +460,18 @@ class QueryEngine:
                 submission.deadline is not None
                 and time.monotonic() >= submission.deadline
             ):
-                self._metrics.counter("queries_timed_out").inc()
+                degraded = self._answer_from_cache(submission.query)
+                if degraded is not None:
+                    self._counter("queries_deadline_degraded").inc()
+                    self._counter("queries_served").inc()
+                    if degraded.status == STATUS_DEGRADED:
+                        self._counter("queries_degraded").inc()
+                    span.set(status=degraded.status)
+                    if degraded.error:
+                        span.set(error=degraded.error)
+                    submission._complete(degraded)
+                    return
+                self._counter("queries_timed_out").inc()
                 span.set(status=STATUS_TIMEOUT)
                 submission._complete(
                     QueryResult(
@@ -356,14 +494,14 @@ class QueryEngine:
                 error_bound=result.error_bound,
                 attempts=result.attempts,
             )
-            self._metrics.histogram("query_latency_s").record(latency)
+            self._histogram("query_latency_s").record(latency)
             if result.status == STATUS_OK:
-                self._metrics.counter("queries_served").inc()
+                self._counter("queries_served").inc()
             elif result.status == STATUS_DEGRADED:
-                self._metrics.counter("queries_served").inc()
-                self._metrics.counter("queries_degraded").inc()
+                self._counter("queries_served").inc()
+                self._counter("queries_degraded").inc()
             else:
-                self._metrics.counter("query_errors").inc()
+                self._counter("query_errors").inc()
             span.set(status=result.status)
             if result.error:
                 span.set(error=result.error)
@@ -382,7 +520,7 @@ class QueryEngine:
         if breaker is not None and not breaker.allow():
             # Device is presumed down: answer without touching it
             # rather than piling retries onto a dead disk.
-            self._metrics.counter("queries_shed").inc()
+            self._counter("queries_shed").inc()
             if self._degraded_reads:
                 outcome = execute_query_degraded(self._store, query)
                 if isinstance(outcome, DegradedValue):
@@ -415,7 +553,7 @@ class QueryEngine:
         except IOError as exc:
             if retrier is not None and retrier.retries:
                 attempts += retrier.retries
-                self._metrics.counter("io_retries").inc(retrier.retries)
+                self._counter("io_retries").inc(retrier.retries)
             if breaker is not None:
                 breaker.on_failure()
             if self._degraded_reads:
@@ -441,10 +579,46 @@ class QueryEngine:
             )
         if retrier is not None and retrier.retries:
             attempts += retrier.retries
-            self._metrics.counter("io_retries").inc(retrier.retries)
+            self._counter("io_retries").inc(retrier.retries)
         if breaker is not None:
             breaker.on_success()
         return QueryResult(status=STATUS_OK, value=value, attempts=attempts)
+
+    def _answer_from_cache(self, query: Query) -> Optional[QueryResult]:
+        """Deadline-expired fallback: answer from resident blocks only.
+
+        Requires ``degrade_on_deadline`` and a
+        :class:`~repro.service.deadline.DeadlineGuardDevice` in the
+        store's device chain.  The query is re-run inside the guard's
+        ``cache_only`` scope: buffer-pool hits answer normally, device
+        reads are refused, refused blocks are zero-filled and the
+        degraded collector prices them into a sound ``error_bound``.
+        Returns ``None`` when the machinery is unavailable or the
+        cache-only pass itself fails — the caller falls back to a bare
+        timeout.
+        """
+        if not self._degrade_on_deadline or self._deadline_guard is None:
+            return None
+        started = time.perf_counter()
+        try:
+            with self._deadline_guard.cache_only():
+                outcome = execute_query_degraded(self._store, query)
+        except Exception:  # fall back to the plain timeout answer
+            return None
+        latency = time.perf_counter() - started
+        if isinstance(outcome, DegradedValue):
+            return QueryResult(
+                status=STATUS_DEGRADED,
+                value=outcome.value,
+                error="deadline expired; non-resident blocks zero-filled",
+                latency_s=latency,
+                error_bound=outcome.error_bound,
+            )
+        # Every block the query needed was already resident: the
+        # cache-only pass produced a full-fidelity answer for free.
+        return QueryResult(
+            status=STATUS_OK, value=outcome, latency_s=latency
+        )
 
     # ------------------------------------------------------------------
     # batched execution
@@ -467,45 +641,56 @@ class QueryEngine:
         if self._closed:
             raise EngineClosedError("engine is closed")
         queries = list(queries)
+        # The whole batch's quota is reserved up front (all-or-nothing:
+        # a tenant cannot half-admit a batch and starve its own tail).
+        # Workers release one slot per executed submission; anything
+        # never enqueued is released on the failure path below.
+        self._reserve_inflight(len(queries))
+        enqueued = 0
         tracer = get_tracer()
         started = time.perf_counter()
         before = self._store.stats.snapshot()
-        with tracer.span("batch", queries=len(queries)) as batch_span:
-            with tracer.span("batch.plan"):
-                plan = plan_batch(self._store, queries)
-            batch_span.set(
-                unique_tiles=plan.num_unique_tiles,
-                tile_refs=plan.total_tile_refs,
-                dedup_ratio=plan.dedup_ratio,
-            )
-            self._metrics.counter("batches_planned").inc()
-            self._metrics.counter("planned_tile_refs").inc(
-                plan.total_tile_refs
-            )
-            self._metrics.counter("planned_unique_tiles").inc(
-                plan.num_unique_tiles
-            )
-            with self._batch_lock:  # one prefetch wave at a time
-                with tracer.span("batch.prefetch") as prefetch_span:
-                    pinned = self._prefetch(plan)
-                    prefetch_span.set(blocks=len(pinned))
-                try:
-                    submissions = []
-                    for query in queries:
-                        submission = Submission(
-                            query, self._deadline_for(timeout)
-                        )
-                        self._enqueue_blocking(submission)
-                        submissions.append(submission)
-                    results = tuple(sub.result() for sub in submissions)
-                finally:
-                    for block_id in pinned:
-                        self._pool.unpin(block_id)
+        try:
+            with tracer.span("batch", queries=len(queries)) as batch_span:
+                with tracer.span("batch.plan"):
+                    plan = plan_batch(self._store, queries)
+                batch_span.set(
+                    unique_tiles=plan.num_unique_tiles,
+                    tile_refs=plan.total_tile_refs,
+                    dedup_ratio=plan.dedup_ratio,
+                )
+                self._counter("batches_planned").inc()
+                self._counter("planned_tile_refs").inc(
+                    plan.total_tile_refs
+                )
+                self._counter("planned_unique_tiles").inc(
+                    plan.num_unique_tiles
+                )
+                with self._batch_lock:  # one prefetch wave at a time
+                    with tracer.span("batch.prefetch") as prefetch_span:
+                        pinned = self._prefetch(plan)
+                        prefetch_span.set(blocks=len(pinned))
+                    try:
+                        submissions = []
+                        for query in queries:
+                            submission = Submission(
+                                query, self._deadline_for(timeout)
+                            )
+                            self._enqueue_blocking(submission)
+                            enqueued += 1
+                            submissions.append(submission)
+                        results = tuple(sub.result() for sub in submissions)
+                    finally:
+                        for block_id in pinned:
+                            self._pool.unpin(block_id)
+        except BaseException:
+            self._release_inflight(len(queries) - enqueued)
+            raise
         wall = time.perf_counter() - started
         delta = self._store.stats.delta_since(before)
-        self._metrics.histogram("batch_wall_s").record(wall)
+        self._histogram("batch_wall_s").record(wall)
         if queries:
-            self._metrics.histogram("blocks_per_query").record(
+            self._histogram("blocks_per_query").record(
                 delta.block_reads / len(queries)
             )
         return BatchResult(
@@ -538,7 +723,7 @@ class QueryEngine:
                         lambda b=block_id: self._pool.fetch_and_pin(b)
                     )
                     if retrier.retries:
-                        self._metrics.counter("io_retries").inc(
+                        self._counter("io_retries").inc(
                             retrier.retries
                         )
                 else:
@@ -547,10 +732,10 @@ class QueryEngine:
                 # Prefetch is an optimisation: an unreadable block is
                 # skipped here and handled by the per-query resilience
                 # ladder (retry / degrade) when a query touches it.
-                self._metrics.counter("prefetch_skipped").inc()
+                self._counter("prefetch_skipped").inc()
                 continue
             pinned.append(block_id)
-        self._metrics.counter("blocks_prefetched").inc(len(pinned))
+        self._counter("blocks_prefetched").inc(len(pinned))
         return pinned
 
     # ------------------------------------------------------------------
@@ -586,10 +771,14 @@ class QueryEngine:
                 straggler = self._queue.get_nowait()
             except Empty:
                 break
-            if straggler is not None and not straggler.done():
-                straggler._complete(
-                    QueryResult(status=STATUS_ERROR, error="engine is closed")
-                )
+            if straggler is not None:
+                if not straggler.done():
+                    straggler._complete(
+                        QueryResult(
+                            status=STATUS_ERROR, error="engine is closed"
+                        )
+                    )
+                self._release_inflight(1)
             self._queue.task_done()
         with get_tracer().span("engine.flush"):
             self._pool.flush()
@@ -609,12 +798,19 @@ class QueryEngine:
         """Publish current pool/queue occupancy into the registry's
         gauges (pull-style: refreshed on snapshot rather than on every
         pool operation, which would serialise the hot path)."""
-        self._metrics.gauge("pool_resident_blocks").set(self._pool.resident)
-        self._metrics.gauge("pool_dirty_blocks").set(self._pool.dirty)
-        self._metrics.gauge("pool_pinned_blocks").set(self._pool.pinned)
-        self._metrics.gauge("admission_queue_depth").set(self._queue.qsize())
+        self._gauge("pool_resident_blocks").set(self._pool.resident)
+        self._gauge("pool_dirty_blocks").set(self._pool.dirty)
+        self._gauge("pool_pinned_blocks").set(self._pool.pinned)
+        self._gauge("admission_queue_depth").set(self._queue.qsize())
+        with self._inflight_lock:
+            inflight = self._inflight
+            queue_hwm = self._queue_hwm
+        self._gauge("queries_inflight").set(inflight)
+        self._gauge("admission_queue_hwm").set(queue_hwm)
+        if self._max_inflight is not None:
+            self._gauge("inflight_quota").set(self._max_inflight)
         if self._breaker is not None:
-            self._metrics.gauge("breaker_state").set(
+            self._gauge("breaker_state").set(
                 self._breaker.state_code
             )
 
@@ -632,8 +828,13 @@ class QueryEngine:
                 report["faults"] = fault_counts()
                 break
             device = getattr(device, "inner", None)
-        counters = report["counters"]
-        refs = counters.get("planned_tile_refs", 0)
-        unique = counters.get("planned_unique_tiles", 0)
+        # Read the series through the labeled accessors: under
+        # metric_labels the snapshot keys carry a `{...}` suffix, so a
+        # bare-name lookup would silently miss them.
+        refs = self._counter("planned_tile_refs").value
+        unique = self._counter("planned_unique_tiles").value
         report["planner_dedup_ratio"] = refs / unique if unique else 1.0
+        with self._inflight_lock:
+            report["admission_queue_hwm"] = self._queue_hwm
+            report["queries_inflight"] = self._inflight
         return report

@@ -10,10 +10,12 @@ renders everything to a plain dict with
 ``serve-replay`` CLI print.  :func:`repro.obs.to_prometheus` renders
 the same registry in Prometheus text exposition format.
 
-Counters may carry **labels** (``registry.counter("hits",
-labels={"shard": 0})``): each distinct label set is its own series,
-keyed in snapshots as ``name{k="v",...}`` — the Prometheus convention,
-passed through verbatim by the exporter.
+Counters, gauges and histograms may carry **labels**
+(``registry.counter("hits", labels={"shard": 0})``): each distinct
+label set is its own series, keyed in snapshots as ``name{k="v",...}``
+— the Prometheus convention, passed through verbatim by the exporter.
+The serving layer uses this for per-tenant series
+(``query_latency_s{tenant="acme"}``).
 
 No external metrics stack: observations are kept in a bounded
 reservoir, percentiles are computed on demand from a sorted copy.
@@ -204,11 +206,16 @@ class MetricsRegistry:
                 gauge = self._gauges[key] = Gauge(key)
             return gauge
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Histogram:
+        key = _series_key(name, labels)
         with self._lock:
-            histogram = self._histograms.get(name)
+            histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram(name)
+                histogram = self._histograms[key] = Histogram(key)
             return histogram
 
     def snapshot(self) -> dict:

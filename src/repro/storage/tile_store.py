@@ -36,6 +36,15 @@ class TileStore:
         size it explicitly from the scenario's memory budget.
     stats:
         Shared I/O counter; a fresh one is created when omitted.
+    device:
+        An existing device to store tiles on instead of creating a
+        private :class:`BlockDevice`.  Its ``block_slots`` must equal
+        ``block_slots``.  The multi-tenant serving layer passes one
+        shared (journaled, deadline-guarded) device to every tenant's
+        store: block ids stay globally unique because all allocation
+        goes through the one device, so the tenants can also share one
+        buffer pool.  ``stats`` is ignored when ``device`` is given —
+        the device already carries its counter.
     """
 
     def __init__(
@@ -43,8 +52,17 @@ class TileStore:
         block_slots: int,
         pool_capacity: int = 8,
         stats: Optional[IOStats] = None,
+        device=None,
     ) -> None:
-        self._device = BlockDevice(block_slots, stats=stats)
+        if device is not None:
+            if device.block_slots != block_slots:
+                raise ValueError(
+                    f"shared device has {device.block_slots} slots per "
+                    f"block but this store needs {block_slots}"
+                )
+            self._device = device
+        else:
+            self._device = BlockDevice(block_slots, stats=stats)
         self._pool = BufferPool(self._device, pool_capacity)
         self._directory: Dict[Hashable, int] = {}
 

@@ -71,6 +71,7 @@ class TiledStandardStore:
         pool_capacity: int = 8,
         stats: Optional[IOStats] = None,
         validate_regions: Optional[bool] = None,
+        device=None,
     ) -> None:
         self._tiling = StandardTiling(shape, block_edge)
         self._edge = block_edge
@@ -78,6 +79,7 @@ class TiledStandardStore:
             block_slots=self._tiling.block_slots,
             pool_capacity=pool_capacity,
             stats=stats,
+            device=device,
         )
         # Duplicate-index validation costs an np.unique per axis on
         # every region call; plan-driven traffic is duplicate-free by

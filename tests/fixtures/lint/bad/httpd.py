@@ -1,0 +1,19 @@
+"""Known-bad: REPRO-T001 at lines 8 and 14 (server worker threads)."""
+
+from wsgiref.simple_server import WSGIRequestHandler
+
+
+class Handler(WSGIRequestHandler):
+    def handle(self, tracer):
+        with tracer.span("http.request"):
+            return None
+
+
+class App:
+    def __call__(self, environ, start_response, tracer):
+        with tracer.span("wsgi"):
+            return []
+
+
+def attach(server):
+    server.set_app(App())

@@ -1,0 +1,19 @@
+"""Known-good: server worker threads root their request spans."""
+
+from wsgiref.simple_server import WSGIRequestHandler
+
+
+class Handler(WSGIRequestHandler):
+    def handle(self, tracer):
+        with tracer.span("http.request", parent=None):
+            return None
+
+
+class App:
+    def __call__(self, environ, start_response, tracer):
+        with tracer.span("wsgi", parent=None):
+            return []
+
+
+def attach(server):
+    server.set_app(App())

@@ -25,7 +25,7 @@ class TestGoodFixtures:
     def test_good_tree_is_clean(self):
         report = _analyze("good")
         assert report.findings == []
-        assert report.files_analyzed == 5
+        assert report.files_analyzed == 6
 
     def test_good_lock_graph_is_ordered(self):
         report = _analyze("good")
@@ -78,9 +78,17 @@ class TestBadFixtures:
             (18, "REPRO-T001"),
         ]
 
+    def test_server_thread_entry_exact_positions(self, findings):
+        # request-handler methods and set_app-registered WSGI __call__
+        # run on per-request threads: spans there need parent= too
+        assert self._at(findings, "httpd.py") == [
+            (8, "REPRO-T001"),
+            (14, "REPRO-T001"),
+        ]
+
     def test_total_finding_count(self, findings):
         # one per planted defect, no duplicates, nothing extra
-        assert len(findings) == 11
+        assert len(findings) == 13
 
 
 class TestMarkerMachinery:

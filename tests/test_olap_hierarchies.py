@@ -1,0 +1,183 @@
+"""Schema hierarchies and the Slicer grammar that compiles onto them.
+
+Covers the satellite contract: ``Dimension.path_to_range`` round-trips
+every member path through ``cells_to_path`` and answers malformed or
+out-of-domain cuts with :class:`SchemaError` — never an index error —
+plus the cut/drilldown parser and its compilation to dyadic boxes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.olap.schema import (
+    Dimension,
+    Hierarchy,
+    Level,
+    SchemaError,
+    binary_hierarchy,
+)
+from repro.server.slicer import (
+    compile_aggregate,
+    parse_cuts,
+    parse_drilldowns,
+)
+
+
+def ymd():
+    return Hierarchy(
+        "ymd", [Level("year", 4), Level("month", 4), Level("day", 4)]
+    )
+
+
+def time_dim():
+    return Dimension("time", 64, hierarchies=(ymd(),))
+
+
+class TestHierarchy:
+    def test_leaf_count_and_depth(self):
+        h = ymd()
+        assert h.depth == 3
+        assert h.leaf_count == 64
+        assert h.cells_below(0) == 64
+        assert h.cells_below(1) == 16
+        assert h.cells_below(3) == 1
+
+    def test_path_to_cells_prefixes(self):
+        h = ymd()
+        assert h.path_to_cells(()) == (0, 63)
+        assert h.path_to_cells((2,)) == (32, 47)
+        assert h.path_to_cells((2, 1)) == (36, 39)
+        assert h.path_to_cells((2, 1, 3)) == (39, 39)
+
+    def test_cells_to_path_inverts_every_member(self):
+        h = ymd()
+        paths = [()]
+        paths += [(y,) for y in range(4)]
+        paths += [(y, m) for y in range(4) for m in range(4)]
+        for path in paths:
+            low, high = h.path_to_cells(path)
+            assert h.cells_to_path(low, high) == path
+
+    def test_cells_to_path_rejects_non_member_ranges(self):
+        with pytest.raises(SchemaError, match="not a member"):
+            ymd().cells_to_path(1, 17)
+
+    def test_invalid_levels_and_hierarchies(self):
+        with pytest.raises(SchemaError, match="power of two"):
+            Level("bad", 3)
+        with pytest.raises(SchemaError, match="at least one level"):
+            Hierarchy("empty", [])
+        with pytest.raises(SchemaError, match="duplicate level"):
+            Hierarchy("dup", [Level("a", 2), Level("a", 2)])
+
+    def test_binary_hierarchy_matches_wavelet_levels(self):
+        h = binary_hierarchy(16)
+        assert h.depth == 4
+        assert h.leaf_count == 16
+        assert h.path_to_cells((1, 0)) == (8, 11)
+        with pytest.raises(SchemaError):
+            binary_hierarchy(1)
+
+    def test_hierarchy_pickles(self):
+        h = ymd()
+        assert pickle.loads(pickle.dumps(h)) == h
+
+
+class TestDimensionHierarchies:
+    def test_leaf_count_must_match_size(self):
+        with pytest.raises(SchemaError, match="addresses 64 cells"):
+            Dimension("t", 32, hierarchies=(ymd(),))
+
+    def test_default_and_named_lookup(self):
+        d = time_dim()
+        assert d.hierarchy().name == "ymd"
+        assert d.hierarchy("binary").depth == 6
+        with pytest.raises(SchemaError, match="no hierarchy"):
+            d.hierarchy("nope")
+
+    def test_path_to_range_round_trip(self):
+        d = time_dim()
+        assert d.path_to_range((2, 1)) == (36, 39)
+        assert d.path_to_range((1, 0), hierarchy="binary") == (32, 47)
+
+    def test_path_to_range_out_of_domain_is_schema_error(self):
+        d = time_dim()
+        with pytest.raises(SchemaError, match="out of range"):
+            d.path_to_range((9,))
+        with pytest.raises(SchemaError, match="not an integer"):
+            d.path_to_range(("march",))
+        with pytest.raises(SchemaError, match="deeper"):
+            d.path_to_range((1, 2, 3, 0))
+
+    def test_to_dict_exposes_model(self):
+        model = time_dim().to_dict()
+        assert model["default_hierarchy"] == "ymd"
+        assert [h["name"] for h in model["hierarchies"]] == ["ymd"]
+        bare = Dimension("x", 8).to_dict()
+        assert bare["default_hierarchy"] == "binary"
+
+
+class TestSlicerGrammar:
+    def test_parse_range_and_path_cuts(self):
+        cuts = parse_cuts("time@ymd:2.1|lat:30-60|z:-4--2")
+        assert cuts[0].path == (2, 1) and cuts[0].hierarchy == "ymd"
+        assert (cuts[1].low, cuts[1].high) == (30.0, 60.0)
+        assert (cuts[2].low, cuts[2].high) == (-4.0, -2.0)
+
+    def test_parse_single_value_range(self):
+        (cut,) = parse_cuts("t:5")
+        assert (cut.low, cut.high) == (5.0, 5.0)
+
+    def test_parse_drilldowns(self):
+        drills = parse_drilldowns("time@ymd:month, region")
+        assert drills[0].dimension == "time"
+        assert drills[0].hierarchy == "ymd"
+        assert drills[0].level == "month"
+        assert drills[1].dimension == "region"
+
+    def test_malformed_inputs_are_schema_errors(self):
+        for text in ("@h:1", "t@:1", "t:", "t@ymd:a.b"):
+            with pytest.raises(SchemaError):
+                parse_cuts(text)
+        with pytest.raises(SchemaError):
+            parse_cuts("t:not-a-number")
+
+    def test_compile_cross_product(self):
+        dims = [time_dim(), Dimension("region", 64)]
+        plan = compile_aggregate(
+            dims,
+            parse_cuts("time@ymd:2"),
+            parse_drilldowns("time,region:1"),
+        )
+        assert plan.drilled == ("time", "region")
+        assert len(plan.cells) == 4 * 2
+        cell = plan.cells[0]
+        assert cell.paths == (("time", "2.0"), ("region", "0"))
+        assert (cell.lows, cell.highs) == ((32, 0), (35, 31))
+
+    def test_compile_rejects_bad_requests(self):
+        dims = [time_dim(), Dimension("region", 64)]
+        with pytest.raises(SchemaError, match="unknown dimension"):
+            compile_aggregate(dims, parse_cuts("nope:1-2"), [])
+        with pytest.raises(SchemaError, match="more than once"):
+            compile_aggregate(dims, parse_cuts("region:1-2|region:3-4"), [])
+        with pytest.raises(SchemaError, match="range cut"):
+            compile_aggregate(
+                dims,
+                parse_cuts("time:0-9"),
+                parse_drilldowns("time"),
+            )
+        with pytest.raises(SchemaError, match="limit"):
+            compile_aggregate(
+                dims, [], parse_drilldowns("region:6"), max_cells=8
+            )
+
+    def test_compile_depth_past_leaves_is_schema_error(self):
+        dims = [time_dim()]
+        with pytest.raises(SchemaError, match="depth"):
+            compile_aggregate(
+                dims,
+                parse_cuts("time@ymd:1.2.3"),
+                parse_drilldowns("time"),
+            )

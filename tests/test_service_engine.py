@@ -238,3 +238,145 @@ class TestObservability:
             assert store.tile_store.pool is engine.pool
         finally:
             engine.close()
+
+
+class TestQuotaAndQueueHwm:
+    """The per-tenant admission quota and the HWM satellite."""
+
+    def _blocked_engine(self, max_inflight):
+        store, __ = build_store(shape=(16, 16), block_edge=4)
+        engine = QueryEngine(
+            store,
+            num_workers=1,
+            queue_depth=8,
+            max_inflight=max_inflight,
+        )
+        gate = threading.Event()
+        blocker = engine.submit(CustomQuery(lambda s: gate.wait(5)))
+        return engine, gate, blocker
+
+    def test_submit_beyond_quota_raises_quota_error(self):
+        from repro.service.engine import QuotaError
+
+        engine, gate, blocker = self._blocked_engine(max_inflight=2)
+        try:
+            second = engine.submit(PointQuery((0, 0)))
+            with pytest.raises(QuotaError):
+                engine.submit(PointQuery((1, 1)))
+            # QuotaError is an AdmissionError: generic handlers keep
+            # treating it as backpressure.
+            assert issubclass(QuotaError, AdmissionError)
+            assert engine.metrics.counter("queries_throttled").value == 1
+            gate.set()
+            assert blocker.result(5).ok
+            assert second.result(5).ok
+            # completed work releases the quota
+            assert engine.run(PointQuery((2, 2))).ok
+        finally:
+            gate.set()
+            engine.close()
+
+    def test_batch_reserves_quota_upfront(self):
+        from repro.service.engine import QuotaError
+
+        store, __ = build_store(shape=(16, 16), block_edge=4)
+        with QueryEngine(store, num_workers=2, max_inflight=3) as engine:
+            with pytest.raises(QuotaError):
+                engine.execute_batch(
+                    [PointQuery((i, i)) for i in range(4)]
+                )
+            # the failed batch must not leak reservations
+            batch = engine.execute_batch(
+                [PointQuery((i, i)) for i in range(3)]
+            )
+            assert all(result.ok for result in batch.results)
+
+    def test_snapshot_reports_queue_hwm_and_inflight(self):
+        engine, gate, blocker = self._blocked_engine(max_inflight=8)
+        try:
+            for i in range(3):
+                engine.submit(PointQuery((i, i)))
+            snap = engine.snapshot()
+            assert snap["admission_queue_hwm"] >= 2
+            assert snap["queries_inflight"] >= 3
+            assert snap["gauges"]["admission_queue_hwm"] >= 2
+            gate.set()
+            blocker.result(5)
+        finally:
+            gate.set()
+            engine.close()
+        snap = engine.snapshot()
+        assert snap["queries_inflight"] == 0
+        assert snap["admission_queue_hwm"] >= 2  # high-water sticks
+
+    def test_labeled_metrics_and_dedup_ratio(self):
+        store, __ = build_store(shape=(32, 32), block_edge=4)
+        with QueryEngine(
+            store,
+            num_workers=2,
+            metric_labels={"tenant": "acme"},
+        ) as engine:
+            engine.execute_batch(_mixed_workload(store.shape, seed=11))
+            snap = engine.snapshot()
+        assert snap["counters"]['queries_served{tenant="acme"}'] == 32
+        # the dedup ratio must find the labeled series, not the bare name
+        assert snap["planner_dedup_ratio"] > 1.0
+
+
+class TestDeadlineDegradedReads:
+    """Expired deadlines answer from resident blocks with sound bounds."""
+
+    def _guarded_engine(self):
+        from repro.service.deadline import DeadlineGuardDevice
+        from repro.storage.journal import JournaledDevice
+
+        store, data = build_store(
+            shape=(32, 32), block_edge=4, pool_capacity=16, seed=13
+        )
+        store.tile_store.wrap_device(JournaledDevice)
+        store.tile_store.wrap_device(DeadlineGuardDevice)
+        engine = QueryEngine(
+            store,
+            num_workers=2,
+            pool_capacity=16,
+            degrade_on_deadline=True,
+        )
+        return engine, data
+
+    def test_expired_deadline_cold_cache_degrades_with_bound(self):
+        engine, data = self._guarded_engine()
+        try:
+            result = engine.run(RangeSumQuery((0, 0), (31, 31)), timeout=0.0)
+            assert result.status == "degraded"
+            assert result.error_bound is not None
+            assert 0.0 < result.error_bound < float("inf")
+            truth = float(data.sum())
+            assert abs(result.value - truth) <= result.error_bound
+            assert (
+                engine.metrics.counter("queries_deadline_degraded").value
+                == 1
+            )
+        finally:
+            engine.close()
+
+    def test_expired_deadline_warm_cache_is_full_fidelity(self):
+        engine, data = self._guarded_engine()
+        try:
+            query = RangeSumQuery((0, 7), (7, 15))
+            warm = engine.run(query)  # faults the blocks in
+            assert warm.ok
+            again = engine.run(query, timeout=0.0)
+            # every needed block is resident: the cache-only pass is
+            # exact, so the answer is served ok rather than degraded
+            assert again.ok
+            assert again.value == warm.value
+        finally:
+            engine.close()
+
+    def test_without_guard_expired_deadline_still_times_out(self):
+        store, __ = build_store(shape=(16, 16), block_edge=4)
+        with QueryEngine(
+            store, num_workers=1, degrade_on_deadline=True
+        ) as engine:
+            result = engine.run(PointQuery((0, 0)), timeout=0.0)
+        assert result.status == "timeout"
