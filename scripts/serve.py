@@ -3,8 +3,10 @@
 
 Equivalent to ``PYTHONPATH=src python -m repro.server``; accepts the
 same flags (``--host``, ``--port``, ``--size``, ``--pool-blocks``,
-``--seed``) and prints the demo tenants' API keys at startup.  See
-docs/serving.md for the API.
+``--seed``, ``--data-dir``) and prints the demo tenants' API keys at
+startup.  ``--data-dir DIR`` persists the coefficient arena to
+``DIR/arena.blocks`` (mmap-backed) and reopens it bit-identically on
+the next launch.  See docs/serving.md for the API.
 """
 
 import sys

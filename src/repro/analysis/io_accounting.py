@@ -5,7 +5,8 @@ that :class:`~repro.storage.iostats.IOStats` tells the truth.  Two
 checks keep it honest:
 
 * **Device entry points.**  Any ``read_block`` / ``write_block`` /
-  ``write_batch`` definition must either charge the shared counters
+  ``write_batch`` / ``write_blocks`` definition must either charge the
+  shared counters
   itself (an augmented assignment to ``...block_reads`` /
   ``...block_writes`` / ``...journal_writes``) or delegate to another
   device's same-surface method (wrappers: journaling, fault
@@ -14,13 +15,15 @@ checks keep it honest:
   carries ``# lint: uncounted (reason)`` on its ``def`` line.
 
 * **Uncounted accessors.**  ``peek_block`` / ``dump_blocks`` /
-  ``restore_blocks`` read or write raw block content without
-  charging; they exist for durability layers and persistence, never
-  for algorithms.  Every call site outside their defining module must
-  either be a same-name pass-through (a wrapper re-exporting the
-  uncounted surface) or carry ``# lint: uncounted (reason)`` — the
-  reason is the documentation that the bypass is intentional (a
-  checksum scan, a crash-simulation peek, a persistence snapshot).
+  ``restore_blocks`` / ``view_block`` read or write raw block content
+  without charging; they exist for durability layers and persistence,
+  never for algorithms.  Every call site outside their defining
+  modules (the in-memory ``block_device`` and the file-backed
+  ``mmap_device``) must either be a same-name pass-through (a wrapper
+  re-exporting the uncounted surface) or carry ``# lint: uncounted
+  (reason)`` — the reason is the documentation that the bypass is
+  intentional (a checksum scan, a crash-simulation peek, a
+  persistence snapshot).
 """
 
 from __future__ import annotations
@@ -32,11 +35,21 @@ from repro.analysis.engine import AnalysisReport, Rule
 from repro.analysis.model import ProjectModel
 from repro.analysis.source import SourceFile
 
-_DEVICE_ENTRY_POINTS = {"read_block", "write_block", "write_batch"}
+_DEVICE_ENTRY_POINTS = {
+    "read_block",
+    "write_block",
+    "write_batch",
+    "write_blocks",
+}
 _CHARGE_FIELDS = {"block_reads", "block_writes", "journal_writes"}
-_UNCOUNTED_ACCESSORS = {"peek_block", "dump_blocks", "restore_blocks"}
-#: module that owns the uncounted accessor surface
-_ACCESSOR_HOME = "block_device"
+_UNCOUNTED_ACCESSORS = {
+    "peek_block",
+    "dump_blocks",
+    "restore_blocks",
+    "view_block",
+}
+#: modules that own the uncounted accessor surface (the devices)
+_ACCESSOR_HOMES = {"block_device", "mmap_device"}
 
 
 def _charges(func: ast.FunctionDef) -> bool:
@@ -83,7 +96,7 @@ class IOAccountingRule(Rule):
                 if name in _DEVICE_ENTRY_POINTS:
                     self._check_entry_point(cls.sf, cls.name, func, report)
         for sf in model.files:
-            if sf.module.rsplit(".", 1)[-1] == _ACCESSOR_HOME:
+            if sf.module.rsplit(".", 1)[-1] in _ACCESSOR_HOMES:
                 continue
             self._check_accessor_calls(sf, report)
 

@@ -8,7 +8,13 @@ and the lossless-attribution invariant (span totals + orphans == the
 global IOStats delta) degrades into a pile of mystery roots.
 
 The rule finds thread submissions — ``executor.submit(f, ...)``,
-``threading.Thread(target=f)`` — resolves ``f`` when it is a local
+``threading.Thread(target=f)`` — and process submissions —
+``multiprocessing.Process(target=f)``, including context-bound forms
+like ``ctx.Process(target=f)``.  Process entries are worse, not
+better: a spawned child starts with an empty context, and a forked
+child holds a *copy* of the parent's spans whose recorded I/O never
+rejoins the parent's trace, so the same explicit-``parent=``
+discipline applies.  The rule resolves ``f`` when it is a local
 closure, module function or ``self`` method, and walks the entry
 function (plus same-file callees, bounded depth): the *first* span
 opened on any path must pass ``parent=`` explicitly.  Once a span
@@ -88,10 +94,11 @@ def _submitted_callables(
         if isinstance(func, ast.Attribute) and func.attr == "submit":
             if node.args:
                 out.append((node.args[0], node))
-        is_thread = (
-            isinstance(func, ast.Attribute) and func.attr == "Thread"
-        ) or (isinstance(func, ast.Name) and func.id == "Thread")
-        if is_thread:
+        worker_names = ("Thread", "Process")
+        is_worker = (
+            isinstance(func, ast.Attribute) and func.attr in worker_names
+        ) or (isinstance(func, ast.Name) and func.id in worker_names)
+        if is_worker:
             for kw in node.keywords:
                 if kw.arg == "target":
                     out.append((kw.value, node))

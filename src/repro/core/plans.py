@@ -390,14 +390,25 @@ class StandardChunkPlan:
 
     # ------------------------------------------------------------------
 
-    def contributions(self, chunk_hat: np.ndarray) -> np.ndarray:
+    def contributions(
+        self, chunk_hat: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Flat contribution tensor of a transformed chunk.
 
         One gather plus one in-place multiply; every weight is a signed
         power of two, so the result is bit-identical to the interpreted
-        per-axis broadcasting.
+        per-axis broadcasting.  ``out`` (a flat float64 buffer of the
+        tensor's size) receives the product directly — bulk loaders
+        pass a shared-memory view to skip one copy per chunk.
         """
         gathered = chunk_hat[self.src_ix]
+        if out is not None:
+            np.multiply(
+                gathered,
+                self.weight_tensor,
+                out=out.reshape(gathered.shape),
+            )
+            return out
         np.multiply(gathered, self.weight_tensor, out=gathered)
         return gathered.reshape(-1)
 

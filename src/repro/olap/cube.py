@@ -234,6 +234,22 @@ class WaveletCube:
         self._loaded = True
         return report
 
+    def adopt(self, directory) -> None:
+        """Adopt coefficients already resident on the shared device.
+
+        ``directory`` maps tile keys to the block ids a previous
+        process allocated (see :mod:`repro.server.persist`).  No
+        coefficient is read or written — the cube simply starts
+        serving the existing blocks, so a reopened store answers
+        bit-identically to the one that wrote it.
+        """
+        if self._appender is not None:
+            raise RuntimeError("growing cubes cannot adopt a directory")
+        if self._loaded:
+            raise RuntimeError("the cube is already loaded")
+        self._store.tile_store.restore_directory(dict(directory))
+        self._loaded = True
+
     def append(self, slab) -> None:
         """Append one slab along the growing dimension."""
         if self._appender is None:

@@ -4,14 +4,22 @@ Binds the stdlib threading WSGI server on ``--host``/``--port`` with
 the two-tenant demo hub (see :mod:`repro.server.demo`); the tenant API
 keys are printed at startup.  ``scripts/serve.py`` is a thin wrapper
 around this entry point.
+
+With ``--data-dir`` the arena lives in ``<dir>/arena.blocks`` on a
+file-backed mmap device: the first launch bulk-loads the demo cubes
+into it, and every later launch **reopens** the stored coefficients
+(updates applied over HTTP survive restarts bit-identically).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.server.demo import build_demo_hub
 from repro.server.http import serve
+from repro.server.hub import ServingHub
+from repro.server.persist import state_path
 
 
 def main(argv=None) -> int:
@@ -36,11 +44,31 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="demo data seed"
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "persist the arena to <dir>/arena.blocks; an existing "
+            "hub directory is reopened instead of reloading the demo "
+            "data"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    hub = build_demo_hub(
-        seed=args.seed, size=args.size, pool_blocks=args.pool_blocks
-    )
+    if args.data_dir is not None and os.path.exists(
+        state_path(args.data_dir)
+    ):
+        hub = ServingHub(
+            pool_blocks=args.pool_blocks, data_dir=args.data_dir
+        )
+        print(f"reopened hub from {args.data_dir}")
+    else:
+        hub = build_demo_hub(
+            seed=args.seed,
+            size=args.size,
+            pool_blocks=args.pool_blocks,
+            data_dir=args.data_dir,
+        )
     for tenant_name in hub.tenants():
         tenant = hub.tenant(tenant_name)
         print(
@@ -48,7 +76,10 @@ def main(argv=None) -> int:
             f"cubes={sorted(tenant.cubes)}"
         )
     print(f"serving on http://{args.host}:{args.port}")
-    serve(hub, host=args.host, port=args.port)
+    try:
+        serve(hub, host=args.host, port=args.port)
+    finally:
+        hub.close()
     return 0
 
 

@@ -29,14 +29,21 @@ def build_demo_hub(
     max_inflight: int = 64,
     num_workers: int = 2,
     queue_depth: int = 64,
+    data_dir=None,
 ) -> ServingHub:
-    """A two-tenant hub over ``size`` x ``size`` cubes (power of two)."""
+    """A two-tenant hub over ``size`` x ``size`` cubes (power of two).
+
+    With ``data_dir`` the demo data is bulk-loaded straight onto the
+    persistent arena; the directory must not already hold a hub (use
+    ``ServingHub(data_dir=...)`` to reopen one).
+    """
     hub = ServingHub(
         block_slots=64,
         pool_blocks=pool_blocks,
         queue_depth=queue_depth,
         num_workers=num_workers,
         max_inflight=max_inflight,
+        data_dir=data_dir,
     )
     rng = np.random.default_rng(seed)
 

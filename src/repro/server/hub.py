@@ -31,6 +31,7 @@ pool.
 
 from __future__ import annotations
 
+import os
 import secrets
 import threading
 from typing import Dict, List, Optional, Sequence
@@ -41,6 +42,7 @@ from repro.fault.breaker import CircuitBreaker
 from repro.obs.exporters import to_prometheus
 from repro.olap.cube import WaveletCube
 from repro.olap.schema import Dimension, SchemaError
+from repro.server import persist
 from repro.service.deadline import DeadlineGuardDevice
 from repro.service.engine import QueryEngine
 from repro.service.metrics import MetricsRegistry
@@ -48,6 +50,7 @@ from repro.service.pool import ShardedBufferPool
 from repro.storage.block_device import BlockDevice
 from repro.storage.iostats import IOStats
 from repro.storage.journal import JournaledDevice
+from repro.storage.mmap_device import MmapBlockDevice
 
 __all__ = ["CubeState", "ServingHub", "Tenant"]
 
@@ -114,6 +117,18 @@ class ServingHub:
         When set, every engine gets its own
         :class:`~repro.fault.breaker.CircuitBreaker` with this failure
         threshold (surfaced through ``/healthz``).
+    data_dir:
+        When set, the shared arena lives in
+        ``<data_dir>/arena.blocks`` on a file-backed
+        :class:`~repro.storage.mmap_device.MmapBlockDevice` instead of
+        an in-memory :class:`~repro.storage.block_device.BlockDevice`,
+        and the hub's logical state (tenants, cube schemas, tile
+        directories) is mirrored to ``<data_dir>/hub_state.json`` on
+        every mutation.  A hub constructed over an existing directory
+        reopens the arena and serves the stored coefficients
+        bit-identically — no reload.  The journal and deadline-guard
+        layers stack on the mmap device exactly as on the in-memory
+        one.
     """
 
     def __init__(
@@ -127,10 +142,28 @@ class ServingHub:
         default_deadline_s: Optional[float] = None,
         breaker_threshold: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        data_dir: Optional[str] = None,
     ) -> None:
-        self._block_slots = block_slots
         self._stats = IOStats()
-        raw = BlockDevice(block_slots, stats=self._stats)
+        self._data_dir = data_dir
+        self._restoring = False
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            arena_path = os.path.join(data_dir, persist.ARENA_FILENAME)
+            reopening = (
+                os.path.exists(arena_path)
+                and os.path.getsize(arena_path) > 0
+            )
+            raw = MmapBlockDevice(
+                arena_path,
+                block_slots=None if reopening else block_slots,
+                stats=self._stats,
+            )
+            block_slots = raw.block_slots
+        else:
+            raw = BlockDevice(block_slots, stats=self._stats)
+        self._block_slots = block_slots
+        self._raw = raw
         self._journaled = JournaledDevice(raw)
         self._guard = DeadlineGuardDevice(self._journaled)
         self._pool = ShardedBufferPool(
@@ -148,6 +181,52 @@ class ServingHub:
         self._api_keys: Dict[str, str] = {}  # key -> tenant name
         self._write_lock = threading.Lock()
         self._closed = False
+        if data_dir is not None and os.path.exists(
+            persist.state_path(data_dir)
+        ):
+            self._restore(persist.load_state(data_dir))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _restore(self, state: dict) -> None:
+        """Rebuild tenants and cubes from the ``hub_state.json``
+        sidecar, adopting the blocks already in the arena file."""
+        self._restoring = True
+        try:
+            for tenant_record in state["tenants"]:
+                self.add_tenant(
+                    tenant_record["name"],
+                    api_key=tenant_record["api_key"],
+                    max_inflight=tenant_record["max_inflight"],
+                    num_workers=tenant_record["num_workers"],
+                    default_deadline_s=tenant_record["default_deadline_s"],
+                )
+                for cube_record in tenant_record["cubes"]:
+                    cube_state = self.add_cube(
+                        tenant_record["name"],
+                        cube_record["name"],
+                        [
+                            persist.dimension_from_state(record)
+                            for record in cube_record["dimensions"]
+                        ],
+                    )
+                    cube_state.cube.adopt(
+                        {
+                            persist.key_from_state(key): block_id
+                            for key, block_id in cube_record["directory"]
+                        }
+                    )
+        finally:
+            self._restoring = False
+
+    def _persist(self) -> None:
+        """Mirror the logical state to disk (no-op without a data dir,
+        and during :meth:`_restore`, which only replays it)."""
+        if self._data_dir is None or self._restoring:
+            return
+        persist.save_state(self, self._data_dir)
 
     # ------------------------------------------------------------------
     # shared infrastructure
@@ -222,6 +301,7 @@ class ServingHub:
         )
         self._tenants[name] = tenant
         self._api_keys[api_key] = name
+        self._persist()
         return tenant
 
     def add_cube(
@@ -272,6 +352,7 @@ class ServingHub:
         )
         state = CubeState(cube_name, tenant_name, cube, engine)
         tenant.cubes[cube_name] = state
+        self._persist()
         return state
 
     # ------------------------------------------------------------------
@@ -327,6 +408,9 @@ class ServingHub:
             before = self._stats.snapshot()
             state.cube.update(deltas, **corner)
             delta = self._stats.delta_since(before)
+            # An update can allocate blocks for untouched tiles, so the
+            # persisted directory must follow every batch.
+            self._persist()
         self._metrics.counter(
             "updates_applied",
             {"tenant": tenant_name, "cube": cube_name},
@@ -392,13 +476,24 @@ class ServingHub:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every engine (drain + flush).  Idempotent."""
+        """Close every engine (drain + flush).  Idempotent.
+
+        With a data dir the dirty pool frames are flushed through the
+        journal, the arena file is synced and closed, and the state
+        sidecar is rewritten — the directory is then safe to reopen
+        from another process.
+        """
         if self._closed:
             return
         self._closed = True
         for tenant in self._tenants.values():
             for state in tenant.cubes.values():
                 state.engine.close()
+        if self._data_dir is not None:
+            self._pool.flush()
+            self._persist()
+            self._raw.sync()
+            self._raw.close()
 
     def __enter__(self) -> "ServingHub":
         return self

@@ -18,6 +18,7 @@ from repro.storage.journal import (
     RecoveryReport,
     WriteAheadJournal,
 )
+from repro.storage.mmap_device import MmapBlockDevice, MmapFormatError
 from repro.storage.naive import NaiveBlockedStandardStore
 from repro.storage.persist import (
     PersistFormatError,
@@ -40,6 +41,8 @@ __all__ = [
     "IOStats",
     "JournaledDevice",
     "MissingBlock",
+    "MmapBlockDevice",
+    "MmapFormatError",
     "NaiveBlockedStandardStore",
     "PersistFormatError",
     "RecoveryReport",

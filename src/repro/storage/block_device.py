@@ -98,6 +98,36 @@ class BlockDevice:
         _trace_charge("block_writes")
         self._blocks[block_id] = np.array(data, dtype=np.float64)
 
+    def write_blocks(
+        self, block_ids: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Write many full blocks at once (one block-write I/O *each*).
+
+        ``rows[i]`` lands in ``block_ids[i]``.  Identical accounting to
+        ``len(block_ids)`` calls of :meth:`write_block` — the batch
+        form exists so bulk loaders can hand over a contiguous
+        already-assembled buffer without paying per-call validation
+        and per-row copies.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self._block_slots:
+            raise ValueError(
+                f"rows must have shape (*, {self._block_slots}), "
+                f"got {rows.shape}"
+            )
+        if len(block_ids) != rows.shape[0]:
+            raise ValueError(
+                f"{len(block_ids)} block ids for {rows.shape[0]} rows"
+            )
+        for block_id in block_ids:
+            self._check_id(int(block_id))
+        count = rows.shape[0]
+        self.stats.block_writes += count
+        _trace_charge("block_writes", count)
+        stored = rows.copy()  # one bulk copy; rows below are views
+        for index, block_id in enumerate(block_ids):
+            self._blocks[int(block_id)] = stored[index]
+
     def bytes_used(self, coefficient_bytes: int = 8) -> int:
         """Approximate on-disk footprint of the allocated blocks."""
         return self.num_blocks * self._block_slots * coefficient_bytes
@@ -118,8 +148,9 @@ class BlockDevice:
                 f"blocks must have shape (*, {self._block_slots}), "
                 f"got {blocks.shape}"
             )
+        stored = np.array(blocks, dtype=np.float64)  # one bulk copy
         self._blocks = {
-            block_id: np.array(blocks[block_id], dtype=np.float64)
+            block_id: stored[block_id]
             for block_id in range(blocks.shape[0])
         }
         self._next_id = blocks.shape[0]

@@ -20,17 +20,22 @@ Both drivers run through the plan-compiled SHIFT-SPLIT path of
 supports ``workers=K``: chunk fetch, DWT and plan compilation move to a
 thread pool while the main thread applies the precomputed contribution
 tensors *in chunk order* — bit-identical output and identical
-:class:`~repro.storage.iostats.IOStats` to the serial path.  With
-``parallel_apply=True`` the workers also scatter their chunk's
-disjoint SHIFT block concurrently, under per-tile pinning on a
-:class:`~repro.service.pool.ShardedBufferPool`; coefficients are still
-bit-identical, but the cache hit/miss trace becomes
-interleaving-dependent.
+:class:`~repro.storage.iostats.IOStats` to the serial path.
+
+``parallel_apply`` is a deprecated no-op.  The old thread-scatter path
+pinned tiles per scatter on a sharded pool, which churned frames other
+threads needed and re-read blocks the serial trace never touched
+(3380 vs 1836 reads on the 2d-1024 benchmark).  Threads cannot fix
+that under the GIL; the replacement is
+:func:`repro.transform.procpool.transform_standard_procpool`, which
+partitions tile ownership across processes so no tile is ever touched
+by two workers and the block-I/O trace matches the serial path
+exactly.
 """
 
 from __future__ import annotations
 
-import threading
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
@@ -95,52 +100,6 @@ def _chunk_order(order: str, grid_shape: Sequence[int]):
     raise ValueError(f"unknown chunk order {order!r}")
 
 
-def _scatter_pinned(
-    tile_store,
-    compiled,
-    values_flat: np.ndarray,
-    accumulate: bool,
-    dir_lock: threading.Lock,
-) -> None:
-    """Replay a compiled region against a concurrently shared store.
-
-    The tile directory (and block allocation) is serialised by
-    ``dir_lock``; the frame is pinned across the mutation so pool
-    traffic from other threads cannot evict it mid-write.  Slot sets of
-    concurrent scatters are disjoint by construction (distinct chunks'
-    SHIFT blocks never overlap), so the unlocked fancy-index writes
-    commute.
-    """
-    pool = tile_store.pool
-    for key, slots, source in compiled.tiles:
-        with dir_lock:
-            block_id, data = tile_store.tile_pinned(key)
-        try:
-            if accumulate:
-                data[slots] += values_flat[source]
-            else:
-                data[slots] = values_flat[source]
-            pool.mark_dirty(block_id)
-        finally:
-            pool.unpin(block_id)
-
-
-def _ensure_sharded_pool(tile_store, workers: int) -> None:
-    """Swap the store's pool for a thread-safe sharded one if needed."""
-    from repro.service.pool import ShardedBufferPool
-
-    if isinstance(tile_store.pool, ShardedBufferPool):
-        return
-    capacity = tile_store.pool.capacity
-    tile_store.set_pool(
-        ShardedBufferPool(
-            tile_store.device,
-            capacity=capacity,
-            num_shards=max(4, workers),
-        )
-    )
-
-
 def transform_standard_chunked(
     store,
     source: ChunkSource,
@@ -172,15 +131,12 @@ def transform_standard_chunked(
         coefficients and identical ``IOStats`` to ``workers=1``.
         Requires the plan path (``use_plans`` must not be False).
     parallel_apply:
-        Additionally scatter each chunk's pure-SHIFT block from the
-        worker threads, concurrently, under per-tile pinning on a
-        :class:`~repro.service.pool.ShardedBufferPool` (installed with
-        ``tile_store.set_pool`` if the store does not already run one).
-        SHIFT blocks of distinct chunks are coefficient-disjoint and
-        the SPLIT accumulations still apply in chunk order, so the
-        result stays bit-identical — but cache hit/miss counts become
-        interleaving-dependent.  Requires a tiled standard store and
-        ``workers > 1``.
+        Deprecated no-op.  The retired thread-scatter path amplified
+        block reads through pool-pin churn; passing ``True`` now emits
+        a :class:`DeprecationWarning` and runs the ordered pipeline
+        (or the serial loop for ``workers=1``) instead.  For truly
+        concurrent scatters use
+        :func:`repro.transform.procpool.transform_standard_procpool`.
     use_plans:
         Tri-state: ``None`` follows the global switch of
         :mod:`repro.core.plans`; ``False`` forces the interpreted
@@ -194,10 +150,16 @@ def transform_standard_chunked(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers > 1 and not use_plans:
         raise ValueError("workers > 1 requires the plan-compiled path")
-    if parallel_apply and workers <= 1:
-        raise ValueError("parallel_apply requires workers > 1")
-    if parallel_apply and not hasattr(store, "tile_store"):
-        raise ValueError("parallel_apply requires a tiled standard store")
+    if parallel_apply:
+        warnings.warn(
+            "parallel_apply is deprecated and ignored: the thread-scatter"
+            " path amplified block reads through pool-pin churn; use"
+            " repro.transform.procpool.transform_standard_procpool for"
+            " truly parallel scatters",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        parallel_apply = False
     grid_shape = tuple(
         extent // chunk_extent
         for extent, chunk_extent in zip(domain, chunk_shape)
@@ -210,7 +172,6 @@ def transform_standard_chunked(
             "skipped_chunks": 0,
             "workers": workers,
             "plans": bool(use_plans),
-            "parallel_apply": bool(parallel_apply),
         }
     )
     cells_per_chunk = int(np.prod(chunk_shape))
@@ -222,7 +183,6 @@ def transform_standard_chunked(
         chunk=tuple(chunk_shape),
         order=order,
         workers=workers,
-        parallel_apply=bool(parallel_apply),
     ):
         if workers == 1:
             for grid_position in _chunk_order(order, grid_shape):
@@ -257,7 +217,6 @@ def transform_standard_chunked(
                 order,
                 skip_zero_chunks,
                 workers,
-                parallel_apply,
                 report,
                 cells_per_chunk,
             )
@@ -276,7 +235,6 @@ def _standard_chunked_parallel(
     order: str,
     skip_zero_chunks: bool,
     workers: int,
-    parallel_apply: bool,
     report: TransformReport,
     cells_per_chunk: int,
 ) -> None:
@@ -285,15 +243,8 @@ def _standard_chunked_parallel(
     Workers prepare ``(plan, flat contribution tensor)`` per chunk; the
     main thread consumes completed futures *in submission order* and
     applies them, so every store mutation (and hence the block-I/O
-    trace) happens in exactly the serial sequence.  In
-    ``parallel_apply`` mode the workers additionally scatter their
-    chunk's SHIFT block as soon as it is ready.
+    trace) happens in exactly the serial sequence.
     """
-    dir_lock = threading.Lock()
-    tile_store = getattr(store, "tile_store", None)
-    if parallel_apply:
-        _ensure_sharded_pool(tile_store, workers)
-        tiling = store.tiling
     tracer = get_tracer()
     # Pool threads start with an empty span context, so each worker
     # span attaches to the transform root explicitly.
@@ -310,12 +261,6 @@ def _standard_chunked_parallel(
             chunk_hat = standard_dwt(chunk)
             plan = get_standard_plan(domain, chunk_hat.shape, grid_position)
             flat = plan.contributions(chunk_hat)
-            if parallel_apply:
-                for is_shift, compiled in plan.iter_compiled(tiling):
-                    if is_shift:
-                        _scatter_pinned(
-                            tile_store, compiled, flat, False, dir_lock
-                        )
             return plan, flat
 
     def consume(future):
@@ -325,17 +270,7 @@ def _standard_chunked_parallel(
             return
         report.source_reads += cells_per_chunk
         with tracer.span("chunk.apply", grid=plan.grid_position):
-            if parallel_apply:
-                # The SHIFT block is already in place; accumulate the
-                # d SPLIT fans in chunk order (addition order fixed =>
-                # bit-identical sums).
-                for is_shift, compiled in plan.iter_compiled(tiling):
-                    if not is_shift:
-                        _scatter_pinned(
-                            tile_store, compiled, flat, True, dir_lock
-                        )
-            else:
-                plan.apply_contributions(store, flat, fresh=True)
+            plan.apply_contributions(store, flat, fresh=True)
         report.chunks += 1
 
     window = 2 * workers

@@ -1,5 +1,6 @@
-"""Known-bad: REPRO-T001 at lines 8 and 18."""
+"""Known-bad: REPRO-T001 at lines 9, 19 and 26."""
 
+import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 
 
@@ -18,3 +19,18 @@ def probe(tracer, pool):
         return tracer.current_span()
 
     pool.submit(entry)
+
+
+def fan_procs(tracer, items):
+    def child(item):
+        with tracer.span("child", item=item):
+            return item
+
+    procs = [
+        multiprocessing.Process(target=child, args=(item,))
+        for item in items
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()

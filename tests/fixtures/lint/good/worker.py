@@ -1,5 +1,6 @@
-"""Known-good: thread-entry spans carry an explicit parent."""
+"""Known-good: thread- and process-entry spans carry explicit parents."""
 
+import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 
 
@@ -13,3 +14,20 @@ def fan_out(tracer, items):
     with ThreadPoolExecutor(max_workers=2) as pool:
         futures = [pool.submit(work, item) for item in items]
     return [future.result() for future in futures]
+
+
+def fan_procs(tracer, items):
+    root = tracer.current_span()
+
+    def child(item):
+        with tracer.span("child", parent=root, item=item):
+            return item
+
+    procs = [
+        multiprocessing.Process(target=child, args=(item,))
+        for item in items
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()

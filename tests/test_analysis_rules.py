@@ -73,9 +73,12 @@ class TestBadFixtures:
         ]
 
     def test_thread_entry_exact_positions(self, findings):
+        # includes the multiprocessing.Process(target=) entry at 26:
+        # process workers need explicit parents just like threads
         assert self._at(findings, "worker.py") == [
-            (8, "REPRO-T001"),
-            (18, "REPRO-T001"),
+            (9, "REPRO-T001"),
+            (19, "REPRO-T001"),
+            (26, "REPRO-T001"),
         ]
 
     def test_server_thread_entry_exact_positions(self, findings):
@@ -88,7 +91,7 @@ class TestBadFixtures:
 
     def test_total_finding_count(self, findings):
         # one per planted defect, no duplicates, nothing extra
-        assert len(findings) == 13
+        assert len(findings) == 14
 
 
 class TestMarkerMachinery:

@@ -18,6 +18,7 @@ import pytest
 
 from repro.fault.crash import CrashPlan, InjectedCrash
 from repro.storage.journal import JournaledDevice, WriteAheadJournal
+from repro.storage.mmap_device import MmapBlockDevice
 from repro.storage.tiled import TiledStandardStore
 from repro.update.batch import batch_update_standard
 from repro.wavelet.standard import standard_dwt
@@ -32,6 +33,19 @@ def _data():
     return np.random.default_rng(7).normal(size=SHAPE)
 
 
+@pytest.fixture(params=["memory", "mmap"])
+def make_device(request, tmp_path):
+    """Raw-arena factory: the whole matrix must hold on both the
+    simulated in-memory device and the file-backed mmap device."""
+    if request.param == "memory":
+        return lambda: None
+    counter = iter(range(10**6))
+    return lambda: MmapBlockDevice(
+        tmp_path / f"arena-{next(counter)}.blocks",
+        block_slots=BLOCK_EDGE * BLOCK_EDGE,
+    )
+
+
 def _load(store):
     """Bulk-load the standard transform of the data into ``store``.
 
@@ -44,9 +58,14 @@ def _load(store):
         store.write_point(position, float(coefficients[position]))
 
 
-def _build_store():
+def _build_store(make_device):
     """A journaled tiled store; returns (store, journaled_device)."""
-    store = TiledStandardStore(SHAPE, block_edge=BLOCK_EDGE, pool_capacity=256)
+    store = TiledStandardStore(
+        SHAPE,
+        block_edge=BLOCK_EDGE,
+        pool_capacity=256,
+        device=make_device(),
+    )
     holder = {}
 
     def wrap(device):
@@ -57,7 +76,7 @@ def _build_store():
     return store, holder["journaled"]
 
 
-def _job(phases, crash=None, holder=None):
+def _job(make_device, phases, crash=None, holder=None):
     """Run the deterministic job through ``phases`` flush phases.
 
     Phase 1: bulk-load + flush.  Phase 2: update batch + flush.  The
@@ -66,7 +85,7 @@ def _job(phases, crash=None, holder=None):
     (if given) receives the journaled device as soon as it exists, so
     a crashed run's surviving artifacts are reachable.
     """
-    store, device = _build_store()
+    store, device = _build_store(make_device)
     if holder is not None:
         holder["device"] = device
     _load(store)
@@ -82,25 +101,25 @@ def _job(phases, crash=None, holder=None):
     return store, device
 
 
-def _goldens(phases):
+def _goldens(make_device, phases):
     """Fault-free device images just before and just after the
     crash-protected flush of the given phase."""
-    store, device = _build_store()
+    store, device = _build_store(make_device)
     _load(store)
     if phases == 2:
         store.flush()
         batch_update_standard(store, DELTAS, DELTA_OFFSET)
     pre = device.dump_blocks()
-    __, device = _job(phases)
+    __, device = _job(make_device, phases)
     post = device.dump_blocks()
     return pre, post
 
 
-def _run_matrix(phases):
+def _run_matrix(make_device, phases):
     survey = CrashPlan()
-    _job(phases, crash=survey)
+    _job(make_device, phases, crash=survey)
     assert survey.count > 0
-    golden_pre, golden_post = _goldens(phases)
+    golden_pre, golden_post = _goldens(make_device, phases)
     assert not np.array_equal(golden_pre, golden_post)
 
     seen_states = set()
@@ -108,7 +127,7 @@ def _run_matrix(phases):
         plan = CrashPlan(armed=site)
         holder = {}
         with pytest.raises(InjectedCrash):
-            _job(phases, crash=plan, holder=holder)
+            _job(make_device, phases, crash=plan, holder=holder)
         assert plan.fired_at == survey.site_names[site]
 
         # -- simulated restart: only disk + journal bytes survive -----
@@ -137,7 +156,7 @@ def _run_matrix(phases):
         if is_pre:
             # The flush was lost wholesale; the deterministic job redone
             # from scratch must reproduce the fault-free final state.
-            __, redo_device = _job(phases)
+            __, redo_device = _job(make_device, phases)
             np.testing.assert_array_equal(
                 redo_device.dump_blocks(), golden_post
             )
@@ -147,9 +166,9 @@ def _run_matrix(phases):
 
 
 class TestCrashSites:
-    def test_survey_names_every_protocol_step(self):
+    def test_survey_names_every_protocol_step(self, make_device):
         survey = CrashPlan()
-        _job(1, crash=survey)
+        _job(make_device, 1, crash=survey)
         names = set(survey.site_names)
         assert "journal.data.torn" in names
         assert "journal.data.appended" in names
@@ -162,10 +181,10 @@ class TestCrashSites:
 
 
 class TestBulkLoadCrashMatrix:
-    def test_every_site_recovers_atomically(self):
-        _run_matrix(phases=1)
+    def test_every_site_recovers_atomically(self, make_device):
+        _run_matrix(make_device, phases=1)
 
 
 class TestUpdateBatchCrashMatrix:
-    def test_every_site_recovers_atomically(self):
-        _run_matrix(phases=2)
+    def test_every_site_recovers_atomically(self, make_device):
+        _run_matrix(make_device, phases=2)

@@ -41,15 +41,13 @@ from repro.storage.tiled import TiledStandardStore
 from repro.transform.chunked import transform_standard_chunked
 
 
-def _bulk_load(workers=1, parallel_apply=False):
+def _bulk_load(workers=1):
     """Seeded 2-d bulk load; returns (store, final stats, raw blocks,
     directory) so two runs can be compared bit for bit."""
     rng = np.random.default_rng(7)
     data = rng.standard_normal((32, 32))
     store = TiledStandardStore((32, 32), block_edge=8, pool_capacity=4)
-    transform_standard_chunked(
-        store, data, (8, 8), workers=workers, parallel_apply=parallel_apply
-    )
+    transform_standard_chunked(store, data, (8, 8), workers=workers)
     store.flush()
     return (
         store,
@@ -271,21 +269,19 @@ class TestNonInterference:
         np.testing.assert_array_equal(blocks_traced, blocks_plain)
         assert len(tracer.spans()) > 0  # tracing actually happened
 
-    def test_traced_parallel_bulk_load_same_coefficients(self):
-        # Cache hit/miss counts under parallel_apply are
-        # interleaving-dependent with or without tracing (see
-        # transform_standard_chunked docs), so compare the computed
-        # coefficients, which must stay bit-identical.
-        store_plain, __, __b, __d = _bulk_load(
-            workers=2, parallel_apply=True
+    def test_traced_parallel_bulk_load_bit_identical(self):
+        # The ordered pipeline applies store mutations in the serial
+        # sequence, so even the block-I/O trace must survive tracing.
+        __, stats_plain, blocks_plain, directory_plain = _bulk_load(
+            workers=2
         )
         with tracing():
-            store_traced, __, __b2, __d2 = _bulk_load(
-                workers=2, parallel_apply=True
+            __, stats_traced, blocks_traced, directory_traced = _bulk_load(
+                workers=2
             )
-        np.testing.assert_array_equal(
-            store_traced.to_array(), store_plain.to_array()
-        )
+        assert stats_traced == stats_plain
+        assert directory_traced == directory_plain
+        np.testing.assert_array_equal(blocks_traced, blocks_plain)
 
 
 class TestLosslessAttribution:
@@ -300,7 +296,7 @@ class TestLosslessAttribution:
 
     def test_parallel_bulk_load_receipt_matches_stats(self):
         with tracing() as tracer:
-            __, stats, __b, __d = _bulk_load(workers=2, parallel_apply=True)
+            __, stats, __b, __d = _bulk_load(workers=2)
         receipt = io_receipt(tracer.spans(), tracer.orphan_io)
         for field in IO_FIELDS:
             assert receipt["total"][field] == getattr(stats, field), field
