@@ -401,12 +401,31 @@ class ServingHub:
         the cube's tile directory, neither of which is safe under
         concurrent writers.  Queries keep flowing — they never
         allocate.  Returns the I/O delta of the batch.
+
+        With a data dir, a batch is made durable before this method
+        returns: the store's dirty frames were flushed through the
+        journal by ``cube.update``, the arena is msync'd, and the state
+        sidecar is atomically rewritten.  An *acknowledged* batch
+        therefore survives process death and power loss; a crash while
+        a batch is still in flight may leave it partially applied (the
+        write-ahead journal is in-memory and cannot be replayed across
+        process death) — the caller that never got an answer must treat
+        the batch as not applied-exactly-once.
         """
         state = self.cube(tenant_name, cube_name)
         deltas = np.asarray(deltas, dtype=np.float64)
         with self._write_lock:
             before = self._stats.snapshot()
             state.cube.update(deltas, **corner)
+            if self._data_dir is not None:
+                # cube.update already flushed the store's dirty frames
+                # through the journal into the arena; flush the shared
+                # pool too (queries keep it clean, but cheap and safe)
+                # and msync the arena so the batch is durable *before*
+                # it is acknowledged and before the sidecar below can
+                # reference blocks the file does not yet guarantee.
+                self._pool.flush()
+                self._raw.sync()
             delta = self._stats.delta_since(before)
             # An update can allocate blocks for untouched tiles, so the
             # persisted directory must follow every batch.

@@ -13,8 +13,17 @@ Tile keys of the standard tiling are nested tuples of ints
 (per-axis ``(band, root)`` pairs); JSON has no tuples, so keys are
 round-tripped through nested lists.  The sidecar is written with a
 write-to-temp-then-rename so a crash mid-save leaves the previous
-state intact (the arena itself is crash-protected by the journal
-layer above the device).
+state intact.
+
+Durability contract: ``ServingHub.update`` flushes every dirty frame
+through the journal into the arena and msyncs the mapping *before*
+rewriting the sidecar, so any **acknowledged** batch survives process
+death and power loss.  The write-ahead journal itself is in-memory
+(the simulation's separate journal device) and is not replayable
+across process death — a crash while a batch is still in flight can
+leave that one batch partially applied; block-level integrity is then
+re-established on reopen by rebuilding the CRC summaries from the
+arena's actual content.
 """
 
 from __future__ import annotations

@@ -108,6 +108,13 @@ class BlockDevice:
         form exists so bulk loaders can hand over a contiguous
         already-assembled buffer without paying per-call validation
         and per-row copies.
+
+        Memory note: the stored rows are views into one shared copy of
+        ``rows``, so any block still holding its view pins the whole
+        batch array.  Deliberate for the simulator (bulk loads write
+        each block once and keep them all); a workload that rewrites
+        most blocks individually afterwards trades that retention for
+        the bulk-copy speed.
         """
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self._block_slots:
@@ -142,7 +149,11 @@ class BlockDevice:
         return out
 
     def restore_blocks(self, blocks: np.ndarray) -> None:
-        """Uncounted bulk restore (inverse of :meth:`dump_blocks`)."""
+        """Uncounted bulk restore (inverse of :meth:`dump_blocks`).
+
+        Same memory note as :meth:`write_blocks`: the restored blocks
+        are row views into one shared copy of ``blocks``.
+        """
         if blocks.ndim != 2 or blocks.shape[1] != self._block_slots:
             raise ValueError(
                 f"blocks must have shape (*, {self._block_slots}), "

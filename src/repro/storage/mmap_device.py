@@ -35,13 +35,25 @@ geometrically (ftruncate + mmap resize) and persists ``next_id``
 eagerly — growth is a metadata operation and charges nothing, matching
 the simulated device's free ``allocate``.
 
+Thread notes: serving stacks read concurrently with a single writer
+(``ServingHub`` serialises update batches but never queries), and a
+writer that grows the file must remap — so every block I/O holds the
+shared side of an internal reader-writer gate and the resize in
+:meth:`_ensure_capacity` holds the exclusive side.  Without the gate a
+reader could observe the view mid-teardown (``self._data is None``) or
+keep a transient buffer export alive that makes ``mmap.resize`` raise
+``BufferError`` and abort the writer.  Allocation itself
+(``allocate``/``restore_blocks``/``close``) still assumes a single
+writer, exactly like the simulated device.
+
 Fork notes (the process-parallel scatter pool relies on these): the
 mapping is ``MAP_SHARED``, so a forked child that writes through an
 inherited :class:`MmapBlockDevice` makes those bytes visible to the
 parent and durable in the file.  A mapping must **not** be resized
 while forked children hold it — pre-allocate every block the batch
 will touch before forking (``repro.transform.procpool`` does), and
-only the parent should :meth:`close`.
+only the parent should :meth:`close`.  The gate is ordinary per-process
+thread state; children inherit an open gate and never resize.
 """
 
 from __future__ import annotations
@@ -49,7 +61,9 @@ from __future__ import annotations
 import mmap
 import os
 import struct
+import threading
 import zlib
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -70,6 +84,54 @@ _FLOAT_BYTES = 8
 class MmapFormatError(ValueError):
     """The file is not a valid device image (bad magic, unsupported
     version, mismatched geometry, or a torn header CRC)."""
+
+
+class _ResizeGate:
+    """Reader-writer gate isolating block I/O from mapping resize.
+
+    Block reads/writes take :meth:`shared` (concurrent with each
+    other); the resize in ``_ensure_capacity`` and the teardown in
+    ``close`` take :meth:`exclusive`.  An incoming resize blocks new
+    shared entries, waits for in-flight ones to drain, and only then
+    tears the view down — so no reader ever sees ``_data is None`` and
+    no reader's transient export survives into ``mmap.resize``.
+    """
+
+    __slots__ = ("_cond", "_readers", "_resizing")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._resizing = False
+
+    @contextmanager
+    def shared(self):
+        with self._cond:
+            while self._resizing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        with self._cond:
+            while self._resizing:
+                self._cond.wait()
+            self._resizing = True
+            while self._readers:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._resizing = False
+                self._cond.notify_all()
 
 
 class MmapBlockDevice:
@@ -103,6 +165,7 @@ class MmapBlockDevice:
         self._path = os.fspath(path)
         self.stats = stats if stats is not None else IOStats()
         self._closed = False
+        self._gate = _ResizeGate()
         existing = (
             os.path.exists(self._path)
             and os.path.getsize(self._path) > 0
@@ -219,15 +282,25 @@ class MmapBlockDevice:
         if blocks <= self._capacity:
             return
         new_capacity = max(blocks, self._capacity * 2, 1)
-        # Drop our own view before resizing; any *caller-held*
-        # view_block() export makes resize raise BufferError, which is
-        # the intended leak detector.
-        self._data = None
-        self._mm.flush()
-        os.ftruncate(self._fd, self._file_bytes(new_capacity))
-        self._mm.resize(self._file_bytes(new_capacity))
-        self._capacity = new_capacity
-        self._data = self._map_data()
+        with self._gate.exclusive():
+            # Drop our own view before resizing; any *caller-held*
+            # view_block() export makes resize raise BufferError, which
+            # is the intended leak detector.
+            self._data = None
+            self._mm.flush()
+            os.ftruncate(self._fd, self._file_bytes(new_capacity))
+            try:
+                self._mm.resize(self._file_bytes(new_capacity))
+            except BufferError:
+                # A leaked export blocked the resize.  Remap the old
+                # geometry (and undo the file grow) so the device stays
+                # usable once the caller drops the view — the leak is
+                # reported, not made permanent.
+                os.ftruncate(self._fd, self._file_bytes(self._capacity))
+                self._data = self._map_data()
+                raise
+            self._capacity = new_capacity
+            self._data = self._map_data()
 
     # ------------------------------------------------------------------
     # BlockDevice contract
@@ -262,7 +335,13 @@ class MmapBlockDevice:
         charged — allocation is metadata, the first write pays)."""
         block_id = self._next_id
         self._next_id += 1
-        self._ensure_capacity(self._next_id)
+        try:
+            self._ensure_capacity(self._next_id)
+        except BaseException:
+            # A failed grow (e.g. the BufferError leak detector) must
+            # not leave the cursor pointing past the mapped region.
+            self._next_id = block_id
+            raise
         self._write_header()
         return block_id
 
@@ -275,7 +354,8 @@ class MmapBlockDevice:
         self._check_id(block_id)
         self.stats.block_reads += 1
         _trace_charge("block_reads")
-        return self._data[block_id].copy()
+        with self._gate.shared():
+            return self._data[block_id].copy()
 
     def peek_block(self, block_id: int) -> np.ndarray:
         """Uncounted copy of a block's current content.  Used by
@@ -283,7 +363,8 @@ class MmapBlockDevice:
         never by algorithms — algorithmic reads go through
         :meth:`read_block` and are charged."""
         self._check_id(block_id)
-        return self._data[block_id].copy()
+        with self._gate.shared():
+            return self._data[block_id].copy()
 
     def view_block(self, block_id: int) -> np.ndarray:
         """Uncounted **zero-copy, read-only** view of a block.
@@ -294,7 +375,8 @@ class MmapBlockDevice:
         while exported views are alive — a leak detector, not a bug).
         Counted algorithmic reads use :meth:`read_block`."""
         self._check_id(block_id)
-        view = self._data[block_id].view()
+        with self._gate.shared():
+            view = self._data[block_id].view()
         view.flags.writeable = False
         return view
 
@@ -308,7 +390,8 @@ class MmapBlockDevice:
             )
         self.stats.block_writes += 1
         _trace_charge("block_writes")
-        self._data[block_id] = data
+        with self._gate.shared():
+            self._data[block_id] = data
 
     def write_blocks(
         self, block_ids: np.ndarray, rows: np.ndarray
@@ -340,7 +423,8 @@ class MmapBlockDevice:
         count = rows.shape[0]
         self.stats.block_writes += count
         _trace_charge("block_writes", count)
-        self._data[block_ids] = rows
+        with self._gate.shared():
+            self._data[block_ids] = rows
 
     def bytes_used(self, coefficient_bytes: int = 8) -> int:
         """Approximate on-disk footprint of the allocated blocks."""
@@ -349,7 +433,8 @@ class MmapBlockDevice:
     def dump_blocks(self) -> np.ndarray:
         """Uncounted snapshot of every block as a 2-d array.  Used by
         persistence, not by algorithms."""
-        return self._data[: self._next_id].copy()
+        with self._gate.shared():
+            return self._data[: self._next_id].copy()
 
     def restore_blocks(self, blocks: np.ndarray) -> None:
         """Uncounted bulk restore (inverse of :meth:`dump_blocks`)."""
@@ -361,7 +446,8 @@ class MmapBlockDevice:
         count = blocks.shape[0]
         self._ensure_capacity(count)
         self._next_id = count
-        self._data[:count] = blocks
+        with self._gate.shared():
+            self._data[:count] = blocks
         self._write_header()
 
     # ------------------------------------------------------------------
@@ -374,16 +460,25 @@ class MmapBlockDevice:
         self._mm.flush()
 
     def close(self) -> None:
-        """Sync and release the mapping.  Idempotent."""
+        """Sync and release the mapping.  Idempotent.
+
+        A live :meth:`view_block` export makes the unmap raise
+        ``BufferError`` (the leak detector); the device then stays
+        open and fully usable, and can be closed again once the view
+        is dropped.
+        """
         if self._closed:
             return
-        self._closed = True
-        try:
+        with self._gate.exclusive():
             self.sync()
             self._data = None
-            self._mm.close()
-        finally:
-            os.close(self._fd)
+            try:
+                self._mm.close()
+            except BufferError:
+                self._data = self._map_data()
+                raise
+        self._closed = True
+        os.close(self._fd)
 
     def __enter__(self) -> "MmapBlockDevice":
         return self

@@ -1040,7 +1040,10 @@ def transform_standard_procpool(
                     errors[0],
                 )
                 raise ProcPoolError(
-                    f"scatter worker {primary[0]} failed:\n{primary[2]}"
+                    f"scatter worker {primary[0]} failed (the store's "
+                    f"pre-allocated blocks are orphaned — recreate the "
+                    f"store and device/arena before retrying):"
+                    f"\n{primary[2]}"
                 )
             if len(outcomes) != workers:
                 dead = [
@@ -1048,7 +1051,10 @@ def transform_standard_procpool(
                 ]
                 raise ProcPoolError(
                     f"{workers - len(outcomes)} scatter worker(s) died "
-                    f"without reporting (exit codes {dead})"
+                    f"without reporting (exit codes {dead}; the "
+                    f"store's pre-allocated blocks are orphaned — "
+                    f"recreate the store and device/arena before "
+                    f"retrying)"
                 )
             stats = device.stats
             for __, __, fields, source_reads, chunks_done in outcomes:
@@ -1082,6 +1088,13 @@ def transform_standard_procpool(
                 del arena_blocks  # release the mmap export before close
             elif isinstance(device, MmapBlockDevice):
                 device.sync()
+        except BaseException:
+            # Blocks were pre-allocated and the directory restored
+            # before the workers ran; the device's allocation cursor
+            # cannot roll back, so clear the directory rather than
+            # leave a half-loaded store that masquerades as populated.
+            tile_store.restore_directory({})
+            raise
         finally:
             if scratch_pooled:
                 _release_buffer("scratch")

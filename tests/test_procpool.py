@@ -255,3 +255,19 @@ class TestErrorPaths:
                 transform_standard_procpool(
                     self._fresh(), np.zeros((16, 16)), (8, 8)
                 )
+
+    def test_worker_failure_rolls_back_directory(self):
+        # Blocks are pre-allocated and the directory restored before
+        # the workers run; when a worker fails, the half-loaded store
+        # must not masquerade as populated: the directory is cleared
+        # and the error says the orphaned blocks need a fresh store.
+        def getter(grid_position):
+            raise RuntimeError("injected source failure")
+
+        store = self._fresh()
+        with pytest.raises(ProcPoolError, match="orphaned"):
+            transform_standard_procpool(store, getter, (8, 8), workers=2)
+        assert store.tile_store.num_tiles == 0
+        # The allocation cursor cannot roll back — that is exactly why
+        # the error demands a fresh store/device for the retry.
+        assert store.tile_store.device.num_blocks > 0

@@ -10,12 +10,19 @@ port.
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
 import threading
 import urllib.error
 import urllib.request
 
 import numpy as np
 import pytest
+
+import repro
 
 from repro.olap.schema import Dimension
 from repro.server.demo import build_demo_hub
@@ -396,6 +403,58 @@ class TestDataDirPersistence:
             server.shutdown()
             server.server_close()
             reopened_hub.close()
+
+    def test_update_survives_sigkill_without_close(self, tmp_path):
+        # Hard-crash durability: an update acknowledged by a process
+        # that then dies on SIGKILL (no close(), no atexit) must be
+        # served by a reopened hub — not stale pre-update zeros.
+        data_dir = str(tmp_path / "hub")
+        answers = str(tmp_path / "answers.json")
+        child = textwrap.dedent(
+            f"""
+            import json, os, signal
+
+            from repro.server.demo import build_demo_hub
+
+            hub = build_demo_hub(seed=29, data_dir={data_dir!r})
+            cube = hub.cube("globex", "telemetry").cube
+            ranges = {{"tick": (0, 7), "sensor": (0, 7)}}
+            before = cube.sum(**ranges)
+            hub.update(
+                "globex",
+                "telemetry",
+                [[2.5] * 4] * 4,
+                {{"tick": 0, "sensor": 0}},
+            )
+            after = cube.sum(**ranges)
+            with open({answers!r}, "w") as handle:
+                json.dump({{"before": before, "after": after}}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env, capture_output=True
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        with open(answers) as handle:
+            expected = json.load(handle)
+        assert expected["after"] != expected["before"]
+
+        reopened = ServingHub(data_dir=data_dir)
+        try:
+            got = reopened.cube("globex", "telemetry").cube.sum(
+                tick=(0, 7), sensor=(0, 7)
+            )
+            assert got == expected["after"]
+        finally:
+            reopened.close()
 
     def test_reopened_hub_matches_in_memory_answers(self, tmp_path):
         # Same seed, one hub persistent and one in-memory: identical
