@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke serve ci lint analyze experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke obs-smoke serve ci lint analyze experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -35,6 +35,13 @@ fault-smoke:
 # BENCH_http.json and fails if quota isolation does not hold.
 serve-smoke:
 	PYTHONPATH=src python benchmarks/bench_http_serving.py --smoke
+
+# Telemetry overhead smoke (non-gating in CI): interleaves the same
+# aggregate workload across baseline / recorders-on / traced hubs and
+# reports p50/p95 with the always-on overhead vs the 5% p95 budget;
+# writes BENCH_obs.json.
+obs-smoke:
+	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
 
 # Interactive: serve the demo hub on localhost:8950 (see docs/serving.md)
 serve:

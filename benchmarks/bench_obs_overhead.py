@@ -1,0 +1,185 @@
+"""Benchmark for the serving-telemetry overhead budget.
+
+Drives the same aggregate workload against three otherwise-identical
+single-tenant hubs on live threading servers:
+
+* ``baseline`` — every serving-path recorder disabled
+  (``flight_capacity=0``, ``reqlog_capacity=0``, ``heat_max_tiles=0``);
+* ``instrumented`` — the always-on production shape: request log,
+  flight recorder and tile-heat accounting enabled, tracer off;
+* ``traced`` — ``instrumented`` plus a live :class:`Tracer`
+  installed, the opt-in debugging shape.
+
+Request batches are interleaved across the servers so clock drift and
+cache warmup hit all three equally.  The acceptance budget is the
+*instrumented* tail: always-on telemetry must stay within 5% of the
+baseline p95 (the traced column is informational — tracing is opt-in
+and allowed to cost more).
+
+Run standalone for the JSON report (written to ``BENCH_obs.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+
+``--smoke`` shrinks the request counts for CI; the report schema is
+identical.
+"""
+
+import json
+import sys
+import time
+import urllib.request
+
+import numpy as np
+
+FULL = dict(batches=10, requests_per_batch=25, warmup=20)
+SMOKE = dict(batches=4, requests_per_batch=8, warmup=4)
+
+TARGET_P95_OVERHEAD = 0.05
+
+_PATH = "/cube/grid/aggregate?cut=x:0-31|y:0-31"
+
+
+def _fetch(base, path, key):
+    request = urllib.request.Request(base + path)
+    request.add_header("X-API-Key", key)
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=30) as response:
+        response.read()
+        code = response.status
+    return code, (time.perf_counter() - start) * 1e3
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _build_hub(telemetry):
+    from repro.olap.schema import Dimension
+    from repro.server.hub import ServingHub
+
+    if telemetry:
+        hub = ServingHub(num_workers=2)
+    else:
+        hub = ServingHub(
+            num_workers=2,
+            flight_capacity=0,
+            reqlog_capacity=0,
+            heat_max_tiles=0,
+        )
+    rng = np.random.default_rng(29)
+    hub.add_tenant("bench", api_key="bench-key")
+    hub.add_cube(
+        "bench",
+        "grid",
+        [Dimension("x", 64), Dimension("y", 64)],
+        data=rng.random((64, 64)),
+    )
+    return hub
+
+
+def obs_overhead(smoke=False):
+    from repro.obs import set_tracer, tracing
+    from repro.server.http import spawn
+
+    cfg = SMOKE if smoke else FULL
+
+    # Build the instrumented hub FIRST so the baseline hub's
+    # construction does not leave the global heat recorder pointing at
+    # a closed hub; each ServingHub installs its heat on construct.
+    servers = {}
+    try:
+        for name, telemetry in (
+            ("instrumented", True),
+            ("traced", True),
+            ("baseline", False),
+        ):
+            hub = _build_hub(telemetry)
+            server, __thread = spawn(hub)
+            host, port = server.server_address
+            servers[name] = (hub, server, f"http://{host}:{port}")
+
+        latencies = {name: [] for name in servers}
+        codes = {name: [] for name in servers}
+
+        def drive(name, count, record=True):
+            __, __, base = servers[name]
+            if name == "traced":
+                with tracing():
+                    batch = [_fetch(base, _PATH, "bench-key") for __ in range(count)]
+            else:
+                batch = [_fetch(base, _PATH, "bench-key") for __ in range(count)]
+            if record:
+                for code, ms in batch:
+                    codes[name].append(code)
+                    latencies[name].append(ms)
+
+        for name in servers:
+            drive(name, cfg["warmup"], record=False)
+        for __ in range(cfg["batches"]):
+            for name in ("baseline", "instrumented", "traced"):
+                drive(name, cfg["requests_per_batch"])
+
+        report = {"config": dict(cfg, smoke=smoke)}
+        for name in ("baseline", "instrumented", "traced"):
+            assert set(codes[name]) == {200}, (
+                f"{name}: unexpected {set(codes[name])}"
+            )
+            report[name] = {
+                "requests": len(latencies[name]),
+                "p50_ms": round(_percentile(latencies[name], 0.50), 3),
+                "p95_ms": round(_percentile(latencies[name], 0.95), 3),
+            }
+        base_p95 = max(report["baseline"]["p95_ms"], 1e-9)
+        base_p50 = max(report["baseline"]["p50_ms"], 1e-9)
+        report["overhead_p50"] = round(
+            report["instrumented"]["p50_ms"] / base_p50 - 1.0, 4
+        )
+        report["overhead_p95"] = round(
+            report["instrumented"]["p95_ms"] / base_p95 - 1.0, 4
+        )
+        report["traced_overhead_p95"] = round(
+            report["traced"]["p95_ms"] / base_p95 - 1.0, 4
+        )
+        report["target_p95_overhead"] = TARGET_P95_OVERHEAD
+        report["within_target"] = (
+            report["overhead_p95"] <= TARGET_P95_OVERHEAD
+        )
+    finally:
+        set_tracer(None)
+        for hub, server, __ in servers.values():
+            server.shutdown()
+            server.server_close()
+            hub.close()
+
+    print(json.dumps(report, indent=2))
+    with open("BENCH_obs.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        "obs-overhead: instrumented p95 "
+        f"{report['instrumented']['p95_ms']}ms vs baseline "
+        f"{report['baseline']['p95_ms']}ms "
+        f"(overhead {report['overhead_p95']:+.1%}, "
+        f"target <={TARGET_P95_OVERHEAD:.0%}, "
+        f"within_target={report['within_target']}); "
+        "written to BENCH_obs.json",
+        file=sys.stderr,
+    )
+    return report
+
+
+def test_obs_overhead(benchmark):
+    from conftest import run_experiment
+
+    report = run_experiment(benchmark, obs_overhead, smoke=True)
+    for name in ("baseline", "instrumented", "traced"):
+        assert report[name]["requests"] > 0
+        assert report[name]["p95_ms"] >= report[name]["p50_ms"] >= 0.0
+    # the overhead numbers are recorded, not asserted: single-digit
+    # millisecond localhost latencies are too noisy to gate CI on
+    assert "overhead_p95" in report and "within_target" in report
+
+
+if __name__ == "__main__":
+    obs_overhead(smoke="--smoke" in sys.argv)

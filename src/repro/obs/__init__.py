@@ -9,6 +9,15 @@ are instrumented to open spans and charge I/Os.  Tracing is off by
 default and zero-cost when off — enabling it never changes any
 ``IOStats`` value.
 
+The serving-path companions:
+
+* :mod:`repro.obs.reqlog` — structured JSON request logs plus W3C
+  ``traceparent`` propagation helpers;
+* :mod:`repro.obs.flightrec` — the bounded always-on flight recorder
+  behind ``/debug/queries``;
+* :mod:`repro.obs.heat` — per-tile read/write heat attributed by
+  tenant and query class (the input ROADMAP item 5 consumes).
+
 Typical use::
 
     from repro.obs import tracing, io_receipt, to_chrome_trace
@@ -24,10 +33,27 @@ formats.
 """
 
 from repro.obs.exporters import (
+    heat_to_prometheus,
     io_receipt,
     query_receipts,
     to_chrome_trace,
     to_prometheus,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.heat import (
+    HeatRecorder,
+    get_heat,
+    heat_context,
+    set_heat,
+    touch_read,
+    touch_write,
+)
+from repro.obs.reqlog import (
+    RequestLog,
+    make_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
 )
 from repro.obs.tracer import (
     IO_FIELDS,
@@ -39,6 +65,7 @@ from repro.obs.tracer import (
     charge,
     get_tracer,
     set_tracer,
+    span_record,
     tracing,
     zero_io,
 )
@@ -46,17 +73,31 @@ from repro.obs.tracer import (
 __all__ = [
     "IO_FIELDS",
     "NULL_TRACER",
+    "FlightRecorder",
+    "HeatRecorder",
     "NullTracer",
+    "RequestLog",
     "Span",
     "TraceStore",
     "Tracer",
     "charge",
+    "get_heat",
     "get_tracer",
+    "heat_context",
+    "heat_to_prometheus",
     "io_receipt",
+    "make_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "query_receipts",
+    "set_heat",
     "set_tracer",
+    "span_record",
     "to_chrome_trace",
     "to_prometheus",
+    "touch_read",
+    "touch_write",
     "tracing",
     "zero_io",
 ]

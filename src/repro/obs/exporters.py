@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.obs.tracer import IO_FIELDS, Span, zero_io
 
 __all__ = [
+    "heat_to_prometheus",
     "io_receipt",
     "query_receipts",
     "to_chrome_trace",
@@ -292,4 +293,40 @@ def to_prometheus(metrics, namespace: str = "repro") -> str:
         total = hist.get("sum", hist["mean"] * hist["count"])
         lines.append(f"{name}_sum{labels} {_format_value(total)}")
         lines.append(f"{name}_count{labels} {_format_value(hist['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+_LABEL_ESCAPE = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPE.get(ch, ch) for ch in str(value))
+
+
+def heat_to_prometheus(
+    aggregates: Sequence[Dict[str, Any]], namespace: str = "repro"
+) -> str:
+    """Render per-label tile-heat aggregates as Prometheus counters.
+
+    ``aggregates`` is :meth:`~repro.obs.heat.HeatRecorder.aggregates`
+    output — one entry per ``(tenant, class)`` label.  Only the
+    bounded label axis is exported (per-block series would explode
+    cardinality; the full histogram is the JSON heat map instead).
+    """
+    reads_name = _metric_name("tile_heat_reads_total", namespace)
+    writes_name = _metric_name("tile_heat_writes_total", namespace)
+    tiles_name = _metric_name("tile_heat_tiles", namespace)
+    lines = [
+        f"# TYPE {reads_name} counter",
+        f"# TYPE {writes_name} counter",
+        f"# TYPE {tiles_name} gauge",
+    ]
+    for row in aggregates:
+        labels = (
+            f'{{tenant="{_escape_label(row.get("tenant", ""))}",'
+            f'class="{_escape_label(row.get("class", ""))}"}}'
+        )
+        lines.append(f"{reads_name}{labels} {int(row.get('reads', 0))}")
+        lines.append(f"{writes_name}{labels} {int(row.get('writes', 0))}")
+        lines.append(f"{tiles_name}{labels} {int(row.get('tiles', 0))}")
     return "\n".join(lines) + "\n"

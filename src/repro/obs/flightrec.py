@@ -1,0 +1,114 @@
+"""Always-on flight recorder for the serving path.
+
+Full tracing answers "where did the I/O go" but costs memory and is
+usually off in production.  The flight recorder is the complement: a
+bounded, always-on structure that keeps only the receipts an operator
+asks for first when paged — the *slowest* requests, the *degraded*
+answers (deadline/breaker fallbacks, HTTP 206) and the *faulted* ones
+(HTTP 5xx / query errors).  Constant memory no matter how long the
+hub serves; exposed live through ``/debug/queries``.
+
+A receipt is whatever dict the serving app hands in — typically the
+same record it appends to the request log (trace id, tenant, cube,
+status, wall time, deadline slack, I/O receipt), so a slow entry here
+can be joined back to the full request log and trace by trace id.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import List, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded rings of the slowest / degraded / faulted receipts.
+
+    ``capacity`` bounds each of the three retained sets
+    independently.  The slowest set is a min-heap keyed on the
+    receipt's ``wall_s``: once full, a new receipt must beat the
+    fastest retained one to enter (the fastest is evicted, counted in
+    ``evicted``).  The degraded and faulted sets are most-recent
+    rings.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        # entries are (wall_s, seq, receipt); seq breaks wall ties so
+        # receipts (plain dicts) are never compared
+        self._slow: List[tuple] = []  # guarded-by: _lock
+        self._degraded: "deque[dict]" = deque(maxlen=capacity)
+        self._faulted: "deque[dict]" = deque(maxlen=capacity)
+        self._seq = 0  # guarded-by: _lock
+        self.seen = 0  # guarded-by: _lock
+        self.evicted = 0  # guarded-by: _lock
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, receipt: dict) -> None:
+        """Consider one request receipt for retention."""
+        wall_s = float(receipt.get("wall_s", 0.0))
+        code = int(receipt.get("code", 0))
+        query_status = receipt.get("status", "")
+        faulted = code >= 500 or query_status == "error"
+        degraded = not faulted and (
+            code == 206 or query_status in ("degraded", "timeout")
+        )
+        with self._lock:
+            self.seen += 1
+            self._seq += 1
+            entry = (wall_s, self._seq, receipt)
+            if len(self._slow) < self._capacity:
+                heapq.heappush(self._slow, entry)
+            elif wall_s > self._slow[0][0]:
+                heapq.heapreplace(self._slow, entry)
+                self.evicted += 1
+            else:
+                self.evicted += 1
+            if faulted:
+                self._faulted.append(receipt)
+            elif degraded:
+                self._degraded.append(receipt)
+
+    def snapshot(self, tenant: Optional[str] = None) -> dict:
+        """JSON-ready state: slowest (descending), degraded and
+        faulted (newest last).  ``tenant`` filters every list."""
+        with self._lock:
+            slow = [
+                receipt
+                for __, __, receipt in sorted(
+                    self._slow, key=lambda entry: -entry[0]
+                )
+            ]
+            degraded = list(self._degraded)
+            faulted = list(self._faulted)
+            seen = self.seen
+            evicted = self.evicted
+        if tenant is not None:
+            slow = [r for r in slow if r.get("tenant") == tenant]
+            degraded = [r for r in degraded if r.get("tenant") == tenant]
+            faulted = [r for r in faulted if r.get("tenant") == tenant]
+        return {
+            "capacity": self._capacity,
+            "seen": seen,
+            "evicted": evicted,
+            "slowest": slow,
+            "degraded": degraded,
+            "faulted": faulted,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slow.clear()
+            self._degraded.clear()
+            self._faulted.clear()
+            self.seen = 0
+            self.evicted = 0

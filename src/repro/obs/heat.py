@@ -1,0 +1,232 @@
+"""Per-tile heat accounting attributed by tenant and query class.
+
+ROADMAP item 5 (adaptive per-region coefficient budgets) needs to know
+*which tiles the workload actually touches* — not just how many block
+I/Os happened.  This module records a bounded per-block read/write
+histogram, attributed to a ``(tenant, query class)`` label that the
+serving layers establish around each unit of work:
+
+* :class:`~repro.service.engine.QueryEngine` labels each executing
+  query with its tenant and query kind (and the batch prefetch wave
+  with ``"prefetch"``);
+* :class:`~repro.server.hub.ServingHub` labels update batches with
+  ``"update"``.
+
+Charging happens exactly where the buffer pool already charges
+``IOStats`` cache counters (:meth:`BufferPool.get` / ``create`` /
+``mark_dirty``), so a heat *read* is a logical tile touch (hit or
+miss) and a heat *write* is a logical tile dirtying — write-backs on
+eviction/flush are deliberately **not** re-attributed, since the
+dirtying query already paid.
+
+Like the tracer, heat recording is off by default and zero-cost when
+off: the pool's hooks pay one global load and a ``None`` check per
+touch.  The serving hub installs a recorder for its lifetime; library
+code (experiments, kernels) never pays for it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HeatRecorder",
+    "current_heat_label",
+    "get_heat",
+    "heat_context",
+    "set_heat",
+    "touch_read",
+    "touch_write",
+]
+
+#: Attribution label for touches made outside any ``heat_context``.
+UNATTRIBUTED: Tuple[str, str] = ("", "")
+
+_label: "ContextVar[Optional[Tuple[str, str]]]" = ContextVar(
+    "repro_heat_label", default=None
+)
+
+
+class HeatRecorder:
+    """Bounded, thread-safe per-block heat counters.
+
+    One counter pair ``[reads, writes]`` per ``(label, block_id)``.
+    The label axis is bounded by tenants x query classes; the block
+    axis is bounded by ``max_tiles`` per label — past it new blocks
+    are dropped (and counted in ``dropped``) rather than growing
+    without bound on a long-lived server.
+    """
+
+    def __init__(self, max_tiles: int = 65536) -> None:
+        if max_tiles < 1:
+            raise ValueError(f"max_tiles must be >= 1, got {max_tiles}")
+        self._max_tiles = max_tiles
+        self._lock = threading.Lock()
+        # (tenant, class) -> block_id -> [reads, writes]; guarded-by: _lock
+        self._tiles: Dict[Tuple[str, str], Dict[int, List[int]]] = {}
+        self.dropped = 0  # guarded-by: _lock
+        self.touches = 0  # guarded-by: _lock
+
+    @property
+    def max_tiles(self) -> int:
+        return self._max_tiles
+
+    def touch(self, block_id: int, reads: int = 0, writes: int = 0) -> None:
+        """Charge a block touch to the calling context's label."""
+        label = _label.get() or UNATTRIBUTED
+        with self._lock:
+            self.touches += 1
+            per_label = self._tiles.get(label)
+            if per_label is None:
+                per_label = self._tiles[label] = {}
+            cell = per_label.get(block_id)
+            if cell is None:
+                if len(per_label) >= self._max_tiles:
+                    self.dropped += 1
+                    return
+                per_label[block_id] = [reads, writes]
+            else:
+                cell[0] += reads
+                cell[1] += writes
+
+    # ------------------------------------------------------------------
+    # read-out
+    # ------------------------------------------------------------------
+
+    def aggregates(self, tenant: Optional[str] = None) -> List[dict]:
+        """Per-label roll-up: one entry per ``(tenant, class)``.
+
+        ``tenant`` filters to one tenant's labels (the tenant-scoped
+        ``/debug/heat`` view).  Sorted by total touches, hottest first.
+        """
+        rows = []
+        with self._lock:
+            for (label_tenant, label_class), per_label in self._tiles.items():
+                if tenant is not None and label_tenant != tenant:
+                    continue
+                reads = sum(cell[0] for cell in per_label.values())
+                writes = sum(cell[1] for cell in per_label.values())
+                rows.append(
+                    {
+                        "tenant": label_tenant,
+                        "class": label_class,
+                        "reads": reads,
+                        "writes": writes,
+                        "tiles": len(per_label),
+                    }
+                )
+        rows.sort(key=lambda row: -(row["reads"] + row["writes"]))
+        return rows
+
+    def snapshot(
+        self, tenant: Optional[str] = None, top: Optional[int] = None
+    ) -> dict:
+        """JSON-ready heat map: per-label aggregates plus the per-block
+        histogram (hottest blocks first, ``top`` bounds the list).
+
+        Each tile entry carries its total reads/writes and the
+        per-label breakdown keyed ``"tenant/class"`` — the shape the
+        adaptive-budget planner (ROADMAP item 5) consumes directly.
+        """
+        per_block: Dict[int, dict] = {}
+        with self._lock:
+            for (label_tenant, label_class), per_label in self._tiles.items():
+                if tenant is not None and label_tenant != tenant:
+                    continue
+                key = f"{label_tenant}/{label_class}"
+                for block_id, (reads, writes) in per_label.items():
+                    entry = per_block.get(block_id)
+                    if entry is None:
+                        entry = per_block[block_id] = {
+                            "block": block_id,
+                            "reads": 0,
+                            "writes": 0,
+                            "by": {},
+                        }
+                    entry["reads"] += reads
+                    entry["writes"] += writes
+                    entry["by"][key] = [reads, writes]
+            dropped = self.dropped
+            touches = self.touches
+        tiles = sorted(
+            per_block.values(),
+            key=lambda entry: -(entry["reads"] + entry["writes"]),
+        )
+        if top is not None:
+            tiles = tiles[:top]
+        return {
+            "touches": touches,
+            "dropped": dropped,
+            "labels": self.aggregates(tenant=tenant),
+            "tiles": tiles,
+        }
+
+    def dump_json(self, path: str, tenant: Optional[str] = None) -> None:
+        """Write the heat map snapshot as a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(tenant=tenant), handle, indent=2)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tiles.clear()
+            self.dropped = 0
+            self.touches = 0
+
+
+# ----------------------------------------------------------------------
+# module-level recorder registry (what the buffer pool consults)
+# ----------------------------------------------------------------------
+
+_active: Optional[HeatRecorder] = None
+
+
+def get_heat() -> Optional[HeatRecorder]:
+    """The installed recorder (``None`` when heat accounting is off)."""
+    return _active
+
+
+def set_heat(recorder: Optional[HeatRecorder]) -> Optional[HeatRecorder]:
+    """Install ``recorder`` globally; returns the previous one so a
+    scoped owner (the serving hub) can restore it on close."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+def touch_read(block_id: int, amount: int = 1) -> None:
+    """Hot-path hook: record a logical tile read (no-op when off)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.touch(block_id, reads=amount)
+
+
+def touch_write(block_id: int, amount: int = 1) -> None:
+    """Hot-path hook: record a logical tile dirtying (no-op when off)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.touch(block_id, writes=amount)
+
+
+def current_heat_label() -> Optional[Tuple[str, str]]:
+    """The calling context's ``(tenant, query class)`` label, if any."""
+    return _label.get()
+
+
+@contextmanager
+def heat_context(tenant: str, query_class: str) -> Iterator[None]:
+    """Scope attributing every heat touch to ``(tenant, query_class)``.
+
+    Labels follow the :mod:`contextvars` context, so they stay
+    confined to the thread (or task) that set them — engine worker
+    threads each establish their own label per query.
+    """
+    token = _label.set((tenant, query_class))
+    try:
+        yield
+    finally:
+        _label.reset(token)

@@ -1,0 +1,142 @@
+"""Structured JSON request logs and W3C ``traceparent`` propagation.
+
+The serving app records one structured entry per HTTP request —
+tenant, cube, cut, status, deadline slack, and the arena I/O receipt —
+into a bounded in-memory :class:`RequestLog` ring (always on, constant
+memory) and optionally mirrors each entry as a JSON line to a stream
+(``python -m repro.server --reqlog`` wires stderr).
+
+Trace ids follow the W3C Trace Context ``traceparent`` header
+(``00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>``): a request
+carrying the header continues the caller's trace id; one without gets
+a fresh id.  Either way the response carries a ``traceparent`` whose
+span-id names the server's request span, so a client can stitch its
+own spans to the server-side trace and to the request-log entry (both
+record the trace id).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import secrets
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "RequestLog",
+    "make_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+]
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[Tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` header.
+
+    Returns ``None`` for a missing or malformed header and for the
+    all-zero trace/span ids the spec declares invalid — the server
+    then starts a fresh trace rather than propagating garbage.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    # future versions parse leniently, but "ff" is explicitly invalid
+    if match.group("version") == "ff":
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+def make_traceparent(
+    trace_id: str, span_id: str, sampled: bool = True
+) -> str:
+    """Render a version-00 ``traceparent`` header value."""
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return secrets.token_hex(8)
+
+
+class RequestLog:
+    """Bounded, thread-safe ring buffer of per-request log records.
+
+    Each record is a plain JSON-ready dict; :meth:`record` stamps the
+    wall-clock ``ts`` and appends.  Once ``capacity`` records are held
+    the oldest is evicted (``dropped`` counts the loss).  When
+    ``stream`` is set, every record is also written as one JSON line —
+    the machine-readable access log.
+    """
+
+    def __init__(self, capacity: int = 512, stream=None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._records: "deque[dict]" = deque(maxlen=capacity)  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self.dropped = 0  # guarded-by: _lock
+        self.stream = stream
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, **fields) -> dict:
+        """Append one record (and emit it to ``stream`` when set)."""
+        entry: Dict[str, object] = {"ts": time.time()}
+        entry.update(fields)
+        with self._lock:
+            if len(self._records) == self._capacity:
+                self.dropped += 1
+            self._records.append(entry)
+        stream = self.stream
+        if stream is not None:
+            try:
+                stream.write(json.dumps(entry) + "\n")
+            except (ValueError, OSError):  # closed stream: keep serving
+                pass
+        return entry
+
+    def records(
+        self, tenant: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[dict]:
+        """Snapshot, oldest first; ``tenant`` filters, ``limit`` keeps
+        the newest ``limit`` entries."""
+        with self._lock:
+            entries = list(self._records)
+        if tenant is not None:
+            entries = [
+                entry for entry in entries if entry.get("tenant") == tenant
+            ]
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

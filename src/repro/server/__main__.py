@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 
 from repro.server.demo import build_demo_hub
 from repro.server.http import serve
@@ -53,13 +54,25 @@ def main(argv=None) -> int:
             "data"
         ),
     )
+    parser.add_argument(
+        "--reqlog",
+        action="store_true",
+        help=(
+            "also write each structured request-log record to stderr "
+            "as one JSON line"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    reqlog_stream = sys.stderr if args.reqlog else None
     if args.data_dir is not None and os.path.exists(
         state_path(args.data_dir)
     ):
         hub = ServingHub(
-            pool_blocks=args.pool_blocks, data_dir=args.data_dir
+            pool_blocks=args.pool_blocks,
+            data_dir=args.data_dir,
+            reqlog_stream=reqlog_stream,
+            admin_key="demo-admin-key",
         )
         print(f"reopened hub from {args.data_dir}")
     else:
@@ -68,6 +81,7 @@ def main(argv=None) -> int:
             size=args.size,
             pool_blocks=args.pool_blocks,
             data_dir=args.data_dir,
+            reqlog_stream=reqlog_stream,
         )
     for tenant_name in hub.tenants():
         tenant = hub.tenant(tenant_name)
@@ -75,6 +89,7 @@ def main(argv=None) -> int:
             f"tenant {tenant_name}: api_key={tenant.api_key} "
             f"cubes={sorted(tenant.cubes)}"
         )
+    print(f"debug admin key: {hub.admin_key}")
     print(f"serving on http://{args.host}:{args.port}")
     try:
         serve(hub, host=args.host, port=args.port)

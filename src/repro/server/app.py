@@ -10,6 +10,9 @@ Stdlib-only Slicer-style endpoints:
 ``/cube/<name>/update``   POST    SHIFT-SPLIT delta batch
 ``/metrics``              GET     Prometheus text exposition
 ``/healthz``              GET     breaker / journal / queue state
+``/debug/queries``        GET     flight recorder + recent request log
+``/debug/trace``          GET     live trace (admin key only)
+``/debug/heat``           GET     tile-heat map
 ========================  ======  =====================================
 
 Tenancy: every data route requires an API key (``X-API-Key`` header or
@@ -19,6 +22,17 @@ deadline (``X-Deadline-Ms`` header or ``deadline_ms`` parameter)
 propagates into the engine; queries that blow it are answered from
 resident blocks with a sound ``error_bound`` and the response is
 **206 Partial Content** — a slow tenant degrades instead of stalling.
+
+Telemetry: every request carries a W3C-style trace — an incoming
+``traceparent`` header's trace id is continued, otherwise a fresh one
+is minted — and the response echoes a ``traceparent`` built from that
+trace id, so a client can join its logs to the hub's.  Each request is
+appended to the hub's structured request log (tenant, cube, cut,
+status, deadline slack, I/O receipt) and each *data-route* request is
+offered to the flight recorder behind ``/debug/queries``.  The
+``/debug/queries``, ``/debug/trace`` and ``/debug/heat`` routes are
+authenticated: the hub's admin key sees everything, a tenant key sees
+its own slice (and never the raw trace).
 
 Status mapping: schema/parse errors 400, unknown key 401, unknown
 cube 404, tenant quota 429, global backpressure 503, engine errors
@@ -30,10 +44,17 @@ client reading the body sees bit-identical values to a direct
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
-from repro.obs.tracer import get_tracer
+from repro.obs.reqlog import (
+    make_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+from repro.obs.tracer import IO_FIELDS, get_tracer
 from repro.olap.schema import SchemaError
 from repro.server.hub import CubeState, ServingHub, Tenant
 from repro.server.slicer import (
@@ -97,16 +118,35 @@ class ServingApp:
                 environ.get("QUERY_STRING", "")
             ).items()
         }
+        # Trace propagation: continue the caller's trace id when a
+        # valid traceparent arrives, mint one otherwise.  The response
+        # always carries a traceparent whose span id is this request.
+        incoming = parse_traceparent(environ.get("HTTP_TRACEPARENT"))
+        trace_id = incoming[0] if incoming else new_trace_id()
+        request_span_hex = new_span_id()
+        ctx: dict = {
+            "tenant": None,
+            "cube": None,
+            "cut": None,
+            "deadline_s": None,
+            "status": None,
+        }
+        started = time.perf_counter()
+        before = self._hub.stats.snapshot()
         # Handler threads are spawned by the threading HTTP server, so
         # there is no ambient span to inherit: the request span roots
         # its own trace and the engine's workers parent query spans
         # under it through the submission's trace_parent.
         with get_tracer().span(
-            "http.request", parent=None, method=method, path=path
+            "http.request",
+            parent=None,
+            method=method,
+            path=path,
+            trace_id=trace_id,
         ) as span:
             try:
                 code, payload, content_type = self._dispatch(
-                    method, path, params, environ
+                    method, path, params, environ, ctx
                 )
             except _HttpError as exc:
                 code, payload, content_type = (
@@ -131,22 +171,67 @@ class ServingApp:
         self._hub.metrics.counter(
             "http_requests", {"code": code, "method": method}
         ).inc()
+        self._record_request(
+            method, path, trace_id, incoming, code, started, before, ctx
+        )
         reason = _REASONS.get(code, "Unknown")
         start_response(
             f"{code} {reason}",
             [
                 ("Content-Type", content_type),
                 ("Content-Length", str(len(body))),
+                (
+                    "Traceparent",
+                    make_traceparent(trace_id, request_span_hex),
+                ),
             ],
         )
         return [body]
+
+    def _record_request(
+        self, method, path, trace_id, incoming, code, started, before, ctx
+    ) -> None:
+        """Append the finished request to the request log and offer
+        data-route receipts to the flight recorder.
+
+        The I/O receipt is the shared-arena stats delta over this
+        request's wall time; under concurrent requests it is an
+        *approximation* (other requests' charges overlap) — exact
+        attribution is the tracer's job.
+        """
+        wall_s = time.perf_counter() - started
+        delta = self._hub.stats.delta_since(before)
+        deadline_s = ctx.get("deadline_s")
+        record = {
+            "trace_id": trace_id,
+            "parent_span": incoming[1] if incoming else None,
+            "method": method,
+            "path": path,
+            "code": code,
+            "tenant": ctx.get("tenant"),
+            "cube": ctx.get("cube"),
+            "cut": ctx.get("cut"),
+            "status": ctx.get("status") or "",
+            "wall_s": wall_s,
+            "deadline_s": deadline_s,
+            "deadline_slack_s": (
+                deadline_s - wall_s if deadline_s is not None else None
+            ),
+            "io": {field: getattr(delta, field) for field in IO_FIELDS},
+        }
+        reqlog = self._hub.request_log
+        if reqlog is not None:
+            reqlog.record(**record)
+        flightrec = self._hub.flight_recorder
+        if flightrec is not None and path.startswith("/cube/"):
+            flightrec.record(record)
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
 
     def _dispatch(
-        self, method: str, path: str, params: Dict[str, str], environ
+        self, method: str, path: str, params: Dict[str, str], environ, ctx
     ) -> Tuple[int, object, Optional[str]]:
         if path == "/healthz":
             self._require(method, "GET")
@@ -156,7 +241,11 @@ class ServingApp:
         if path == "/metrics":
             self._require(method, "GET")
             return 200, self._hub.prometheus(), "text/plain; version=0.0.4"
+        if path.startswith("/debug/"):
+            self._require(method, "GET")
+            return self._debug(path, params, environ, ctx)
         tenant = self._authenticate(params, environ)
+        ctx["tenant"] = tenant.name
         if path == "/cubes":
             self._require(method, "GET")
             return (
@@ -170,16 +259,59 @@ class ServingApp:
         parts = [part for part in path.split("/") if part]
         if len(parts) == 3 and parts[0] == "cube":
             state = self._cube(tenant, parts[1])
+            ctx["cube"] = state.name
             if parts[2] == "model":
                 self._require(method, "GET")
                 return 200, state.model(), None
             if parts[2] == "aggregate":
                 self._require(method, "GET")
-                return self._aggregate(state, params, environ) + (None,)
+                return self._aggregate(state, params, environ, ctx) + (
+                    None,
+                )
             if parts[2] == "update":
                 self._require(method, "POST")
-                return self._update(state, environ) + (None,)
+                return self._update(state, environ, ctx) + (None,)
         raise _HttpError(404, f"no route for {path!r}")
+
+    # ------------------------------------------------------------------
+    # debug routes
+    # ------------------------------------------------------------------
+
+    def _debug(
+        self, path: str, params: Dict[str, str], environ, ctx
+    ) -> Tuple[int, object, Optional[str]]:
+        scope = self._debug_scope(params, environ, ctx)
+        if path == "/debug/queries":
+            return 200, self._hub.debug_queries(tenant=scope), None
+        if path == "/debug/trace":
+            if scope is not None:
+                # The raw trace spans every tenant; a tenant key must
+                # not see its neighbours' queries.
+                raise _HttpError(
+                    403, "/debug/trace requires the admin key"
+                )
+            return 200, self._hub.debug_trace(), None
+        if path == "/debug/heat":
+            return 200, self._hub.debug_heat(tenant=scope), None
+        raise _HttpError(404, f"no route for {path!r}")
+
+    def _debug_scope(
+        self, params: Dict[str, str], environ, ctx
+    ) -> Optional[str]:
+        """Admin key -> ``None`` (unfiltered); tenant key -> the
+        tenant's name (filtered view); anything else -> 401."""
+        api_key = environ.get("HTTP_X_API_KEY") or params.get("api_key")
+        if api_key and api_key == self._hub.admin_key:
+            return None
+        tenant = self._hub.resolve_key(api_key)
+        if tenant is None:
+            raise _HttpError(
+                401,
+                "debug routes need the admin key or a tenant API key "
+                "(X-API-Key header or api_key parameter)",
+            )
+        ctx["tenant"] = tenant.name
+        return tenant.name
 
     @staticmethod
     def _require(method: str, expected: str) -> None:
@@ -228,7 +360,7 @@ class ServingApp:
     # ------------------------------------------------------------------
 
     def _aggregate(
-        self, state: CubeState, params: Dict[str, str], environ
+        self, state: CubeState, params: Dict[str, str], environ, ctx
     ) -> Tuple[int, dict]:
         cuts = parse_cuts(params.get("cut", ""))
         drilldowns = parse_drilldowns(params.get("drilldown", ""))
@@ -236,6 +368,8 @@ class ServingApp:
             state.cube.dimensions, cuts, drilldowns, self._max_cells
         )
         deadline_s = self._deadline_s(params, environ)
+        ctx["cut"] = params.get("cut", "")
+        ctx["deadline_s"] = deadline_s
         queries = [
             RangeSumQuery(cell.lows, cell.highs) for cell in plan.cells
         ]
@@ -296,6 +430,7 @@ class ServingApp:
             code = 200
         else:
             code = 206
+        ctx["status"] = worst
         return code, {
             "cube": state.name,
             "cut": params.get("cut", ""),
@@ -308,7 +443,7 @@ class ServingApp:
     # update
     # ------------------------------------------------------------------
 
-    def _update(self, state: CubeState, environ) -> Tuple[int, dict]:
+    def _update(self, state: CubeState, environ, ctx) -> Tuple[int, dict]:
         try:
             length = int(environ.get("CONTENT_LENGTH") or 0)
         except ValueError:
@@ -340,4 +475,5 @@ class ServingApp:
             )
         except (ValueError, KeyError) as exc:
             raise _HttpError(400, str(exc)) from None
+        ctx["status"] = STATUS_OK
         return 200, {"applied": True, "io": io_delta}

@@ -30,12 +30,17 @@ def build_demo_hub(
     num_workers: int = 2,
     queue_depth: int = 64,
     data_dir=None,
+    reqlog_stream=None,
+    flight_capacity: int = 64,
+    reqlog_capacity: int = 512,
 ) -> ServingHub:
     """A two-tenant hub over ``size`` x ``size`` cubes (power of two).
 
     With ``data_dir`` the demo data is bulk-loaded straight onto the
     persistent arena; the directory must not already hold a hub (use
-    ``ServingHub(data_dir=...)`` to reopen one).
+    ``ServingHub(data_dir=...)`` to reopen one).  The debug admin key
+    is the deterministic ``demo-admin-key`` so smoke drivers can hit
+    ``/debug/*`` without scraping startup output.
     """
     hub = ServingHub(
         block_slots=64,
@@ -44,6 +49,10 @@ def build_demo_hub(
         num_workers=num_workers,
         max_inflight=max_inflight,
         data_dir=data_dir,
+        reqlog_stream=reqlog_stream,
+        flight_capacity=flight_capacity,
+        reqlog_capacity=reqlog_capacity,
+        admin_key="demo-admin-key",
     )
     rng = np.random.default_rng(seed)
 

@@ -39,7 +39,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.fault.breaker import CircuitBreaker
-from repro.obs.exporters import to_prometheus
+from repro.obs.exporters import (
+    heat_to_prometheus,
+    io_receipt,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.heat import HeatRecorder, get_heat, heat_context, set_heat
+from repro.obs.reqlog import RequestLog
+from repro.obs.tracer import NULL_TRACER, get_tracer
 from repro.olap.cube import WaveletCube
 from repro.olap.schema import Dimension, SchemaError
 from repro.server import persist
@@ -117,6 +126,25 @@ class ServingHub:
         When set, every engine gets its own
         :class:`~repro.fault.breaker.CircuitBreaker` with this failure
         threshold (surfaced through ``/healthz``).
+    flight_capacity:
+        Per-ring bound of the always-on
+        :class:`~repro.obs.flightrec.FlightRecorder` behind
+        ``/debug/queries`` (slowest / degraded / faulted request
+        receipts).  ``0`` disables the recorder.
+    reqlog_capacity:
+        Ring bound of the structured
+        :class:`~repro.obs.reqlog.RequestLog`; ``0`` disables it.
+    reqlog_stream:
+        Optional text stream each request-log record is also written
+        to as one JSON line (e.g. ``sys.stderr`` for the CLI's
+        ``--reqlog``).
+    heat_max_tiles:
+        Per-label tile bound of the
+        :class:`~repro.obs.heat.HeatRecorder` the hub installs as the
+        process-wide recorder; ``0`` disables heat accounting.
+    admin_key:
+        Key granting unfiltered access to the ``/debug/*`` endpoints;
+        generated when omitted (read it back via :attr:`admin_key`).
     data_dir:
         When set, the shared arena lives in
         ``<data_dir>/arena.blocks`` on a file-backed
@@ -143,6 +171,11 @@ class ServingHub:
         breaker_threshold: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         data_dir: Optional[str] = None,
+        flight_capacity: int = 64,
+        reqlog_capacity: int = 512,
+        reqlog_stream=None,
+        heat_max_tiles: int = 65536,
+        admin_key: Optional[str] = None,
     ) -> None:
         self._stats = IOStats()
         self._data_dir = data_dir
@@ -181,6 +214,25 @@ class ServingHub:
         self._api_keys: Dict[str, str] = {}  # key -> tenant name
         self._write_lock = threading.Lock()
         self._closed = False
+        self._admin_key = (
+            admin_key if admin_key is not None else secrets.token_hex(16)
+        )
+        self._flightrec = (
+            FlightRecorder(flight_capacity) if flight_capacity > 0 else None
+        )
+        self._reqlog = (
+            RequestLog(reqlog_capacity, stream=reqlog_stream)
+            if reqlog_capacity > 0
+            else None
+        )
+        self._heat: Optional[HeatRecorder] = None
+        self._heat_previous: Optional[HeatRecorder] = None
+        if heat_max_tiles > 0:
+            # The hub installs its recorder as the process-wide one so
+            # the zero-argument storage hooks can reach it; restored on
+            # close (last-constructed hub wins, like set_tracer).
+            self._heat = HeatRecorder(max_tiles=heat_max_tiles)
+            self._heat_previous = set_heat(self._heat)
         if data_dir is not None and os.path.exists(
             persist.state_path(data_dir)
         ):
@@ -248,6 +300,23 @@ class ServingHub:
     @property
     def guard(self) -> DeadlineGuardDevice:
         return self._guard
+
+    @property
+    def admin_key(self) -> str:
+        """Key unlocking the unfiltered ``/debug/*`` views."""
+        return self._admin_key
+
+    @property
+    def flight_recorder(self) -> Optional[FlightRecorder]:
+        return self._flightrec
+
+    @property
+    def request_log(self) -> Optional[RequestLog]:
+        return self._reqlog
+
+    @property
+    def heat(self) -> Optional[HeatRecorder]:
+        return self._heat
 
     def edge_for(self, ndim: int) -> int:
         """The tile edge a ``ndim``-dimensional cube must use so its
@@ -416,7 +485,8 @@ class ServingHub:
         deltas = np.asarray(deltas, dtype=np.float64)
         with self._write_lock:
             before = self._stats.snapshot()
-            state.cube.update(deltas, **corner)
+            with heat_context(tenant_name, "update"):
+                state.cube.update(deltas, **corner)
             if self._data_dir is not None:
                 # cube.update already flushed the store's dirty frames
                 # through the journal into the arena; flush the shared
@@ -452,10 +522,13 @@ class ServingHub:
         the load-shedding signal the satellite HWM gauge feeds).
         """
         status = "ok"
+        severity = {"ok": 0, "degraded": 1, "shedding": 2}
         tenants: Dict[str, dict] = {}
         for name in self.tenants():
             tenant = self._tenants[name]
             cubes: Dict[str, dict] = {}
+            tenant_status = "ok"
+            tenant_hwm = 0
             for cube_name, state in sorted(tenant.cubes.items()):
                 engine = state.engine
                 entry = {
@@ -464,14 +537,25 @@ class ServingHub:
                     "queue_capacity": engine.queue_capacity,
                     "max_inflight": engine.max_inflight,
                 }
+                tenant_hwm = max(tenant_hwm, engine.queue_hwm)
                 if engine.breaker is not None:
                     entry["breaker"] = engine.breaker.state
                     if engine.breaker.state != "closed":
-                        status = "degraded"
+                        if severity["degraded"] > severity[tenant_status]:
+                            tenant_status = "degraded"
                 if engine.queue_depth >= engine.queue_capacity:
-                    status = "shedding"
+                    tenant_status = "shedding"
                 cubes[cube_name] = entry
-            tenants[name] = {"cubes": cubes}
+            # A degraded tenant must be distinguishable from a degraded
+            # hub: the rollup marks *which* tenant is unhealthy, and
+            # the hub status is the worst tenant's.
+            if severity[tenant_status] > severity[status]:
+                status = tenant_status
+            tenants[name] = {
+                "status": tenant_status,
+                "queue_hwm": tenant_hwm,
+                "cubes": cubes,
+            }
         return {
             "status": status,
             "tenants": tenants,
@@ -484,11 +568,87 @@ class ServingHub:
         }
 
     def prometheus(self) -> str:
-        """The shared registry in Prometheus text format."""
+        """The shared registry in Prometheus text format.
+
+        Also publishes the mmap arena's internals (growths, mapped
+        bytes, msync work, resize-gate writer waits) as gauges and
+        appends the per-``(tenant, class)`` tile-heat counters."""
         for tenant in self._tenants.values():
             for state in tenant.cubes.values():
                 state.engine.refresh_gauges()
-        return to_prometheus(self._metrics)
+        telemetry = getattr(self._raw, "telemetry", None)
+        if callable(telemetry):
+            arena = telemetry()
+            gauge = self._metrics.gauge
+            gauge("arena_growths").set(arena["growths"])
+            gauge("arena_capacity_blocks").set(arena["capacity_blocks"])
+            gauge("arena_allocated_blocks").set(arena["allocated_blocks"])
+            gauge("arena_mapped_bytes").set(arena["mapped_bytes"])
+            gauge("arena_msyncs").set(arena["msyncs"])
+            gauge("arena_msync_seconds").set(arena["msync_seconds"])
+            gauge("arena_resize_wait_s").set(arena["resize_wait_s"])
+            gauge("arena_resize_exclusive_acquires").set(
+                arena["resize_exclusive_acquires"]
+            )
+        text = to_prometheus(self._metrics)
+        if self._heat is not None:
+            text += heat_to_prometheus(self._heat.aggregates())
+        return text
+
+    # ------------------------------------------------------------------
+    # debug payloads (served by /debug/* on the app)
+    # ------------------------------------------------------------------
+
+    def debug_queries(self, tenant: Optional[str] = None) -> dict:
+        """Flight-recorder snapshot plus the most recent request-log
+        records, optionally filtered to one tenant."""
+        payload: dict = {
+            "flight": (
+                self._flightrec.snapshot(tenant=tenant)
+                if self._flightrec is not None
+                else None
+            ),
+        }
+        if self._reqlog is not None:
+            payload["recent"] = self._reqlog.records(
+                tenant=tenant, limit=64
+            )
+            payload["reqlog_dropped"] = self._reqlog.dropped
+        else:
+            payload["recent"] = []
+            payload["reqlog_dropped"] = 0
+        return payload
+
+    def debug_trace(self) -> dict:
+        """The live trace (if a tracer is installed): span count, drop
+        count, the lossless I/O receipt and a Chrome-trace export."""
+        tracer = get_tracer()
+        if tracer is NULL_TRACER:
+            return {"enabled": False, "spans": 0, "dropped": 0}
+        spans = tracer.spans()
+        orphan = dict(tracer.orphan_io)
+        dropped = getattr(
+            getattr(tracer, "store", None), "dropped", 0
+        )
+        return {
+            "enabled": True,
+            "spans": len(spans),
+            "dropped": dropped,
+            "io_receipt": io_receipt(spans, orphan_io=orphan),
+            "chrome_trace": to_chrome_trace(
+                spans, orphan_io=orphan, dropped=dropped
+            ),
+        }
+
+    def debug_heat(self, tenant: Optional[str] = None) -> dict:
+        """Tile-heat map: per-label aggregates plus the hottest tiles
+        (the JSON form ROADMAP item 5's tiling feedback consumes)."""
+        if self._heat is None:
+            return {"enabled": False}
+        payload = self._heat.snapshot(tenant=tenant, top=64)
+        payload["enabled"] = True
+        payload["aggregates"] = self._heat.aggregates(tenant=tenant)
+        return payload
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -505,6 +665,8 @@ class ServingHub:
         if self._closed:
             return
         self._closed = True
+        if self._heat is not None and get_heat() is self._heat:
+            set_heat(self._heat_previous)
         for tenant in self._tenants.values():
             for state in tenant.cubes.values():
                 state.engine.close()

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from queue import Empty, Full, Queue
 from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from repro.fault.breaker import CircuitBreaker
 from repro.fault.retry import Retrier, RetryPolicy
+from repro.obs.heat import get_heat, heat_context
 from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import BatchPlan, plan_batch
@@ -303,6 +305,20 @@ class QueryEngine:
     def _histogram(self, name: str):
         return self._metrics.histogram(name, self._labels)
 
+    def _heat_scope(self, query_class: str):
+        """Tile-heat attribution scope for work done on this thread.
+
+        Labels every :mod:`repro.obs.heat` touch with this engine's
+        tenant (from ``metric_labels``) and the given query class.
+        Contextvars do not cross thread boundaries, so worker threads
+        and the batch-prefetch path each open their own scope.  A
+        no-op when no heat recorder is installed.
+        """
+        if get_heat() is None:
+            return nullcontext()
+        tenant = str(self._labels.get("tenant", "")) if self._labels else ""
+        return heat_context(tenant, query_class)
+
     # ------------------------------------------------------------------
 
     @property
@@ -450,7 +466,9 @@ class QueryEngine:
     def _execute(self, submission: Submission) -> None:
         wait_s = time.perf_counter() - submission.submitted_s
         self._histogram("admission_wait_s").record(wait_s)
-        with get_tracer().span(
+        with self._heat_scope(
+            type(submission.query).__name__
+        ), get_tracer().span(
             "query",
             parent=submission.trace_parent,
             kind=type(submission.query).__name__,
@@ -715,26 +733,28 @@ class QueryEngine:
             if block_id is not None
         )
         pinned: List[int] = []
-        for block_id in block_ids:
-            try:
-                if self._retry_policy is not None:
-                    retrier = Retrier(self._retry_policy)
-                    retrier.call(
-                        lambda b=block_id: self._pool.fetch_and_pin(b)
-                    )
-                    if retrier.retries:
-                        self._counter("io_retries").inc(
-                            retrier.retries
+        with self._heat_scope("prefetch"):
+            for block_id in block_ids:
+                try:
+                    if self._retry_policy is not None:
+                        retrier = Retrier(self._retry_policy)
+                        retrier.call(
+                            lambda b=block_id: self._pool.fetch_and_pin(b)
                         )
-                else:
-                    self._pool.fetch_and_pin(block_id)
-            except IOError:
-                # Prefetch is an optimisation: an unreadable block is
-                # skipped here and handled by the per-query resilience
-                # ladder (retry / degrade) when a query touches it.
-                self._counter("prefetch_skipped").inc()
-                continue
-            pinned.append(block_id)
+                        if retrier.retries:
+                            self._counter("io_retries").inc(
+                                retrier.retries
+                            )
+                    else:
+                        self._pool.fetch_and_pin(block_id)
+                except IOError:
+                    # Prefetch is an optimisation: an unreadable block
+                    # is skipped here and handled by the per-query
+                    # resilience ladder (retry / degrade) when a query
+                    # touches it.
+                    self._counter("prefetch_skipped").inc()
+                    continue
+                pinned.append(block_id)
         self._counter("blocks_prefetched").inc(len(pinned))
         return pinned
 
@@ -826,6 +846,13 @@ class QueryEngine:
             fault_counts = getattr(device, "fault_counts", None)
             if fault_counts is not None:
                 report["faults"] = fault_counts()
+                break
+            device = getattr(device, "inner", None)
+        device = self._store.tile_store.device
+        while device is not None:  # walk to the mmap arena, if any
+            telemetry = getattr(device, "telemetry", None)
+            if callable(telemetry):
+                report["arena"] = telemetry()
                 break
             device = getattr(device, "inner", None)
         # Read the series through the labeled accessors: under

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.heat import touch_read as _heat_read, touch_write as _heat_write
 from repro.obs.tracer import charge as _trace_charge, get_tracer
 from repro.storage.block_device import BlockDevice
 
@@ -142,8 +143,14 @@ class BufferPool:
                 frame.pins += 1
             self._frames[block_id] = frame
             self._evict_if_needed(protect=block_id)
+        # Heat accounting mirrors the cache counters charged above: a
+        # logical tile read per lookup (hit or miss), a logical write
+        # when the caller declares mutation.  Write-backs on eviction
+        # or flush are not re-attributed — the dirtying query paid.
+        _heat_read(block_id)
         if for_write:
             frame.dirty = True
+            _heat_write(block_id)
         return frame.data
 
     def create(self, block_id: int, pin: bool = False) -> np.ndarray:
@@ -164,6 +171,7 @@ class BufferPool:
             frame.pins += 1
         self._frames[block_id] = frame
         self._evict_if_needed(protect=block_id)
+        _heat_write(block_id)
         return frame.data
 
     def mark_dirty(self, block_id: int) -> None:
@@ -172,6 +180,7 @@ class BufferPool:
         if frame is None:
             raise KeyError(f"block {block_id} is not resident")
         frame.dirty = True
+        _heat_write(block_id)
 
     # ------------------------------------------------------------------
     # pinning

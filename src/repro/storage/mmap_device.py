@@ -62,6 +62,7 @@ import mmap
 import os
 import struct
 import threading
+import time
 import zlib
 from contextlib import contextmanager
 from typing import Optional
@@ -97,12 +98,24 @@ class _ResizeGate:
     no reader's transient export survives into ``mmap.resize``.
     """
 
-    __slots__ = ("_cond", "_readers", "_resizing")
+    __slots__ = (
+        "_cond",
+        "_readers",
+        "_resizing",
+        "exclusive_acquires",
+        "writer_wait_s",
+    )
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._resizing = False
+        # Writer-side contention telemetry: how often the exclusive
+        # side was taken and how long writers spent waiting for other
+        # writers plus in-flight readers to drain.  Read without the
+        # condition lock by telemetry() — a stale float is fine.
+        self.exclusive_acquires = 0
+        self.writer_wait_s = 0.0
 
     @contextmanager
     def shared(self):
@@ -120,12 +133,15 @@ class _ResizeGate:
 
     @contextmanager
     def exclusive(self):
+        entered = time.perf_counter()
         with self._cond:
             while self._resizing:
                 self._cond.wait()
             self._resizing = True
             while self._readers:
                 self._cond.wait()
+            self.exclusive_acquires += 1
+            self.writer_wait_s += time.perf_counter() - entered
         try:
             yield
         finally:
@@ -166,6 +182,9 @@ class MmapBlockDevice:
         self.stats = stats if stats is not None else IOStats()
         self._closed = False
         self._gate = _ResizeGate()
+        self._growths = 0
+        self._msyncs = 0
+        self._msync_seconds = 0.0
         existing = (
             os.path.exists(self._path)
             and os.path.getsize(self._path) > 0
@@ -301,6 +320,7 @@ class MmapBlockDevice:
                 raise
             self._capacity = new_capacity
             self._data = self._map_data()
+            self._growths += 1
 
     # ------------------------------------------------------------------
     # BlockDevice contract
@@ -456,8 +476,28 @@ class MmapBlockDevice:
 
     def sync(self) -> None:
         """Flush the header and every dirty page to the backing file."""
+        started = time.perf_counter()
         self._write_header()
         self._mm.flush()
+        self._msyncs += 1
+        self._msync_seconds += time.perf_counter() - started
+
+    def telemetry(self) -> dict:
+        """Arena internals as a JSON-ready dict (satellite metrics for
+        engine snapshots and ``/metrics``): growth/msync counters, the
+        mapped footprint, and the resize gate's writer-side contention.
+        Reading is unlocked — values are monotone counters and a
+        slightly stale read is acceptable for telemetry."""
+        return {
+            "growths": self._growths,
+            "capacity_blocks": self._capacity,
+            "allocated_blocks": self._next_id,
+            "mapped_bytes": self._file_bytes(self._capacity),
+            "msyncs": self._msyncs,
+            "msync_seconds": self._msync_seconds,
+            "resize_wait_s": self._gate.writer_wait_s,
+            "resize_exclusive_acquires": self._gate.exclusive_acquires,
+        }
 
     def close(self) -> None:
         """Sync and release the mapping.  Idempotent.

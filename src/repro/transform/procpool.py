@@ -49,8 +49,18 @@ The pool runs on **raw** devices only: a
 :class:`~repro.storage.journal.JournaledDevice` (or any other
 wrapper) in the chain would be bypassed by the workers' direct block
 writes, silently invalidating its summaries — that is rejected, not
-worked around.  Worker processes open no tracer spans; the parent's
-``transform.procpool`` span carries the merged I/O charges.
+worked around.
+
+Tracing crosses the fork boundary: when a tracer is installed, each
+forked worker gets a **fresh child tracer** (the inherited parent
+copy is dead weight — charges to it would vanish with the child),
+opens ``procpool.worker`` / ``worker.chunks`` / ``worker.tiles``
+spans, and ships its finished span records, orphan I/O and drop count
+back through the results queue.  The driver absorbs them into the
+parent tracer under the ``transform.procpool`` span with fresh span
+ids, so the lossless invariant — merged span I/O plus orphans equals
+the global ``IOStats`` delta, field for field — holds across
+processes exactly as it does across threads.
 """
 
 from __future__ import annotations
@@ -64,8 +74,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.plans import get_standard_plan, plans_enabled
-from repro.obs.tracer import charge as _trace_charge
-from repro.obs.tracer import get_tracer
+from repro.obs.tracer import Tracer, charge as _trace_charge
+from repro.obs.tracer import get_tracer, set_tracer, span_record
 from repro.storage.block_device import BlockDevice
 from repro.storage.iostats import IOStats
 from repro.storage.mmap_device import MmapBlockDevice
@@ -87,6 +97,11 @@ __all__ = [
 #: siblings dead; generous — failed workers abort the barrier, so the
 #: timeout only fires if a sibling died without reporting at all.
 _BARRIER_TIMEOUT_S = 300.0
+
+#: Span capacity of a forked worker's fresh child tracer.  A worker
+#: opens exactly three spans, so the ring never overflows in practice;
+#: a nonzero shipped ``dropped`` count still reaches the parent store.
+_CHILD_TRACE_SPANS = 64
 
 #: IOStats fields merged from workers into the parent, field-wise.
 _STATS_FIELDS = (
@@ -710,6 +725,8 @@ def _scatter_worker(
     getter: Callable[[Tuple[int, ...]], np.ndarray],
     barrier,
     results,
+    trace_parent=None,
+    ship_trace: bool = False,
 ) -> None:
     """One scatter worker: contribute assigned chunks, then own tiles.
 
@@ -719,10 +736,16 @@ def _scatter_worker(
     (copy-on-write, for children) device object and are shipped back
     through ``results`` for the parent to merge — the driver restores
     the parent device's original stats object after the inline run.
-    No tracer spans are opened here — the parent's
-    ``transform.procpool`` span carries the merged I/O after join.  A
-    failing worker aborts the barrier so its siblings fail fast
-    instead of waiting out the timeout.
+
+    When tracing is on, the worker's phases run under a
+    ``procpool.worker`` span — parented to ``trace_parent`` for the
+    inline worker, rooted in the child's fresh tracer otherwise — so
+    every device charge attributes to a span instead of leaking to the
+    orphan bucket of a dead copy-on-write tracer.  ``ship_trace``
+    (children only) appends the finished span records, orphan I/O and
+    drop count to the ok result for the driver to absorb.  A failing
+    worker aborts the barrier so its siblings fail fast instead of
+    waiting out the timeout.
     """
     try:
         stats = IOStats()
@@ -735,60 +758,87 @@ def _scatter_worker(
         shared = np.frombuffer(scratch, dtype=np.float64)
         block_slots = schedule.block_edge ** len(domain)
         owned = share.owned if isinstance(share, _WorkerShare) else share
-        # --- phase 1: contribution tensors into shared scratch -------
-        for chunk_index in range(
-            worker_index, len(schedule.chunk_positions), chunk_stride
+        tracer = get_tracer()
+        with tracer.span(
+            "procpool.worker", parent=trace_parent, worker=worker_index
         ):
-            grid_position = schedule.chunk_positions[chunk_index]
-            chunk = getter(grid_position)
-            chunk_hat = standard_dwt(chunk)
-            plan = get_standard_plan(
-                domain, schedule.chunk_shape, grid_position
-            )
-            offset = int(offsets[chunk_index])
-            plan.contributions(
-                chunk_hat,
-                out=shared[offset : offset + int(sizes[chunk_index])],
-            )
-            source_reads += chunk.size
-            chunks_done += 1
-        barrier.wait(_BARRIER_TIMEOUT_S)
-        # --- phase 2: assemble owned tiles, one write each ----------
-        if isinstance(share, _WorkerShare):
-            # Vectorised: one fancy assignment covers every SHIFT
-            # entry, one sequential ``add.at`` covers every SPLIT
-            # entry in serial order, one batch write pays one counted
-            # block write per owned tile.
-            out = np.zeros(owned.size * block_slots, dtype=np.float64)
-            out[share.a_tgt] = shared[share.a_src]
-            if share.c_tgt.size:
-                np.add.at(out, share.c_tgt, shared[share.c_src])
-            device.write_blocks(
-                block_ids[owned], out.reshape(owned.size, block_slots)
-            )
-        else:
-            tile_start = schedule.job_tile_start
-            job_accumulate = schedule.job_accumulate
-            entry_start = schedule.job_entry_start
-            entry_slots = schedule.entry_slots
-            entry_source = schedule.entry_source
-            write_block = device.write_block
-            acc = np.zeros(block_slots, dtype=np.float64)
-            for tile_index in owned:
-                acc[:] = 0.0
-                for job in range(
-                    tile_start[tile_index], tile_start[tile_index + 1]
+            # --- phase 1: contribution tensors into shared scratch ---
+            with tracer.span("worker.chunks") as chunks_span:
+                for chunk_index in range(
+                    worker_index,
+                    len(schedule.chunk_positions),
+                    chunk_stride,
                 ):
-                    lo = entry_start[job]
-                    hi = entry_start[job + 1]
-                    slots = entry_slots[lo:hi]
-                    values = shared[entry_source[lo:hi]]
-                    if job_accumulate[job]:
-                        acc[slots] += values
-                    else:
-                        acc[slots] = values
-                write_block(int(block_ids[tile_index]), acc)
+                    grid_position = schedule.chunk_positions[chunk_index]
+                    chunk = getter(grid_position)
+                    chunk_hat = standard_dwt(chunk)
+                    plan = get_standard_plan(
+                        domain, schedule.chunk_shape, grid_position
+                    )
+                    offset = int(offsets[chunk_index])
+                    plan.contributions(
+                        chunk_hat,
+                        out=shared[
+                            offset : offset + int(sizes[chunk_index])
+                        ],
+                    )
+                    source_reads += chunk.size
+                    chunks_done += 1
+                chunks_span.set(
+                    chunks=chunks_done, source_reads=source_reads
+                )
+            barrier.wait(_BARRIER_TIMEOUT_S)
+            # --- phase 2: assemble owned tiles, one write each -------
+            with tracer.span("worker.tiles", tiles=int(owned.size)):
+                if isinstance(share, _WorkerShare):
+                    # Vectorised: one fancy assignment covers every
+                    # SHIFT entry, one sequential ``add.at`` covers
+                    # every SPLIT entry in serial order, one batch
+                    # write pays one counted block write per owned
+                    # tile.
+                    out = np.zeros(
+                        owned.size * block_slots, dtype=np.float64
+                    )
+                    out[share.a_tgt] = shared[share.a_src]
+                    if share.c_tgt.size:
+                        np.add.at(out, share.c_tgt, shared[share.c_src])
+                    device.write_blocks(
+                        block_ids[owned],
+                        out.reshape(owned.size, block_slots),
+                    )
+                else:
+                    tile_start = schedule.job_tile_start
+                    job_accumulate = schedule.job_accumulate
+                    entry_start = schedule.job_entry_start
+                    entry_slots = schedule.entry_slots
+                    entry_source = schedule.entry_source
+                    write_block = device.write_block
+                    acc = np.zeros(block_slots, dtype=np.float64)
+                    for tile_index in owned:
+                        acc[:] = 0.0
+                        for job in range(
+                            tile_start[tile_index],
+                            tile_start[tile_index + 1],
+                        ):
+                            lo = entry_start[job]
+                            hi = entry_start[job + 1]
+                            slots = entry_slots[lo:hi]
+                            values = shared[entry_source[lo:hi]]
+                            if job_accumulate[job]:
+                                acc[slots] += values
+                            else:
+                                acc[slots] = values
+                        write_block(int(block_ids[tile_index]), acc)
         del shared  # release the scratch mmap export
+        trace_payload = None
+        if ship_trace and isinstance(tracer, Tracer):
+            trace_payload = {
+                "spans": [
+                    span_record(span) for span in tracer.spans()
+                ],
+                "orphan_io": dict(tracer.orphan_io),
+                "dropped": tracer.store.dropped,
+            }
         results.put(
             (
                 worker_index,
@@ -799,6 +849,7 @@ def _scatter_worker(
                 },
                 source_reads,
                 chunks_done,
+                trace_payload,
             )
         )
     except BaseException:
@@ -809,12 +860,20 @@ def _scatter_worker(
         results.put((worker_index, "error", traceback.format_exc()))
 
 
-def _forked_worker(*args) -> None:
+def _forked_worker(ship_trace: bool, *args) -> None:
     """Child entry: gc off (a collection would touch every inherited
     object's gc header and fault in its copy-on-write page; the child
-    is short-lived and allocates no cycles worth collecting)."""
+    is short-lived and allocates no cycles worth collecting).
+
+    With tracing on, the inherited tracer is a copy-on-write *copy* —
+    spans and charges recorded on it die with the child.  Install a
+    small fresh tracer instead; its records ship back through the
+    results queue and the driver absorbs them into the real one.
+    """
     gc.disable()
-    _scatter_worker(*args)
+    if ship_trace:
+        set_tracer(Tracer(max_spans=_CHILD_TRACE_SPANS))
+    _scatter_worker(*args, trace_parent=None, ship_trace=ship_trace)
 
 
 # ----------------------------------------------------------------------
@@ -925,13 +984,14 @@ def transform_standard_procpool(
         }
     )
     tracer = get_tracer()
+    trace_enabled = isinstance(tracer, Tracer)
     with tracer.span(
         "transform.procpool",
         shape=domain,
         chunk=tuple(chunk_shape),
         order=order,
         workers=workers,
-    ):
+    ) as pool_span:
         with tracer.span("procpool.schedule"):
             schedule = _cached_schedule(
                 domain, chunk_shape, store.tiling, order, positions
@@ -983,6 +1043,7 @@ def transform_standard_procpool(
                 ctx.Process(
                     target=_forked_worker,
                     args=(
+                        trace_enabled,
                         worker_index,
                         schedule,
                         shares[worker_index]
@@ -1007,6 +1068,9 @@ def transform_standard_procpool(
             # any other worker's — must not leak onto the device.
             original_stats = worker_device.stats
             try:
+                # Inline worker 0 records straight into the parent
+                # tracer, parented under the procpool span; nothing to
+                # ship.
                 _scatter_worker(
                     0,
                     schedule,
@@ -1018,6 +1082,8 @@ def transform_standard_procpool(
                     getter,
                     barrier,
                     results,
+                    trace_parent=pool_span if trace_enabled else None,
+                    ship_trace=False,
                 )
             finally:
                 worker_device.stats = original_stats
@@ -1057,11 +1123,25 @@ def transform_standard_procpool(
                     f"retrying)"
                 )
             stats = device.stats
-            for __, __, fields, source_reads, chunks_done in outcomes:
+            for outcome in outcomes:
+                __, __, fields, source_reads, chunks_done, shipped = (
+                    outcome
+                )
                 for field, value in fields.items():
                     setattr(stats, field, getattr(stats, field) + value)
                 report.source_reads += source_reads
                 report.chunks += chunks_done
+                if shipped is not None and trace_enabled:
+                    # Forked workers' spans re-id and re-parent under
+                    # the procpool span; their orphan I/O and ring
+                    # drops fold into the parent tracer, keeping the
+                    # receipt lossless across the fork boundary.
+                    tracer.absorb(
+                        shipped["spans"],
+                        orphan_io=shipped["orphan_io"],
+                        parent=pool_span,
+                        dropped=shipped["dropped"],
+                    )
             if arena is not None and schedule.num_tiles:
                 # The workers paid one counted write per tile into the
                 # shared arena; adopting it into the simulated device

@@ -1,0 +1,26 @@
+"""Known-bad: REPRO-T001 at lines 7 and 13."""
+
+import multiprocessing
+
+
+def scatter(tracer, worker_index):
+    with tracer.span("procpool.worker", worker=worker_index):
+        return worker_index
+
+
+def forked(tracer, worker_index):
+    # a forked child starts with a fresh context: this is always None
+    tracer.current_span()
+    return scatter(tracer, worker_index)
+
+
+def fan_out(tracer, workers):
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=forked, args=(tracer, index))
+        for index in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()

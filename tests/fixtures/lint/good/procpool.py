@@ -1,0 +1,31 @@
+"""Known-good: forked span-shipping workers root their spans."""
+
+import multiprocessing
+
+
+def scatter(tracer, worker_index, trace_parent):
+    with tracer.span(
+        "procpool.worker", parent=trace_parent, worker=worker_index
+    ):
+        # the explicit parent above populates the context: nested
+        # spans inherit it and need no parent= of their own
+        with tracer.span("worker.chunks"):
+            pass
+        with tracer.span("worker.tiles"):
+            pass
+
+
+def forked(tracer, worker_index):
+    scatter(tracer, worker_index, trace_parent=None)
+
+
+def fan_out(tracer, workers):
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=forked, args=(tracer, index))
+        for index in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()

@@ -25,7 +25,7 @@ class TestGoodFixtures:
     def test_good_tree_is_clean(self):
         report = _analyze("good")
         assert report.findings == []
-        assert report.files_analyzed == 6
+        assert report.files_analyzed == 7
 
     def test_good_lock_graph_is_ordered(self):
         report = _analyze("good")
@@ -89,9 +89,17 @@ class TestBadFixtures:
             (14, "REPRO-T001"),
         ]
 
+    def test_procpool_entry_exact_positions(self, findings):
+        # the span-shipping fork entry: the worker's first span needs
+        # parent=, and current_span() in a forked child is always None
+        assert self._at(findings, "procpool.py") == [
+            (7, "REPRO-T001"),
+            (13, "REPRO-T001"),
+        ]
+
     def test_total_finding_count(self, findings):
         # one per planted defect, no duplicates, nothing extra
-        assert len(findings) == 14
+        assert len(findings) == 16
 
 
 class TestMarkerMachinery:
