@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke obs-smoke serve ci lint analyze experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke obs-smoke chaos-smoke serve ci lint analyze experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -42,6 +42,13 @@ serve-smoke:
 # writes BENCH_obs.json.
 obs-smoke:
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
+
+# Replication drill (non-gating in CI): ship/replay throughput,
+# measured failover time, and a reduced replication chaos matrix with
+# acked-write-loss hard-asserted to zero; writes BENCH_replication.json
+# and fails if any kill site loses an acknowledged update.
+chaos-smoke:
+	PYTHONPATH=src python benchmarks/bench_replication.py --smoke
 
 # Interactive: serve the demo hub on localhost:8950 (see docs/serving.md)
 serve:

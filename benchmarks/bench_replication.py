@@ -1,0 +1,238 @@
+"""Benchmark for journal-shipping replication: ship/replay throughput,
+failover time, and the zero-acked-loss chaos invariant.
+
+Phase 1 measures the raw replication pipe in-process: a journaled
+primary runs SHIFT-SPLIT update batches with a
+:class:`~repro.replica.shipper.JournalShipper` streaming every group
+commit into a :class:`~repro.replica.follower.FollowerEngine`, and we
+report groups/s and MB/s shipped plus the follower's replay rate.
+
+Phase 2 measures failover end to end over live HTTP: a primary hub and
+a snapshot-bootstrapped replica hub, the primary's server is torn
+down, and a :class:`~repro.replica.controller.FailoverController` with
+a fast probe promotes the replica; we report detection-to-promotion
+wall clock and the promotion's own replay/scan time.
+
+Phase 3 runs a reduced replication chaos matrix
+(:func:`~repro.fault.chaos.run_chaos_matrix`) and **hard-asserts**
+``acked_write_loss == 0`` — the benchmark exits non-zero if any kill
+site loses an acknowledged update, so the CI artifact doubles as a
+correctness proof.
+
+Run standalone for the JSON report (written to
+``BENCH_replication.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--smoke]
+
+``--smoke`` shrinks batch counts and strides the chaos matrix for CI;
+the report schema is identical.
+"""
+
+import json
+import sys
+import time
+import urllib.request
+
+import numpy as np
+
+FULL = dict(
+    pipe_shape=(64, 64),
+    pipe_batches=40,
+    failover_rounds=3,
+    chaos_batches=2,
+    chaos_stride=1,
+)
+SMOKE = dict(
+    pipe_shape=(32, 32),
+    pipe_batches=10,
+    failover_rounds=2,
+    chaos_batches=1,
+    chaos_stride=5,
+)
+
+
+# ----------------------------------------------------------------------
+# phase 1: ship / replay throughput
+# ----------------------------------------------------------------------
+
+
+def bench_pipe(shape, batches):
+    from repro.replica.follower import FollowerEngine
+    from repro.replica.shipper import JournalShipper
+    from repro.storage.block_device import BlockDevice
+    from repro.storage.journal import JournaledDevice
+    from repro.storage.tiled import TiledStandardStore
+    from repro.update.batch import batch_update_standard
+    from repro.wavelet.standard import standard_dwt
+
+    block_edge = 8
+    store = TiledStandardStore(
+        shape, block_edge=block_edge, pool_capacity=256
+    )
+    holder = {}
+
+    def wrap(device):
+        holder["journaled"] = JournaledDevice(device)
+        return holder["journaled"]
+
+    store.tile_store.wrap_device(wrap)
+    journaled = holder["journaled"]
+    follower = FollowerEngine(BlockDevice(block_edge ** len(shape)))
+    shipper = JournalShipper(journaled)
+    replay_clock = [0.0]
+
+    def timed_feed(data):
+        start = time.perf_counter()
+        follower.feed(data)
+        replay_clock[0] += time.perf_counter() - start
+
+    shipper.attach(timed_feed)
+
+    rng = np.random.default_rng(11)
+    coefficients = standard_dwt(rng.normal(size=shape))
+    for position in np.ndindex(*shape):
+        store.write_point(position, float(coefficients[position]))
+    store.flush()
+
+    deltas = rng.normal(size=(8, 8))
+    start = time.perf_counter()
+    for index in range(batches):
+        corner = tuple(
+            8 * ((index + axis) % (extent // 8))
+            for axis, extent in enumerate(shape)
+        )
+        batch_update_standard(store, deltas, corner)
+        store.flush()
+    elapsed = time.perf_counter() - start
+    snapshot = shipper.snapshot()
+    groups = snapshot["groups_shipped"]
+    shipped_bytes = snapshot["bytes_shipped"]
+    follower.finalize()
+    return {
+        "batches": batches,
+        "groups_shipped": groups,
+        "bytes_shipped": shipped_bytes,
+        "primary_wall_s": round(elapsed, 4),
+        "ship_groups_per_s": round(groups / elapsed, 1),
+        "ship_mb_per_s": round(shipped_bytes / elapsed / 2**20, 2),
+        "replay_wall_s": round(replay_clock[0], 4),
+        "replay_groups_per_s": round(
+            groups / replay_clock[0] if replay_clock[0] else 0.0, 1
+        ),
+        "follower_applied_seq": follower.applied_seq,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 2: failover time over live HTTP
+# ----------------------------------------------------------------------
+
+
+def bench_failover(rounds):
+    from repro.replica.controller import (
+        FailoverController,
+        http_health_probe,
+    )
+    from repro.server.demo import build_demo_hub
+    from repro.server.http import spawn
+    from repro.server.hub import ServingHub
+
+    samples = []
+    for __ in range(rounds):
+        primary = build_demo_hub(seed=13, size=16, replicate=True)
+        server, __thread = spawn(primary)
+        base = "http://{}:{}".format(*server.server_address)
+        replica = ServingHub(
+            replica_of=base,
+            primary_api_key="demo-admin-key",
+            admin_key="demo-admin-key",
+            replica_poll_s=0.01,
+        )
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if replica.replication_state()["lag_groups"] == 0:
+                break
+            time.sleep(0.01)
+        server.shutdown()
+        server.server_close()
+        controller = FailoverController(
+            lambda: http_health_probe(base, timeout_s=0.2),
+            [replica],
+            threshold=2,
+            interval_s=0.01,
+        )
+        detect_start = time.perf_counter()
+        promoted = None
+        while promoted is None:
+            promoted = controller.tick()
+        total = time.perf_counter() - detect_start
+        assert promoted is replica and replica.role == "primary"
+        samples.append(
+            {
+                "detect_to_promoted_s": round(total, 4),
+                "promotion_s": round(controller.promotion_s, 4),
+            }
+        )
+        replica.close()
+        primary.close()
+    return {
+        "rounds": rounds,
+        "samples": samples,
+        "median_detect_to_promoted_s": round(
+            sorted(s["detect_to_promoted_s"] for s in samples)[
+                len(samples) // 2
+            ],
+            4,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 3: chaos matrix with the hard acked-loss assert
+# ----------------------------------------------------------------------
+
+
+def bench_chaos(batches, stride):
+    from repro.fault.chaos import run_chaos_matrix
+
+    start = time.perf_counter()
+    report = run_chaos_matrix(batches=batches, site_stride=stride)
+    elapsed = time.perf_counter() - start
+    summary = report.summary()
+    summary["wall_s"] = round(elapsed, 3)
+    summary["sites_per_s"] = round(len(report.results) / elapsed, 1)
+    # The invariant this whole subsystem exists for: no kill site may
+    # lose an acknowledged write.  Hard-fail the benchmark otherwise.
+    assert summary["acked_losses"] == 0, report.acked_losses
+    assert summary["unclean_scans"] == 0, report.unclean
+    summary["acked_write_loss"] = 0
+    return summary
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    params = SMOKE if smoke else FULL
+    report = {
+        "benchmark": "replication",
+        "mode": "smoke" if smoke else "full",
+        "params": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in params.items()
+        },
+        "pipe": bench_pipe(params["pipe_shape"], params["pipe_batches"]),
+        "failover": bench_failover(params["failover_rounds"]),
+        "chaos": bench_chaos(
+            params["chaos_batches"], params["chaos_stride"]
+        ),
+    }
+    out = "BENCH_replication.json"
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

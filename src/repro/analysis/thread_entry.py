@@ -8,7 +8,8 @@ and the lossless-attribution invariant (span totals + orphans == the
 global IOStats delta) degrades into a pile of mystery roots.
 
 The rule finds thread submissions — ``executor.submit(f, ...)``,
-``threading.Thread(target=f)`` — and process submissions —
+``threading.Thread(target=f)``, ``threading.Timer(interval, f)``
+(the timer fires ``f`` on a fresh thread) — and process submissions —
 ``multiprocessing.Process(target=f)``, including context-bound forms
 like ``ctx.Process(target=f)``.  Process entries are worse, not
 better: a spawned child starts with an empty context, and a forked
@@ -101,6 +102,19 @@ def _submitted_callables(
         if is_worker:
             for kw in node.keywords:
                 if kw.arg == "target":
+                    out.append((kw.value, node))
+        # threading.Timer(interval, callback) fires the callback on a
+        # fresh thread too — the replication failover controller
+        # reschedules itself this way.  The callable is the second
+        # positional argument (or the ``function=`` keyword).
+        is_timer = (
+            isinstance(func, ast.Attribute) and func.attr == "Timer"
+        ) or (isinstance(func, ast.Name) and func.id == "Timer")
+        if is_timer:
+            if len(node.args) >= 2:
+                out.append((node.args[1], node))
+            for kw in node.keywords:
+                if kw.arg == "function":
                     out.append((kw.value, node))
     return out
 

@@ -1,0 +1,300 @@
+"""Replication chaos harness: kill the primary at every shipper/commit
+interleaving and prove the promoted follower.
+
+The storage crash matrix (:mod:`tests.test_crash_matrix`) proves a
+*restarted primary* recovers to a committed prefix.  This harness
+proves the replication analogue: a **promoted follower** is always
+bit-identical to a committed golden prefix that covers every
+*acknowledged* flush — no acked update is ever lost, at any kill
+point.
+
+Protocol sites per group (in order): the journal's own
+``journal.data.{torn,appended}`` / ``journal.commit.{torn,appended}``,
+then — because shipping fires inside ``append_commit``, *before* the
+batch is acknowledged — the shipper's ``ship.framed``,
+``ship.sink0.torn`` (half a frame delivered), ``ship.sink0.sent``,
+then ``group.committed``, ``apply.{torn,applied}``,
+``checkpoint.done``.  A workload of B update batches multiplies the
+sites by B+1 flushes.
+
+Invariant checked per kill site, with ``acked`` = flushes that
+returned before the kill and ``golden[k]`` = the fault-free device
+image after the k-th flush:
+
+* ``follower.finalize()`` (the promotion step: discard torn tail,
+  replay, full checksum scan) reports **clean**;
+* the follower arena is bit-identical to ``golden[k]`` for some
+  ``k >= acked`` — i.e. a committed prefix at least as new as every
+  acknowledged write.
+
+The matrix also asserts outcome *variety*: early sites must land
+exactly at the ack horizon, sites past frame delivery must land ahead
+of it — otherwise the interleavings were not actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..replica.follower import FollowerEngine
+from ..replica.shipper import JournalShipper
+from ..storage.block_device import BlockDevice
+from ..storage.journal import JournaledDevice
+from ..storage.tiled import TiledStandardStore
+from ..update.batch import batch_update_standard
+from ..wavelet.standard import standard_dwt
+from .crash import CrashPlan, InjectedCrash
+
+__all__ = ["ChaosResult", "ChaosReport", "run_chaos_matrix"]
+
+
+@dataclass
+class ChaosResult:
+    """One kill site's verdict."""
+
+    site: int
+    site_name: str
+    acked: int
+    matched_prefix: int  # the k with follower == golden[k]
+    clean: bool
+    discarded_bytes: int
+
+    @property
+    def acked_loss(self) -> bool:
+        """True when an acknowledged flush is missing on the promoted
+        follower — the violation this harness exists to catch."""
+        return self.matched_prefix < self.acked
+
+    @property
+    def outcome(self) -> str:
+        return "ahead" if self.matched_prefix > self.acked else "at_ack"
+
+
+@dataclass
+class ChaosReport:
+    """The whole matrix, ready for tests / smoke / bench consumers."""
+
+    sites: int
+    flushes: int
+    results: List[ChaosResult] = field(default_factory=list)
+
+    @property
+    def acked_losses(self) -> List[ChaosResult]:
+        return [result for result in self.results if result.acked_loss]
+
+    @property
+    def unclean(self) -> List[ChaosResult]:
+        return [result for result in self.results if not result.clean]
+
+    @property
+    def outcomes(self) -> set:
+        return {result.outcome for result in self.results}
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.acked_losses
+            and not self.unclean
+            and self.outcomes == {"at_ack", "ahead"}
+        )
+
+    def summary(self) -> dict:
+        return {
+            "sites": self.sites,
+            "sites_run": len(self.results),
+            "flushes": self.flushes,
+            "acked_losses": len(self.acked_losses),
+            "unclean_scans": len(self.unclean),
+            "outcomes": sorted(self.outcomes),
+            "ok": self.ok,
+        }
+
+
+# ----------------------------------------------------------------------
+# deterministic workload
+# ----------------------------------------------------------------------
+
+
+def _deltas(batch_index: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed + 1000 * (batch_index + 1))
+    return rng.normal(size=(4, 4))
+
+
+def _offsets(batch_index: int, shape) -> tuple:
+    # Update corners must align to the delta grid (multiples of 4).
+    return tuple(
+        4 * ((batch_index + axis) % (extent // 4))
+        for axis, extent in enumerate(shape)
+    )
+
+
+class _Run:
+    """One primary + one in-process follower, wired ship-before-ack."""
+
+    def __init__(
+        self,
+        make_device: Optional[Callable],
+        shape,
+        block_edge: int,
+        crash: Optional[CrashPlan],
+    ) -> None:
+        slots = block_edge ** len(shape)
+        primary_raw = make_device() if make_device is not None else None
+        self.store = TiledStandardStore(
+            shape,
+            block_edge=block_edge,
+            pool_capacity=256,
+            device=primary_raw,
+        )
+        holder = {}
+
+        def wrap(device):
+            holder["journaled"] = JournaledDevice(device)
+            return holder["journaled"]
+
+        self.store.tile_store.wrap_device(wrap)
+        self.device: JournaledDevice = holder["journaled"]
+        follower_raw = (
+            make_device() if make_device is not None else None
+        ) or BlockDevice(slots)
+        self.follower = FollowerEngine(follower_raw)
+        self.shipper = JournalShipper(self.device)
+        self.shipper.attach(self.follower.feed)
+        self.device.crash = crash
+        self.shipper.crash = crash
+        self.acked = 0
+
+    def workload(self, shape, batches: int, seed: int) -> None:
+        coefficients = standard_dwt(
+            np.random.default_rng(seed).normal(size=shape)
+        )
+        for position in np.ndindex(*shape):
+            self.store.write_point(
+                position, float(coefficients[position])
+            )
+        self.store.flush()
+        self.acked += 1
+        for batch_index in range(batches):
+            batch_update_standard(
+                self.store,
+                _deltas(batch_index, seed),
+                _offsets(batch_index, shape),
+            )
+            self.store.flush()
+            self.acked += 1
+
+
+def _padded_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    """Bit-identity modulo trailing never-written (all-zero) blocks —
+    a follower may not have allocated blocks the primary zeroed but
+    never flushed coefficients into."""
+    if left.shape[0] != right.shape[0]:
+        rows = max(left.shape[0], right.shape[0])
+
+        def pad(array: np.ndarray) -> np.ndarray:
+            out = np.zeros((rows, array.shape[1]), dtype=array.dtype)
+            out[: array.shape[0]] = array
+            return out
+
+        left, right = pad(left), pad(right)
+    return bool(np.array_equal(left, right))
+
+
+# ----------------------------------------------------------------------
+# the matrix
+# ----------------------------------------------------------------------
+
+
+def run_chaos_matrix(
+    make_device: Optional[Callable] = None,
+    shape=(16, 16),
+    block_edge: int = 4,
+    batches: int = 3,
+    seed: int = 7,
+    site_stride: int = 1,
+) -> ChaosReport:
+    """Survey the kill sites, then rerun the workload once per site
+    (every ``site_stride``-th for a reduced smoke matrix), promoting
+    the surviving follower each time and checking the invariants.
+
+    ``make_device`` returns a fresh raw arena per call (``None`` =
+    in-memory); both the primary and the follower get one, so the
+    matrix runs on the same backend end to end.
+    """
+    if site_stride < 1:
+        raise ValueError(f"site_stride must be >= 1, got {site_stride}")
+    # Phase 0: fault-free goldens — the device image after each flush.
+    goldens: List[np.ndarray] = []
+    golden_run = _Run(make_device, shape, block_edge, crash=None)
+    original_flush = golden_run.store.flush
+
+    def capturing_flush() -> None:
+        original_flush()
+        goldens.append(
+            golden_run.device.dump_blocks()  # lint: uncounted (golden capture, not serving I/O)
+        )
+
+    golden_run.store.flush = capturing_flush  # type: ignore[method-assign]
+    golden_run.workload(shape, batches, seed)
+    flushes = golden_run.acked
+    goldens.insert(0, np.zeros_like(goldens[0]))  # golden[0]: nothing acked
+    # Golden follower must equal the final golden image (sanity of the
+    # ship-before-ack wiring itself).
+    golden_run.follower.finalize()
+    if not _padded_equal(
+        golden_run.follower.device.dump_blocks(),  # lint: uncounted (verification snapshot)
+        goldens[-1],
+    ):
+        raise AssertionError(
+            "fault-free follower diverged from the primary"
+        )
+
+    # Phase 1: survey the sites.
+    survey = CrashPlan()
+    _Run(make_device, shape, block_edge, crash=survey).workload(
+        shape, batches, seed
+    )
+    report = ChaosReport(sites=survey.count, flushes=flushes)
+
+    # Phase 2: one kill per (strided) site.
+    for site in range(0, survey.count, site_stride):
+        plan = CrashPlan(armed=site)
+        run = _Run(make_device, shape, block_edge, crash=plan)
+        try:
+            run.workload(shape, batches, seed)
+        except InjectedCrash:
+            pass
+        else:
+            raise AssertionError(
+                f"armed site {site} ({survey.site_names[site]}) never "
+                f"fired"
+            )
+        # The primary is dead.  Promote the follower: discard any torn
+        # frame tail, replay ingested groups, full checksum scan.
+        recovery = run.follower.finalize()
+        final = run.follower.device.dump_blocks()  # lint: uncounted (verification snapshot)
+        matched = -1
+        for k in range(len(goldens) - 1, -1, -1):
+            if _padded_equal(final, goldens[k]):
+                matched = k
+                break
+        if matched < 0:
+            raise AssertionError(
+                f"site {site} ({survey.site_names[site]}): promoted "
+                f"follower matches NO committed golden prefix — "
+                f"replication broke bit-identity"
+            )
+        report.results.append(
+            ChaosResult(
+                site=site,
+                site_name=survey.site_names[site],
+                acked=run.acked,
+                matched_prefix=matched,
+                clean=recovery.clean,
+                discarded_bytes=recovery.discarded_bytes,
+            )
+        )
+    return report

@@ -1,0 +1,52 @@
+"""Journal-shipping replication (ROADMAP item 3).
+
+SHIFT-SPLIT batch updates touch an exactly-planned set of coefficient
+tiles, so the :class:`~repro.storage.journal.WriteAheadJournal` group
+records *are* a minimal replication stream: shipping them costs I/O
+proportional to coefficient change, not cube size.
+
+* :mod:`repro.replica.frames` — CRC'd, length-prefixed wire frames with
+  torn-tail detection (the stream analogue of the journal's own record
+  framing).
+* :mod:`repro.replica.shipper` — primary-side tap on the journal's
+  ``on_commit`` observer; retains recent frames so followers resume
+  from their last acked group without a full snapshot.
+* :mod:`repro.replica.follower` — replays shipped groups through the
+  existing :meth:`JournaledDevice.recover` path, so a follower arena is
+  always bit-identical to some committed prefix of the primary.
+* :mod:`repro.replica.client` — HTTP poller wiring a replica
+  :class:`~repro.server.hub.ServingHub` to a primary's ``/replica/*``
+  endpoints.
+* :mod:`repro.replica.controller` — health-probe-driven failover:
+  promotes the most caught-up follower when the primary dies or its
+  breaker opens.
+"""
+
+from .frames import (
+    FRAME_GROUP,
+    FRAME_HEARTBEAT,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from .shipper import JournalShipper
+from .follower import FollowerEngine, ReplicaGapError
+from .client import ReplicationClient
+from .controller import FailoverController, ProbeResult, http_health_probe
+
+__all__ = [
+    "FRAME_GROUP",
+    "FRAME_HEARTBEAT",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+    "JournalShipper",
+    "FollowerEngine",
+    "ReplicaGapError",
+    "ReplicationClient",
+    "FailoverController",
+    "ProbeResult",
+    "http_health_probe",
+]

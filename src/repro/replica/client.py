@@ -1,0 +1,170 @@
+"""Replica-side HTTP poller.
+
+Connects a replica :class:`~repro.server.hub.ServingHub` to a
+primary's ``/replica/*`` endpoints: bootstrap with a full snapshot,
+then poll the frame stream from the last applied seq.  Resumable by
+construction — the ``after`` cursor is the follower's own applied seq,
+so a restarted or reconnecting replica picks up exactly where its
+arena is, and a retention-window gap triggers a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+import numpy as np
+
+from .follower import ReplicaGapError
+from .frames import FrameError
+
+
+class ReplicationClient:
+    """Polls a primary and applies shipped groups to ``hub``.
+
+    The hub side of the contract: ``hub.follower`` is a
+    :class:`FollowerEngine`, ``hub._replica_apply(data)`` feeds bytes
+    under the hub's locks, ``hub._install_snapshot(...)`` adopts a full
+    image, and ``hub._apply_state(state, version)`` refreshes tenant /
+    cube provisioning.
+    """
+
+    def __init__(
+        self,
+        hub,
+        primary_url: str,
+        api_key: str,
+        follower_id: str = "replica",
+        poll_interval_s: float = 0.1,
+        timeout_s: float = 2.0,
+    ) -> None:
+        self._hub = hub
+        self._base = primary_url.rstrip("/")
+        self._key = api_key
+        self.follower_id = follower_id
+        self._poll_interval_s = poll_interval_s
+        self._timeout_s = timeout_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.state_version = -1
+        self.primary_next_seq = 0
+        self.polls = 0
+        self.poll_errors = 0
+        self.gaps_resynced = 0
+        self.last_success_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str, binary: bool = False):
+        req = urllib.request.Request(
+            self._base + path, headers={"X-API-Key": self._key}
+        )
+        with urllib.request.urlopen(req, timeout=self._timeout_s) as resp:
+            body = resp.read()
+            headers = dict(resp.headers.items())
+        if binary:
+            return body, headers
+        return json.loads(body), headers
+
+    # ------------------------------------------------------------------
+
+    def fetch_snapshot(self) -> None:
+        """Bootstrap: adopt the primary's full arena image and hub
+        state.  Called once at replica start and again on any gap."""
+        payload, _ = self._get("/replica/snapshot")
+        blocks = np.frombuffer(
+            base64.b64decode(payload["blocks"]), dtype=np.float64
+        ).reshape(payload["num_blocks"], payload["block_slots"]).copy()
+        self._hub._install_snapshot(
+            blocks, int(payload["last_seq"]), payload["state"]
+        )
+        self.state_version = int(payload["state_version"])
+        self.primary_next_seq = int(payload["last_seq"]) + 1
+        self.last_success_monotonic = time.monotonic()
+
+    def poll_once(self) -> int:
+        """One poll round-trip.  Returns the number of payload bytes
+        applied.  Raises on transport errors (caller counts them)."""
+        after = self._hub.follower.applied_seq
+        path = (
+            f"/replica/stream?after={after}"
+            f"&follower={self.follower_id}"
+            f"&state_version={self.state_version}"
+        )
+        body, headers = self._get(path, binary=True)
+        self.polls += 1
+        if headers.get("X-Repro-Snapshot-Needed") == "1":
+            self.gaps_resynced += 1
+            self.fetch_snapshot()
+            return 0
+        seen_version = int(headers.get("X-Repro-State-Version", -1))
+        if seen_version != self.state_version and seen_version >= 0:
+            state, _ = self._get("/replica/state")
+            self._hub._apply_state(state["state"], int(state["version"]))
+            self.state_version = int(state["version"])
+        self.primary_next_seq = int(
+            headers.get("X-Repro-Next-Seq", self.primary_next_seq)
+        )
+        if body:
+            try:
+                self._hub._replica_apply(body)
+            except (ReplicaGapError, FrameError):
+                self.gaps_resynced += 1
+                self.fetch_snapshot()
+                return 0
+        self.last_success_monotonic = time.monotonic()
+        return len(body)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-replica-poll", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        self._thread = None
+
+    def _run(self) -> None:
+        from ..obs.tracer import get_tracer
+
+        # Thread entry point: root a fresh trace rather than inheriting
+        # whichever request span happened to start the client.
+        with get_tracer().span("replica.poll_loop", parent=None):
+            while not self._stop.is_set():
+                try:
+                    self.poll_once()
+                except (urllib.error.URLError, OSError, ValueError):
+                    self.poll_errors += 1
+                self._stop.wait(self._poll_interval_s)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "primary": self._base,
+            "follower_id": self.follower_id,
+            "state_version": self.state_version,
+            "primary_next_seq": self.primary_next_seq,
+            "polls": self.polls,
+            "poll_errors": self.poll_errors,
+            "gaps_resynced": self.gaps_resynced,
+            "age_s": (
+                time.monotonic() - self.last_success_monotonic
+                if self.last_success_monotonic
+                else -1.0
+            ),
+        }

@@ -1,0 +1,149 @@
+"""Follower-side replay of shipped journal groups.
+
+A follower never applies bytes any way the primary's own crash
+recovery wouldn't: each shipped group's record bytes are ingested into
+the follower's journal and replayed through the existing
+:meth:`JournaledDevice.recover` path.  A follower arena is therefore
+always bit-identical to some committed prefix of the primary — the
+same invariant the crash matrix certifies for a restarted primary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from ..storage.block_device import BlockDevice
+from ..storage.journal import JournaledDevice, RecoveryReport
+from .frames import FRAME_GROUP, FRAME_HEARTBEAT, Frame, FrameDecoder
+
+
+class ReplicaGapError(RuntimeError):
+    """A frame arrived whose seq is not contiguous with the applied
+    prefix — the follower missed groups and must re-snapshot."""
+
+    def __init__(self, applied_seq: int, got_seq: int) -> None:
+        super().__init__(
+            f"replication gap: applied up to {applied_seq}, got {got_seq}"
+        )
+        self.applied_seq = applied_seq
+        self.got_seq = got_seq
+
+
+class FollowerEngine:
+    """Replays shipped groups into an arena.
+
+    Either pass a raw ``device`` (a private arena is journaled around
+    it) or an existing ``journaled`` device (a replica hub wraps its
+    own arena).  Thread-safe: the poller thread feeds while probes read
+    counters.
+    """
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        *,
+        block_slots: Optional[int] = None,
+        journaled: Optional[JournaledDevice] = None,
+    ) -> None:
+        if (device is None) == (journaled is None):
+            raise ValueError("pass exactly one of device= or journaled=")
+        if journaled is None:
+            assert device is not None
+            journaled = JournaledDevice(device)
+        self.device = journaled
+        self._block_slots = block_slots
+        self._lock = threading.Lock()
+        # All fields below are # guarded-by: _lock
+        self.decoder = FrameDecoder()
+        self.applied_seq = self.device.journal.truncated_upto
+        self.groups_applied = 0
+        self.records_applied = 0
+        self.duplicates_skipped = 0
+        self.heartbeat_seq = self.applied_seq
+        self.finalized = False
+
+    # ------------------------------------------------------------------
+
+    def feed(self, data: bytes) -> List[int]:
+        """Decode a byte chunk and apply the complete frames it
+        finishes.  Returns the block ids rewritten by replay (for
+        buffer-pool invalidation).  Raises :class:`FrameError` on
+        stream corruption and :class:`ReplicaGapError` on a seq gap."""
+        with self._lock:
+            frames = self.decoder.feed(data)
+            return self._apply_frames(frames)
+
+    def apply_frames(self, frames: List[Frame]) -> List[int]:
+        with self._lock:
+            return self._apply_frames(frames)
+
+    def _apply_frames(self, frames: List[Frame]) -> List[int]:
+        touched: List[int] = []
+        for frame in frames:
+            if frame.kind == FRAME_HEARTBEAT:
+                self.heartbeat_seq = max(self.heartbeat_seq, frame.seq)
+                continue
+            if frame.kind != FRAME_GROUP:
+                continue
+            if frame.seq <= self.applied_seq:
+                self.duplicates_skipped += 1
+                continue
+            if frame.seq != self.applied_seq + 1:
+                raise ReplicaGapError(self.applied_seq, frame.seq)
+            self.device.journal.ingest(frame.payload)
+            report = self.device.recover(scan=False)
+            if (
+                report.replayed_groups != 1
+                or report.last_committed_seq != frame.seq
+            ):
+                raise ReplicaGapError(self.applied_seq, frame.seq)
+            touched.extend(report.replayed_block_ids)
+            self.applied_seq = frame.seq
+            self.heartbeat_seq = max(self.heartbeat_seq, frame.seq)
+            self.groups_applied += 1
+            self.records_applied += report.replayed_records
+        return touched
+
+    # ------------------------------------------------------------------
+
+    def install_snapshot(self, blocks: np.ndarray, last_seq: int) -> None:
+        """Adopt a full arena image at ``last_seq``: restore the block
+        grid, reset the journal horizon, and drop any buffered partial
+        frame — the stream resumes at ``last_seq + 1``."""
+        with self._lock:
+            self.device.restore_blocks(blocks)  # lint: uncounted (bulk snapshot install, not per-block I/O)
+            self.device.journal.reset_to(last_seq)
+            self.decoder.discard_tail()
+            self.applied_seq = last_seq
+            self.heartbeat_seq = max(self.heartbeat_seq, last_seq)
+
+    def finalize(self) -> RecoveryReport:
+        """Promotion step: discard any torn tail left by a dead
+        primary, replay anything ingested-but-unapplied, and run the
+        full checksum scan.  A clean report certifies the arena as a
+        committed prefix of the old primary."""
+        with self._lock:
+            self.decoder.discard_tail()
+            report = self.device.recover(scan=True)
+            self.applied_seq = max(
+                self.applied_seq, report.last_committed_seq
+            )
+            self.finalized = True
+            return report
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "applied_seq": self.applied_seq,
+                "heartbeat_seq": self.heartbeat_seq,
+                "groups_applied": self.groups_applied,
+                "records_applied": self.records_applied,
+                "duplicates_skipped": self.duplicates_skipped,
+                "pending_bytes": self.decoder.pending_bytes,
+                "finalized": self.finalized,
+            }

@@ -1,0 +1,98 @@
+"""Wire framing for shipped journal groups.
+
+A frame is ``header || payload`` where the header packs magic, kind,
+sequence number, payload length, and a CRC32 over ``(kind, seq,
+payload)``.  The framing mirrors the journal's own record format: a
+torn tail (partial header or partial payload) is *detected and held*,
+never misparsed, and any corruption — flipped bit, bad magic, insane
+length — surfaces as :class:`FrameError` so the follower can resync
+from its last acked group instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+#: Group frame: payload is the raw journal record bytes of one
+#: committed group (data records + commit record).
+FRAME_GROUP = 1
+#: Heartbeat: empty payload; carries the primary's latest seq so an
+#: idle follower can tell "caught up" from "stream dead".
+FRAME_HEARTBEAT = 2
+
+_MAGIC = b"RSF1"
+_HEADER = struct.Struct("<4sBQQI")  # magic, kind, seq, payload_len, crc
+#: A single group's payload is bounded by the journal's group size
+#: (D data records + commit); anything past this is corruption, not
+#: a legitimately huge group.
+_MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """The stream is corrupt at the current position (bad magic, CRC
+    mismatch, or implausible length).  Resync via snapshot or replay
+    from the last acked seq."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    kind: int
+    seq: int
+    payload: bytes
+
+
+def _crc(kind: int, seq: int, payload: bytes) -> int:
+    return zlib.crc32(struct.pack("<BQ", kind, seq) + payload) & 0xFFFFFFFF
+
+
+def encode_frame(kind: int, seq: int, payload: bytes = b"") -> bytes:
+    return (
+        _HEADER.pack(_MAGIC, kind, seq, len(payload), _crc(kind, seq, payload))
+        + payload
+    )
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, get back the
+    complete frames they finish.  A partial frame stays buffered across
+    calls (``pending_bytes``); a *corrupt* prefix raises."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def discard_tail(self) -> int:
+        """Drop any buffered partial frame (a torn tail after the
+        stream source died).  Returns the number of bytes discarded."""
+        n = len(self._buf)
+        self._buf = bytearray()
+        return n
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buf.extend(data)
+        out: List[Frame] = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                break
+            magic, kind, seq, length, crc = _HEADER.unpack_from(self._buf, 0)
+            if magic != _MAGIC:
+                raise FrameError(f"bad frame magic {magic!r} at seq~{seq}")
+            if length > _MAX_PAYLOAD:
+                raise FrameError(f"implausible frame length {length}")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                break  # torn tail — wait for more bytes
+            payload = bytes(self._buf[_HEADER.size : end])
+            if _crc(kind, seq, payload) != crc:
+                raise FrameError(f"frame CRC mismatch for seq {seq}")
+            del self._buf[:end]
+            self.frames_decoded += 1
+            out.append(Frame(kind=kind, seq=seq, payload=payload))
+        return out

@@ -1,0 +1,139 @@
+"""Primary-side journal shipping.
+
+The shipper installs itself as the journal's ``on_commit`` observer, so
+every committed group is framed and offered to the attached sinks
+*inside* ``write_batch`` — after the commit record is durable, before
+the update is acknowledged.  That ordering is what makes "zero
+acknowledged updates lost" provable: by the time a client sees success,
+every in-process follower sink has been handed the group.
+
+Frames are retained in a bounded deque so a follower that reconnects
+can resume from its last acked seq (``frames_since``); a follower that
+fell behind the retention window gets ``None`` — the gap signal — and
+must re-snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+
+from ..fault.crash import CrashPlan
+from ..storage.journal import JournaledDevice, WriteAheadJournal
+from .frames import FRAME_GROUP, encode_frame
+
+Sink = Callable[[bytes], None]
+
+
+class JournalShipper:
+    """Tails a :class:`WriteAheadJournal` and streams framed groups.
+
+    ``retain`` bounds the resume window in groups; a follower lagging
+    further than that must take a fresh snapshot.  Sinks are invoked
+    synchronously in commit order but *outside* the shipper lock, so a
+    slow sink delays the commit path (by design — ship-before-ack) but
+    cannot deadlock against ``frames_since``/``ack`` readers.
+    """
+
+    def __init__(
+        self,
+        device: Union[JournaledDevice, WriteAheadJournal],
+        retain: int = 256,
+    ) -> None:
+        journal = device.journal if isinstance(device, JournaledDevice) else device
+        if journal.on_commit is not None:
+            raise RuntimeError("journal already has an on_commit observer")
+        self._journal = journal
+        self._lock = threading.Lock()
+        # All fields below are # guarded-by: _lock
+        self._retained: Deque[Tuple[int, bytes]] = deque(maxlen=max(1, retain))
+        self._sinks: List[Sink] = []
+        self._acks: Dict[str, int] = {}
+        #: Groups committed before the shipper attached are not
+        #: retained; resuming below this point is a gap.
+        self._base_seq = journal.next_seq - 1
+        self.groups_shipped = 0
+        self.bytes_shipped = 0
+        self.last_seq = self._base_seq
+        #: Crash-site plan for the chaos matrix (survey/armed protocol
+        #: identical to the storage crash matrix).
+        self.crash: Optional[CrashPlan] = None
+        journal.on_commit = self._on_commit
+
+    # ------------------------------------------------------------------
+
+    def detach_journal(self) -> None:
+        """Stop observing commits (e.g. when a hub closes)."""
+        if self._journal.on_commit is self._on_commit:
+            self._journal.on_commit = None
+
+    def attach(self, sink: Sink) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def detach(self, sink: Sink) -> None:
+        with self._lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
+
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, seq: int, records: bytes) -> None:
+        frame = encode_frame(FRAME_GROUP, seq, records)
+        crash = self.crash
+        if crash is not None:
+            crash.point("ship.framed")
+        with self._lock:
+            self._retained.append((seq, frame))
+            self.groups_shipped += 1
+            self.bytes_shipped += len(frame)
+            self.last_seq = seq
+            sinks = list(self._sinks)
+        for i, sink in enumerate(sinks):
+            if crash is not None:
+                # A dying primary can deliver half a frame; the
+                # follower's decoder must hold it as a torn tail.
+                def tear(s: Sink = sink, f: bytes = frame) -> None:
+                    s(f[: max(1, len(f) // 2)])
+
+                crash.point(f"ship.sink{i}.torn", before=tear)
+            sink(frame)
+            if crash is not None:
+                crash.point(f"ship.sink{i}.sent")
+
+    # ------------------------------------------------------------------
+
+    def frames_since(self, after_seq: int) -> Optional[List[bytes]]:
+        """Frames for every retained group with seq > ``after_seq``, in
+        order.  Returns ``[]`` when caught up and ``None`` when the
+        follower's position predates the retention window (gap —
+        re-snapshot required)."""
+        with self._lock:
+            if after_seq >= self.last_seq:
+                return []
+            if after_seq < self._base_seq:
+                return None
+            oldest = self._retained[0][0] if self._retained else self.last_seq + 1
+            if after_seq + 1 < oldest:
+                return None
+            return [frame for seq, frame in self._retained if seq > after_seq]
+
+    def ack(self, follower_id: str, seq: int) -> None:
+        with self._lock:
+            prev = self._acks.get(follower_id, -1)
+            self._acks[follower_id] = max(prev, seq)
+
+    def acks(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._acks)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "groups_shipped": self.groups_shipped,
+                "bytes_shipped": self.bytes_shipped,
+                "last_seq": self.last_seq,
+                "retained": len(self._retained),
+                "sinks": len(self._sinks),
+                "acks": dict(self._acks),
+            }

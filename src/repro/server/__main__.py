@@ -62,10 +62,69 @@ def main(argv=None) -> int:
             "as one JSON line"
         ),
     )
+    parser.add_argument(
+        "--replicate",
+        action="store_true",
+        help=(
+            "ship committed journal groups so replicas can follow "
+            "(serves /replica/stream and /replica/snapshot)"
+        ),
+    )
+    parser.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="URL",
+        help=(
+            "start as a read-only replica of the primary at URL: "
+            "bootstrap from its /replica/snapshot, then follow its "
+            "journal stream; serves aggregates with a surfaced "
+            "staleness bound and rejects updates with 503"
+        ),
+    )
+    parser.add_argument(
+        "--primary-key",
+        default="demo-admin-key",
+        help="admin key of the primary (for --replica-of)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        help="replica poll interval in seconds",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "inject read faults at this rate under the journal "
+            "(FaultyBlockDevice; engines get a bounded retry policy)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="deterministic seed for --fault-rate injection",
+    )
     args = parser.parse_args(argv)
 
     reqlog_stream = sys.stderr if args.reqlog else None
-    if args.data_dir is not None and os.path.exists(
+    if args.replica_of is not None:
+        if args.data_dir is not None:
+            parser.error("--replica-of and --data-dir are exclusive")
+        hub = ServingHub(
+            pool_blocks=args.pool_blocks,
+            reqlog_stream=reqlog_stream,
+            admin_key="demo-admin-key",
+            replica_of=args.replica_of,
+            primary_api_key=args.primary_key,
+            replica_poll_s=args.poll_interval,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
+        )
+        print(f"following primary at {args.replica_of}")
+    elif args.data_dir is not None and os.path.exists(
         state_path(args.data_dir)
     ):
         hub = ServingHub(
@@ -73,6 +132,9 @@ def main(argv=None) -> int:
             data_dir=args.data_dir,
             reqlog_stream=reqlog_stream,
             admin_key="demo-admin-key",
+            replicate=args.replicate,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
         )
         print(f"reopened hub from {args.data_dir}")
     else:
@@ -82,6 +144,9 @@ def main(argv=None) -> int:
             pool_blocks=args.pool_blocks,
             data_dir=args.data_dir,
             reqlog_stream=reqlog_stream,
+            replicate=args.replicate,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
         )
     for tenant_name in hub.tenants():
         tenant = hub.tenant(tenant_name)

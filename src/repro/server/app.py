@@ -9,11 +9,27 @@ Stdlib-only Slicer-style endpoints:
 ``/cube/<name>/aggregate``  GET   ``cut`` / ``drilldown`` aggregation
 ``/cube/<name>/update``   POST    SHIFT-SPLIT delta batch
 ``/metrics``              GET     Prometheus text exposition
-``/healthz``              GET     breaker / journal / queue state
+``/healthz``              GET     breaker / journal / queue / replication
 ``/debug/queries``        GET     flight recorder + recent request log
 ``/debug/trace``          GET     live trace (admin key only)
 ``/debug/heat``           GET     tile-heat map
+``/replica/stream``       GET     shipped journal frames (admin key)
+``/replica/snapshot``     GET     full arena snapshot (admin key)
+``/replica/state``        GET     logical state + version (admin key)
+``/replica/promote``      POST    promote this replica (admin key)
 ========================  ======  =====================================
+
+Replication: the ``/replica/*`` routes require the **admin** key.  A
+replica hub polls its primary's ``/replica/stream`` with its applied
+seq as the ``after`` cursor; the response is an
+``application/octet-stream`` of zero or more frames plus
+``X-Repro-Next-Seq`` (the primary's next group seq — the follower's
+staleness bound follows) and ``X-Repro-State-Version`` (bumped on
+provisioning or directory growth; the follower refetches
+``/replica/state`` when it moves).  ``X-Repro-Snapshot-Needed: 1``
+means the cursor predates the retention window — re-bootstrap from
+``/replica/snapshot``.  Updates sent to a non-primary are answered
+**503** with a ``Retry-After`` header.
 
 Tenancy: every data route requires an API key (``X-API-Key`` header or
 ``api_key`` query parameter) resolving to a tenant; ``/metrics`` and
@@ -56,7 +72,13 @@ from repro.obs.reqlog import (
 )
 from repro.obs.tracer import IO_FIELDS, get_tracer
 from repro.olap.schema import SchemaError
-from repro.server.hub import CubeState, ServingHub, Tenant
+from repro.server import persist
+from repro.server.hub import (
+    CubeState,
+    ReplicaReadOnlyError,
+    ServingHub,
+    Tenant,
+)
 from repro.server.slicer import (
     compile_aggregate,
     parse_cuts,
@@ -92,10 +114,13 @@ _MAX_BODY_BYTES = 8 << 20
 class _HttpError(Exception):
     """Internal: unwound into a JSON error response."""
 
-    def __init__(self, code: int, message: str) -> None:
+    def __init__(
+        self, code: int, message: str, headers: Optional[list] = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.headers = headers or []
 
 
 class ServingApp:
@@ -154,6 +179,18 @@ class ServingApp:
                     {"error": exc.message},
                     None,
                 )
+                ctx.setdefault("headers", []).extend(exc.headers)
+            except ReplicaReadOnlyError as exc:
+                # Writes during replica service / a promotion window:
+                # tell the client exactly when to retry.
+                code, payload, content_type = (
+                    503,
+                    {"error": str(exc), "role": exc.role},
+                    None,
+                )
+                ctx.setdefault("headers", []).append(
+                    ("Retry-After", str(max(1, round(exc.retry_after_s))))
+                )
             except SchemaError as exc:
                 code, payload, content_type = 400, {"error": str(exc)}, None
             except QuotaError as exc:
@@ -166,6 +203,8 @@ class ServingApp:
         if content_type is None:
             content_type = "application/json"
             body = json.dumps(payload).encode("utf-8")
+        elif isinstance(payload, bytes):
+            body = payload
         else:
             body = payload.encode("utf-8")
         self._hub.metrics.counter(
@@ -175,17 +214,16 @@ class ServingApp:
             method, path, trace_id, incoming, code, started, before, ctx
         )
         reason = _REASONS.get(code, "Unknown")
-        start_response(
-            f"{code} {reason}",
-            [
-                ("Content-Type", content_type),
-                ("Content-Length", str(len(body))),
-                (
-                    "Traceparent",
-                    make_traceparent(trace_id, request_span_hex),
-                ),
-            ],
-        )
+        headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+            (
+                "Traceparent",
+                make_traceparent(trace_id, request_span_hex),
+            ),
+        ]
+        headers.extend(ctx.get("headers", []))
+        start_response(f"{code} {reason}", headers)
         return [body]
 
     def _record_request(
@@ -244,6 +282,8 @@ class ServingApp:
         if path.startswith("/debug/"):
             self._require(method, "GET")
             return self._debug(path, params, environ, ctx)
+        if path.startswith("/replica/"):
+            return self._replica(method, path, params, environ, ctx)
         tenant = self._authenticate(params, environ)
         ctx["tenant"] = tenant.name
         if path == "/cubes":
@@ -272,6 +312,76 @@ class ServingApp:
                 self._require(method, "POST")
                 return self._update(state, environ, ctx) + (None,)
         raise _HttpError(404, f"no route for {path!r}")
+
+    # ------------------------------------------------------------------
+    # replication routes
+    # ------------------------------------------------------------------
+
+    def _require_admin(self, params: Dict[str, str], environ) -> None:
+        api_key = environ.get("HTTP_X_API_KEY") or params.get("api_key")
+        if not api_key or api_key != self._hub.admin_key:
+            raise _HttpError(
+                401, "/replica/* routes require the admin key"
+            )
+
+    def _replica(
+        self, method: str, path: str, params: Dict[str, str], environ, ctx
+    ) -> Tuple[int, object, Optional[str]]:
+        self._require_admin(params, environ)
+        if path == "/replica/stream":
+            self._require(method, "GET")
+            return self._replica_stream(params, ctx)
+        if path == "/replica/snapshot":
+            self._require(method, "GET")
+            return 200, self._hub.snapshot_payload(), None
+        if path == "/replica/state":
+            self._require(method, "GET")
+            return (
+                200,
+                {
+                    "state": persist.hub_to_state(self._hub),
+                    "version": self._hub.state_version,
+                },
+                None,
+            )
+        if path == "/replica/promote":
+            self._require(method, "POST")
+            return 200, self._hub.promote(), None
+        raise _HttpError(404, f"no route for {path!r}")
+
+    def _replica_stream(
+        self, params: Dict[str, str], ctx
+    ) -> Tuple[int, object, Optional[str]]:
+        shipper = self._hub.shipper
+        if shipper is None:
+            raise _HttpError(
+                403,
+                f"this hub (role={self._hub.role!r}) is not shipping "
+                f"its journal; start it with --replicate",
+            )
+        try:
+            after = int(params.get("after", "0"))
+        except ValueError:
+            raise _HttpError(
+                400, f"after must be an integer, got {params['after']!r}"
+            ) from None
+        follower_id = params.get("follower", "")
+        headers = ctx.setdefault("headers", [])
+        headers.append(("X-Repro-Next-Seq", str(shipper.last_seq + 1)))
+        headers.append(
+            ("X-Repro-State-Version", str(self._hub.state_version))
+        )
+        frames = shipper.frames_since(after)
+        if frames is None:
+            # The cursor predates the retention window: nothing we can
+            # stream reconnects this follower — it must re-snapshot.
+            headers.append(("X-Repro-Snapshot-Needed", "1"))
+            return 200, b"", "application/octet-stream"
+        if follower_id:
+            # The cursor doubles as the follower's ack: everything at
+            # or below it has been durably applied on the follower.
+            shipper.ack(follower_id, after)
+        return 200, b"".join(frames), "application/octet-stream"
 
     # ------------------------------------------------------------------
     # debug routes

@@ -33,6 +33,7 @@ def build_demo_hub(
     reqlog_stream=None,
     flight_capacity: int = 64,
     reqlog_capacity: int = 512,
+    **hub_kwargs,
 ) -> ServingHub:
     """A two-tenant hub over ``size`` x ``size`` cubes (power of two).
 
@@ -40,7 +41,9 @@ def build_demo_hub(
     persistent arena; the directory must not already hold a hub (use
     ``ServingHub(data_dir=...)`` to reopen one).  The debug admin key
     is the deterministic ``demo-admin-key`` so smoke drivers can hit
-    ``/debug/*`` without scraping startup output.
+    ``/debug/*`` without scraping startup output.  Extra keyword
+    arguments (``replicate``, ``fault_rate`` …) pass straight through
+    to :class:`ServingHub`.
     """
     hub = ServingHub(
         block_slots=64,
@@ -53,6 +56,7 @@ def build_demo_hub(
         flight_capacity=flight_capacity,
         reqlog_capacity=reqlog_capacity,
         admin_key="demo-admin-key",
+        **hub_kwargs,
     )
     rng = np.random.default_rng(seed)
 

@@ -39,6 +39,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.fault.breaker import CircuitBreaker
+from repro.fault.device import FaultyBlockDevice
+from repro.fault.retry import RetryPolicy
 from repro.obs.exporters import (
     heat_to_prometheus,
     io_receipt,
@@ -51,6 +53,9 @@ from repro.obs.reqlog import RequestLog
 from repro.obs.tracer import NULL_TRACER, get_tracer
 from repro.olap.cube import WaveletCube
 from repro.olap.schema import Dimension, SchemaError
+from repro.replica.client import ReplicationClient
+from repro.replica.follower import FollowerEngine
+from repro.replica.shipper import JournalShipper
 from repro.server import persist
 from repro.service.deadline import DeadlineGuardDevice
 from repro.service.engine import QueryEngine
@@ -61,7 +66,28 @@ from repro.storage.iostats import IOStats
 from repro.storage.journal import JournaledDevice
 from repro.storage.mmap_device import MmapBlockDevice
 
-__all__ = ["CubeState", "ServingHub", "Tenant"]
+__all__ = [
+    "CubeState",
+    "ReplicaReadOnlyError",
+    "ServingHub",
+    "Tenant",
+]
+
+
+class ReplicaReadOnlyError(RuntimeError):
+    """An update reached a hub that is not (or not yet) the primary.
+
+    Maps to HTTP 503 with ``Retry-After``: a *replica* stays read-only
+    until promoted, a *promoting* hub is seconds away from accepting
+    the retried write.
+    """
+
+    def __init__(self, role: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(
+            f"updates rejected: this hub is role={role!r}, not primary"
+        )
+        self.role = role
+        self.retry_after_s = retry_after_s
 
 
 class Tenant:
@@ -176,7 +202,27 @@ class ServingHub:
         reqlog_stream=None,
         heat_max_tiles: int = 65536,
         admin_key: Optional[str] = None,
+        replicate: bool = False,
+        ship_retain: int = 256,
+        replica_of: Optional[str] = None,
+        replica_id: str = "replica",
+        replica_poll_s: float = 0.1,
+        primary_api_key: Optional[str] = None,
+        fault_rate: float = 0.0,
+        fault_seed: int = 0,
     ) -> None:
+        if replica_of is not None and data_dir is not None:
+            raise ValueError(
+                "replica_of and data_dir are mutually exclusive: a "
+                "replica's arena is defined by the primary's stream, "
+                "not by a local sidecar"
+            )
+        if replica_of is not None and replicate:
+            raise ValueError(
+                "a hub starts as either a shipping primary (replicate) "
+                "or a replica (replica_of); promotion turns the latter "
+                "into the former"
+            )
         self._stats = IOStats()
         self._data_dir = data_dir
         self._restoring = False
@@ -197,7 +243,17 @@ class ServingHub:
             raw = BlockDevice(block_slots, stats=self._stats)
         self._block_slots = block_slots
         self._raw = raw
-        self._journaled = JournaledDevice(raw)
+        self._fault_rate = fault_rate
+        self._fault_seed = fault_seed
+        device = raw
+        if fault_rate > 0.0:
+            # Fault injection goes *under* the journal so injected
+            # read errors and torn writes are subject to checksum
+            # verification, exactly as serve-replay wires it.
+            device = FaultyBlockDevice(
+                raw, seed=fault_seed, read_error_rate=fault_rate
+            )
+        self._journaled = JournaledDevice(device)
         self._guard = DeadlineGuardDevice(self._journaled)
         self._pool = ShardedBufferPool(
             self._guard, pool_blocks, num_shards=num_shards
@@ -233,10 +289,37 @@ class ServingHub:
             # close (last-constructed hub wins, like set_tracer).
             self._heat = HeatRecorder(max_tiles=heat_max_tiles)
             self._heat_previous = set_heat(self._heat)
+        # ------------------------------------------------------------------
+        # replication roles (ROADMAP item 3)
+        # ------------------------------------------------------------------
+        self._role = "replica" if replica_of is not None else "primary"
+        self._state_version = 0
+        self._ship_retain = ship_retain
+        self._shipper: Optional[JournalShipper] = None
+        self.follower: Optional[FollowerEngine] = None
+        self._client: Optional[ReplicationClient] = None
+        self._pending_invalid: List[int] = []  # guarded-by: _write_lock
         if data_dir is not None and os.path.exists(
             persist.state_path(data_dir)
         ):
             self._restore(persist.load_state(data_dir))
+        if replicate:
+            self._shipper = JournalShipper(
+                self._journaled, retain=ship_retain
+            )
+        if replica_of is not None:
+            self.follower = FollowerEngine(journaled=self._journaled)
+            self._client = ReplicationClient(
+                self,
+                replica_of,
+                primary_api_key or "",
+                follower_id=replica_id,
+                poll_interval_s=replica_poll_s,
+            )
+            # Bootstrap synchronously: a replica that cannot reach its
+            # primary should fail construction, not serve emptiness.
+            self._client.fetch_snapshot()
+            self._client.start()
 
     # ------------------------------------------------------------------
     # persistence
@@ -279,6 +362,234 @@ class ServingHub:
         if self._data_dir is None or self._restoring:
             return
         persist.save_state(self, self._data_dir)
+
+    # ------------------------------------------------------------------
+    # replication: primary side
+    # ------------------------------------------------------------------
+
+    @property
+    def role(self) -> str:
+        """``"primary"``, ``"replica"`` or ``"promoting"``."""
+        return self._role
+
+    @property
+    def shipper(self) -> Optional[JournalShipper]:
+        return self._shipper
+
+    @property
+    def replication_client(self) -> Optional[ReplicationClient]:
+        return self._client
+
+    @property
+    def state_version(self) -> int:
+        """Monotone counter over logical-state changes (tenants, cube
+        schemas, tile directories).  Followers compare it per poll and
+        refetch ``/replica/state`` only when it moved."""
+        return self._state_version
+
+    @property
+    def journaled(self) -> JournaledDevice:
+        return self._journaled
+
+    def snapshot_payload(self) -> dict:
+        """Full-arena snapshot for follower bootstrap, taken under the
+        write lock so the image is a committed prefix: blocks, the seq
+        they correspond to, and the logical state."""
+        import base64
+
+        with self._write_lock:
+            # Dirty pool frames hold bytes the arena does not; flush so
+            # the image *is* the committed state.  (Primary-only path:
+            # a flush group-commits through the journal and ships like
+            # any other group — followers skip it as a duplicate once
+            # the snapshot seq covers it.)
+            self._pool.flush()
+            blocks = self._journaled.dump_blocks()  # lint: uncounted (bulk snapshot export, not per-block I/O)
+            last_seq = self._journaled.journal.next_seq - 1
+            state = persist.hub_to_state(self)
+            return {
+                "blocks": base64.b64encode(
+                    np.ascontiguousarray(blocks, dtype=np.float64).tobytes()
+                ).decode("ascii"),
+                "num_blocks": int(blocks.shape[0]),
+                "block_slots": int(self._block_slots),
+                "last_seq": int(last_seq),
+                "state": state,
+                "state_version": int(self._state_version),
+            }
+
+    # ------------------------------------------------------------------
+    # replication: replica side (driven by ReplicationClient)
+    # ------------------------------------------------------------------
+
+    def _install_snapshot(
+        self, blocks: np.ndarray, last_seq: int, state: dict
+    ) -> None:
+        """Adopt a primary snapshot wholesale (bootstrap or gap
+        resync)."""
+        assert self.follower is not None
+        if blocks.size and blocks.shape[1] != self._block_slots:
+            raise ValueError(
+                f"primary block_slots {blocks.shape[1]} != replica "
+                f"block_slots {self._block_slots}; start the replica "
+                f"with matching geometry"
+            )
+        with self._write_lock:
+            with self._pool.io_lock:
+                # may-acquire: TraceStore._lock, Tracer._orphan_lock
+                self.follower.install_snapshot(blocks, last_seq)
+            self._apply_state_locked(state)
+            stale = list(range(self._journaled.num_blocks))
+            self._pending_invalid = self._pool.invalidate(
+                self._pending_invalid + stale
+            )
+
+    def _replica_apply(self, data: bytes) -> None:
+        """Feed shipped bytes to the follower and invalidate the pool
+        frames the replay rewrote.  Applies run under the pool's I/O
+        lock so a concurrent query miss cannot observe a half-applied
+        group; stale-but-resident frames are then dropped (pinned ones
+        retry next round via ``_pending_invalid``)."""
+        assert self.follower is not None
+        with self._write_lock:
+            with self._pool.io_lock:
+                # may-acquire: TraceStore._lock, Tracer._orphan_lock
+                touched = self.follower.feed(data)
+            if touched or self._pending_invalid:
+                self._pending_invalid = self._pool.invalidate(
+                    self._pending_invalid + touched
+                )
+
+    def _apply_state(self, state: dict, version: int) -> None:
+        """Refresh tenant/cube provisioning from the primary's logical
+        state (new tenants, new cubes, grown tile directories)."""
+        with self._write_lock:
+            self._apply_state_locked(state)
+            self._state_version = version
+
+    def _apply_state_locked(self, state: dict) -> None:
+        # Callers hold _write_lock.
+        self._restoring = True  # suppress _persist / version bumps
+        try:
+            for tenant_record in state["tenants"]:
+                if tenant_record["name"] not in self._tenants:
+                    self.add_tenant(
+                        tenant_record["name"],
+                        api_key=tenant_record["api_key"],
+                        max_inflight=tenant_record["max_inflight"],
+                        num_workers=tenant_record["num_workers"],
+                        default_deadline_s=tenant_record[
+                            "default_deadline_s"
+                        ],
+                    )
+                tenant = self._tenants[tenant_record["name"]]
+                for cube_record in tenant_record["cubes"]:
+                    directory = {
+                        persist.key_from_state(key): block_id
+                        for key, block_id in cube_record["directory"]
+                    }
+                    if cube_record["name"] not in tenant.cubes:
+                        cube_state = self._add_cube_impl(
+                            tenant_record["name"],
+                            cube_record["name"],
+                            [
+                                persist.dimension_from_state(record)
+                                for record in cube_record["dimensions"]
+                            ],
+                            None,
+                            None,
+                        )
+                        cube_state.cube.adopt(directory)
+                    else:
+                        cube_state = tenant.cubes[cube_record["name"]]
+                        cube_state.cube.store.tile_store.restore_directory(
+                            directory
+                        )
+        finally:
+            self._restoring = False
+
+    def replication_state(self) -> dict:
+        """Role, lag and stream counters — the ``/healthz`` replication
+        block and the :class:`FailoverController`'s catch-up ordering.
+
+        The staleness bound on a replica is ``lag_groups``: the number
+        of committed groups the primary has acknowledged that this
+        follower has not yet applied (``primary_next_seq - 1 -
+        applied_seq`` as of the last successful poll).  A reader at
+        ``applied_seq = s`` sees exactly the primary's state after
+        group ``s`` — bit-identical, never interleaved — so lag is a
+        whole-group delta, not a byte-level approximation.
+        """
+        out: Dict[str, object] = {
+            "role": self._role,
+            "state_version": self._state_version,
+        }
+        if self._shipper is not None:
+            out["shipper"] = self._shipper.snapshot()
+        if self.follower is not None:
+            follower_state = self.follower.snapshot()
+            out["follower"] = follower_state
+            out["applied_seq"] = follower_state["applied_seq"]
+            if self._client is not None:
+                client_state = self._client.snapshot()
+                out["client"] = client_state
+                out["lag_groups"] = max(
+                    0,
+                    int(client_state["primary_next_seq"])
+                    - 1
+                    - int(follower_state["applied_seq"]),
+                )
+        return out
+
+    def promote(self) -> dict:
+        """Promote this replica to primary.
+
+        Stops the poller *before* taking the write lock (the poll
+        thread's apply path acquires it), finalizes the follower —
+        discarding any torn tail the dead primary shipped, replaying
+        anything ingested-but-unapplied, full checksum scan — then
+        starts shipping and re-enables writes.  Idempotent on a
+        primary.  Writes arriving during the window get 503 +
+        ``Retry-After`` via :class:`ReplicaReadOnlyError`.
+        """
+        if self._role == "primary":
+            return {"role": self._role, "promoted": False}
+        assert self.follower is not None
+        self._role = "promoting"
+        if self._client is not None:
+            self._client.stop()
+        with self._write_lock:
+            report = self.follower.finalize()
+            if not report.clean:
+                self._role = "replica"
+                raise RuntimeError(
+                    f"promotion aborted: follower arena failed its "
+                    f"checksum scan (corrupt blocks "
+                    f"{report.corrupt_blocks}, discarded "
+                    f"{report.discarded_bytes} torn bytes)"
+                )
+            # Every resident frame may predate the final replay; drop
+            # them all (no write-back) and let queries re-fault.
+            self._pending_invalid = self._pool.invalidate(
+                self._pending_invalid
+                + list(range(self._journaled.num_blocks))
+            )
+            if self._shipper is None:
+                self._shipper = JournalShipper(
+                    self._journaled, retain=self._ship_retain
+                )
+            for tenant in self._tenants.values():
+                for cube_state in tenant.cubes.values():
+                    cube_state.engine.read_only = False
+            self._role = "primary"
+        self._metrics.counter("replica_promotions").inc()
+        return {
+            "role": self._role,
+            "promoted": True,
+            "applied_seq": self.follower.applied_seq,
+            "replayed_groups": report.replayed_groups,
+            "discarded_bytes": report.discarded_bytes,
+        }
 
     # ------------------------------------------------------------------
     # shared infrastructure
@@ -370,8 +681,16 @@ class ServingHub:
         )
         self._tenants[name] = tenant
         self._api_keys[api_key] = name
+        self._bump_state_version()
         self._persist()
         return tenant
+
+    def _bump_state_version(self) -> None:
+        """Advance the follower-visible state version — skipped while
+        replaying persisted or primary-shipped state (the version then
+        tracks the source's, not ours)."""
+        if not self._restoring:
+            self._state_version += 1
 
     def add_cube(
         self,
@@ -386,6 +705,26 @@ class ServingHub:
         The cube lives on the shared arena and its engine serves
         through the shared pool with tenant-labeled metrics.
         """
+        if data is not None:
+            with self._write_lock:
+                return self._add_cube_impl(
+                    tenant_name, cube_name, dimensions, data, chunk_shape
+                )
+        return self._add_cube_impl(
+            tenant_name, cube_name, dimensions, None, None
+        )
+
+    def _add_cube_impl(
+        self,
+        tenant_name: str,
+        cube_name: str,
+        dimensions: Sequence[Dimension],
+        data,
+        chunk_shape,
+    ) -> CubeState:
+        # Never acquires _write_lock itself: replica state application
+        # calls this while already holding it (add_cube wraps the
+        # bulk-load path in the lock for external callers).
         tenant = self.tenant(tenant_name)
         if cube_name in tenant.cubes:
             raise ValueError(
@@ -398,12 +737,21 @@ class ServingHub:
             device=self._guard,
         )
         if data is not None:
-            with self._write_lock:
-                cube.load(np.asarray(data, dtype=np.float64), chunk_shape)
-                cube.store.flush()
+            cube.load(np.asarray(data, dtype=np.float64), chunk_shape)
+            cube.store.flush()
         breaker = (
             CircuitBreaker(failure_threshold=self._breaker_threshold)
             if self._breaker_threshold is not None
+            else None
+        )
+        # Under injected storage faults a read can fail transiently;
+        # replicas additionally race replay against a query's stale
+        # summary (heals on retry).  Both get a bounded retry policy.
+        retry_policy = (
+            RetryPolicy(
+                max_attempts=4, base_delay_s=0.0002, seed=self._fault_seed
+            )
+            if self._fault_rate > 0.0 or self._role != "primary"
             else None
         )
         engine = QueryEngine(
@@ -413,14 +761,17 @@ class ServingHub:
             default_timeout=tenant.default_deadline_s,
             metrics=self._metrics,
             breaker=breaker,
+            retry_policy=retry_policy,
             degraded_reads=True,
             pool=self._pool,
             metric_labels={"tenant": tenant_name, "cube": cube_name},
             max_inflight=tenant.max_inflight,
             degrade_on_deadline=True,
+            read_only=self._role != "primary",
         )
         state = CubeState(cube_name, tenant_name, cube, engine)
         tenant.cubes[cube_name] = state
+        self._bump_state_version()
         self._persist()
         return state
 
@@ -481,12 +832,20 @@ class ServingHub:
         process death) — the caller that never got an answer must treat
         the batch as not applied-exactly-once.
         """
+        if self._role != "primary":
+            raise ReplicaReadOnlyError(self._role)
         state = self.cube(tenant_name, cube_name)
         deltas = np.asarray(deltas, dtype=np.float64)
         with self._write_lock:
             before = self._stats.snapshot()
+            blocks_before = self._journaled.num_blocks
             with heat_context(tenant_name, "update"):
                 state.cube.update(deltas, **corner)
+            if self._journaled.num_blocks != blocks_before:
+                # New blocks mean new tile-directory entries; followers
+                # must refresh the logical state to route queries to
+                # the replicated blocks.
+                self._bump_state_version()
             if self._data_dir is not None:
                 # cube.update already flushed the store's dirty frames
                 # through the journal into the arena; flush the shared
@@ -558,6 +917,7 @@ class ServingHub:
             }
         return {
             "status": status,
+            "role": self._role,
             "tenants": tenants,
             "journal": {"log_bytes": self._journaled.journal.log_bytes},
             "pool": {
@@ -565,6 +925,7 @@ class ServingHub:
                 "resident": self._pool.resident,
                 "dirty": self._pool.dirty,
             },
+            "replication": self.replication_state(),
         }
 
     def prometheus(self) -> str:
@@ -590,6 +951,31 @@ class ServingHub:
             gauge("arena_resize_exclusive_acquires").set(
                 arena["resize_exclusive_acquires"]
             )
+        gauge = self._metrics.gauge
+        gauge("replica_role").set(
+            {"primary": 0, "replica": 1, "promoting": 2}[self._role]
+        )
+        gauge("replication_state_version").set(self._state_version)
+        if self._shipper is not None:
+            ship = self._shipper.snapshot()
+            gauge("replication_shipped_groups").set(ship["groups_shipped"])
+            gauge("replication_shipped_bytes").set(ship["bytes_shipped"])
+            gauge("replication_last_seq").set(ship["last_seq"])
+        if self.follower is not None:
+            replication = self.replication_state()
+            gauge("replica_applied_seq").set(replication["applied_seq"])
+            gauge("replica_lag_groups").set(
+                replication.get("lag_groups", 0)
+            )
+            client_state = replication.get("client")
+            if isinstance(client_state, dict):
+                gauge("replica_polls").set(client_state["polls"])
+                gauge("replica_poll_errors").set(
+                    client_state["poll_errors"]
+                )
+                gauge("replica_gaps_resynced").set(
+                    client_state["gaps_resynced"]
+                )
         text = to_prometheus(self._metrics)
         if self._heat is not None:
             text += heat_to_prometheus(self._heat.aggregates())
@@ -665,6 +1051,10 @@ class ServingHub:
         if self._closed:
             return
         self._closed = True
+        if self._client is not None:
+            self._client.stop()
+        if self._shipper is not None:
+            self._shipper.detach_journal()
         if self._heat is not None and get_heat() is self._heat:
             set_heat(self._heat_previous)
         for tenant in self._tenants.values():

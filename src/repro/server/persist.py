@@ -174,7 +174,25 @@ def save_state(hub, data_dir: str) -> str:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temporary, path)
+    _fsync_dir(data_dir)
     return path
+
+
+def _fsync_dir(data_dir: str) -> None:
+    """Flush the directory entry so the rename itself survives power
+    loss — ``os.replace`` alone only orders the data, not the name.
+    Best-effort on platforms where directories cannot be opened."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        dirfd = os.open(data_dir, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(dirfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dirfd)
 
 
 def load_state(data_dir: str) -> dict:

@@ -237,6 +237,7 @@ class QueryEngine:
         metric_labels: Optional[Mapping[str, object]] = None,
         max_inflight: Optional[int] = None,
         degrade_on_deadline: bool = False,
+        read_only: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -254,6 +255,7 @@ class QueryEngine:
         self._breaker = breaker
         self._degraded_reads = degraded_reads
         self._degrade_on_deadline = degrade_on_deadline
+        self._read_only = read_only
         self._deadline_guard = None
         if degrade_on_deadline:
             device = store.tile_store.device
@@ -337,6 +339,18 @@ class QueryEngine:
     def closed(self) -> bool:
         # lint: allow=lock-discipline (racy bool read; close() drains stragglers that slip past it)
         return self._closed
+
+    @property
+    def read_only(self) -> bool:
+        """Replica mode: the engine serves queries over blocks that
+        replication replay writes beneath the pool, so it must never
+        write back — :meth:`close` skips the flush, and promotion
+        clears the flag before the first local update."""
+        return self._read_only
+
+    @read_only.setter
+    def read_only(self, value: bool) -> None:
+        self._read_only = bool(value)
 
     @property
     def queue_capacity(self) -> int:
@@ -800,8 +814,9 @@ class QueryEngine:
                     )
                 self._release_inflight(1)
             self._queue.task_done()
-        with get_tracer().span("engine.flush"):
-            self._pool.flush()
+        if not self._read_only:
+            with get_tracer().span("engine.flush"):
+                self._pool.flush()
         self._drained.set()
 
     def __enter__(self) -> "QueryEngine":

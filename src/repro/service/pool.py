@@ -223,6 +223,27 @@ class ShardedBufferPool:
             with lock:
                 shard.drop_all()
 
+    def invalidate(self, block_ids) -> List[int]:
+        """Discard (without write-back) the resident frames for
+        ``block_ids``; returns the pinned ids that could not be
+        discarded.  Used after replication replay rewrites blocks
+        beneath the pool — stale frames must not serve old bytes."""
+        by_shard: Dict[int, List[int]] = {}
+        for block_id in block_ids:
+            by_shard.setdefault(self.shard_of(block_id), []).append(block_id)
+        leftover: List[int] = []
+        for shard_index, ids in by_shard.items():
+            with self._locks[shard_index]:
+                leftover.extend(self._shards[shard_index].invalidate(ids))
+        return leftover
+
+    @property
+    def io_lock(self) -> threading.Lock:
+        """The device-serialising lock.  Replication replay writes to
+        the arena beneath the pool and takes this lock so a concurrent
+        query's miss cannot interleave with a half-applied group."""
+        return self._io_lock
+
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------

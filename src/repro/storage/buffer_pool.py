@@ -270,6 +270,24 @@ class BufferPool:
                     frame.dirty = False
             span.set(blocks=len(dirty))
 
+    def invalidate(self, block_ids) -> list:
+        """Discard resident frames for ``block_ids`` WITHOUT writing
+        them back — the device already holds newer bytes (replication
+        replay wrote beneath the pool).  Pinned frames cannot be
+        discarded (a caller holds the array); their ids are returned so
+        the caller can retry once the pins drain.  Non-resident ids are
+        no-ops."""
+        leftover = []
+        for block_id in block_ids:
+            frame = self._frames.get(block_id)
+            if frame is None:
+                continue
+            if frame.pins > 0:
+                leftover.append(block_id)
+                continue
+            del self._frames[block_id]
+        return leftover
+
     def drop_all(self) -> None:
         """Flush everything and empty the pool (e.g. between experiments).
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +125,7 @@ class RecoveryReport:
     discarded_bytes: int = 0
     last_committed_seq: int = 0
     corrupt_blocks: List[int] = field(default_factory=list)
+    replayed_block_ids: List[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -149,6 +150,17 @@ class WriteAheadJournal:
         self._next_seq = 1
         self._buf = bytearray()
         self.appends = 0
+        self._group_start = 0
+        #: Observer fired after a commit record lands — the group is
+        #: durable at that instant — with ``(seq, record_bytes)`` where
+        #: ``record_bytes`` is the group's complete journal image (data
+        #: records + commit record).  This is the replication tap: a
+        #: :class:`~repro.replica.shipper.JournalShipper` frames the
+        #: bytes and streams them to followers *before* the group is
+        #: applied locally, so an acknowledged batch has always been
+        #: offered to every attached follower.  ``None`` (the default)
+        #: costs one attribute check per commit.
+        self.on_commit: Optional[Callable[[int, bytes], None]] = None
 
     # -- sequence management -------------------------------------------
 
@@ -160,6 +172,7 @@ class WriteAheadJournal:
     def begin_group(self) -> int:
         seq = self._next_seq
         self._next_seq += 1
+        self._group_start = len(self._buf)
         return seq
 
     # -- append path ----------------------------------------------------
@@ -210,13 +223,40 @@ class WriteAheadJournal:
             "journal.commit",
             crash,
         )
+        observer = self.on_commit
+        if observer is not None:
+            observer(seq, bytes(self._buf[self._group_start :]))
+
+    def ingest(self, records: bytes) -> None:
+        """Append already-encoded record bytes (a shipped group) to the
+        log.  The bytes carry their own per-record CRCs, so a corrupt
+        or torn group is discarded by :meth:`parse` exactly as a local
+        torn tail would be.  This is the follower-side replay inlet:
+        ingest a group's frame payload, then let
+        :meth:`JournaledDevice.recover` apply it."""
+        self._buf.extend(records)
+        self.appends += 1
 
     def checkpoint(self, seq: int) -> None:
         """Drop all records (the applied groups) and remember ``seq`` as
         durably applied.  Treated as atomic — a real implementation
         would rename a fresh segment into place."""
         self.truncated_upto = max(self.truncated_upto, seq)
+        # Keep group numbering monotone past replayed groups, so a
+        # follower promoted to primary continues the sequence instead
+        # of reissuing seqs its own followers have already applied.
+        self._next_seq = max(self._next_seq, seq + 1)
         self._buf = bytearray()
+
+    def reset_to(self, seq: int) -> None:
+        """Adopt ``seq`` as the durable horizon (snapshot install):
+        everything up to ``seq`` is already applied to the device by
+        other means, the log is empty, and the next group is
+        ``seq + 1``."""
+        self.truncated_upto = seq
+        self._next_seq = seq + 1
+        self._buf = bytearray()
+        self._group_start = 0
 
     # -- parse / recovery ----------------------------------------------
 
@@ -484,13 +524,20 @@ class JournaledDevice:
     # recovery
     # ------------------------------------------------------------------
 
-    def recover(self) -> RecoveryReport:
+    def recover(
+        self,
+        scan: bool = True,  # lint: allow=flag-hygiene (post-crash verification defaults on; followers opt out per-group and re-scan at promotion)
+    ) -> RecoveryReport:
         """Replay committed journal groups; discard torn tails.
 
         Idempotent: replaying an already-applied group rewrites the
         same bytes.  Replayed writes charge ``block_writes`` (they are
         real device I/O).  Ends with a full checksum scan; a clean
-        report (``report.clean``) certifies the store.
+        report (``report.clean``) certifies the store.  Steady-state
+        followers replaying one shipped group at a time pass
+        ``scan=False`` — an O(arena) scan per group would swamp the
+        O(changed-coefficients) replay — and run the full scan once at
+        promotion (:meth:`FollowerEngine.finalize`).
         """
         report = RecoveryReport()
         groups, committed, tail_records, tail_bytes = self.journal.parse()
@@ -507,11 +554,12 @@ class JournaledDevice:
                     self._inner.write_block(block_id, arr)
                     self._summaries[block_id] = _summarise(arr)
                     report.replayed_records += 1
+                    report.replayed_block_ids.append(block_id)
                 report.replayed_groups += 1
                 last = max(last, seq)
                 self.journal.checkpoint(seq)
             report.last_committed_seq = last
-            report.corrupt_blocks = self.scan()
+            report.corrupt_blocks = self.scan() if scan else []
             span.set(
                 replayed_groups=report.replayed_groups,
                 replayed_records=report.replayed_records,

@@ -1,0 +1,20 @@
+"""Known-bad: REPRO-T001 at lines 8 and 16 (Timer-fired callbacks)."""
+
+import threading
+
+
+def schedule(tracer):
+    def tick():
+        with tracer.span("tick"):
+            return None
+
+    threading.Timer(0.5, tick).start()
+
+
+def reschedule(tracer):
+    def beat():
+        return tracer.current_span()
+
+    timer = threading.Timer(interval=1.0, function=beat)
+    timer.daemon = True
+    timer.start()

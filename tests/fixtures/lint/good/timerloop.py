@@ -1,0 +1,25 @@
+"""Known-good: Timer-fired callbacks open spans with explicit parents."""
+
+import threading
+
+
+def schedule(tracer):
+    root = tracer.current_span()
+
+    def tick():
+        with tracer.span("tick", parent=root):
+            return None
+
+    threading.Timer(0.5, tick).start()
+
+
+def reschedule(tracer):
+    root = tracer.current_span()
+
+    def beat():
+        with tracer.span("beat", parent=root):
+            return None
+
+    timer = threading.Timer(interval=1.0, function=beat)
+    timer.daemon = True
+    timer.start()

@@ -115,7 +115,7 @@ class TestCLIGating:
             == 1
         )
         payload = json.loads(out.read_text())
-        assert payload["files_analyzed"] == 7
+        assert payload["files_analyzed"] == 8
         assert {f["rule"] for f in payload["findings"]} == {
             "REPRO-L001",
             "REPRO-L002",

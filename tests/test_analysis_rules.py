@@ -25,7 +25,7 @@ class TestGoodFixtures:
     def test_good_tree_is_clean(self):
         report = _analyze("good")
         assert report.findings == []
-        assert report.files_analyzed == 7
+        assert report.files_analyzed == 8
 
     def test_good_lock_graph_is_ordered(self):
         report = _analyze("good")
@@ -97,9 +97,18 @@ class TestBadFixtures:
             (13, "REPRO-T001"),
         ]
 
+    def test_timer_entry_exact_positions(self, findings):
+        # threading.Timer fires its callback on a fresh thread (the
+        # failover controller's reschedule loop): positional and
+        # function= forms are both thread entries
+        assert self._at(findings, "timerloop.py") == [
+            (8, "REPRO-T001"),
+            (16, "REPRO-T001"),
+        ]
+
     def test_total_finding_count(self, findings):
         # one per planted defect, no duplicates, nothing extra
-        assert len(findings) == 16
+        assert len(findings) == 18
 
 
 class TestMarkerMachinery:

@@ -1,0 +1,227 @@
+"""Clock-edge and determinism tests for the fault-tolerance plumbing.
+
+Replication failover leans on :class:`CircuitBreaker` transitions (the
+health probe treats an open breaker as unhealthy) and on
+:class:`RetryPolicy` backoff under injected faults, so their timing
+edges get dedicated coverage: half-open probe admission under
+concurrency, re-trip timer restarts, and bit-exact jitter replay under
+a fixed seed.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.fault.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.fault.retry import Retrier, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _tripped_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("reset_timeout_s", 5.0)
+    breaker = CircuitBreaker(clock=clock, **kwargs)
+    for __ in range(kwargs["failure_threshold"]):
+        breaker.on_failure()
+    assert breaker.state == STATE_OPEN
+    return breaker
+
+
+class TestHalfOpenEdges:
+    def test_half_open_admits_exactly_the_probe_budget(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=2)
+        clock.advance(5.0)
+        assert breaker.state == STATE_HALF_OPEN
+        # Two concurrent probes pass, the third is shed — even though
+        # none of them has reported an outcome yet.
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+        assert breaker.snapshot()["shed"] == 1
+
+    def test_probe_failure_re_trips_and_restarts_the_timeout(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(5.0)
+        assert breaker.allow()  # the half-open probe
+        clock.advance(4.9)  # almost a full timeout later, probe fails
+        breaker.on_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.snapshot()["opens"] == 2
+        # The timeout restarted at the re-trip, not at the first trip:
+        # 4.9s after the original open is NOT enough anymore.
+        clock.advance(0.2)
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        clock.advance(4.9)  # now a full timeout since the re-trip
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_failure_during_concurrent_probes_re_trips_immediately(self):
+        # One probe failing while another is still in flight must slam
+        # the breaker shut — the straggler's leftover admission must
+        # not survive into the next half-open window.
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=2)
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        breaker.on_failure()  # first probe fails; second still running
+        assert breaker.state == STATE_OPEN
+        clock.advance(5.0)
+        assert breaker.state == STATE_HALF_OPEN
+        # Fresh window: the full probe budget is available again.
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_straggler_success_after_re_trip_closes_the_breaker(self):
+        # Current (documented) semantics: on_success always closes.  A
+        # probe that eventually succeeds proves the device answers, so
+        # closing is safe even if a sibling probe failed meanwhile.
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=2)
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        breaker.on_failure()
+        assert breaker.state == STATE_OPEN
+        breaker.on_success()  # the straggler comes back happy
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_half_open_transition_is_observed_by_every_entry_point(self):
+        # state, allow() and snapshot() must all apply the timeout
+        # check — a reader must never see a stale "open" after the
+        # window elapsed.
+        for entry in ("state", "allow", "snapshot"):
+            clock = FakeClock()
+            breaker = _tripped_breaker(clock)
+            clock.advance(5.0)
+            if entry == "state":
+                assert breaker.state == STATE_HALF_OPEN
+            elif entry == "allow":
+                assert breaker.allow()
+            else:
+                assert breaker.snapshot()["state"] == STATE_HALF_OPEN
+
+    def test_concurrent_probe_admission_is_race_free(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock, half_open_probes=3)
+        clock.advance(5.0)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(1)
+
+        threads = [threading.Thread(target=probe) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 3  # exactly the budget, despite the race
+
+    def test_zero_reset_timeout_goes_half_open_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=0.0, clock=clock
+        )
+        breaker.on_failure()
+        assert breaker.state == STATE_HALF_OPEN
+
+
+class TestJitterDeterminism:
+    def test_same_seed_replays_the_exact_delay_sequence(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=0.01, seed=1234
+        )
+
+        def delays():
+            rng = random.Random(policy.seed)
+            return [policy.delay_for(a, rng) for a in range(1, 8)]
+
+        first, second = delays(), delays()
+        assert first == second  # bit-exact, not approx
+        assert len(set(first)) > 1  # and actually jittered
+
+    def test_retrier_sleep_sequence_is_deterministic_under_seed(self):
+        def run():
+            slept = []
+            retrier = Retrier(
+                RetryPolicy(
+                    max_attempts=5, base_delay_s=0.01, seed=99
+                ),
+                sleep=slept.append,
+            )
+            with pytest.raises(IOError):
+                retrier.call(self._always_fail)
+            return slept
+
+        assert run() == run()
+
+    @staticmethod
+    def _always_fail():
+        raise IOError("down")
+
+    def test_jitter_stays_within_the_documented_band(self):
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay_s=0.01,
+            multiplier=2.0,
+            max_delay_s=10.0,
+            jitter=0.5,
+            seed=7,
+        )
+        rng = random.Random(policy.seed)
+        for attempt in range(1, 50):
+            raw = min(
+                policy.max_delay_s,
+                policy.base_delay_s * policy.multiplier ** (attempt - 1),
+            )
+            delay = policy.delay_for(attempt, rng)
+            assert raw * 0.5 <= delay <= raw * 1.5
+
+    def test_zero_jitter_is_exactly_the_capped_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay_s=0.01,
+            multiplier=2.0,
+            max_delay_s=0.05,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        assert [policy.delay_for(a, rng) for a in (1, 2, 3, 4, 5)] == [
+            0.01,
+            0.02,
+            0.04,
+            0.05,
+            0.05,
+        ]
+
+    def test_different_seeds_diverge(self):
+        policy_a = RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=1)
+        policy_b = RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=2)
+        rng_a = random.Random(policy_a.seed)
+        rng_b = random.Random(policy_b.seed)
+        sequence_a = [policy_a.delay_for(a, rng_a) for a in (1, 2, 3)]
+        sequence_b = [policy_b.delay_for(a, rng_b) for a in (1, 2, 3)]
+        assert sequence_a != sequence_b

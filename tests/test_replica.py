@@ -1,0 +1,380 @@
+"""Unit tests for the journal-shipping replication stack
+(:mod:`repro.replica`): wire framing, shipper retention/resume,
+follower replay, and the failover controller's decision logic."""
+
+import numpy as np
+import pytest
+
+from repro.fault.breaker import CircuitBreaker
+from repro.replica.controller import FailoverController, ProbeResult
+from repro.replica.follower import FollowerEngine, ReplicaGapError
+from repro.replica.frames import (
+    FRAME_GROUP,
+    FRAME_HEARTBEAT,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from repro.replica.shipper import JournalShipper
+from repro.storage.block_device import BlockDevice
+from repro.storage.journal import JournaledDevice, WriteAheadJournal
+
+SLOTS = 16
+
+
+def _arr(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(SLOTS)
+
+
+def _primary():
+    device = JournaledDevice(BlockDevice(SLOTS))
+    shipper = JournalShipper(device)
+    return device, shipper
+
+
+def _write_group(device: JournaledDevice, seed: int, blocks=(0,)) -> None:
+    for block_id in blocks:
+        while device.num_blocks <= block_id:
+            device.allocate()
+    device.write_batch(
+        [(block_id, _arr(seed + block_id)) for block_id in blocks]
+    )
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_round_trip(self):
+        payload = b"journal-bytes" * 9
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(FRAME_GROUP, 7, payload))
+        assert len(frames) == 1
+        assert frames[0].kind == FRAME_GROUP
+        assert frames[0].seq == 7
+        assert frames[0].payload == payload
+        assert decoder.pending_bytes == 0
+
+    def test_torn_tail_is_held_not_misparsed(self):
+        frame = encode_frame(FRAME_GROUP, 1, b"x" * 100)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:30]) == []
+        assert decoder.pending_bytes == 30
+        frames = decoder.feed(frame[30:])
+        assert len(frames) == 1
+        assert frames[0].payload == b"x" * 100
+
+    def test_byte_at_a_time(self):
+        frame = encode_frame(FRAME_HEARTBEAT, 3) + encode_frame(
+            FRAME_GROUP, 4, b"abc"
+        )
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i : i + 1]))
+        assert [f.seq for f in out] == [3, 4]
+
+    def test_crc_flip_raises(self):
+        frame = bytearray(encode_frame(FRAME_GROUP, 1, b"payload"))
+        frame[-1] ^= 0x40  # flip a payload bit
+        with pytest.raises(FrameError, match="CRC"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(encode_frame(FRAME_GROUP, 1, b"p"))
+        frame[0] = 0x00
+        with pytest.raises(FrameError, match="magic"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_discard_tail(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(FRAME_GROUP, 1, b"x" * 50)[:20])
+        assert decoder.discard_tail() == 20
+        assert decoder.pending_bytes == 0
+        # the stream is whole again from the next full frame
+        frames = decoder.feed(encode_frame(FRAME_GROUP, 2, b"y"))
+        assert [f.seq for f in frames] == [2]
+
+
+# ----------------------------------------------------------------------
+# shipper
+# ----------------------------------------------------------------------
+
+
+class TestShipper:
+    def test_ships_each_committed_group_in_order(self):
+        device, shipper = _primary()
+        seen = []
+        follower = FollowerEngine(BlockDevice(SLOTS))
+
+        def sink(data: bytes) -> None:
+            seen.append(data)
+            follower.feed(data)
+
+        shipper.attach(sink)
+        for seed in range(3):
+            _write_group(device, seed, blocks=(seed,))
+        assert len(seen) == 3
+        assert shipper.last_seq == 3
+        assert follower.applied_seq == 3
+        assert np.array_equal(
+            follower.device.dump_blocks(), device.dump_blocks()
+        )
+
+    def test_on_commit_is_exclusive(self):
+        device, __ = _primary()
+        with pytest.raises(RuntimeError, match="observer"):
+            JournalShipper(device)
+
+    def test_frames_since_caught_up_and_resume(self):
+        device, shipper = _primary()
+        for seed in range(4):
+            _write_group(device, seed)
+        assert shipper.frames_since(4) == []
+        frames = shipper.frames_since(2)
+        assert frames is not None and len(frames) == 2
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        # resume mid-stream: install the prefix by replaying from 0
+        for frame in shipper.frames_since(0):
+            follower.feed(frame)
+        assert follower.applied_seq == 4
+
+    def test_gap_before_retention_window(self):
+        device, shipper = _primary()
+        shipper._retained = type(shipper._retained)(maxlen=2)
+        for seed in range(5):
+            _write_group(device, seed)
+        # groups 1..3 fell out of the window; a cursor there is a gap
+        assert shipper.frames_since(1) is None
+        assert shipper.frames_since(0) is None
+        frames = shipper.frames_since(3)
+        assert frames is not None and len(frames) == 2
+
+    def test_gap_before_attach_point(self):
+        device = JournaledDevice(BlockDevice(SLOTS))
+        _write_group(device, 0)  # group 1 committed before any shipper
+        shipper = JournalShipper(device)
+        _write_group(device, 1)
+        # a follower claiming position 0 predates the shipper
+        assert shipper.frames_since(0) is None
+        assert shipper.frames_since(1) is not None
+
+    def test_acks_keep_max(self):
+        __, shipper = _primary()
+        shipper.ack("f1", 3)
+        shipper.ack("f1", 2)  # stale ack must not regress
+        shipper.ack("f2", 5)
+        assert shipper.acks() == {"f1": 3, "f2": 5}
+
+
+# ----------------------------------------------------------------------
+# follower
+# ----------------------------------------------------------------------
+
+
+class TestFollower:
+    def test_duplicate_group_skipped(self):
+        device, shipper = _primary()
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        shipper.attach(follower.feed)
+        _write_group(device, 0)
+        frame = shipper.frames_since(0)[0]
+        follower.feed(frame)  # replayed duplicate
+        assert follower.duplicates_skipped == 1
+        assert follower.applied_seq == 1
+
+    def test_gap_raises(self):
+        device, shipper = _primary()
+        for seed in range(3):
+            _write_group(device, seed)
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        frames = shipper.frames_since(0)
+        follower.feed(frames[0])
+        with pytest.raises(ReplicaGapError):
+            follower.feed(frames[2])  # skipped seq 2
+
+    def test_snapshot_install_then_stream(self):
+        device, shipper = _primary()
+        for seed in range(3):
+            _write_group(device, seed, blocks=(seed,))
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        follower.install_snapshot(device.dump_blocks(), last_seq=3)
+        assert follower.applied_seq == 3
+        _write_group(device, 9, blocks=(1,))
+        for frame in shipper.frames_since(3):
+            follower.feed(frame)
+        assert follower.applied_seq == 4
+        assert np.array_equal(
+            follower.device.dump_blocks(), device.dump_blocks()
+        )
+        report = follower.finalize()
+        assert report.clean
+
+    def test_finalize_discards_torn_tail(self):
+        device, shipper = _primary()
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        shipper.attach(follower.feed)
+        _write_group(device, 0)
+        # half a frame arrives, then the primary dies
+        half = encode_frame(FRAME_GROUP, 2, b"z" * 64)[:20]
+        follower.feed(half)
+        assert follower.decoder.pending_bytes == 20
+        report = follower.finalize()
+        assert report.clean
+        assert follower.decoder.pending_bytes == 0
+        assert follower.applied_seq == 1
+
+    def test_promoted_follower_continues_seq_numbering(self):
+        device, shipper = _primary()
+        follower = FollowerEngine(BlockDevice(SLOTS))
+        shipper.attach(follower.feed)
+        for seed in range(3):
+            _write_group(device, seed)
+        follower.finalize()
+        # the promoted journal's next group must extend the stream
+        assert follower.device.journal.next_seq == 4
+
+    def test_requires_exactly_one_device(self):
+        with pytest.raises(ValueError):
+            FollowerEngine()
+        with pytest.raises(ValueError):
+            FollowerEngine(
+                BlockDevice(SLOTS),
+                journaled=JournaledDevice(BlockDevice(SLOTS)),
+            )
+
+
+# ----------------------------------------------------------------------
+# failover controller (deterministic: fake probe + clock)
+# ----------------------------------------------------------------------
+
+
+class _Candidate:
+    def __init__(self, applied_seq: int) -> None:
+        self._seq = applied_seq
+        self.promoted = False
+
+    def replication_state(self) -> dict:
+        return {"applied_seq": self._seq}
+
+    def promote(self) -> None:
+        self.promoted = True
+
+
+class TestFailoverController:
+    def test_promotes_after_threshold_consecutive_failures(self):
+        results = [
+            ProbeResult(True),
+            ProbeResult(False),
+            ProbeResult(True),  # recovery resets the streak
+            ProbeResult(False),
+            ProbeResult(False),
+            ProbeResult(False),
+        ]
+        probe_iter = iter(results)
+        candidate = _Candidate(5)
+        controller = FailoverController(
+            lambda: next(probe_iter),
+            [candidate],
+            threshold=3,
+            clock=lambda: 0.0,
+        )
+        outcomes = [controller.tick() for __ in results]
+        assert outcomes[:5] == [None] * 5
+        assert outcomes[5] is candidate
+        assert candidate.promoted
+        assert controller.snapshot()["promoted"]
+
+    def test_picks_most_caught_up_candidate(self):
+        behind, ahead = _Candidate(3), _Candidate(7)
+        controller = FailoverController(
+            lambda: ProbeResult(False),
+            [behind, ahead],
+            threshold=1,
+            clock=lambda: 0.0,
+        )
+        assert controller.tick() is ahead
+        assert ahead.promoted and not behind.promoted
+
+    def test_breaker_open_counts_as_failure_when_configured(self):
+        probe = lambda: ProbeResult(True, breaker_open=True)  # noqa: E731
+        candidate = _Candidate(1)
+        strict = FailoverController(
+            probe, [candidate], threshold=1, clock=lambda: 0.0
+        )
+        assert strict.tick() is candidate
+        lenient = FailoverController(
+            probe,
+            [_Candidate(1)],
+            threshold=1,
+            clock=lambda: 0.0,
+            fail_on_breaker_open=False,
+        )
+        assert lenient.tick() is None
+
+    def test_no_double_promotion(self):
+        candidate = _Candidate(1)
+        controller = FailoverController(
+            lambda: ProbeResult(False),
+            [candidate],
+            threshold=1,
+            clock=lambda: 0.0,
+        )
+        assert controller.tick() is candidate
+        assert controller.tick() is None  # already promoted
+
+
+# ----------------------------------------------------------------------
+# journal hooks backing the stack
+# ----------------------------------------------------------------------
+
+
+class TestJournalHooks:
+    def test_on_commit_payload_is_a_parseable_group(self):
+        device = JournaledDevice(BlockDevice(SLOTS))
+        captured = {}
+
+        def observer(seq: int, records: bytes) -> None:
+            captured[seq] = records
+
+        device.journal.on_commit = observer
+        _write_group(device, 0, blocks=(0, 1))
+        assert list(captured) == [1]
+        journal = WriteAheadJournal()
+        journal.ingest(captured[1])
+        groups, committed, tail_records, __ = journal.parse()
+        assert list(committed) == [1]
+        assert len(groups[1]) == 2
+        assert tail_records == 0
+
+    def test_reset_to_sets_horizon(self):
+        journal = WriteAheadJournal()
+        journal.reset_to(41)
+        assert journal.truncated_upto == 41
+        assert journal.begin_group() == 42
+
+    def test_checkpoint_advances_next_seq(self):
+        journal = WriteAheadJournal()
+        journal.ingest(b"")  # no-op ingest keeps buffers valid
+        journal.checkpoint(9)
+        assert journal.begin_group() == 10
+
+    def test_recover_scan_false_skips_scan(self):
+        device = JournaledDevice(BlockDevice(SLOTS))
+        _write_group(device, 0)
+        replica = JournaledDevice(BlockDevice(SLOTS))
+        captured = {}
+        device2 = JournaledDevice(BlockDevice(SLOTS))
+        device2.journal.on_commit = lambda seq, rec: captured.update(
+            {seq: rec}
+        )
+        _write_group(device2, 0)
+        replica.journal.ingest(captured[1])
+        report = replica.recover(scan=False)
+        assert report.replayed_groups == 1
+        assert report.replayed_block_ids == [0]
+        assert report.corrupt_blocks == []
+        # the full scan at promotion still certifies
+        assert replica.scan() == []

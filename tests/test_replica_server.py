@@ -1,0 +1,298 @@
+"""End-to-end replication over live HTTP: a primary shipping its
+journal, a replica bootstrapping from ``/replica/snapshot`` and
+following ``/replica/stream``, read parity at equal replayed-group
+position, 503 + ``Retry-After`` on replica writes, health-checked
+failover with a real probe, and resumed writes on the new primary."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+
+from repro.replica.controller import FailoverController, http_health_probe
+from repro.server.demo import build_demo_hub
+from repro.server.http import spawn
+from repro.server.hub import ServingHub
+
+
+def _request(base, path, key=None, data=None, timeout=10):
+    request = urllib.request.Request(base + path, data=data)
+    if key is not None:
+        request.add_header("X-API-Key", key)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers.items()),
+            )
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            payload = {"raw": body.decode("utf-8", "replace")}
+        return error.code, payload, dict(error.headers.items())
+
+
+def _update_body(value=1.0):
+    return json.dumps(
+        {
+            "deltas": [[value, value], [value, value]],
+            "corner": {"time": 0, "region": 0},
+        }
+    ).encode("utf-8")
+
+
+def _wait_caught_up(primary_hub, replica_hub, timeout_s=10.0):
+    target = primary_hub.shipper.last_seq
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if replica_hub.follower.applied_seq >= target:
+            return
+        time.sleep(0.02)
+    raise AssertionError(
+        f"replica stuck at {replica_hub.follower.applied_seq}, "
+        f"primary at {target}: {replica_hub.replication_state()}"
+    )
+
+
+@pytest.fixture()
+def pair():
+    """A live primary (shipping) and a live replica following it."""
+    primary = build_demo_hub(seed=23, size=16, replicate=True)
+    primary_server, __ = spawn(primary)
+    primary_base = "http://{}:{}".format(*primary_server.server_address)
+    replica = ServingHub(
+        replica_of=primary_base,
+        primary_api_key="demo-admin-key",
+        admin_key="demo-admin-key",
+        replica_poll_s=0.02,
+    )
+    replica_server, __ = spawn(replica)
+    replica_base = "http://{}:{}".format(*replica_server.server_address)
+    yield primary, primary_base, primary_server, replica, replica_base
+    for server in (primary_server, replica_server):
+        try:
+            server.shutdown()
+            server.server_close()
+        except Exception:
+            pass
+    replica.close()
+    primary.close()
+
+
+QUERY = "/cube/sales/aggregate?cut=time:0-7|region:0-7"
+
+
+class TestReplicaServing:
+    def test_bootstrap_parity_and_streamed_update_parity(self, pair):
+        primary, primary_base, __, replica, replica_base = pair
+        __, before_primary, ___ = _request(
+            primary_base, QUERY, key="acme-key"
+        )
+        __, before_replica, ___ = _request(
+            replica_base, QUERY, key="acme-key"
+        )
+        assert before_primary == before_replica  # snapshot bootstrap
+        code, __, ___ = _request(
+            primary_base,
+            "/cube/sales/update",
+            key="acme-key",
+            data=_update_body(2.0),
+        )
+        assert code == 200
+        _wait_caught_up(primary, replica)
+        __, after_primary, ___ = _request(
+            primary_base, QUERY, key="acme-key"
+        )
+        __, after_replica, ___ = _request(
+            replica_base, QUERY, key="acme-key"
+        )
+        assert after_primary == after_replica  # bit-identical JSON
+        assert after_primary != before_primary
+
+    def test_replica_write_gets_503_with_retry_after(self, pair):
+        __, ___, ____, _____, replica_base = pair
+        code, payload, headers = _request(
+            replica_base,
+            "/cube/sales/update",
+            key="acme-key",
+            data=_update_body(),
+        )
+        assert code == 503
+        assert payload["role"] == "replica"
+        assert "Retry-After" in headers
+
+    def test_healthz_and_metrics_surface_role_and_lag(self, pair):
+        primary, primary_base, __, replica, replica_base = pair
+        _wait_caught_up(primary, replica)
+        code, health, __ = _request(replica_base, "/healthz")
+        assert code == 200
+        assert health["role"] == "replica"
+        assert health["replication"]["lag_groups"] == 0
+        assert health["replication"]["applied_seq"] >= 2
+        code, primary_health, __ = _request(primary_base, "/healthz")
+        assert primary_health["role"] == "primary"
+        assert "shipper" in primary_health["replication"]
+        request = urllib.request.Request(replica_base + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            metrics = response.read().decode("utf-8")
+        assert "replica_role 1" in metrics
+        assert "replica_lag_groups" in metrics
+
+    def test_stream_requires_admin_key(self, pair):
+        __, primary_base, ___, ____, _____ = pair
+        code, __, ___ = _request(
+            primary_base, "/replica/stream?after=0", key="acme-key"
+        )
+        assert code == 401
+
+    def test_stale_cursor_is_told_to_resnapshot(self, pair):
+        primary, primary_base, __, ___, ____ = pair
+        request = urllib.request.Request(
+            primary_base + "/replica/stream?after=-5",
+            headers={"X-API-Key": "demo-admin-key"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["X-Repro-Snapshot-Needed"] == "1"
+            assert response.read() == b""
+
+    def test_failover_promotes_and_writes_resume(self, pair):
+        primary, primary_base, primary_server, replica, replica_base = pair
+        code, __, ___ = _request(
+            primary_base,
+            "/cube/sales/update",
+            key="acme-key",
+            data=_update_body(3.0),
+        )
+        assert code == 200
+        _wait_caught_up(primary, replica)
+        __, last_primary_answer, ___ = _request(
+            primary_base, QUERY, key="acme-key"
+        )
+        # kill the primary (server stops answering, probe goes dark)
+        primary_server.shutdown()
+        primary_server.server_close()
+        controller = FailoverController(
+            lambda: http_health_probe(primary_base, timeout_s=0.5),
+            [replica],
+            threshold=2,
+            interval_s=0.05,
+        )
+        promoted = None
+        for __ in range(5):
+            promoted = controller.tick()
+            if promoted is not None:
+                break
+        assert promoted is replica
+        assert replica.role == "primary"
+        assert controller.snapshot()["promotion_s"] is not None
+        # the promoted arena serves the last acknowledged answer
+        __, promoted_answer, ___ = _request(
+            replica_base, QUERY, key="acme-key"
+        )
+        assert promoted_answer == last_primary_answer
+        # and writes resume on the new primary
+        code, __, ___ = _request(
+            replica_base,
+            "/cube/sales/update",
+            key="acme-key",
+            data=_update_body(1.0),
+        )
+        assert code == 200
+        __, resumed_answer, ___ = _request(
+            replica_base, QUERY, key="acme-key"
+        )
+        assert resumed_answer != promoted_answer
+
+
+class TestReplicaProcessDeath:
+    def test_sigkilled_primary_fails_over_to_live_replica(self, tmp_path):
+        """The real thing: a primary *process* dies on SIGKILL mid-
+        serving; the in-process replica (already caught up) promotes
+        and serves the acknowledged state."""
+        script = tmp_path / "primary.py"
+        script.write_text(
+            "import sys, os, signal, threading\n"
+            "from repro.server.demo import build_demo_hub\n"
+            "from repro.server.http import spawn\n"
+            "hub = build_demo_hub(seed=23, size=16, replicate=True)\n"
+            "server, thread = spawn(hub)\n"
+            "print(server.server_address[1], flush=True)\n"
+            "signal.pause()\n"
+        )
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONPATH=src_root)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            port = int(proc.stdout.readline())
+            primary_base = f"http://127.0.0.1:{port}"
+            replica = ServingHub(
+                replica_of=primary_base,
+                primary_api_key="demo-admin-key",
+                admin_key="demo-admin-key",
+                replica_poll_s=0.02,
+            )
+            code, __, ___ = _request(
+                primary_base,
+                "/cube/sales/update",
+                key="acme-key",
+                data=_update_body(4.0),
+            )
+            assert code == 200
+            __, acked_answer, ___ = _request(
+                primary_base, QUERY, key="acme-key"
+            )
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                state = replica.replication_state()
+                if state.get("lag_groups") == 0 and state[
+                    "applied_seq"
+                ] >= 3:
+                    break
+                time.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            controller = FailoverController(
+                lambda: http_health_probe(primary_base, timeout_s=0.5),
+                [replica],
+                threshold=2,
+                interval_s=0.05,
+            )
+            promoted = None
+            for __ in range(5):
+                promoted = controller.tick()
+                if promoted is not None:
+                    break
+            assert promoted is replica
+            replica_server, __ = spawn(replica)
+            replica_base = "http://{}:{}".format(
+                *replica_server.server_address
+            )
+            __, answer, ___ = _request(
+                replica_base, QUERY, key="acme-key"
+            )
+            assert answer == acked_answer
+            replica_server.shutdown()
+            replica_server.server_close()
+            replica.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)

@@ -476,3 +476,49 @@ class TestDataDirPersistence:
         finally:
             reopened.close()
             in_memory.close()
+
+
+class TestStateSidecarDurability:
+    def test_save_state_fsyncs_the_directory_entry(
+        self, tmp_path, monkeypatch
+    ):
+        # os.replace orders the sidecar's *data*, but the new directory
+        # entry itself only survives power loss if the directory inode
+        # is fsynced too.
+        from repro.server import persist
+
+        hub = build_demo_hub(seed=5, data_dir=str(tmp_path / "hub"))
+        try:
+            synced = []
+            real_fsync = os.fsync
+
+            def recording_fsync(fd):
+                synced.append(os.fstat(fd).st_mode)
+                return real_fsync(fd)
+
+            monkeypatch.setattr(os, "fsync", recording_fsync)
+            persist.save_state(hub, str(tmp_path / "hub"))
+            import stat
+
+            assert any(stat.S_ISDIR(mode) for mode in synced), (
+                "save_state never fsynced the data directory"
+            )
+            assert any(stat.S_ISREG(mode) for mode in synced)
+        finally:
+            monkeypatch.undo()
+            hub.close()
+
+    def test_dir_fsync_is_best_effort_on_unopenable_dir(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.server import persist
+
+        real_open = os.open
+
+        def failing_open(path, flags, *args, **kwargs):
+            if path == str(tmp_path):
+                raise OSError("directory refuses to open")
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", failing_open)
+        persist._fsync_dir(str(tmp_path))  # must not raise
