@@ -1,6 +1,6 @@
 # Convenience targets for the SHIFT-SPLIT reproduction.
 
-.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke obs-smoke chaos-smoke serve ci lint analyze experiments examples clean
+.PHONY: install test bench bench-smoke trace-smoke fault-smoke serve-smoke obs-smoke chaos-smoke racesan-smoke serve ci lint analyze experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,14 @@ obs-smoke:
 chaos-smoke:
 	PYTHONPATH=src python benchmarks/bench_replication.py --smoke
 
+# Lockset race sanitizer smoke (non-gating in CI): runs the 8-thread
+# metrics hammer and the replication apply path under REPRO_RACESAN=1
+# instrumentation, plus a seeded-race sentinel proving the detector
+# can fire; writes RACESAN_smoke.json and fails on any race or
+# guard-mismatch finding.
+racesan-smoke:
+	REPRO_RACESAN=1 PYTHONPATH=src python scripts/racesan_smoke.py
+
 # Interactive: serve the demo hub on localhost:8950 (see docs/serving.md)
 serve:
 	PYTHONPATH=src python -m repro.server
@@ -88,4 +96,4 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache results
-	rm -f analysis_report.json
+	rm -f analysis_report.json protocol_report.json RACESAN_smoke.json

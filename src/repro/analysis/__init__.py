@@ -17,34 +17,62 @@ attributes, annotation markers), the rule modules walk it, and
 
 Rules shipped (see ``docs/static_analysis.md`` for the catalogue):
 
-========== ================= ==========================================
-id         name              invariant
-========== ================= ==========================================
-REPRO-L001 lock-discipline   ``# guarded-by:`` attributes only touched
-                             under their lock
-REPRO-L002 lock-order        the static lock-acquisition graph is
-                             acyclic (no deadlock potential)
-REPRO-L003 lock-discipline   ``# lint: holds=`` methods only called
-                             with the lock held
-REPRO-I001 io-accounting     device read/write paths charge IOStats or
-                             are marked ``# lint: uncounted``
-REPRO-F001 flag-hygiene      robustness flags default to disabled
-REPRO-T001 thread-entry      thread-entry code opens spans with an
-                             explicit ``parent=``
-========== ================= ==========================================
+========== ================== =========================================
+id         name               invariant
+========== ================== =========================================
+REPRO-L001 lock-discipline    ``# guarded-by:`` attributes only touched
+                              under their lock
+REPRO-L002 lock-order         the static lock-acquisition graph is
+                              acyclic (no deadlock potential)
+REPRO-L003 lock-discipline    ``# lint: holds=`` methods only called
+                              with the lock held
+REPRO-I001 io-accounting      device read/write paths charge IOStats or
+                              are marked ``# lint: uncounted``
+REPRO-F001 flag-hygiene       robustness flags default to disabled
+REPRO-T001 thread-entry       thread-entry code opens spans with an
+                              explicit ``parent=``
+REPRO-P001 rename-durability  every ``os.replace`` publish is followed
+                              by a directory fsync on all normal exits
+REPRO-P002 journal-commit     ``append_data`` groups always reach
+                              ``append_commit``; no nested groups
+REPRO-P003 flush-before-      arena flush + sync dominate every sidecar
+           persist            ``save_state``
+REPRO-P004 ship-before-ack    replication reads frames before acking
+REPRO-R001 guard-facts        every ``# guarded-by:`` names a real lock
+                              attribute of the class
+REPRO-A000 marker-hygiene     every suppression marker carries a
+                              parenthesised reason
+========== ================== =========================================
 
-The runtime complement lives in :mod:`repro.analysis.witness`: an
-opt-in instrumented-lock wrapper that records actual acquisition
-orders during concurrent tests so the static graph can be
-cross-checked against reality.
+P-rules are dataflow checks over a per-function CFG
+(:mod:`repro.analysis.cfg`), driven by the declarative specs in
+:data:`repro.analysis.protocols.SPECS`; exemptions are per-site
+``# lint: protocol-exempt=<rule> (reason)`` markers.
+
+Two runtime complements close the static/dynamic loop:
+:mod:`repro.analysis.witness` (an opt-in instrumented-lock wrapper
+cross-checking the static lock-order graph against real acquisition
+orders) and :mod:`repro.analysis.racesan` (an Eraser-style lockset
+sanitizer that consumes the same ``# guarded-by:`` facts L001 checks
+statically and reports REPRO-R002 ``lockset-race`` / REPRO-R003
+``guard-mismatch`` findings from concurrent tests under
+``REPRO_RACESAN=1``).
 """
 
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.engine import AnalysisReport, default_rules, run_analysis
 from repro.analysis.findings import Finding
 from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.protocols import SPECS, ProtocolRule, ProtocolSpec
+from repro.analysis.racesan import (
+    RaceReport,
+    RaceSanitizer,
+    guarded_facts,
+    watching,
+)
 from repro.analysis.witness import (
     InstrumentedLock,
     LockWitness,
@@ -54,14 +82,23 @@ from repro.analysis.witness import (
 __all__ = [
     "AnalysisReport",
     "Baseline",
+    "CFG",
     "Finding",
     "InstrumentedLock",
     "LockWitness",
     "ProjectModel",
+    "ProtocolRule",
+    "ProtocolSpec",
+    "RaceReport",
+    "RaceSanitizer",
+    "SPECS",
+    "build_cfg",
     "build_model",
     "check_consistency",
     "default_rules",
+    "guarded_facts",
     "load_baseline",
     "run_analysis",
     "save_baseline",
+    "watching",
 ]

@@ -1,0 +1,365 @@
+"""Per-function control-flow graphs for the protocol-ordering rules.
+
+The lock rules reason lexically (what is textually inside a ``with``
+block); protocol rules (REPRO-P00x) need *paths*: "does every path
+from this ``os.replace`` reach a directory fsync before the function
+returns normally?".  This module lowers one ``ast.FunctionDef`` into a
+statement-granularity CFG with three virtual nodes — ``ENTRY``,
+``EXIT_NORMAL`` (the function returned or fell off the end) and
+``EXIT_RAISE`` (an exception escaped) — and answers reachability
+queries over it.
+
+Lowering notes, in decreasing order of subtlety:
+
+* ``try/finally`` is lowered by **cloning** the ``finally`` body once
+  per exit category (normal fallthrough, ``return``, ``raise``,
+  ``break``, ``continue``).  Sharing one copy would merge the paths
+  and invent a route where a ``return`` threads through ``finally``
+  and then *continues* to the statement after the ``try`` — exactly
+  the false path that would let a missing commit hide behind a
+  cleanup block.
+* Every statement inside a ``try`` body may raise, so each gets an
+  edge to every handler entry; explicit ``raise`` statements both
+  enter the handlers (they may match) and propagate outward.
+* ``while``/``for`` carry their ``else`` blocks (entered only on
+  normal loop exit; ``break`` jumps past them).  ``while True`` is
+  special-cased: no exit edge until a ``break``/``return``.
+* Calls are attributed to the statement that evaluates them.
+  Nested ``def``/``lambda``/``class`` bodies are *not* traversed —
+  defining a closure executes no calls inside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["CFG", "Node", "build_cfg", "calls_in"]
+
+_SKIP_INNER = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def calls_in(node: Optional[ast.AST]) -> List[ast.Call]:
+    """Calls evaluated by ``node``, skipping nested function bodies."""
+    if node is None:
+        return []
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is not node and isinstance(cur, _SKIP_INNER):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement (or header expression) and its calls."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    calls: List[ast.Call] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """A built graph.  ``succ[i]`` is the successor set of node ``i``."""
+
+    nodes: List[Node]
+    succ: Dict[int, Set[int]]
+    entry: int
+    exit_normal: int
+    exit_raise: int
+
+    def node_of_call(self, call: ast.Call) -> List[int]:
+        """Node indices evaluating ``call`` (several if finally-cloned)."""
+        return [n.index for n in self.nodes if call in n.calls]
+
+    def reach(
+        self,
+        starts: Iterable[int],
+        blocked: Callable[[int], bool],
+        targets: Set[int],
+    ) -> Optional[int]:
+        """First target reachable from ``starts`` without entering a
+        blocked node.  Start nodes themselves are tested; a blocked
+        node is neither matched nor expanded."""
+        seen: Set[int] = set()
+        frontier: List[int] = list(starts)
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen or blocked(cur):
+                continue
+            seen.add(cur)
+            if cur in targets:
+                return cur
+            frontier.extend(self.succ.get(cur, ()))
+        return None
+
+
+@dataclass
+class _Flow:
+    """Loose ends produced by lowering a block."""
+
+    normal: Set[int] = field(default_factory=set)
+    returns: Set[int] = field(default_factory=set)
+    raises: Set[int] = field(default_factory=set)
+    breaks: Set[int] = field(default_factory=set)
+    continues: Set[int] = field(default_factory=set)
+
+    def absorb(self, other: "_Flow") -> None:
+        """Merge every category except ``normal`` (callers wire that)."""
+        self.returns |= other.returns
+        self.raises |= other.raises
+        self.breaks |= other.breaks
+        self.continues |= other.continues
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self.succ: Dict[int, Set[int]] = {}
+
+    # -- plumbing ------------------------------------------------------
+
+    def _new(
+        self,
+        stmt: Optional[ast.stmt],
+        calls: Optional[Sequence[ast.AST]] = None,
+        label: str = "",
+    ) -> int:
+        found: List[ast.Call] = []
+        for part in calls if calls is not None else ([stmt] if stmt else []):
+            found.extend(calls_in(part))
+        node = Node(len(self.nodes), stmt, found, label)
+        self.nodes.append(node)
+        self.succ[node.index] = set()
+        return node.index
+
+    def _edge(self, srcs: Iterable[int], dst: int) -> None:
+        for src in srcs:
+            self.succ[src].add(dst)
+
+    # -- lowering ------------------------------------------------------
+
+    def build(self) -> CFG:
+        entry = self._new(None, [], "ENTRY")
+        exit_normal = self._new(None, [], "EXIT_NORMAL")
+        exit_raise = self._new(None, [], "EXIT_RAISE")
+        flow = self._block(self.func.body, {entry})
+        self._edge(flow.normal | flow.returns, exit_normal)
+        self._edge(flow.raises, exit_raise)
+        # break/continue outside a loop is a syntax error; drop them.
+        return CFG(self.nodes, self.succ, entry, exit_normal, exit_raise)
+
+    def _block(self, stmts: Sequence[ast.stmt], preds: Set[int]) -> _Flow:
+        flow = _Flow(normal=set(preds))
+        for stmt in stmts:
+            if not flow.normal:
+                break  # unreachable tail
+            inner = self._stmt(stmt, flow.normal)
+            flow.normal = inner.normal
+            flow.absorb(inner)
+        return flow
+
+    def _stmt(self, stmt: ast.stmt, preds: Set[int]) -> _Flow:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            node = self._new(stmt)
+            self._edge(preds, node)
+            return _Flow(returns={node})
+        if isinstance(stmt, ast.Raise):
+            node = self._new(stmt)
+            self._edge(preds, node)
+            return _Flow(raises={node})
+        if isinstance(stmt, ast.Assert):
+            node = self._new(stmt)
+            self._edge(preds, node)
+            return _Flow(normal={node}, raises={node})
+        if isinstance(stmt, ast.Break):
+            node = self._new(stmt)
+            self._edge(preds, node)
+            return _Flow(breaks={node})
+        if isinstance(stmt, ast.Continue):
+            node = self._new(stmt)
+            self._edge(preds, node)
+            return _Flow(continues={node})
+        if isinstance(stmt, _SKIP_INNER):
+            # defining a function/class runs decorators and defaults only
+            parts: List[ast.AST] = list(
+                getattr(stmt, "decorator_list", [])
+            )
+            args = getattr(stmt, "args", None)
+            if args is not None:
+                parts.extend(d for d in args.defaults if d is not None)
+                parts.extend(d for d in args.kw_defaults if d is not None)
+            node = self._new(stmt, parts)
+            self._edge(preds, node)
+            return _Flow(normal={node})
+        node = self._new(stmt)
+        self._edge(preds, node)
+        return _Flow(normal={node})
+
+    def _if(self, stmt: ast.If, preds: Set[int]) -> _Flow:
+        cond = self._new(stmt, [stmt.test], "if")
+        self._edge(preds, cond)
+        body = self._block(stmt.body, {cond})
+        flow = _Flow(normal=set(body.normal))
+        flow.absorb(body)
+        if stmt.orelse:
+            orelse = self._block(stmt.orelse, {cond})
+            flow.normal |= orelse.normal
+            flow.absorb(orelse)
+        else:
+            flow.normal.add(cond)
+        return flow
+
+    @staticmethod
+    def _always_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    def _while(self, stmt: ast.While, preds: Set[int]) -> _Flow:
+        test = self._new(stmt, [stmt.test], "while")
+        self._edge(preds, test)
+        body = self._block(stmt.body, {test})
+        self._edge(body.normal | body.continues, test)
+        flow = _Flow()
+        flow.returns |= body.returns
+        flow.raises |= body.raises
+        exits: Set[int] = set() if self._always_true(stmt.test) else {test}
+        if stmt.orelse:
+            orelse = self._block(stmt.orelse, exits)
+            flow.normal |= orelse.normal
+            flow.absorb(orelse)
+        else:
+            flow.normal |= exits
+        flow.normal |= body.breaks
+        return flow
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", preds: Set[int]) -> _Flow:
+        head = self._new(stmt, [stmt.iter, stmt.target], "for")
+        self._edge(preds, head)
+        body = self._block(stmt.body, {head})
+        self._edge(body.normal | body.continues, head)
+        flow = _Flow()
+        flow.returns |= body.returns
+        flow.raises |= body.raises
+        if stmt.orelse:
+            orelse = self._block(stmt.orelse, {head})
+            flow.normal |= orelse.normal
+            flow.absorb(orelse)
+        else:
+            flow.normal.add(head)
+        flow.normal |= body.breaks
+        return flow
+
+    def _with(
+        self, stmt: "ast.With | ast.AsyncWith", preds: Set[int]
+    ) -> _Flow:
+        parts: List[ast.AST] = []
+        for item in stmt.items:
+            parts.append(item.context_expr)
+        head = self._new(stmt, parts, "with")
+        self._edge(preds, head)
+        body = self._block(stmt.body, {head})
+        flow = _Flow(normal=set(body.normal))
+        flow.absorb(body)
+        return flow
+
+    def _try(self, stmt: ast.Try, preds: Set[int]) -> _Flow:
+        first_body_node = len(self.nodes)
+        body = self._block(stmt.body, preds)
+        body_nodes = set(range(first_body_node, len(self.nodes)))
+
+        inner = _Flow(normal=set(body.normal))
+        inner.returns |= body.returns
+        inner.breaks |= body.breaks
+        inner.continues |= body.continues
+
+        if stmt.handlers:
+            handler_raises: Set[int] = set()
+            for handler in stmt.handlers:
+                entry = self._new(
+                    _as_stmt(handler),
+                    [handler.type] if handler.type is not None else [],
+                    "except",
+                )
+                # any statement in the try body may raise into a handler;
+                # an explicit raise may match a handler *or* propagate.
+                self._edge(body_nodes, entry)
+                self._edge(preds, entry)  # the body's first stmt may raise
+                hflow = self._block(handler.body, {entry})
+                inner.normal |= hflow.normal
+                inner.returns |= hflow.returns
+                handler_raises |= hflow.raises
+                inner.breaks |= hflow.breaks
+                inner.continues |= hflow.continues
+            inner.raises = body.raises | handler_raises
+        else:
+            inner.raises = body.raises | body_nodes
+
+        if stmt.orelse and inner.normal:
+            # else runs only when the body completed without exception
+            orelse = self._block(stmt.orelse, set(body.normal))
+            inner.normal = (inner.normal - body.normal) | orelse.normal
+            inner.returns |= orelse.returns
+            inner.raises |= orelse.raises
+            inner.breaks |= orelse.breaks
+            inner.continues |= orelse.continues
+
+        if not stmt.finalbody:
+            return inner
+
+        # Clone the finally body once per exit category so a return
+        # cannot "fall through" the cleanup into the following code.
+        out = _Flow()
+        routed = [
+            ("normal", inner.normal),
+            ("returns", inner.returns),
+            ("raises", inner.raises),
+            ("breaks", inner.breaks),
+            ("continues", inner.continues),
+        ]
+        for category, sources in routed:
+            if not sources:
+                continue
+            fin = self._block(stmt.finalbody, sources)
+            getattr(out, category).update(fin.normal)
+            # the finally body's own aborts win over the pending action
+            out.returns |= fin.returns
+            out.raises |= fin.raises
+            out.breaks |= fin.breaks
+            out.continues |= fin.continues
+        return out
+
+
+def _as_stmt(handler: ast.ExceptHandler) -> ast.stmt:
+    """Wrap a handler header so the node carries its line number."""
+    marker = ast.Pass()
+    marker.lineno = handler.lineno
+    marker.col_offset = handler.col_offset
+    return marker
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Lower ``func`` into a :class:`CFG`."""
+    return _Builder(func).build()

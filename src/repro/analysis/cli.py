@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -100,11 +101,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
 
     if args.write_baseline:
+        before = load_baseline(baseline_path).entries
         save_baseline(baseline_path, report.findings)
+        after = Counter(f.fingerprint for f in report.findings)
+        added = after - before
+        removed = before - after
         print(
             f"repro-lint: wrote {len(report.findings)} finding(s) to "
-            f"{baseline_path}"
+            f"{baseline_path} (+{sum(added.values())} added, "
+            f"-{sum(removed.values())} removed)"
         )
+        for rule, file, message in sorted(added.elements()):
+            print(f"  + {file}: {rule} {message}")
+        for rule, file, message in sorted(removed.elements()):
+            print(f"  - {file}: {rule} {message}")
         return 0
 
     if args.no_baseline:

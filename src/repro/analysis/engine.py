@@ -69,6 +69,8 @@ def default_rules() -> List[Rule]:
     from repro.analysis.io_accounting import IOAccountingRule
     from repro.analysis.lock_discipline import LockDisciplineRule
     from repro.analysis.lock_order import LockOrderRule
+    from repro.analysis.protocols import ProtocolRule
+    from repro.analysis.racesan import GuardFactsRule
     from repro.analysis.thread_entry import ThreadEntryRule
 
     return [
@@ -77,6 +79,8 @@ def default_rules() -> List[Rule]:
         IOAccountingRule(),
         FlagHygieneRule(),
         ThreadEntryRule(),
+        ProtocolRule(),
+        GuardFactsRule(),
     ]
 
 
@@ -92,6 +96,7 @@ def _check_marker_hygiene(
     for sf in files:
         for line, markers in sorted(sf.markers.items()):
             if markers.unreasoned_allow:
+                rules = ",".join(sorted(markers.unreasoned_rules)) or "?"
                 report.findings.append(
                     Finding(
                         file=sf.relpath,
@@ -99,8 +104,9 @@ def _check_marker_hygiene(
                         rule="REPRO-A000",
                         name="marker-hygiene",
                         message=(
-                            "lint suppression without a parenthesised "
-                            "reason — write '# lint: allow=<rule> (why)'"
+                            f"suppression of '{rules}' without a "
+                            f"parenthesised reason — write "
+                            f"'# lint: allow=<rule> (why)'"
                         ),
                     )
                 )

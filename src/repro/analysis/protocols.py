@@ -1,0 +1,460 @@
+"""REPRO-P00x: protocol-ordering rules over per-function CFGs.
+
+The lock rules answer "is this access guarded?"; these rules answer
+"does this call happen in the right *order*?" — the bug class every
+durability PR has shipped at least once: a sidecar persisted before
+the arena was flushed, a rename never followed by the directory
+fsync, an ack sent before the frames it acknowledges.
+
+Each :class:`ProtocolSpec` names an **anchor** call pattern and three
+obligation sets, checked on the CFG (:mod:`repro.analysis.cfg`) of
+every function containing an anchor:
+
+``require_before``
+    Must **dominate** the anchor: no path from function entry reaches
+    the anchor without passing a satisfying call.
+
+``require_after``
+    Must **post-dominate** the anchor on success: no path from the
+    anchor reaches a normal return without passing a satisfying call.
+    Raising paths are exempt — an escaping exception is already a
+    failed operation.
+
+``forbid_after``
+    Must not be reachable from the anchor before a ``require_after``
+    obligation is discharged (e.g. opening a second journal group
+    before the first committed).
+
+Matching follows the :class:`~repro.analysis.model.CallResolver` one
+wrapper level deep, both ways: a call *satisfies* an obligation if
+its resolved callee directly contains a satisfying call (``self.
+_fsync_dir(d)`` counts as a directory fsync), and a call *is an
+anchor* if its resolved callee directly contains an anchor **and
+does not itself discharge the spec** (``hub._persist()`` call sites
+inherit the flush-before-persist obligation because ``_persist``
+never flushes; ``device.write_batch()`` call sites do not, because
+``write_batch`` commits internally).
+
+Exemptions are in-code only: ``# lint: protocol-exempt=<rule>
+(reason)`` on the call (or its ``def``) line, never a baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg, calls_in
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.model import Callee, CallResolver, ProjectModel
+from repro.analysis.source import SourceFile
+
+__all__ = ["CallPattern", "ProtocolSpec", "ProtocolRule", "SPECS"]
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """``os.replace`` / ``self.journal.append_commit`` -> dotted text."""
+    parts: List[str] = []
+    cur: ast.expr = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class CallPattern:
+    """Matches a call by terminal name or dotted-suffix qualification."""
+
+    names: FrozenSet[str] = frozenset()
+    qualified: FrozenSet[str] = frozenset()
+
+    def matches(self, call: ast.Call) -> bool:
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None and name in self.names:
+            return True
+        if self.qualified:
+            dotted = _dotted(func)
+            if dotted is not None:
+                for qual in self.qualified:
+                    if dotted == qual or dotted.endswith("." + qual):
+                        return True
+        return False
+
+
+@dataclass(frozen=True)
+class Requirement:
+    pattern: CallPattern
+    #: short noun phrase for messages ("a directory fsync")
+    what: str
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    rule_id: str
+    #: suppression token (``# lint: protocol-exempt=<name>`` also works)
+    name: str
+    #: noun phrase for the anchor in messages ("os.replace()")
+    anchor_what: str
+    anchor: CallPattern
+    require_before: Tuple[Requirement, ...] = ()
+    require_after: Tuple[Requirement, ...] = ()
+    forbid_after: Tuple[Requirement, ...] = ()
+    description: str = ""
+
+    @property
+    def tokens(self) -> Set[str]:
+        return {self.rule_id, self.name}
+
+
+SPECS: Tuple[ProtocolSpec, ...] = (
+    ProtocolSpec(
+        rule_id="REPRO-P001",
+        name="rename-durability",
+        anchor_what="os.replace()",
+        anchor=CallPattern(qualified=frozenset({"os.replace", "os.rename"})),
+        require_after=(
+            Requirement(
+                CallPattern(
+                    names=frozenset({"_fsync_dir", "fsync_dir"}),
+                    qualified=frozenset({"os.fsync"}),
+                ),
+                "a directory fsync",
+            ),
+        ),
+        description=(
+            "a rename is durable only once the directory entry is "
+            "fsynced; every non-raising path after os.replace() must "
+            "fsync the parent directory"
+        ),
+    ),
+    ProtocolSpec(
+        rule_id="REPRO-P002",
+        name="journal-commit",
+        anchor_what="append_data()",
+        anchor=CallPattern(names=frozenset({"append_data"})),
+        require_after=(
+            Requirement(
+                CallPattern(names=frozenset({"append_commit"})),
+                "append_commit()",
+            ),
+        ),
+        forbid_after=(
+            Requirement(
+                CallPattern(names=frozenset({"begin_group"})),
+                "begin_group()",
+            ),
+        ),
+        description=(
+            "journaled data records are invisible to recovery until "
+            "the commit record lands: every success path after "
+            "append_data() must reach append_commit(), and no new "
+            "group may open before the current one commits"
+        ),
+    ),
+    ProtocolSpec(
+        rule_id="REPRO-P003",
+        name="flush-before-persist",
+        anchor_what="save_state()",
+        anchor=CallPattern(names=frozenset({"save_state"})),
+        require_before=(
+            Requirement(
+                CallPattern(names=frozenset({"flush"})),
+                "a buffer-pool flush",
+            ),
+            Requirement(
+                CallPattern(names=frozenset({"sync", "msync"})),
+                "an arena sync",
+            ),
+        ),
+        description=(
+            "the sidecar must describe bytes that are already "
+            "durable: a pool flush and an arena sync must dominate "
+            "every save_state() call"
+        ),
+    ),
+    ProtocolSpec(
+        rule_id="REPRO-P004",
+        name="ship-before-ack",
+        anchor_what="ack()",
+        anchor=CallPattern(names=frozenset({"ack"})),
+        require_before=(
+            Requirement(
+                CallPattern(names=frozenset({"ship", "frames_since"})),
+                "shipping the frames it acknowledges",
+            ),
+        ),
+        description=(
+            "an acknowledgement releases retained journal frames; "
+            "shipping (or re-reading) those frames must dominate the "
+            "ack, or an acked write can be lost on failover"
+        ),
+    ),
+)
+
+
+@dataclass
+class _Unit:
+    """One function to check: its file, def node and resolver context."""
+
+    sf: SourceFile
+    func: ast.FunctionDef
+    receiver: Optional[str]
+    owner: Optional[str]
+    label: str
+
+
+def _iter_units(model: ProjectModel) -> Iterator[_Unit]:
+    for (module, name), (func, sf) in sorted(
+        model.module_functions.items()
+    ):
+        yield _Unit(sf, func, None, None, f"{module}.{name}")
+    for cls in sorted(model.classes.values(), key=lambda c: c.name):
+        for name, func in sorted(cls.methods.items()):
+            yield _Unit(
+                cls.sf, func, cls.name, cls.name, f"{cls.name}.{name}"
+            )
+
+
+class ProtocolRule(Rule):
+    """Drives every :data:`SPECS` entry over every function CFG."""
+
+    rule_id = "REPRO-P000"
+    name = "protocol"
+
+    def __init__(self, specs: Tuple[ProtocolSpec, ...] = SPECS) -> None:
+        self.specs = specs
+        #: (callee id, spec id) -> callee internally discharges spec
+        self._satisfies_memo: Dict[Tuple[int, str], bool] = {}
+
+    # -- matching ------------------------------------------------------
+
+    def _wrapped_match(
+        self, pattern: CallPattern, call: ast.Call, resolver: CallResolver
+    ) -> bool:
+        """Direct match, or the resolved callee directly matches."""
+        if pattern.matches(call):
+            return True
+        for callee in resolver.resolve(call):
+            if callee.node is None:
+                continue
+            for inner in calls_in(callee.node):
+                if pattern.matches(inner):
+                    return True
+        return False
+
+    def _callee_satisfies(
+        self, spec: ProtocolSpec, callee: Callee, model: ProjectModel
+    ) -> bool:
+        """Whether ``callee``'s own body discharges ``spec`` for the
+        direct anchors it contains (direct matching only — wrappers
+        are followed one level deep, not transitively)."""
+        func = callee.node
+        assert func is not None
+        key = (id(func), spec.rule_id)
+        cached = self._satisfies_memo.get(key)
+        if cached is not None:
+            return cached
+        cfg = build_cfg(func)
+        anchors = [
+            (node.index, call)
+            for node in cfg.nodes
+            for call in node.calls
+            if spec.anchor.matches(call)
+        ]
+        ok = bool(anchors)
+        for index, _call in anchors:
+            if self._violations(spec, cfg, index, None):
+                ok = False
+                break
+        self._satisfies_memo[key] = ok
+        return ok
+
+    # -- CFG checks ----------------------------------------------------
+
+    def _satisfying_nodes(
+        self,
+        cfg: CFG,
+        pattern: CallPattern,
+        resolver: Optional[CallResolver],
+    ) -> Set[int]:
+        out: Set[int] = set()
+        for node in cfg.nodes:
+            for call in node.calls:
+                if pattern.matches(call) or (
+                    resolver is not None
+                    and self._wrapped_match(pattern, call, resolver)
+                ):
+                    out.add(node.index)
+                    break
+        return out
+
+    def _violations(
+        self,
+        spec: ProtocolSpec,
+        cfg: CFG,
+        anchor_index: int,
+        resolver: Optional[CallResolver],
+    ) -> List[Tuple[str, int]]:
+        """(message, line) pairs for one anchor node."""
+        out: List[Tuple[str, int]] = []
+        after_nodes: Set[int] = set()
+        for req in spec.require_after:
+            satisfying = self._satisfying_nodes(cfg, req.pattern, resolver)
+            after_nodes |= satisfying
+            if anchor_index in satisfying:
+                continue  # same statement evaluates the follow-up
+            hit = cfg.reach(
+                cfg.succ.get(anchor_index, set()),
+                blocked=lambda n: n in satisfying,
+                targets={cfg.exit_normal},
+            )
+            if hit is not None:
+                anchor_line = cfg.nodes[anchor_index].line
+                out.append(
+                    (
+                        f"{spec.anchor_what} can reach a normal return "
+                        f"without {req.what} ({spec.name})",
+                        anchor_line,
+                    )
+                )
+        for req in spec.require_before:
+            satisfying = self._satisfying_nodes(cfg, req.pattern, resolver)
+            if anchor_index in satisfying:
+                continue
+            hit = cfg.reach(
+                {cfg.entry},
+                blocked=lambda n: n in satisfying,
+                targets={anchor_index},
+            )
+            if hit is not None:
+                anchor_line = cfg.nodes[anchor_index].line
+                out.append(
+                    (
+                        f"{spec.anchor_what} is reachable without "
+                        f"{req.what} on some path ({spec.name})",
+                        anchor_line,
+                    )
+                )
+        for req in spec.forbid_after:
+            forbidden = self._satisfying_nodes(cfg, req.pattern, resolver)
+            forbidden.discard(anchor_index)
+            hit = cfg.reach(
+                cfg.succ.get(anchor_index, set()),
+                blocked=lambda n: n in after_nodes,
+                targets=forbidden,
+            )
+            if hit is not None:
+                out.append(
+                    (
+                        f"{req.what} is reachable after "
+                        f"{spec.anchor_what} before the required "
+                        f"follow-up ({spec.name})",
+                        cfg.nodes[hit].line,
+                    )
+                )
+        return out
+
+    # -- driver --------------------------------------------------------
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        anchors: Dict[str, int] = {s.rule_id: 0 for s in self.specs}
+        violations: Dict[str, int] = {s.rule_id: 0 for s in self.specs}
+        for unit in _iter_units(model):
+            self._check_unit(unit, model, report, anchors, violations)
+        report.data["protocols"] = {
+            "specs": [
+                {
+                    "rule": spec.rule_id,
+                    "name": spec.name,
+                    "anchors": anchors[spec.rule_id],
+                    "violations": violations[spec.rule_id],
+                    "description": spec.description,
+                }
+                for spec in self.specs
+            ]
+        }
+
+    def _anchor_calls(
+        self, spec: ProtocolSpec, cfg: CFG, resolver: CallResolver,
+        model: ProjectModel,
+    ) -> List[Tuple[int, ast.Call]]:
+        """Anchor (node, call) pairs: direct matches plus unsatisfied
+        one-level wrappers."""
+        out: List[Tuple[int, ast.Call]] = []
+        for node in cfg.nodes:
+            for call in node.calls:
+                if spec.anchor.matches(call):
+                    out.append((node.index, call))
+                    continue
+                for callee in resolver.resolve(call):
+                    if callee.node is None or callee.node is resolver.func:
+                        continue
+                    direct = any(
+                        spec.anchor.matches(inner)
+                        for inner in calls_in(callee.node)
+                    )
+                    if direct and not self._callee_satisfies(
+                        spec, callee, model
+                    ):
+                        out.append((node.index, call))
+                        break
+        return out
+
+    def _check_unit(
+        self,
+        unit: _Unit,
+        model: ProjectModel,
+        report: AnalysisReport,
+        anchor_counts: Dict[str, int],
+        violation_counts: Dict[str, int],
+    ) -> None:
+        if not calls_in(unit.func):
+            return  # cheap pre-scan: nothing to anchor or satisfy
+        cfg: Optional[CFG] = None
+        resolver: Optional[CallResolver] = None
+        for spec in self.specs:
+            if cfg is None:
+                cfg = build_cfg(unit.func)
+                resolver = CallResolver(
+                    model, unit.sf, unit.func, unit.receiver, unit.owner
+                )
+            assert resolver is not None
+            anchors = self._anchor_calls(spec, cfg, resolver, model)
+            if not anchors:
+                continue
+            anchor_counts[spec.rule_id] += len(anchors)
+            reported: Set[Tuple[str, int]] = set()
+            for index, call in anchors:
+                if unit.sf.allows(
+                    spec.name, call, def_node=unit.func
+                ) or unit.sf.protocol_exempt_at(
+                    spec.tokens, call, def_node=unit.func
+                ):
+                    continue
+                for message, line in self._violations(
+                    spec, cfg, index, resolver
+                ):
+                    if (message, line) in reported:
+                        continue
+                    reported.add((message, line))
+                    violation_counts[spec.rule_id] += 1
+                    report.findings.append(
+                        Finding(
+                            file=unit.sf.relpath,
+                            line=line,
+                            rule=spec.rule_id,
+                            name=spec.name,
+                            message=f"{unit.label}: {message}",
+                        )
+                    )

@@ -1,0 +1,603 @@
+"""Eraser-style lockset race sanitizer driven by ``# guarded-by:`` facts.
+
+repro-lint's static half (REPRO-L001) checks that ``self.<attr>``
+accesses are *lexically* inside ``with self._lock:``; it cannot see
+dynamic dispatch, cross-object aliasing, or code paths the model
+declines to resolve.  This module closes the loop at runtime: it
+reads the same ``# guarded-by:`` declarations the static model uses
+(:func:`guarded_facts`), wraps the declared fields of live objects
+with recording properties and their locks with counting proxies, and
+runs the classic Eraser lockset algorithm per field:
+
+* a field starts *exclusive* to its first-accessing thread (so
+  constructor-style initialization never needs the lock);
+* the first access from a second thread makes it *shared* and seeds
+  the candidate lockset with the locks held right then;
+* every later access intersects the candidates with the locks held;
+* an empty candidate set with a write involved is a **race**,
+  reported once per field with both threads, both sites and the
+  current stack.
+
+On top of Eraser, the close-out pass cross-checks statics against
+dynamics: if a shared field ended with a non-empty candidate set
+that does *not* contain the lock its ``# guarded-by:`` names, either
+the annotation is wrong or the code is locking the wrong lock —
+both are findings (REPRO-R003).
+
+Zero-cost by default: :func:`watching` instruments nothing unless
+``REPRO_RACESAN=1`` is set (or ``force=True`` is passed), so the
+stress tests it wires into run unperturbed in normal CI legs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+import types
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.analysis.engine import AnalysisReport, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel, build_model
+from repro.analysis.source import load_source_tree
+
+__all__ = [
+    "GuardFactsRule",
+    "RaceReport",
+    "RaceSanitizer",
+    "enabled",
+    "guarded_facts",
+    "watching",
+]
+
+_ENV_SWITCH = "REPRO_RACESAN"
+
+
+def enabled() -> bool:
+    """Whether the ``REPRO_RACESAN=1`` switch is on."""
+    return os.environ.get(_ENV_SWITCH) == "1"
+
+
+# ---------------------------------------------------------------------------
+# static facts
+# ---------------------------------------------------------------------------
+
+_FACTS_CACHE: Optional[Dict[str, Dict[str, str]]] = None
+
+
+def guarded_facts(
+    model: Optional[ProjectModel] = None,
+) -> Dict[str, Dict[str, str]]:
+    """``{class_name: {field: guarding_lock_attr}}`` from the source.
+
+    Built from the same semantic model the static rules use, so the
+    runtime sanitizer and REPRO-L001 can never drift apart.  Cached
+    after the first (filesystem-walking) call.
+    """
+    global _FACTS_CACHE
+    cache_default = model is None
+    if model is None:
+        if _FACTS_CACHE is not None:
+            return _FACTS_CACHE
+        package_root = Path(__file__).resolve().parents[1]
+        model = build_model(
+            load_source_tree(package_root, prefix="src/repro")
+        )
+    facts: Dict[str, Dict[str, str]] = {}
+    for cls in model.classes.values():
+        if cls.guarded:
+            facts[cls.name] = {
+                attr: lock for attr, (lock, _line) in cls.guarded.items()
+            }
+    if cache_default:
+        _FACTS_CACHE = facts
+    return facts
+
+
+class GuardFactsRule(Rule):
+    """REPRO-R001: every ``# guarded-by:`` names an instrumentable lock.
+
+    The sanitizer can only wrap a guard it can find: the named lock
+    must exist as a scalar lock attribute somewhere in the class's
+    MRO.  A claim naming a missing attribute (typo, refactor debris)
+    or a lock *sequence* (sharded locks guard shards, not scalars)
+    would silently instrument nothing, so it is a static finding.
+    """
+
+    rule_id = "REPRO-R001"
+    name = "guard-facts"
+
+    def check(self, model: ProjectModel, report: AnalysisReport) -> None:
+        for cls in model.classes.values():
+            for attr, (lock, line) in sorted(cls.guarded.items()):
+                if cls.sf.allows(self.name, cls.node, def_node=None):
+                    continue
+                is_seq = model.class_lock_attr(cls.name, lock)
+                if is_seq is None:
+                    report.findings.append(
+                        self.finding(
+                            cls.sf,
+                            line,
+                            f"{cls.name}.{attr} is '# guarded-by: {lock}' "
+                            f"but no lock attribute '{lock}' exists in the "
+                            f"class — racesan cannot instrument the claim",
+                        )
+                    )
+                elif is_seq:
+                    report.findings.append(
+                        self.finding(
+                            cls.sf,
+                            line,
+                            f"{cls.name}.{attr} is '# guarded-by: {lock}' "
+                            f"but '{lock}' is a lock *sequence* — name the "
+                            f"scalar lock that guards this field",
+                        )
+                    )
+
+
+# ---------------------------------------------------------------------------
+# runtime sanitizer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RaceReport:
+    """One detected race (reported once per object/field)."""
+
+    cls: str
+    attr: str
+    claimed_lock: str
+    kind: str  # "read" or "write"
+    thread_a: str
+    site_a: str
+    thread_b: str
+    site_b: str
+    stack: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return (
+            f"RACE on {self.cls}.{self.attr} (guarded-by {self.claimed_lock})"
+            f": {self.kind} at {self.site_b} [{self.thread_b}] races "
+            f"prior access at {self.site_a} [{self.thread_a}] — "
+            f"candidate lockset is empty"
+        )
+
+
+@dataclass
+class _FieldState:
+    owner: Optional[int] = None  # first accessing thread id
+    shared: bool = False
+    #: None while exclusive ("all locks"); intersected once shared
+    candidates: Optional[FrozenSet[int]] = None
+    write_while_shared: bool = False
+    last_thread: str = ""
+    last_site: str = ""
+    last_kind: str = "read"
+    reported: bool = False
+
+
+class _SanLock:
+    """Identity-preserving lock proxy that records per-thread holds."""
+
+    __slots__ = ("_san", "_inner", "name")
+
+    def __init__(self, san: "RaceSanitizer", inner: Any, name: str) -> None:
+        self._san = san
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = bool(self._inner.acquire(blocking, timeout))
+        if got:
+            self._san._held().add(id(self))
+        return got
+
+    def release(self) -> None:
+        self._san._held().discard(id(self))
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+def _attr_names(obj: Any) -> Set[str]:
+    """Instance attribute names, covering both dict and slot storage."""
+    names: Set[str] = set(getattr(obj, "__dict__", None) or {})
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", None) or ()
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.update(slots)
+    return names
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest frame outside this module."""
+    here = __file__
+    frame = sys._getframe(1)
+    while frame is not None:
+        if frame.f_code.co_filename != here:
+            return (
+                f"{Path(frame.f_code.co_filename).name}:{frame.f_lineno}"
+            )
+        back = frame.f_back
+        if back is None:
+            break
+        frame = back
+    return "<unknown>"
+
+
+class RaceSanitizer:
+    """Instrument objects and run the lockset algorithm over them."""
+
+    def __init__(self, facts: Optional[Dict[str, Dict[str, str]]] = None):
+        self._facts = facts if facts is not None else guarded_facts()
+        self._tls = threading.local()
+        self._mutex = threading.Lock()
+        self._states: Dict[Tuple[int, str], _FieldState] = {}
+        self._instrumented: List[Tuple[Any, type, Dict[str, Any]]] = []
+        #: survives uninstall: id(obj) -> original class (for close-out)
+        self._cls_history: List[Tuple[Any, type, None]] = []
+        #: id(original lock) -> proxy, so shared locks share a proxy
+        self._proxies: Dict[int, _SanLock] = {}
+        #: id(obj) -> {lock_attr: proxy id}
+        self._obj_locks: Dict[int, Dict[str, int]] = {}
+        self.races: List[RaceReport] = []
+        self.mismatches: List[str] = []
+
+    # -- thread-local held set ----------------------------------------
+
+    def _held(self) -> Set[int]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = set()
+            self._tls.held = held
+        return held
+
+    # -- installation --------------------------------------------------
+
+    def _merged_facts(self, cls: type) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for klass in reversed(cls.__mro__):
+            merged.update(self._facts.get(klass.__name__, {}))
+        return merged
+
+    def install(self, obj: Any) -> bool:
+        """Wrap ``obj``'s guarded fields and locks.  Returns whether
+        anything was instrumented (no facts -> no-op)."""
+        fields = self._merged_facts(type(obj))
+        fields = {
+            attr: lock
+            for attr, lock in fields.items()
+            if hasattr(obj, lock)
+        }
+        if not fields:
+            return False
+        original_cls = type(obj)
+        restored_locks: Dict[str, Any] = {}
+        lock_ids: Dict[str, int] = {}
+        # wrap every lock attribute, not only the declared guards: a
+        # field consistently protected by the *wrong* lock must show
+        # that lock in its candidate set (a guard mismatch), not an
+        # empty set (a race).
+        lock_attrs = set(fields.values())
+        lock_attrs.update(
+            name
+            for name in _attr_names(obj)
+            if isinstance(
+                getattr(obj, name, None), _LOCK_TYPES
+            )
+        )
+        for lock_attr in sorted(lock_attrs):
+            inner = getattr(obj, lock_attr, None)
+            if inner is None:
+                continue
+            if isinstance(inner, _SanLock):
+                lock_ids[lock_attr] = id(inner)
+                continue
+            if not hasattr(inner, "acquire"):
+                continue
+            proxy = self._proxies.get(id(inner))
+            if proxy is None:
+                proxy = _SanLock(
+                    self, inner, f"{original_cls.__name__}.{lock_attr}"
+                )
+                self._proxies[id(inner)] = proxy
+            restored_locks[lock_attr] = inner
+            lock_ids[lock_attr] = id(proxy)
+            setattr(obj, lock_attr, proxy)
+        self._obj_locks[id(obj)] = lock_ids
+        obj.__class__ = _wrapped_class(original_cls, tuple(sorted(fields)))
+        self._instrumented.append((obj, original_cls, restored_locks))
+        self._cls_history.append((obj, original_cls, None))
+        return True
+
+    def uninstall_all(self) -> None:
+        for obj, original_cls, locks in reversed(self._instrumented):
+            obj.__class__ = original_cls
+            for lock_attr, inner in locks.items():
+                setattr(obj, lock_attr, inner)
+        self._instrumented.clear()
+
+    # -- the lockset algorithm -----------------------------------------
+
+    def record(self, obj: Any, attr: str, is_write: bool) -> None:
+        tid = threading.get_ident()
+        held = frozenset(self._held())
+        site = _caller_site()
+        name = threading.current_thread().name
+        cls_name = type(obj).__mro__[1].__name__  # past the wrapper
+        with self._mutex:
+            state = self._states.setdefault(
+                (id(obj), attr), _FieldState()
+            )
+            if state.owner is None:
+                state.owner = tid
+            elif tid != state.owner and not state.shared:
+                state.shared = True
+                state.candidates = held
+                if is_write:
+                    state.write_while_shared = True
+            elif state.shared:
+                assert state.candidates is not None
+                state.candidates = state.candidates & held
+                if is_write:
+                    state.write_while_shared = True
+            if (
+                state.shared
+                and not state.candidates
+                and state.write_while_shared
+                and not state.reported
+            ):
+                state.reported = True
+                claimed = self._claimed_lock_name(obj, attr)
+                self.races.append(
+                    RaceReport(
+                        cls=cls_name,
+                        attr=attr,
+                        claimed_lock=claimed,
+                        kind="write" if is_write else "read",
+                        thread_a=state.last_thread,
+                        site_a=state.last_site,
+                        thread_b=name,
+                        site_b=site,
+                        stack=traceback.format_stack()[:-2],
+                    )
+                )
+            state.last_thread = name
+            state.last_site = site
+            state.last_kind = "write" if is_write else "read"
+
+    def _claimed_lock_name(self, obj: Any, attr: str) -> str:
+        fields = self._merged_facts(type(obj).__mro__[1])
+        return fields.get(attr, "?")
+
+    # -- close-out: statics vs dynamics --------------------------------
+
+    def check_consistency(self) -> List[str]:
+        """Shared fields whose observed protecting lockset does not
+        contain the lock the ``# guarded-by:`` claim names."""
+        out: List[str] = []
+        with self._mutex:
+            id_to_cls = {id(o): c for o, c, _l in self._cls_history}
+            for (obj_id, attr), state in sorted(
+                self._states.items(), key=lambda kv: kv[0][1]
+            ):
+                if not state.shared or not state.candidates:
+                    continue  # races are reported separately
+                base = id_to_cls.get(obj_id)
+                if base is None:
+                    continue
+                lock_attr = self._merged_facts(base).get(attr)
+                if lock_attr is None:
+                    continue
+                claimed_id = self._obj_locks.get(obj_id, {}).get(lock_attr)
+                if claimed_id is not None and claimed_id in state.candidates:
+                    continue
+                protectors = sorted(
+                    proxy.name
+                    for proxy in self._proxies.values()
+                    if id(proxy) in state.candidates
+                )
+                out.append(
+                    f"guard mismatch on {base.__name__}.{attr}: "
+                    f"'# guarded-by: {lock_attr}' but the runtime "
+                    f"lockset is {protectors or ['<none named>']} — "
+                    f"fix the annotation or the locking"
+                )
+        self.mismatches = out
+        return out
+
+    # -- reporting ------------------------------------------------------
+
+    def to_findings(self) -> List[Finding]:
+        findings = [
+            Finding(
+                file=report.site_b.split(":")[0],
+                line=int(report.site_b.rsplit(":", 1)[-1] or 0),
+                rule="REPRO-R002",
+                name="lockset-race",
+                message=report.render(),
+            )
+            for report in self.races
+        ]
+        findings.extend(
+            Finding(
+                file="<runtime>",
+                line=0,
+                rule="REPRO-R003",
+                name="guard-mismatch",
+                message=message,
+            )
+            for message in self.mismatches
+        )
+        return findings
+
+    def raise_if_findings(self) -> None:
+        findings = self.to_findings()
+        if findings:
+            rendered = "\n".join(f.render() for f in findings)
+            detail = ""
+            if self.races:
+                detail = "\n" + "".join(self.races[0].stack[-6:])
+            raise AssertionError(
+                f"racesan: {len(findings)} finding(s)\n{rendered}{detail}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# class wrapping
+# ---------------------------------------------------------------------------
+
+#: the active sanitizer consulted by wrapped properties
+_ACTIVE: Optional[RaceSanitizer] = None
+
+_WRAPPED_CACHE: Dict[Tuple[type, Tuple[str, ...]], type] = {}
+
+
+def _make_property(cls: type, attr: str) -> property:
+    descr = getattr(cls, attr, None)
+    if isinstance(descr, types.MemberDescriptorType):
+        # slotted class: the original slot descriptor still works on
+        # the subclass instance — route through it.
+        def slot_get(self: Any) -> Any:
+            san = _ACTIVE
+            if san is not None:
+                san.record(self, attr, is_write=False)
+            return descr.__get__(self, cls)
+
+        def slot_set(self: Any, value: Any) -> None:
+            san = _ACTIVE
+            if san is not None:
+                san.record(self, attr, is_write=True)
+            descr.__set__(self, value)
+
+        return property(slot_get, slot_set)
+
+    def dict_get(self: Any) -> Any:
+        san = _ACTIVE
+        if san is not None:
+            san.record(self, attr, is_write=False)
+        try:
+            return self.__dict__[attr]
+        except KeyError:
+            raise AttributeError(attr) from None
+
+    def dict_set(self: Any, value: Any) -> None:
+        san = _ACTIVE
+        if san is not None:
+            san.record(self, attr, is_write=True)
+        self.__dict__[attr] = value
+
+    return property(dict_get, dict_set)
+
+
+def _wrapped_class(cls: type, attrs: Tuple[str, ...]) -> type:
+    key = (cls, attrs)
+    cached = _WRAPPED_CACHE.get(key)
+    if cached is not None:
+        return cached
+    namespace: Dict[str, Any] = {"__slots__": ()}
+    for attr in attrs:
+        namespace[attr] = _make_property(cls, attr)
+    wrapped: Type[Any] = type(f"_RaceSan_{cls.__name__}", (cls,), namespace)
+    _WRAPPED_CACHE[key] = wrapped
+    return wrapped
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def watching(
+    *objects: Any,
+    force: bool = False,
+    facts: Optional[Dict[str, Dict[str, str]]] = None,
+) -> Iterator[Optional[RaceSanitizer]]:
+    """Instrument ``objects`` for the duration of the block.
+
+    No-op (yields ``None``) unless ``REPRO_RACESAN=1`` or ``force``.
+    On exit the instrumentation is removed, the statics-vs-dynamics
+    consistency check runs, and any finding raises ``AssertionError``
+    — so wiring this around an existing stress test turns it into a
+    race detector without changing its assertions.
+    """
+    global _ACTIVE
+    if not (force or enabled()):
+        yield None
+        return
+    if _ACTIVE is not None:
+        raise RuntimeError("racesan: watching() blocks do not nest")
+    san = RaceSanitizer(facts=facts)
+    for obj in objects:
+        san.install(obj)
+    _ACTIVE = san
+    try:
+        yield san
+    finally:
+        _ACTIVE = None
+        san.uninstall_all()
+    san.check_consistency()
+    san.raise_if_findings()
+
+
+def instrument_hub(hub: Any, san: RaceSanitizer) -> int:
+    """Install on a :class:`ServingHub` and its guarded satellites.
+
+    Covers the hub itself, its engines, journal shipper, follower,
+    failover controller, tracer and metrics — every class the static
+    model carries ``# guarded-by:`` facts for.  Returns the number of
+    objects instrumented.
+    """
+    count = 0
+    seen: Set[int] = set()
+
+    def add(obj: Any) -> None:
+        nonlocal count
+        if obj is None or id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if san.install(obj):
+            count += 1
+
+    add(hub)
+    for attr in ("shipper", "follower", "failover", "_tracer", "tracer"):
+        add(getattr(hub, attr, None))
+    tenants = getattr(hub, "_tenants", None)
+    if isinstance(tenants, dict):
+        for tenant in tenants.values():
+            add(getattr(tenant, "engine", None))
+    registry = getattr(hub, "metrics", None)
+    if registry is not None:
+        for metric_attr in ("_counters", "_gauges", "_histograms"):
+            metrics = getattr(registry, metric_attr, None)
+            if isinstance(metrics, dict):
+                for metric in metrics.values():
+                    add(metric)
+    return count

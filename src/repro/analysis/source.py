@@ -24,6 +24,13 @@ mis-parsed):
     Shorthand for ``allow=io-accounting`` — marks a deliberate
     bypass of I/O accounting (checksum scans, persistence snapshots).
 
+``# lint: protocol-exempt=<rule>[,<rule>...] (reason)``
+    Exempt this call site from the named protocol-ordering rules
+    (``REPRO-P00x`` ids or their short names).  Like ``allow``, the
+    parenthesised reason is mandatory — protocol exemptions are the
+    reviewed escape hatch for call sites whose ordering obligation is
+    discharged by the caller, and the reason records that contract.
+
 ``# may-acquire: Class.attr[, Class.attr...]``
     On a call that dispatches dynamically (``getattr`` probing,
     injected callables): declares locks the callee may acquire, so the
@@ -49,6 +56,9 @@ _ALLOW_RE = re.compile(
 _UNCOUNTED_RE = re.compile(
     r"#\s*lint:\s*uncounted\s*(?:\((?P<reason>[^)]*)\))?"
 )
+_PROTOCOL_EXEMPT_RE = re.compile(
+    r"#\s*lint:\s*protocol-exempt=([\w,-]+)\s*(?:\((?P<reason>[^)]*)\))?"
+)
 _MAY_ACQUIRE_RE = re.compile(r"#\s*may-acquire:\s*([\w.,\s]+)")
 
 
@@ -61,8 +71,12 @@ class LineMarkers:
     allow: Set[str] = field(default_factory=set)
     allow_reason: Optional[str] = None
     may_acquire: List[str] = field(default_factory=list)
+    #: protocol-rule tokens exempted on this line (ids or short names)
+    protocol_exempt: Set[str] = field(default_factory=set)
     #: allow markers missing their parenthesised reason (reported)
     unreasoned_allow: bool = False
+    #: the rule tokens those reasonless markers suppressed
+    unreasoned_rules: Set[str] = field(default_factory=set)
 
 
 def _parse_comment(text: str, markers: LineMarkers) -> None:
@@ -74,14 +88,16 @@ def _parse_comment(text: str, markers: LineMarkers) -> None:
         markers.holds = match.group(1)
     match = _ALLOW_RE.search(text)
     if match:
-        markers.allow.update(
+        names = {
             name.strip() for name in match.group(1).split(",") if name.strip()
-        )
+        }
+        markers.allow.update(names)
         reason = match.group("reason")
         if reason and reason.strip():
             markers.allow_reason = reason.strip()
         else:
             markers.unreasoned_allow = True
+            markers.unreasoned_rules.update(names)
     match = _UNCOUNTED_RE.search(text)
     if match:
         markers.allow.add("io-accounting")
@@ -90,6 +106,19 @@ def _parse_comment(text: str, markers: LineMarkers) -> None:
             markers.allow_reason = reason.strip()
         else:
             markers.unreasoned_allow = True
+            markers.unreasoned_rules.add("io-accounting")
+    match = _PROTOCOL_EXEMPT_RE.search(text)
+    if match:
+        names = {
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        }
+        markers.protocol_exempt.update(names)
+        reason = match.group("reason")
+        if reason and reason.strip():
+            markers.allow_reason = reason.strip()
+        else:
+            markers.unreasoned_allow = True
+            markers.unreasoned_rules.update(names)
     match = _MAY_ACQUIRE_RE.search(text)
     if match:
         markers.may_acquire.extend(
@@ -171,6 +200,26 @@ class SourceFile:
         for line in lines:
             markers = self.markers.get(line)
             if markers is not None and rule_name in markers.allow:
+                return True
+        return False
+
+    def protocol_exempt_at(
+        self,
+        tokens: Set[str],
+        node: ast.AST,
+        def_node: Optional[ast.AST] = None,
+    ) -> bool:
+        """Whether any of ``tokens`` is protocol-exempted at ``node``.
+
+        Same line conventions as :meth:`allows`: the node's first or
+        last physical line, or the enclosing ``def`` line.
+        """
+        lines = set(self.node_lines(node))
+        if def_node is not None:
+            lines.add(def_node.lineno)
+        for line in lines:
+            markers = self.markers.get(line)
+            if markers is not None and markers.protocol_exempt & tokens:
                 return True
         return False
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Callable, Dict
 
 __all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN"]
 
@@ -138,7 +138,7 @@ class CircuitBreaker:
         self._probes_in_flight = 0
         self.opens += 1
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             self._maybe_half_open()
             return {

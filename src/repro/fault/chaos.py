@@ -35,9 +35,10 @@ of it — otherwise the interleavings were not actually exercised.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..replica.follower import FollowerEngine
 from ..replica.shipper import JournalShipper
@@ -49,6 +50,9 @@ from ..wavelet.standard import standard_dwt
 from .crash import CrashPlan, InjectedCrash
 
 __all__ = ["ChaosResult", "ChaosReport", "run_chaos_matrix"]
+
+FloatArray = npt.NDArray[np.float64]
+MakeDevice = Callable[[], Any]
 
 
 @dataclass
@@ -90,7 +94,7 @@ class ChaosReport:
         return [result for result in self.results if not result.clean]
 
     @property
-    def outcomes(self) -> set:
+    def outcomes(self) -> Set[str]:
         return {result.outcome for result in self.results}
 
     @property
@@ -101,7 +105,7 @@ class ChaosReport:
             and self.outcomes == {"at_ack", "ahead"}
         )
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         return {
             "sites": self.sites,
             "sites_run": len(self.results),
@@ -118,12 +122,12 @@ class ChaosReport:
 # ----------------------------------------------------------------------
 
 
-def _deltas(batch_index: int, seed: int) -> np.ndarray:
+def _deltas(batch_index: int, seed: int) -> FloatArray:
     rng = np.random.default_rng(seed + 1000 * (batch_index + 1))
     return rng.normal(size=(4, 4))
 
 
-def _offsets(batch_index: int, shape) -> tuple:
+def _offsets(batch_index: int, shape: Tuple[int, ...]) -> Tuple[int, ...]:
     # Update corners must align to the delta grid (multiples of 4).
     return tuple(
         4 * ((batch_index + axis) % (extent // 4))
@@ -136,8 +140,8 @@ class _Run:
 
     def __init__(
         self,
-        make_device: Optional[Callable],
-        shape,
+        make_device: Optional[MakeDevice],
+        shape: Tuple[int, ...],
         block_edge: int,
         crash: Optional[CrashPlan],
     ) -> None:
@@ -149,9 +153,9 @@ class _Run:
             pool_capacity=256,
             device=primary_raw,
         )
-        holder = {}
+        holder: Dict[str, Any] = {}
 
-        def wrap(device):
+        def wrap(device: Any) -> Any:
             holder["journaled"] = JournaledDevice(device)
             return holder["journaled"]
 
@@ -167,14 +171,14 @@ class _Run:
         self.shipper.crash = crash
         self.acked = 0
 
-    def workload(self, shape, batches: int, seed: int) -> None:
+    def workload(
+        self, shape: Tuple[int, ...], batches: int, seed: int
+    ) -> None:
         coefficients = standard_dwt(
             np.random.default_rng(seed).normal(size=shape)
         )
         for position in np.ndindex(*shape):
-            self.store.write_point(
-                position, float(coefficients[position])
-            )
+            self.store.write_point(position, float(coefficients[position]))
         self.store.flush()
         self.acked += 1
         for batch_index in range(batches):
@@ -187,14 +191,14 @@ class _Run:
             self.acked += 1
 
 
-def _padded_equal(left: np.ndarray, right: np.ndarray) -> bool:
+def _padded_equal(left: FloatArray, right: FloatArray) -> bool:
     """Bit-identity modulo trailing never-written (all-zero) blocks —
     a follower may not have allocated blocks the primary zeroed but
     never flushed coefficients into."""
     if left.shape[0] != right.shape[0]:
         rows = max(left.shape[0], right.shape[0])
 
-        def pad(array: np.ndarray) -> np.ndarray:
+        def pad(array: FloatArray) -> FloatArray:
             out = np.zeros((rows, array.shape[1]), dtype=array.dtype)
             out[: array.shape[0]] = array
             return out
@@ -209,8 +213,8 @@ def _padded_equal(left: np.ndarray, right: np.ndarray) -> bool:
 
 
 def run_chaos_matrix(
-    make_device: Optional[Callable] = None,
-    shape=(16, 16),
+    make_device: Optional[MakeDevice] = None,
+    shape: Tuple[int, ...] = (16, 16),
     block_edge: int = 4,
     batches: int = 3,
     seed: int = 7,
@@ -227,30 +231,26 @@ def run_chaos_matrix(
     if site_stride < 1:
         raise ValueError(f"site_stride must be >= 1, got {site_stride}")
     # Phase 0: fault-free goldens — the device image after each flush.
-    goldens: List[np.ndarray] = []
+    goldens: List[FloatArray] = []
     golden_run = _Run(make_device, shape, block_edge, crash=None)
     original_flush = golden_run.store.flush
 
     def capturing_flush() -> None:
         original_flush()
-        goldens.append(
-            golden_run.device.dump_blocks()  # lint: uncounted (golden capture, not serving I/O)
-        )
+        # lint: uncounted (golden capture, not serving I/O)
+        goldens.append(golden_run.device.dump_blocks())
 
-    golden_run.store.flush = capturing_flush  # type: ignore[method-assign]
+    golden_run.store.flush = capturing_flush
     golden_run.workload(shape, batches, seed)
     flushes = golden_run.acked
     goldens.insert(0, np.zeros_like(goldens[0]))  # golden[0]: nothing acked
     # Golden follower must equal the final golden image (sanity of the
     # ship-before-ack wiring itself).
     golden_run.follower.finalize()
-    if not _padded_equal(
-        golden_run.follower.device.dump_blocks(),  # lint: uncounted (verification snapshot)
-        goldens[-1],
-    ):
-        raise AssertionError(
-            "fault-free follower diverged from the primary"
-        )
+    # lint: uncounted (verification snapshot)
+    golden_image = golden_run.follower.device.dump_blocks()
+    if not _padded_equal(golden_image, goldens[-1]):
+        raise AssertionError("fault-free follower diverged from the primary")
 
     # Phase 1: survey the sites.
     survey = CrashPlan()
@@ -275,7 +275,8 @@ def run_chaos_matrix(
         # The primary is dead.  Promote the follower: discard any torn
         # frame tail, replay ingested groups, full checksum scan.
         recovery = run.follower.finalize()
-        final = run.follower.device.dump_blocks()  # lint: uncounted (verification snapshot)
+        # lint: uncounted (verification snapshot)
+        final = run.follower.device.dump_blocks()
         matched = -1
         for k in range(len(goldens) - 1, -1, -1):
             if _padded_equal(final, goldens[k]):

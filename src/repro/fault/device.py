@@ -31,11 +31,14 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Tuple, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.obs.tracer import get_tracer
+
+FloatArray = npt.NDArray[np.float64]
 
 __all__ = ["FaultRule", "FaultyBlockDevice", "InjectedIOError", "FAULT_KINDS"]
 
@@ -110,7 +113,7 @@ class FaultyBlockDevice:
 
     def __init__(
         self,
-        inner,
+        inner: Any,
         *,
         seed: int = 0,
         read_error_rate: float = 0.0,
@@ -154,35 +157,35 @@ class FaultyBlockDevice:
     # ------------------------------------------------------------------
 
     @property
-    def inner(self):
+    def inner(self) -> Any:
         return self._inner
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         return self._inner.stats
 
     @property
     def block_slots(self) -> int:
-        return self._inner.block_slots
+        return cast(int, self._inner.block_slots)
 
     @property
     def num_blocks(self) -> int:
-        return self._inner.num_blocks
+        return cast(int, self._inner.num_blocks)
 
     def allocate(self) -> int:
-        return self._inner.allocate()
+        return cast(int, self._inner.allocate())
 
-    def peek_block(self, block_id: int) -> np.ndarray:
-        return self._inner.peek_block(block_id)
+    def peek_block(self, block_id: int) -> FloatArray:
+        return cast(FloatArray, self._inner.peek_block(block_id))
 
-    def dump_blocks(self) -> np.ndarray:
-        return self._inner.dump_blocks()
+    def dump_blocks(self) -> FloatArray:
+        return cast(FloatArray, self._inner.dump_blocks())
 
-    def restore_blocks(self, blocks: np.ndarray) -> None:
+    def restore_blocks(self, blocks: FloatArray) -> None:
         self._inner.restore_blocks(blocks)
 
     def bytes_used(self, coefficient_bytes: int = 8) -> int:
-        return self._inner.bytes_used(coefficient_bytes)
+        return cast(int, self._inner.bytes_used(coefficient_bytes))
 
     # ------------------------------------------------------------------
     # fault machinery
@@ -211,7 +214,7 @@ class FaultyBlockDevice:
     # faulted I/O
     # ------------------------------------------------------------------
 
-    def read_block(self, block_id: int) -> np.ndarray:
+    def read_block(self, block_id: int) -> FloatArray:
         index = self.reads_seen
         self.reads_seen += 1
         scheduled = self._schedule.get(("read", index))
@@ -220,7 +223,8 @@ class FaultyBlockDevice:
         ):
             self._inject("stall", "read", block_id)
             self._sleep(self._stall_s)
-        data = self._inner.read_block(block_id)  # the attempt is real I/O
+        # the attempt is real I/O
+        data: FloatArray = self._inner.read_block(block_id)
         if (
             scheduled == "read_error"
             or block_id in self.broken_blocks
@@ -240,7 +244,7 @@ class FaultyBlockDevice:
             as_bits[slot] ^= np.uint64(1) << np.uint64(bit)
         return data
 
-    def write_block(self, block_id: int, data: np.ndarray) -> None:
+    def write_block(self, block_id: int, data: FloatArray) -> None:
         index = self.writes_seen
         self.writes_seen += 1
         scheduled = self._schedule.get(("write", index))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
 
 __all__ = ["RetryPolicy", "Retrier"]
@@ -72,7 +72,7 @@ class Retrier:
 
     policy: RetryPolicy
     sleep: Callable[[float], None] = time.sleep
-    rng: random.Random = field(default=None)  # type: ignore[assignment]
+    rng: Optional[random.Random] = None
     retries: int = 0
     gave_up: int = 0
 
@@ -80,7 +80,11 @@ class Retrier:
         if self.rng is None:
             self.rng = random.Random(self.policy.seed)
 
-    def call(self, fn: Callable[[], object], on_retry=None) -> object:
+    def call(
+        self,
+        fn: Callable[[], object],
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> object:
         """Run ``fn`` under the policy.
 
         Retryable exceptions trigger backoff-sleep and another attempt
@@ -88,6 +92,8 @@ class Retrier:
         attempt's exception propagates.  Non-retryable exceptions
         propagate immediately.
         """
+        rng = self.rng
+        assert rng is not None  # __post_init__ always seeds one
         attempt = 0
         while True:
             attempt += 1
@@ -100,6 +106,6 @@ class Retrier:
                 self.retries += 1
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                delay = self.policy.delay_for(attempt, self.rng)
+                delay = self.policy.delay_for(attempt, rng)
                 if delay > 0:
                     self.sleep(delay)

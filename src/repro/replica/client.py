@@ -16,7 +16,7 @@ import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class ReplicationClient:
 
     def __init__(
         self,
-        hub,
+        hub: Any,
         primary_url: str,
         api_key: str,
         follower_id: str = "replica",
@@ -60,7 +60,9 @@ class ReplicationClient:
 
     # ------------------------------------------------------------------
 
-    def _get(self, path: str, binary: bool = False):
+    def _get(
+        self, path: str, binary: bool = False
+    ) -> Tuple[Any, Dict[str, str]]:
         req = urllib.request.Request(
             self._base + path, headers={"X-API-Key": self._key}
         )
@@ -77,9 +79,11 @@ class ReplicationClient:
         """Bootstrap: adopt the primary's full arena image and hub
         state.  Called once at replica start and again on any gap."""
         payload, _ = self._get("/replica/snapshot")
-        blocks = np.frombuffer(
+        flat = np.frombuffer(
             base64.b64decode(payload["blocks"]), dtype=np.float64
-        ).reshape(payload["num_blocks"], payload["block_slots"]).copy()
+        )
+        grid = (payload["num_blocks"], payload["block_slots"])
+        blocks = flat.reshape(grid).copy()
         self._hub._install_snapshot(
             blocks, int(payload["last_seq"]), payload["state"]
         )
@@ -90,7 +94,10 @@ class ReplicationClient:
     def poll_once(self) -> int:
         """One poll round-trip.  Returns the number of payload bytes
         applied.  Raises on transport errors (caller counts them)."""
-        after = self._hub.follower.applied_seq
+        # read under the follower lock: the apply path mutates
+        # applied_seq concurrently and a torn cursor would re-request
+        # (or skip) groups
+        after = int(self._hub.follower.snapshot()["applied_seq"])
         path = (
             f"/replica/stream?after={after}"
             f"&follower={self.follower_id}"
@@ -153,7 +160,7 @@ class ReplicationClient:
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         return {
             "primary": self._base,
             "follower_id": self.follower_id,

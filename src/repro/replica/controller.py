@@ -16,7 +16,7 @@ import threading
 import time
 import urllib.request
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,7 @@ def http_health_probe(url: str, timeout_s: float = 1.0) -> ProbeResult:
         req = urllib.request.Request(url.rstrip("/") + "/healthz")
         with urllib.request.urlopen(req, timeout=timeout_s) as resp:
             payload = json.loads(resp.read())
-    except Exception as exc:  # noqa: BLE001 — any transport failure is "down"
+    except Exception as exc:  # noqa: BLE001 — transport failure = "down"
         return ProbeResult(healthy=False, detail=f"probe error: {exc}")
     status = str(payload.get("status", "unknown"))
     breaker_open = any(
@@ -62,7 +62,7 @@ class FailoverController:
     def __init__(
         self,
         probe: Callable[[], ProbeResult],
-        candidates: Sequence[object],
+        candidates: Sequence[Any],
         threshold: int = 3,
         interval_s: float = 0.5,
         clock: Callable[[], float] = time.monotonic,
@@ -77,13 +77,12 @@ class FailoverController:
         self._clock = clock
         self._fail_on_breaker_open = fail_on_breaker_open
         self._lock = threading.Lock()
-        # All fields below are # guarded-by: _lock
-        self._consecutive_failures = 0
-        self._timer: Optional[threading.Timer] = None
-        self._stopped = False
-        self.promoted: Optional[object] = None
-        self.promotion_s: Optional[float] = None
-        self.events: List[dict] = []
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._timer: Optional[threading.Timer] = None  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
+        self.promoted: Optional[object] = None  # guarded-by: _lock
+        self.promotion_s: Optional[float] = None  # guarded-by: _lock
+        self.events: List[Dict[str, object]] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------
 
@@ -133,9 +132,9 @@ class FailoverController:
             )
         return candidate
 
-    def _pick_candidate(self) -> Optional[object]:
-        # guarded-by: _lock (caller holds it)
-        best, best_seq = None, -1
+    def _pick_candidate(self) -> Optional[Any]:  # lint: holds=_lock
+        best: Optional[Any] = None
+        best_seq = -1
         for cand in self._candidates:
             try:
                 seq = int(cand.replication_state().get("applied_seq", -1))
@@ -181,7 +180,7 @@ class FailoverController:
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "consecutive_failures": self._consecutive_failures,

@@ -11,13 +11,16 @@ same invariant the crash matrix certifies for a restarted primary.
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from ..storage.block_device import BlockDevice
 from ..storage.journal import JournaledDevice, RecoveryReport
 from .frames import FRAME_GROUP, FRAME_HEARTBEAT, Frame, FrameDecoder
+
+FloatArray = npt.NDArray[np.float64]
 
 
 class ReplicaGapError(RuntimeError):
@@ -56,14 +59,14 @@ class FollowerEngine:
         self.device = journaled
         self._block_slots = block_slots
         self._lock = threading.Lock()
-        # All fields below are # guarded-by: _lock
-        self.decoder = FrameDecoder()
-        self.applied_seq = self.device.journal.truncated_upto
-        self.groups_applied = 0
-        self.records_applied = 0
-        self.duplicates_skipped = 0
-        self.heartbeat_seq = self.applied_seq
-        self.finalized = False
+        self.decoder = FrameDecoder()  # guarded-by: _lock
+        truncated_upto = self.device.journal.truncated_upto
+        self.applied_seq = truncated_upto  # guarded-by: _lock
+        self.groups_applied = 0  # guarded-by: _lock
+        self.records_applied = 0  # guarded-by: _lock
+        self.duplicates_skipped = 0  # guarded-by: _lock
+        self.heartbeat_seq = self.applied_seq  # guarded-by: _lock
+        self.finalized = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
 
@@ -80,6 +83,7 @@ class FollowerEngine:
         with self._lock:
             return self._apply_frames(frames)
 
+    # lint: holds=_lock
     def _apply_frames(self, frames: List[Frame]) -> List[int]:
         touched: List[int] = []
         for frame in frames:
@@ -109,12 +113,13 @@ class FollowerEngine:
 
     # ------------------------------------------------------------------
 
-    def install_snapshot(self, blocks: np.ndarray, last_seq: int) -> None:
+    def install_snapshot(self, blocks: FloatArray, last_seq: int) -> None:
         """Adopt a full arena image at ``last_seq``: restore the block
         grid, reset the journal horizon, and drop any buffered partial
         frame — the stream resumes at ``last_seq + 1``."""
         with self._lock:
-            self.device.restore_blocks(blocks)  # lint: uncounted (bulk snapshot install, not per-block I/O)
+            # lint: uncounted (bulk snapshot install, not per-block I/O)
+            self.device.restore_blocks(blocks)
             self.device.journal.reset_to(last_seq)
             self.decoder.discard_tail()
             self.applied_seq = last_seq
@@ -128,15 +133,13 @@ class FollowerEngine:
         with self._lock:
             self.decoder.discard_tail()
             report = self.device.recover(scan=True)
-            self.applied_seq = max(
-                self.applied_seq, report.last_committed_seq
-            )
+            self.applied_seq = max(self.applied_seq, report.last_committed_seq)
             self.finalized = True
             return report
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "applied_seq": self.applied_seq,

@@ -41,21 +41,24 @@ class JournalShipper:
         device: Union[JournaledDevice, WriteAheadJournal],
         retain: int = 256,
     ) -> None:
-        journal = device.journal if isinstance(device, JournaledDevice) else device
+        if isinstance(device, JournaledDevice):
+            journal = device.journal
+        else:
+            journal = device
         if journal.on_commit is not None:
             raise RuntimeError("journal already has an on_commit observer")
         self._journal = journal
         self._lock = threading.Lock()
-        # All fields below are # guarded-by: _lock
-        self._retained: Deque[Tuple[int, bytes]] = deque(maxlen=max(1, retain))
-        self._sinks: List[Sink] = []
-        self._acks: Dict[str, int] = {}
+        retained: Deque[Tuple[int, bytes]] = deque(maxlen=max(1, retain))
+        self._retained = retained  # guarded-by: _lock
+        self._sinks: List[Sink] = []  # guarded-by: _lock
+        self._acks: Dict[str, int] = {}  # guarded-by: _lock
         #: Groups committed before the shipper attached are not
         #: retained; resuming below this point is a gap.
-        self._base_seq = journal.next_seq - 1
-        self.groups_shipped = 0
-        self.bytes_shipped = 0
-        self.last_seq = self._base_seq
+        self._base_seq = journal.next_seq - 1  # guarded-by: _lock
+        self.groups_shipped = 0  # guarded-by: _lock
+        self.bytes_shipped = 0  # guarded-by: _lock
+        self.last_seq = self._base_seq  # guarded-by: _lock
         #: Crash-site plan for the chaos matrix (survey/armed protocol
         #: identical to the storage crash matrix).
         self.crash: Optional[CrashPlan] = None
@@ -113,7 +116,9 @@ class JournalShipper:
                 return []
             if after_seq < self._base_seq:
                 return None
-            oldest = self._retained[0][0] if self._retained else self.last_seq + 1
+            oldest = (
+                self._retained[0][0] if self._retained else self.last_seq + 1
+            )
             if after_seq + 1 < oldest:
                 return None
             return [frame for seq, frame in self._retained if seq > after_seq]

@@ -367,7 +367,10 @@ class ServingApp:
             ) from None
         follower_id = params.get("follower", "")
         headers = ctx.setdefault("headers", [])
-        headers.append(("X-Repro-Next-Seq", str(shipper.last_seq + 1)))
+        # shipper.snapshot() reads last_seq under the shipper lock; a
+        # bare attribute read here races the commit path's writer
+        last_seq = int(shipper.snapshot()["last_seq"])
+        headers.append(("X-Repro-Next-Seq", str(last_seq + 1)))
         headers.append(
             ("X-Repro-State-Version", str(self._hub.state_version))
         )

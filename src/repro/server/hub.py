@@ -361,6 +361,7 @@ class ServingHub:
         and during :meth:`_restore`, which only replays it)."""
         if self._data_dir is None or self._restoring:
             return
+        # lint: protocol-exempt=REPRO-P003 (wrapper: call sites carry the flush+sync obligation)
         persist.save_state(self, self._data_dir)
 
     # ------------------------------------------------------------------
@@ -586,7 +587,7 @@ class ServingHub:
         return {
             "role": self._role,
             "promoted": True,
-            "applied_seq": self.follower.applied_seq,
+            "applied_seq": int(self.follower.snapshot()["applied_seq"]),
             "replayed_groups": report.replayed_groups,
             "discarded_bytes": report.discarded_bytes,
         }
@@ -682,6 +683,7 @@ class ServingHub:
         self._tenants[name] = tenant
         self._api_keys[api_key] = name
         self._bump_state_version()
+        # lint: protocol-exempt=REPRO-P003 (logical-only mutation: a new tenant writes no arena bytes)
         self._persist()
         return tenant
 
@@ -739,6 +741,11 @@ class ServingHub:
         if data is not None:
             cube.load(np.asarray(data, dtype=np.float64), chunk_shape)
             cube.store.flush()
+            if self._data_dir is not None:
+                # the sidecar written below references the bulk-loaded
+                # blocks; make them durable before it can name them
+                self._pool.flush()
+                self._raw.sync()
         breaker = (
             CircuitBreaker(failure_threshold=self._breaker_threshold)
             if self._breaker_threshold is not None
@@ -772,6 +779,7 @@ class ServingHub:
         state = CubeState(cube_name, tenant_name, cube, engine)
         tenant.cubes[cube_name] = state
         self._bump_state_version()
+        # lint: protocol-exempt=REPRO-P003 (schema-only registration writes no arena bytes; the bulk-load branch flushes and syncs above)
         self._persist()
         return state
 
@@ -855,10 +863,12 @@ class ServingHub:
                 # reference blocks the file does not yet guarantee.
                 self._pool.flush()
                 self._raw.sync()
+                # An update can allocate blocks for untouched tiles, so
+                # the persisted directory must follow every durable
+                # batch (and must describe only synced bytes — hence
+                # inside the data-dir branch, after flush + sync).
+                self._persist()
             delta = self._stats.delta_since(before)
-            # An update can allocate blocks for untouched tiles, so the
-            # persisted directory must follow every batch.
-            self._persist()
         self._metrics.counter(
             "updates_applied",
             {"tenant": tenant_name, "cube": cube_name},
@@ -1062,8 +1072,11 @@ class ServingHub:
                 state.engine.close()
         if self._data_dir is not None:
             self._pool.flush()
-            self._persist()
+            # sync before persisting: the sidecar must describe bytes
+            # the arena file already guarantees (persisting first was
+            # a real ordering bug REPRO-P003 caught)
             self._raw.sync()
+            self._persist()
             self._raw.close()
 
     def __enter__(self) -> "ServingHub":

@@ -1,0 +1,23 @@
+"""Known-bad: REPRO-R001 at lines 13 (the ``# guarded-by:`` names a
+lock attribute that does not exist on the class) and 23 (it names a
+*sequence* of locks, which the runtime sanitizer cannot map to one
+mutex).
+"""
+
+import threading
+
+
+class PhantomGuard:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+
+class ShardGuard:
+    def __init__(self):
+        self._locks = [threading.Lock() for __ in range(4)]
+        self._total = 0  # guarded-by: _locks

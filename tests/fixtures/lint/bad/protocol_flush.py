@@ -1,0 +1,20 @@
+"""Known-bad: REPRO-P003 -- the historical sidecar-before-flush bug.
+Lines 14 (x2: the sidecar is saved before both the pool flush and the
+arena sync) and 20 (flush dominates but the arena sync is missing).
+"""
+
+
+class Hub:
+    def __init__(self, pool, raw, persist):
+        self._pool = pool
+        self._raw = raw
+        self._sidecar = persist
+
+    def close(self):
+        self._sidecar.save_state()
+        self._pool.flush()
+        self._raw.sync()
+
+    def update_half(self, block):
+        self._pool.flush()
+        self._sidecar.save_state()

@@ -1,0 +1,22 @@
+"""Known-bad: REPRO-P002 at lines 10 (early return mid-loop leaves
+the group uncommitted) and 20 (a second begin_group() opens before
+the first group's commit record lands).
+"""
+
+
+def write_group_early_return(journal, payloads):
+    journal.begin_group()
+    for payload in payloads:
+        journal.append_data(payload)
+        if payload is None:
+            return False
+    journal.append_commit()
+    return True
+
+
+def overlapping_groups(journal, first, second):
+    journal.begin_group()
+    journal.append_data(first)
+    journal.begin_group()
+    journal.append_data(second)
+    journal.append_commit()

@@ -1,0 +1,32 @@
+"""Known-bad: REPRO-P001 at lines 12 (rename never fsynced -- the
+historical missing-dir-fsync bug), 17 (fsync in only one branch), and
+31 (an unsatisfied wrapper call site that never fsyncs).
+"""
+
+import os
+
+
+def publish_forgot_fsync(tmp, final):
+    # the historical bug: os.replace() alone is not durable -- a
+    # crash can lose the directory entry
+    os.replace(tmp, final)
+    return final
+
+
+def publish_one_branch(tmp, final, careful):
+    os.replace(tmp, final)
+    if careful:
+        fd = os.open(".", os.O_RDONLY)
+        os.fsync(fd)
+        os.close(fd)
+    return final
+
+
+def rename_only(tmp, final):  # lint: protocol-exempt=REPRO-P001 (wrapper: callers carry the fsync obligation)
+    os.replace(tmp, final)
+
+
+def publish_via_wrapper(tmp, final):
+    # rename_only never fsyncs, so this call site inherits the anchor
+    rename_only(tmp, final)
+    return final

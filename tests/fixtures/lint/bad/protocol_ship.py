@@ -1,0 +1,19 @@
+"""Known-bad: REPRO-P004 at lines 8 (blind ack: nothing shipped) and
+19 (frames_since() sits in a try whose handler swallows the error, so
+a path reaches the ack without it).
+"""
+
+
+def ack_blind(shipper, follower_id, seq):
+    shipper.ack(follower_id, seq)
+    return seq
+
+
+def ack_past_swallowed_error(shipper, sink, follower_id, seq):
+    try:
+        frames = shipper.frames_since(seq)
+        for frame in frames:
+            sink(frame)
+    except ValueError:
+        pass
+    shipper.ack(follower_id, seq + 1)

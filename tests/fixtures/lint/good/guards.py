@@ -1,0 +1,27 @@
+"""Known-good: REPRO-R001 guard-facts.  Every ``# guarded-by:``
+annotation names a scalar lock attribute that exists on the class (or
+is inherited from a base), so the static facts the runtime sanitizer
+consumes are all well-formed.
+"""
+
+import threading
+
+
+class WellGuarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+
+class ChildGuarded(WellGuarded):
+    def __init__(self):
+        super().__init__()
+        self._extra = 0  # guarded-by: _lock
+
+    def add(self, n):
+        with self._lock:
+            self._extra += n

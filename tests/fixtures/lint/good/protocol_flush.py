@@ -1,0 +1,40 @@
+"""Known-good: REPRO-P003 flush-before-persist.  Both a buffer-pool
+flush and an arena sync dominate every ``save_state()`` call, through
+nested ``with`` blocks, early returns before the anchor, and one
+reasoned exemption for a logical-only mutation.
+"""
+
+
+class Checkpointer:
+    def __init__(self, pool, raw, persist):
+        self._pool = pool
+        self._raw = raw
+        self._sidecar = persist
+
+    def checkpoint(self):
+        self._pool.flush()
+        self._raw.sync()
+        self._sidecar.save_state()
+
+    def maybe_checkpoint(self, dirty):
+        # the early return never reaches the anchor, so it owes no
+        # flush; the fallthrough path is fully dominated
+        if not dirty:
+            return False
+        self._pool.flush()
+        self._raw.sync()
+        self._sidecar.save_state()
+        return True
+
+    def checkpoint_nested(self, audit_path):
+        # nested with: domination holds through context managers
+        with open(audit_path, "w") as audit:
+            with memoryview(b"") as _view:
+                self._pool.flush()
+                self._raw.sync()
+            audit.write("checkpointed\n")
+        self._sidecar.save_state()
+
+    def register_only(self):
+        # lint: protocol-exempt=REPRO-P003 (logical-only mutation: no arena bytes written)
+        self._sidecar.save_state()

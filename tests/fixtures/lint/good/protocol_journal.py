@@ -1,0 +1,69 @@
+"""Known-good: REPRO-P002 journal-commit through adversarial shapes.
+Every ``append_data()`` reaches ``append_commit()`` before any normal
+return, and no ``begin_group()`` is reachable between data and commit
+-- including the nested-groups loop where the *next* iteration's
+``begin_group()`` is only reachable through the commit.
+"""
+
+
+class Journal:
+    def __init__(self):
+        self.records = []
+
+    def begin_group(self):
+        self.records.append("begin")
+
+    def append_data(self, payload):
+        self.records.append(payload)
+
+    def append_commit(self):
+        self.records.append("commit")
+
+
+def write_group(journal, payloads):
+    journal.begin_group()
+    for payload in payloads:
+        journal.append_data(payload)
+    journal.append_commit()
+
+
+def write_groups(journal, groups):
+    # the outer back edge makes begin_group() reachable again after
+    # append_data(), but only through append_commit() -- legal
+    for group in groups:
+        journal.begin_group()
+        for payload in group:
+            journal.append_data(payload)
+        journal.append_commit()
+
+
+def drain_pending(journal, pending):
+    # while/else: the else arm commits on the only normal loop exit
+    journal.begin_group()
+    while pending:
+        journal.append_data(pending.pop())
+    else:
+        journal.append_commit()
+    return len(journal.records)
+
+
+def append_checked(journal, payload):
+    # raise-only branch: an escaping exception is a failed operation,
+    # so the raising path owes no commit
+    journal.begin_group()
+    journal.append_data(payload)
+    if payload is None:
+        raise ValueError("empty payload")
+    journal.append_commit()
+
+
+def _commit(journal):
+    journal.append_commit()
+
+
+def write_via_helper(journal, payload):
+    # wrapper-follow: the helper's append_commit() satisfies the
+    # obligation one level deep
+    journal.begin_group()
+    journal.append_data(payload)
+    _commit(journal)

@@ -1,0 +1,58 @@
+"""Known-good: REPRO-P001 rename-durability through adversarial
+control flow.  Every ``os.replace()`` reaches a directory fsync on
+all non-raising paths: satisfier in a ``finally``, one batched fsync
+after a loop, a satisfying wrapper, and an exempted raw wrapper whose
+callers discharge the obligation.
+"""
+
+import os
+
+
+def _fsync_dir(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_publish(tmp, final):
+    os.replace(tmp, final)
+    _fsync_dir(os.path.dirname(final))
+
+
+def publish_in_finally(tmp, final):
+    # the satisfier lives in the finally: both the return-in-try arm
+    # and the raising arm run it before leaving
+    try:
+        os.replace(tmp, final)
+        return True
+    finally:
+        _fsync_dir(os.path.dirname(final))
+
+
+def publish_batch(pairs):
+    # one directory fsync after the loop covers every rename: the
+    # back edge still funnels every path through the satisfier
+    for tmp, final in pairs:
+        os.replace(tmp, final)
+    _fsync_dir(".")
+
+
+def publish_many(pairs):
+    # wrapper-follow: atomic_publish discharges the spec internally,
+    # so call sites carry no obligation
+    for tmp, final in pairs:
+        atomic_publish(tmp, final)
+
+
+def rename_raw(tmp, final):
+    # lint: protocol-exempt=REPRO-P001 (wrapper: callers carry the fsync obligation)
+    os.replace(tmp, final)
+
+
+def publish_via_raw(tmp, final):
+    # rename_raw does not fsync, so this call site inherits the
+    # anchor -- and discharges it
+    rename_raw(tmp, final)
+    _fsync_dir(os.path.dirname(final))

@@ -1,0 +1,38 @@
+"""Known-good: REPRO-P004 ship-before-ack.  Shipping (or re-reading
+via ``frames_since``) dominates every ``ack()``, including an ack in
+a ``finally`` and a caught-up early return.
+"""
+
+
+def transmit(sink, frames):
+    for frame in frames:
+        sink(frame)
+
+
+def ship_and_ack(shipper, sink, follower_id, cursor):
+    frames = shipper.frames_since(cursor)
+    if frames is None:
+        return None
+    transmit(sink, frames)
+    shipper.ack(follower_id, cursor + len(frames))
+    return len(frames)
+
+
+def ack_in_finally(shipper, sink, follower_id, seq):
+    # the ship dominates even the finally-hosted ack: every path into
+    # the try has already passed it
+    shipper.ship(sink)
+    try:
+        transmit(sink, [])
+    finally:
+        shipper.ack(follower_id, seq)
+
+
+def resend_then_ack(shipper, sink, follower_id, cursor):
+    while True:
+        frames = shipper.frames_since(cursor)
+        if not frames:
+            break
+        transmit(sink, frames)
+        cursor += len(frames)
+    shipper.ack(follower_id, cursor)

@@ -69,13 +69,31 @@ class TestRepoIsClean:
         assert {
             "CircuitBreaker",
             "Counter",
+            "FailoverController",
+            "FollowerEngine",
             "Gauge",
             "Histogram",
+            "JournalShipper",
             "QueryEngine",
             "TraceStore",
             "Tracer",
             "_PlanLRU",
         } <= set(guarded_classes)
+
+    def test_protocol_specs_are_live(self, report):
+        """The protocol rules must anchor on real code, not pass
+        vacuously: the serving/persist/replication stacks contain
+        anchors for every spec."""
+        specs = {s["rule"]: s for s in report.data["protocols"]["specs"]}
+        assert set(specs) == {
+            "REPRO-P001",
+            "REPRO-P002",
+            "REPRO-P003",
+            "REPRO-P004",
+        }
+        for spec in specs.values():
+            assert spec["anchors"] > 0, spec
+            assert spec["violations"] == 0, spec
 
 
 class TestCLIGating:
@@ -115,7 +133,7 @@ class TestCLIGating:
             == 1
         )
         payload = json.loads(out.read_text())
-        assert payload["files_analyzed"] == 8
+        assert payload["files_analyzed"] == 13
         assert {f["rule"] for f in payload["findings"]} == {
             "REPRO-L001",
             "REPRO-L002",
@@ -123,8 +141,14 @@ class TestCLIGating:
             "REPRO-I001",
             "REPRO-F001",
             "REPRO-T001",
+            "REPRO-P001",
+            "REPRO-P002",
+            "REPRO-P003",
+            "REPRO-P004",
+            "REPRO-R001",
         }
         assert payload["lock_graph"]["edges"]
+        assert payload["protocols"]["specs"]
 
     def test_baseline_ratchets(self, tmp_path, capsys):
         """A baselined finding is tolerated; a fresh one still fails."""
@@ -149,6 +173,23 @@ class TestCLIGating:
         out = capsys.readouterr().out
         assert "REPRO-L001" in out
         assert "REPRO-F001" not in out  # baselined, not re-reported
+
+    def test_write_baseline_prints_diff_summary(self, tmp_path, capsys):
+        solo = tmp_path / "solo"
+        solo.mkdir()
+        shutil.copy(FIXTURES / "bad" / "fault.py", solo / "fault.py")
+        baseline_path = tmp_path / "baseline.json"
+        args = ["--root", str(solo), "--baseline", str(baseline_path)]
+        assert main(args + ["--write-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "+4 added, -0 removed" in out
+        assert out.count("  + ") == 4
+        # fixing the defects shrinks the baseline; the diff says so
+        shutil.copy(FIXTURES / "good" / "fault.py", solo / "fault.py")
+        assert main(args + ["--write-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "+0 added, -4 removed" in out
+        assert out.count("  - ") == 4
 
     def test_strict_baseline_flags_fixed_entries(self, tmp_path, capsys):
         solo = tmp_path / "solo"

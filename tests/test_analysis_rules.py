@@ -25,7 +25,7 @@ class TestGoodFixtures:
     def test_good_tree_is_clean(self):
         report = _analyze("good")
         assert report.findings == []
-        assert report.files_analyzed == 8
+        assert report.files_analyzed == 13
 
     def test_good_lock_graph_is_ordered(self):
         report = _analyze("good")
@@ -106,9 +106,53 @@ class TestBadFixtures:
             (16, "REPRO-T001"),
         ]
 
+    def test_rename_durability_exact_positions(self, findings):
+        # 12: the historical missing-dir-fsync bug; 17: fsync in only
+        # one branch; 31: unsatisfied-wrapper call site
+        assert self._at(findings, "protocol_persist.py") == [
+            (12, "REPRO-P001"),
+            (17, "REPRO-P001"),
+            (31, "REPRO-P001"),
+        ]
+
+    def test_journal_commit_exact_positions(self, findings):
+        # 10: early return mid-loop without commit (at the anchor);
+        # 20: a second begin_group() before the commit (at the
+        # forbidden call)
+        assert self._at(findings, "protocol_journal.py") == [
+            (10, "REPRO-P002"),
+            (20, "REPRO-P002"),
+        ]
+
+    def test_flush_before_persist_exact_positions(self, findings):
+        # 14 twice: the historical sidecar-before-flush bug misses
+        # both the pool flush and the arena sync; 20: flush dominates
+        # but the sync is missing
+        assert self._at(findings, "protocol_flush.py") == [
+            (14, "REPRO-P003"),
+            (14, "REPRO-P003"),
+            (20, "REPRO-P003"),
+        ]
+
+    def test_ship_before_ack_exact_positions(self, findings):
+        # 8: blind ack; 19: frames_since() raised into a swallowing
+        # handler, so a path reaches the ack without shipping
+        assert self._at(findings, "protocol_ship.py") == [
+            (8, "REPRO-P004"),
+            (19, "REPRO-P004"),
+        ]
+
+    def test_guard_facts_exact_positions(self, findings):
+        # 13: guarded-by names a nonexistent lock; 23: it names a
+        # lock sequence
+        assert self._at(findings, "guards.py") == [
+            (13, "REPRO-R001"),
+            (23, "REPRO-R001"),
+        ]
+
     def test_total_finding_count(self, findings):
         # one per planted defect, no duplicates, nothing extra
-        assert len(findings) == 18
+        assert len(findings) == 30
 
 
 class TestMarkerMachinery:
@@ -173,6 +217,138 @@ class TestMarkerMachinery:
             'OTHER = "# lint: allow=lock-discipline"\n'
         )
         assert sf.markers == {}
+
+    def test_a000_names_the_suppressed_rule(self):
+        report = run_analysis(
+            files=[
+                self._single(
+                    "def f(device):\n"
+                    "    # lint: uncounted\n"
+                    "    return device.peek_block(0)\n"
+                )
+            ]
+        )
+        assert [f.rule for f in report.findings] == ["REPRO-A000"]
+        assert "io-accounting" in report.findings[0].message
+
+    def test_protocol_exempt_requires_reason(self):
+        report = run_analysis(
+            files=[
+                self._single(
+                    "import os\n"
+                    "\n"
+                    "\n"
+                    "def publish(tmp, final):\n"
+                    "    # lint: protocol-exempt=REPRO-P001\n"
+                    "    os.replace(tmp, final)\n"
+                )
+            ]
+        )
+        # the violation is suppressed, but the reasonless marker is
+        # flagged and the A000 message names the suppressed rule
+        assert [f.rule for f in report.findings] == ["REPRO-A000"]
+        assert "REPRO-P001" in report.findings[0].message
+
+    def test_protocol_exempt_with_reason_is_silent(self):
+        report = run_analysis(
+            files=[
+                self._single(
+                    "import os\n"
+                    "\n"
+                    "\n"
+                    "def publish(tmp, final):\n"
+                    "    # lint: protocol-exempt=REPRO-P001 (callers fsync)\n"
+                    "    os.replace(tmp, final)\n"
+                )
+            ]
+        )
+        assert report.findings == []
+
+    def test_protocol_exempt_accepts_spec_name_token(self):
+        report = run_analysis(
+            files=[
+                self._single(
+                    "import os\n"
+                    "\n"
+                    "\n"
+                    "def publish(tmp, final):\n"
+                    "    # lint: protocol-exempt=rename-durability (callers fsync)\n"
+                    "    os.replace(tmp, final)\n"
+                )
+            ]
+        )
+        assert report.findings == []
+
+
+class TestProtocolWrapperFollow:
+    def _single(self, text):
+        return SourceFile(Path("mem"), "mem.py", text)
+
+    def test_satisfying_wrapper_clears_caller(self):
+        text = (
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(tmp, final):\n"
+            "    os.replace(tmp, final)\n"
+            "    os.fsync(0)\n"
+            "\n"
+            "\n"
+            "def caller(tmp, final):\n"
+            "    publish(tmp, final)\n"
+        )
+        report = run_analysis(files=[self._single(text)])
+        assert report.findings == []
+
+    def test_unsatisfied_wrapper_site_inherits_anchor(self):
+        text = (
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(tmp, final):\n"
+            "    # lint: protocol-exempt=REPRO-P001 (callers fsync)\n"
+            "    os.replace(tmp, final)\n"
+            "\n"
+            "\n"
+            "def caller(tmp, final):\n"
+            "    publish(tmp, final)\n"
+        )
+        report = run_analysis(files=[self._single(text)])
+        # publish itself is exempt; the call site inherits the anchor
+        assert [(f.line, f.rule) for f in report.findings] == [
+            (10, "REPRO-P001")
+        ]
+
+    def test_unsatisfied_wrapper_site_can_discharge(self):
+        text = (
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(tmp, final):\n"
+            "    # lint: protocol-exempt=REPRO-P001 (callers fsync)\n"
+            "    os.replace(tmp, final)\n"
+            "\n"
+            "\n"
+            "def caller(tmp, final):\n"
+            "    publish(tmp, final)\n"
+            "    os.fsync(0)\n"
+        )
+        report = run_analysis(files=[self._single(text)])
+        assert report.findings == []
+
+    def test_protocol_report_section(self):
+        text = (
+            "import os\n"
+            "\n"
+            "\n"
+            "def publish(tmp, final):\n"
+            "    os.replace(tmp, final)\n"
+        )
+        report = run_analysis(files=[self._single(text)])
+        specs = {s["rule"]: s for s in report.data["protocols"]["specs"]}
+        assert specs["REPRO-P001"]["anchors"] == 1
+        assert specs["REPRO-P001"]["violations"] == 1
+        assert specs["REPRO-P002"]["anchors"] == 0
 
 
 class TestModelResolution:

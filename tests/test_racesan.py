@@ -1,0 +1,201 @@
+"""Unit tests for the runtime lockset sanitizer
+(:mod:`repro.analysis.racesan`).
+
+These force the sanitizer on (``force=True``) so they run in every CI
+leg; the env-gated wiring inside the stress tests is exercised
+separately by the ``REPRO_RACESAN=1`` smoke job.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import racesan
+from repro.analysis.racesan import RaceSanitizer, guarded_facts, watching
+
+
+class LockedBox:
+    """Correctly locked: every access holds the declared guard."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+    def get(self):
+        with self._lock:
+            return self._value
+
+
+class RacyBox(LockedBox):
+    """Same field, but one mutator skips the lock."""
+
+    def bump_unlocked(self):
+        self._value += 1
+
+
+class WrongLockBox:
+    """Consistently locked -- under a lock the annotation doesn't name."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._other = threading.Lock()
+        self._value = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._other:
+            self._value += 1
+
+
+FACTS = {
+    "LockedBox": {"_value": "_lock"},
+    "WrongLockBox": {"_value": "_lock"},
+}
+
+
+def _hammer(fn, threads=4, iters=200):
+    # The barrier keeps all workers alive at once: a worker that
+    # finished before the next started could donate its (reused)
+    # thread ident, and the field would never look shared.
+    barrier = threading.Barrier(threads)
+
+    def run():
+        barrier.wait()
+        for __ in range(iters):
+            fn()
+
+    workers = [threading.Thread(target=run) for __ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+class TestWatching:
+    def test_disabled_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RACESAN", raising=False)
+        box = RacyBox()
+        with watching(box, facts=FACTS) as san:
+            assert san is None
+            _hammer(box.bump_unlocked)  # racy, but nobody is looking
+        assert type(box) is RacyBox
+
+    def test_env_switch_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RACESAN", "1")
+        box = LockedBox()
+        with watching(box, facts=FACTS) as san:
+            assert san is not None
+            box.bump()
+        assert type(box) is LockedBox
+
+    def test_clean_class_is_clean(self):
+        box = LockedBox()
+        with watching(box, force=True, facts=FACTS) as san:
+            _hammer(box.bump)
+        assert box.get() == 800
+        assert san.races == []
+        assert san.mismatches == []
+
+    def test_seeded_race_is_detected(self):
+        box = RacyBox()
+        with pytest.raises(AssertionError, match="RACE on .*\\._value"):
+            with watching(box, force=True, facts=FACTS) as san:
+                _hammer(box.bump_unlocked)
+        assert len(san.races) == 1
+        report = san.races[0]
+        assert report.attr == "_value"
+        assert report.claimed_lock == "_lock"
+        # the site points at this test file, not the sanitizer
+        assert report.site_b.startswith("test_racesan.py:")
+
+    def test_wrong_lock_is_a_guard_mismatch_not_a_race(self):
+        box = WrongLockBox()
+        with pytest.raises(AssertionError, match="guard mismatch"):
+            with watching(box, force=True, facts=FACTS) as san:
+                _hammer(box.bump)
+        assert san.races == []
+        assert len(san.mismatches) == 1
+        assert "_other" in san.mismatches[0]
+
+    def test_single_thread_init_never_flags(self):
+        # constructor-style initialization stays exclusive: no guard
+        # needed before the object is shared
+        box = RacyBox()
+        with watching(box, force=True, facts=FACTS):
+            for __ in range(100):
+                box.bump_unlocked()
+
+    def test_nesting_raises(self):
+        box = LockedBox()
+        with watching(box, force=True, facts=FACTS):
+            with pytest.raises(RuntimeError, match="nest"):
+                with watching(box, force=True, facts=FACTS):
+                    pass
+
+    def test_uninstall_restores_class_and_locks(self):
+        box = LockedBox()
+        original_lock = box._lock
+        with watching(box, force=True, facts=FACTS):
+            assert type(box).__name__ == "_RaceSan_LockedBox"
+            assert box._lock is not original_lock  # proxied
+        assert type(box) is LockedBox
+        assert box._lock is original_lock
+
+    def test_unknown_class_installs_nothing(self):
+        class Plain:
+            def __init__(self):
+                self.n = 0
+
+        plain = Plain()
+        san = RaceSanitizer(facts=FACTS)
+        assert san.install(plain) is False
+
+    def test_body_exception_propagates_unmasked(self):
+        box = LockedBox()
+        with pytest.raises(ValueError, match="boom"):
+            with watching(box, force=True, facts=FACTS):
+                raise ValueError("boom")
+
+
+class TestFindings:
+    def test_race_renders_as_findings(self):
+        box = RacyBox()
+        try:
+            with watching(box, force=True, facts=FACTS) as san:
+                _hammer(box.bump_unlocked)
+        except AssertionError:
+            pass
+        findings = san.to_findings()
+        assert [f.rule for f in findings] == ["REPRO-R002"]
+        assert findings[0].name == "lockset-race"
+        assert findings[0].file == "test_racesan.py"
+        assert findings[0].line > 0
+
+    def test_mismatch_renders_as_findings(self):
+        box = WrongLockBox()
+        try:
+            with watching(box, force=True, facts=FACTS) as san:
+                _hammer(box.bump)
+        except AssertionError:
+            pass
+        findings = san.to_findings()
+        assert [f.rule for f in findings] == ["REPRO-R003"]
+        assert findings[0].name == "guard-mismatch"
+
+
+class TestGuardedFacts:
+    def test_repo_facts_cover_the_serving_stack(self):
+        facts = guarded_facts()
+        assert facts["Counter"]["_value"] == "_lock"
+        assert facts["JournalShipper"]["last_seq"] == "_lock"
+        assert facts["FollowerEngine"]["applied_seq"] == "_lock"
+        assert facts["FailoverController"]["promoted"] == "_lock"
+
+    def test_enabled_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RACESAN", raising=False)
+        assert racesan.enabled() is False
+        monkeypatch.setenv("REPRO_RACESAN", "1")
+        assert racesan.enabled() is True

@@ -2,9 +2,12 @@
 (:mod:`repro.replica`): wire framing, shipper retention/resume,
 follower replay, and the failover controller's decision logic."""
 
+import threading
+
 import numpy as np
 import pytest
 
+from repro.analysis import racesan
 from repro.fault.breaker import CircuitBreaker
 from repro.replica.controller import FailoverController, ProbeResult
 from repro.replica.follower import FollowerEngine, ReplicaGapError
@@ -244,6 +247,53 @@ class TestFollower:
                 BlockDevice(SLOTS),
                 journaled=JournaledDevice(BlockDevice(SLOTS)),
             )
+
+    def test_concurrent_apply_and_snapshot(self):
+        """Apply-path stress: one feeder drains the shipped frames while
+        reader threads hammer ``snapshot()`` and other threads post acks.
+
+        Under ``REPRO_RACESAN=1`` the watching block instruments the
+        shipper and follower and fails on any lockset race or
+        ``# guarded-by:`` mismatch; without the switch it is a no-op
+        and this is a plain concurrency smoke test.
+        """
+        device, shipper = _primary()
+        for seed in range(48):
+            _write_group(device, seed, blocks=(seed % 4,))
+        frames = shipper.frames_since(0)
+        assert frames is not None and len(frames) == 48
+        follower = FollowerEngine(BlockDevice(SLOTS))
+
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                follower.snapshot()
+                shipper.snapshot()
+
+        def acker(name):
+            for seq in range(1, 49):
+                shipper.ack(name, seq)
+
+        readers = [threading.Thread(target=reader) for __ in range(4)]
+        ackers = [
+            threading.Thread(target=acker, args=(f"f{i}",)) for i in range(3)
+        ]
+        with racesan.watching(follower, shipper):
+            for thread in readers + ackers:
+                thread.start()
+            for frame in frames:
+                follower.feed(frame)
+            for thread in ackers:
+                thread.join()
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert follower.applied_seq == 48
+        assert shipper.acks() == {f"f{i}": 48 for i in range(3)}
+        assert np.array_equal(
+            follower.device.dump_blocks(), device.dump_blocks()
+        )
 
 
 # ----------------------------------------------------------------------

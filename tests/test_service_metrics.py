@@ -1,9 +1,17 @@
-"""Unit tests for the serving metrics registry."""
+"""Unit tests for the serving metrics registry.
+
+The concurrent "hammer" tests double as lockset-sanitizer probes:
+when ``REPRO_RACESAN=1`` the ``racesan.watching(...)`` blocks
+instrument the metrics under test and fail the test on any data race
+or guard-annotation mismatch.  With the switch off the blocks are
+no-ops.
+"""
 
 import threading
 
 import pytest
 
+from repro.analysis import racesan
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 
@@ -26,10 +34,11 @@ class TestCounter:
                 counter.inc()
 
         threads = [threading.Thread(target=hammer) for __ in range(8)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with racesan.watching(counter):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         assert counter.value == 8000
 
 
@@ -104,10 +113,11 @@ class TestHistogram:
                 histogram.record(float(value))
 
         threads = [threading.Thread(target=hammer) for __ in range(8)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with racesan.watching(histogram):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         assert histogram.count == 8000
         assert histogram.total == 8 * sum(range(1000))
         assert histogram.min == 0.0
@@ -137,10 +147,11 @@ class TestGauge:
                 gauge.add(-1)
 
         threads = [threading.Thread(target=hammer) for __ in range(8)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with racesan.watching(gauge):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         assert gauge.value == 8 * 500
 
 
@@ -185,13 +196,24 @@ class TestRegistry:
                 registry.gauge("depth").add(1)
                 registry.histogram("lat").record(1.0)
 
+        # Pre-create the series so the sanitizer can instrument the
+        # shared metric objects (creation inside the threads would
+        # happen after install).
+        watched = (
+            registry.counter("ops"),
+            registry.counter("ops", labels={"shard": 0}),
+            registry.counter("ops", labels={"shard": 1}),
+            registry.gauge("depth"),
+            registry.histogram("lat"),
+        )
         threads = [
             threading.Thread(target=hammer, args=(i,)) for i in range(8)
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with racesan.watching(*watched):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         snap = registry.snapshot()
         assert snap["counters"]["ops"] == 4000
         assert snap["counters"]['ops{shard="0"}'] == 2000
